@@ -1,0 +1,550 @@
+//! # atasp — fine-grained data redistribution (all-to-all specific)
+//!
+//! Stand-in for the ZMPI-ATASP library the paper's P2NFFT solver and library
+//! interface build on (paper refs. 13 and 14): data redistribution operations where
+//! **every element names its own target process**, a generalized form with a
+//! user-defined distribution function that may **duplicate** elements (ghost
+//! particles), and the **resort** operation used by `fcs_resort_floats` /
+//! `fcs_resort_ints` — redistribute according to 64-bit resort indices, then
+//! place elements at their target positions.
+//!
+//! Resort indices are 64-bit integers storing a target process rank in the
+//! upper 32 bits and a target position in the lower 32 bits, exactly like the
+//! index values the paper describes (Sect. III-A, P2NFFT solver).
+//!
+//! All operations can run over the synchronizing collective exchange
+//! ([`simcomm::Comm::alltoallv`]) or — when the caller knows the
+//! communication is restricted to a neighbourhood — over point-to-point
+//! messages ([`simcomm::Comm::neighbor_exchange`]), which is the switch the
+//! paper's Method B performs when the maximum particle movement is small
+//! (Sect. III-B).
+
+#![warn(missing_docs)]
+
+use simcomm::{Comm, Work};
+
+/// Encode a (process rank, position) pair into a 64-bit index value:
+/// rank in the upper 32 bits, position in the lower 32 bits.
+#[inline]
+pub fn encode_index(rank: usize, pos: usize) -> u64 {
+    debug_assert!(rank <= u32::MAX as usize && pos <= u32::MAX as usize);
+    ((rank as u64) << 32) | pos as u64
+}
+
+/// Decode a 64-bit index value into its (process rank, position) pair.
+#[inline]
+pub fn decode_index(index: u64) -> (usize, usize) {
+    ((index >> 32) as usize, (index & 0xffff_ffff) as usize)
+}
+
+/// The index value marking ghost particles (duplicates that must not be
+/// routed back to an origin). Uses an impossible rank of `u32::MAX`.
+pub const GHOST_INDEX: u64 = u64::MAX;
+
+/// Is this index value a ghost marker?
+#[inline]
+pub fn is_ghost(index: u64) -> bool {
+    index == GHOST_INDEX
+}
+
+/// How a redistribution exchanges its messages.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExchangeMode {
+    /// Collective all-to-all-v (synchronizing; cost scans all `P` ranks).
+    Collective,
+    /// Point-to-point exchange with the given partner set. All element
+    /// targets other than the local rank must be contained in the set, and
+    /// the partner relation must be symmetric across ranks.
+    Neighborhood(Vec<usize>),
+}
+
+/// Message tag for neighbourhood exchanges issued by this crate.
+const TAG_ATASP: u64 = 0x61_7461_7370;
+
+/// Group `(target, element)` pairs by target rank and exchange them.
+/// Returns the received elements ordered by source rank, preserving
+/// per-source order; locally-addressed elements appear at the local rank's
+/// position in that order.
+fn exchange_grouped<T: Send + 'static>(
+    comm: &mut Comm,
+    groups: Vec<(usize, Vec<T>)>,
+    mode: &ExchangeMode,
+) -> Vec<(usize, Vec<T>)> {
+    match mode {
+        ExchangeMode::Collective => comm.alltoallv(groups),
+        ExchangeMode::Neighborhood(partners) => {
+            let me = comm.rank();
+            let mut local: Option<Vec<T>> = None;
+            let mut by_partner: Vec<Option<Vec<T>>> = partners.iter().map(|_| None).collect();
+            for (dst, buf) in groups {
+                if dst == me {
+                    local = Some(buf);
+                } else {
+                    let pi = partners
+                        .iter()
+                        .position(|&q| q == dst)
+                        .unwrap_or_else(|| panic!("target {dst} outside the neighbourhood"));
+                    by_partner[pi] = Some(buf);
+                }
+            }
+            let data: Vec<(usize, Vec<T>)> = partners
+                .iter()
+                .zip(by_partner)
+                .map(|(&q, buf)| (q, buf.unwrap_or_default()))
+                .collect();
+            let mut recv = comm.neighbor_exchange(partners, data, TAG_ATASP);
+            recv.retain(|(_, buf)| !buf.is_empty());
+            if let Some(buf) = local {
+                recv.push((me, buf));
+                recv.sort_by_key(|&(src, _)| src);
+            }
+            recv
+        }
+    }
+}
+
+/// Fine-grained data redistribution: element `i` is sent to rank
+/// `targets[i]`. Returns the received elements, ordered by source rank with
+/// per-source order preserved.
+///
+/// Collective (all ranks must call it), regardless of `mode`.
+pub fn alltoall_specific<T: Send + Copy + 'static>(
+    comm: &mut Comm,
+    elements: &[T],
+    targets: &[usize],
+    mode: &ExchangeMode,
+) -> Vec<T> {
+    assert_eq!(elements.len(), targets.len());
+    let p = comm.size();
+    // Group by target (stable within each target).
+    let mut counts = vec![0usize; p];
+    for &t in targets {
+        assert!(t < p, "target rank {t} out of range");
+        counts[t] += 1;
+    }
+    comm.compute(Work::ByteCopy, std::mem::size_of_val(elements) as f64);
+    let mut bufs: Vec<Vec<T>> = counts.iter().map(|&c| Vec::with_capacity(c)).collect();
+    for (&e, &t) in elements.iter().zip(targets) {
+        bufs[t].push(e);
+    }
+    let groups: Vec<(usize, Vec<T>)> = bufs
+        .into_iter()
+        .enumerate()
+        .filter(|(_, b)| !b.is_empty())
+        .collect();
+    let received = exchange_grouped(comm, groups, mode);
+    let mut out = Vec::with_capacity(received.iter().map(|(_, b)| b.len()).sum());
+    for (_, buf) in received {
+        out.extend(buf);
+    }
+    out
+}
+
+/// Generalized fine-grained redistribution with duplication: the distribution
+/// function maps each element to *any number* of (target rank, element)
+/// pairs — this is how the P2NFFT redistribution creates ghost particles
+/// while routing originals (paper, Sect. III-A: "a generalized version of the
+/// operation that uses a user-defined distribution function […] and that
+/// supports the duplication of particles").
+///
+/// Returns the received elements ordered by source rank, per-source order
+/// preserved. Collective.
+pub fn alltoall_specific_dup<T, F>(
+    comm: &mut Comm,
+    elements: &[T],
+    mut dist: F,
+    mode: &ExchangeMode,
+) -> Vec<T>
+where
+    T: Send + Copy + 'static,
+    F: FnMut(usize, &T, &mut Vec<(usize, T)>),
+{
+    let p = comm.size();
+    let mut routed: Vec<(usize, T)> = Vec::with_capacity(elements.len());
+    let mut scratch: Vec<(usize, T)> = Vec::new();
+    for (i, e) in elements.iter().enumerate() {
+        scratch.clear();
+        dist(i, e, &mut scratch);
+        for &(t, x) in scratch.iter() {
+            assert!(t < p, "target rank {t} out of range");
+            routed.push((t, x));
+        }
+    }
+    comm.compute(Work::ByteCopy, (routed.len() * std::mem::size_of::<T>()) as f64);
+    // Group by target, stable.
+    let mut bufs: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
+    for (t, x) in routed {
+        bufs[t].push(x);
+    }
+    let groups: Vec<(usize, Vec<T>)> = bufs
+        .into_iter()
+        .enumerate()
+        .filter(|(_, b)| !b.is_empty())
+        .collect();
+    let received = exchange_grouped(comm, groups, mode);
+    let mut out = Vec::with_capacity(received.iter().map(|(_, b)| b.len()).sum());
+    for (_, buf) in received {
+        out.extend(buf);
+    }
+    out
+}
+
+/// Redistribute `data` according to `resort_indices` and place every element
+/// at its target position: element `i` of `data` ends up at position
+/// `pos(resort_indices[i])` on rank `rank(resort_indices[i])`.
+///
+/// `new_len` is the number of elements this rank will own afterwards (the
+/// caller knows it from the solver's changed particle distribution). Every
+/// target position in `0..new_len` must be hit exactly once globally.
+///
+/// This implements `fcs_resort_floats` / `fcs_resort_ints` (paper,
+/// Sect. III-B): "The implementation uses the fine-grained data
+/// redistribution operation […] followed by a permutation according to the
+/// target positions contained in the resort indices." Collective.
+pub fn resort<T: Send + Copy + Default + 'static>(
+    comm: &mut Comm,
+    data: &[T],
+    resort_indices: &[u64],
+    new_len: usize,
+    mode: &ExchangeMode,
+) -> Vec<T> {
+    assert_eq!(data.len(), resort_indices.len());
+    let pairs: Vec<(u32, T)> = data
+        .iter()
+        .zip(resort_indices)
+        .map(|(&d, &ix)| {
+            let (_, pos) = decode_index(ix);
+            (pos as u32, d)
+        })
+        .collect();
+    let targets: Vec<usize> = resort_indices.iter().map(|&ix| decode_index(ix).0).collect();
+    let received = alltoall_specific(comm, &pairs, &targets, mode);
+    assert_eq!(
+        received.len(),
+        new_len,
+        "resort produced {} elements, expected {new_len}",
+        received.len()
+    );
+    let mut out = vec![T::default(); new_len];
+    #[cfg(debug_assertions)]
+    let mut hit = vec![false; new_len];
+    for (pos, d) in received {
+        let pos = pos as usize;
+        assert!(pos < new_len, "target position {pos} out of range");
+        #[cfg(debug_assertions)]
+        {
+            assert!(!hit[pos], "target position {pos} hit twice");
+            hit[pos] = true;
+        }
+        out[pos] = d;
+    }
+    comm.compute(Work::ByteCopy, (new_len * std::mem::size_of::<T>()) as f64);
+    out
+}
+
+/// Build resort indices by inverting an origin-index permutation.
+///
+/// Input: for each *current* local element `i`, `origin[i]` encodes where the
+/// element originally lived (origin rank, origin position) — the "initial
+/// numbering" the solvers carry through their data handling. Output: for each
+/// *original* local element (position `j` of the original local array, which
+/// had `original_len` elements), the resort index encoding where that element
+/// lives now.
+///
+/// This is the paper's Fig. 5 construction: "initializing new index values
+/// consecutively for the changed particles and sorting these index values
+/// back according to the particle numbering". Collective.
+pub fn build_resort_indices(comm: &mut Comm, origin: &[u64], original_len: usize) -> Vec<u64> {
+    build_resort_indices_with(comm, origin, original_len, &ExchangeMode::Collective)
+}
+
+/// [`build_resort_indices`] with an explicit exchange mode: when particle
+/// movement is limited, origins are neighbourhood-local and the index
+/// construction itself can use point-to-point communication (Method B with
+/// maximum movement, paper Sect. III-B).
+pub fn build_resort_indices_with(
+    comm: &mut Comm,
+    origin: &[u64],
+    original_len: usize,
+    mode: &ExchangeMode,
+) -> Vec<u64> {
+    let me = comm.rank();
+    // Send (origin position, current location) to each origin rank.
+    let pairs: Vec<(u32, u64)> = origin
+        .iter()
+        .enumerate()
+        .map(|(cur_pos, &og)| {
+            let (_, og_pos) = decode_index(og);
+            (og_pos as u32, encode_index(me, cur_pos))
+        })
+        .collect();
+    let targets: Vec<usize> = origin.iter().map(|&og| decode_index(og).0).collect();
+    let received = alltoall_specific(comm, &pairs, &targets, mode);
+    assert_eq!(
+        received.len(),
+        original_len,
+        "every original element must report back exactly once"
+    );
+    let mut out = vec![GHOST_INDEX; original_len];
+    for (og_pos, loc) in received {
+        let og_pos = og_pos as usize;
+        assert!(out[og_pos] == GHOST_INDEX, "origin position {og_pos} reported twice");
+        out[og_pos] = loc;
+    }
+    comm.compute(Work::ByteCopy, (original_len * 8) as f64);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcomm::{run, CartGrid, MachineModel};
+
+    #[test]
+    fn index_encoding_roundtrip() {
+        for &(r, p) in &[(0usize, 0usize), (1, 2), (255, 1 << 20), (u32::MAX as usize, 7)] {
+            assert_eq!(decode_index(encode_index(r, p)), (r, p));
+        }
+        assert!(is_ghost(GHOST_INDEX));
+        assert!(!is_ghost(encode_index(u32::MAX as usize, 0)));
+    }
+
+    #[test]
+    fn alltoall_specific_routes_elements() {
+        let out = run(4, MachineModel::ideal(), |comm| {
+            // Each rank sends element k to rank k (one per rank).
+            let elements: Vec<u64> = (0..4).map(|k| (comm.rank() * 10 + k) as u64).collect();
+            let targets: Vec<usize> = (0..4).collect();
+            alltoall_specific(comm, &elements, &targets, &ExchangeMode::Collective)
+        });
+        // Rank r receives r, 10+r, 20+r, 30+r — ordered by source.
+        for (r, res) in out.results.iter().enumerate() {
+            assert_eq!(res, &vec![r as u64, 10 + r as u64, 20 + r as u64, 30 + r as u64]);
+        }
+    }
+
+    #[test]
+    fn alltoall_specific_preserves_source_order() {
+        let out = run(2, MachineModel::ideal(), |comm| {
+            let elements: Vec<u32> = (0..6).map(|i| comm.rank() as u32 * 100 + i).collect();
+            let targets = vec![1, 1, 0, 1, 0, 1];
+            alltoall_specific(comm, &elements, &targets, &ExchangeMode::Collective)
+        });
+        assert_eq!(out.results[0], vec![2, 4, 102, 104]);
+        assert_eq!(out.results[1], vec![0, 1, 3, 5, 100, 101, 103, 105]);
+    }
+
+    #[test]
+    fn alltoall_specific_neighborhood_matches_collective() {
+        // Ring neighbourhood: targets only me-1, me, me+1.
+        let out = run(6, MachineModel::ideal(), |comm| {
+            let me = comm.rank();
+            let p = comm.size();
+            let left = (me + p - 1) % p;
+            let right = (me + 1) % p;
+            let elements: Vec<u64> = (0..9).map(|i| (me * 100 + i) as u64).collect();
+            let targets: Vec<usize> = (0..9)
+                .map(|i| match i % 3 {
+                    0 => left,
+                    1 => me,
+                    _ => right,
+                })
+                .collect();
+            let mut partners = vec![left, right];
+            partners.sort_unstable();
+            partners.dedup();
+            let coll = alltoall_specific(comm, &elements, &targets, &ExchangeMode::Collective);
+            let neigh = alltoall_specific(
+                comm,
+                &elements,
+                &targets,
+                &ExchangeMode::Neighborhood(partners),
+            );
+            (coll, neigh)
+        });
+        for (coll, neigh) in out.results {
+            assert_eq!(coll, neigh);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "simcomm world failed")]
+    fn neighborhood_rejects_distant_targets() {
+        run(4, MachineModel::ideal(), |comm| {
+            let me = comm.rank();
+            let elements = vec![1u8];
+            let targets = vec![(me + 2) % 4]; // not a ring neighbour
+            let mut partners = vec![(me + 3) % 4, (me + 1) % 4];
+            partners.sort_unstable();
+            partners.dedup();
+            alltoall_specific(comm, &elements, &targets, &ExchangeMode::Neighborhood(partners))
+        });
+    }
+
+    #[test]
+    fn dup_distribution_creates_ghosts() {
+        let out = run(3, MachineModel::ideal(), |comm| {
+            let me = comm.rank();
+            let elements: Vec<u64> = vec![me as u64 * 10, me as u64 * 10 + 1];
+            // Every element goes to its own rank AND is duplicated to rank 0.
+            alltoall_specific_dup(
+                comm,
+                &elements,
+                |_, &e, out| {
+                    out.push((me, e));
+                    if me != 0 {
+                        out.push((0, e + 1000)); // ghost copy, marked
+                    }
+                },
+                &ExchangeMode::Collective,
+            )
+        });
+        assert_eq!(out.results[0], vec![0, 1, 1010, 1011, 1020, 1021]);
+        assert_eq!(out.results[1], vec![10, 11]);
+        assert_eq!(out.results[2], vec![20, 21]);
+    }
+
+    #[test]
+    fn dup_can_drop_elements() {
+        fn rank_of(e: u32) -> usize {
+            (e as usize / 2) % 2
+        }
+        let out = run(2, MachineModel::ideal(), |comm| {
+            let elements: Vec<u32> = (0..10).collect();
+            // Keep only even elements (distribution function emits nothing
+            // for odd ones).
+            alltoall_specific_dup(
+                comm,
+                &elements,
+                |_, &e, out| {
+                    if e % 2 == 0 {
+                        out.push((rank_of(e), e));
+                    }
+                },
+                &ExchangeMode::Collective,
+            )
+        });
+        assert_eq!(out.results[0], vec![0, 4, 8, 0, 4, 8]);
+        assert_eq!(out.results[1], vec![2, 6, 2, 6]);
+    }
+
+    #[test]
+    fn resort_places_by_position() {
+        let out = run(3, MachineModel::ideal(), |comm| {
+            let me = comm.rank();
+            // Rank r holds values [r*10, r*10+1]; resort rotates them to rank
+            // r+1 with swapped positions.
+            let data = vec![(me * 10) as u64, (me * 10 + 1) as u64];
+            let dst = (me + 1) % 3;
+            let indices = vec![encode_index(dst, 1), encode_index(dst, 0)];
+            resort(comm, &data, &indices, 2, &ExchangeMode::Collective)
+        });
+        assert_eq!(out.results[0], vec![21, 20]);
+        assert_eq!(out.results[1], vec![1, 0]);
+        assert_eq!(out.results[2], vec![11, 10]);
+    }
+
+    #[test]
+    fn resort_identity_is_noop() {
+        let out = run(4, MachineModel::ideal(), |comm| {
+            let me = comm.rank();
+            let data: Vec<f64> = (0..5).map(|i| (me * 5 + i) as f64).collect();
+            let indices: Vec<u64> = (0..5).map(|i| encode_index(me, i)).collect();
+            resort(comm, &data, &indices, 5, &ExchangeMode::Collective)
+        });
+        for (r, res) in out.results.iter().enumerate() {
+            let expect: Vec<f64> = (0..5).map(|i| (r * 5 + i) as f64).collect();
+            assert_eq!(res, &expect);
+        }
+    }
+
+    #[test]
+    fn build_resort_indices_inverts_movement() {
+        // Simulate: every original element moved to rank+1 with position
+        // reversed; origin codes tell each current holder where elements came
+        // from. The built resort indices must route original-ordered data to
+        // the current layout.
+        let n = 4usize;
+        let out = run(3, MachineModel::ideal(), move |comm| {
+            let me = comm.rank();
+            let p = comm.size();
+            let src = (me + p - 1) % p; // current elements came from src
+            let origin: Vec<u64> = (0..n).map(|cur| encode_index(src, n - 1 - cur)).collect();
+            let resort_ix = build_resort_indices(comm, &origin, n);
+            // Apply them to original per-rank data and check it lands like
+            // the "current" layout would.
+            let original: Vec<u64> = (0..n).map(|j| (me * 100 + j) as u64).collect();
+            let moved = resort(comm, &original, &resort_ix, n, &ExchangeMode::Collective);
+            (resort_ix, moved)
+        });
+        for (r, (ix, moved)) in out.results.iter().enumerate() {
+            let dst = (r + 1) % 3;
+            // Original element j should be at rank dst, position n-1-j.
+            for (j, &x) in ix.iter().enumerate() {
+                assert_eq!(decode_index(x), (dst, n - 1 - j));
+            }
+            // Current layout of rank r holds data of rank (r-1+3)%3 reversed.
+            let src = (r + 2) % 3;
+            let expect: Vec<u64> = (0..n).map(|cur| (src * 100 + (n - 1 - cur)) as u64).collect();
+            assert_eq!(moved, &expect);
+        }
+    }
+
+    #[test]
+    fn resort_roundtrip_is_identity() {
+        // Forward-scramble data with tags, build resort indices from the
+        // origin codes, resort the original data forward, then route it home
+        // and compare.
+        let out = run(4, MachineModel::ideal(), |comm| {
+            let me = comm.rank();
+            let p = comm.size();
+            let n = 6usize;
+            let data: Vec<u64> = (0..n).map(|i| (me * 1000 + i) as u64).collect();
+            let targets: Vec<usize> = (0..n).map(|i| (me + i) % p).collect();
+            let tagged: Vec<u64> = (0..n).map(|i| encode_index(me, i)).collect();
+            let origin = alltoall_specific(comm, &tagged, &targets, &ExchangeMode::Collective);
+            let new_len = origin.len();
+            let ix = build_resort_indices(comm, &origin, n);
+            let moved = resort(comm, &data, &ix, new_len, &ExchangeMode::Collective);
+            // Invert: current origin codes route everything home.
+            let home_targets: Vec<usize> = origin.iter().map(|&og| decode_index(og).0).collect();
+            let home_pairs: Vec<(u32, u64)> = moved
+                .iter()
+                .zip(&origin)
+                .map(|(&d, &og)| (decode_index(og).1 as u32, d))
+                .collect();
+            let back_raw =
+                alltoall_specific(comm, &home_pairs, &home_targets, &ExchangeMode::Collective);
+            let mut back = vec![0u64; n];
+            for (pos, d) in back_raw {
+                back[pos as usize] = d;
+            }
+            (data, back)
+        });
+        for (data, back) in out.results {
+            assert_eq!(data, back);
+        }
+    }
+
+    #[test]
+    fn grid_neighborhood_resort_on_cart_grid() {
+        // Use the 26-neighbourhood of a 3D grid as partner set; move each
+        // element to a face neighbour. Collective and neighbourhood modes
+        // must agree.
+        let g = CartGrid::new([2, 2, 2]);
+        let out = run(8, MachineModel::juqueen_like(), move |comm| {
+            let me = comm.rank();
+            let partners = g.neighbors26(me);
+            let n = 3usize;
+            let data: Vec<u64> = (0..n).map(|i| (me * 10 + i) as u64).collect();
+            let dst = g.shifted_rank(me, [1, 0, 0]);
+            let indices: Vec<u64> = (0..n).map(|i| encode_index(dst, n - 1 - i)).collect();
+            let coll = resort(comm, &data, &indices, n, &ExchangeMode::Collective);
+            let neigh = resort(comm, &data, &indices, n, &ExchangeMode::Neighborhood(partners));
+            (coll, neigh)
+        });
+        for (coll, neigh) in out.results {
+            assert_eq!(coll, neigh);
+        }
+    }
+}

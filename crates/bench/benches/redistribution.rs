@@ -1,0 +1,133 @@
+//! Criterion micro-benchmarks of the redistribution operations themselves
+//! (real wall time of the simulated implementation on small worlds): the
+//! fine-grained all-to-all-specific exchange, resort, the two parallel sorts,
+//! and one full solver execution per solver.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use simcomm::MachineModel;
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+fn bench_alltoall_specific(c: &mut Criterion) {
+    let mut g = c.benchmark_group("alltoall_specific");
+    g.sample_size(20);
+    for p in [4usize, 16] {
+        g.bench_with_input(BenchmarkId::new("world", p), &p, |b, &p| {
+            b.iter(|| {
+                let out = simcomm::run(p, MachineModel::ideal(), |comm| {
+                    let me = comm.rank();
+                    let n = 1000;
+                    let elements: Vec<u64> = (0..n).map(|i| (me * n + i) as u64).collect();
+                    let targets: Vec<usize> =
+                        (0..n).map(|i| splitmix((me * n + i) as u64) as usize % p).collect();
+                    atasp::alltoall_specific(
+                        comm,
+                        &elements,
+                        &targets,
+                        &atasp::ExchangeMode::Collective,
+                    )
+                    .len()
+                });
+                black_box(out.results[0])
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_parallel_sorts(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parallel_sort");
+    g.sample_size(15);
+    let p = 8;
+    for (name, sorted) in [("random", false), ("almost_sorted", true)] {
+        g.bench_with_input(BenchmarkId::new("partition", name), &sorted, |b, &sorted| {
+            b.iter(|| {
+                let out = simcomm::run(p, MachineModel::ideal(), move |comm| {
+                    let me = comm.rank();
+                    let n = 2000usize;
+                    let keys: Vec<u64> = (0..n)
+                        .map(|i| {
+                            if sorted {
+                                (me * n + i) as u64
+                            } else {
+                                splitmix((me * n + i) as u64)
+                            }
+                        })
+                        .collect();
+                    let vals = keys.clone();
+                    let (k, _, _) = psort::partition_sort_by_key(comm, keys, vals);
+                    k.len()
+                });
+                black_box(out.results[0])
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("merge_exchange", name), &sorted, |b, &sorted| {
+            b.iter(|| {
+                let out = simcomm::run(p, MachineModel::ideal(), move |comm| {
+                    let me = comm.rank();
+                    let n = 2000usize;
+                    let keys: Vec<u64> = (0..n)
+                        .map(|i| {
+                            if sorted {
+                                (me * n + i) as u64
+                            } else {
+                                splitmix((me * n + i) as u64)
+                            }
+                        })
+                        .collect();
+                    let vals = keys.clone();
+                    let (k, _, _) = psort::merge_exchange_sort_by_key(comm, keys, vals);
+                    k.len()
+                });
+                black_box(out.results[0])
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_solver_execution(c: &mut Criterion) {
+    let mut g = c.benchmark_group("solver_run");
+    g.sample_size(10);
+    let crystal = particles::IonicCrystal::cubic(8, 1.0, 0.15, 3);
+    let bbox = particles::ParticleSource::system_box(&crystal);
+    for kind in [fcs::SolverKind::Fmm, fcs::SolverKind::P2Nfft] {
+        g.bench_with_input(
+            BenchmarkId::new("method_b", format!("{kind:?}")),
+            &kind,
+            |b, &kind| {
+                let crystal = crystal.clone();
+                b.iter(|| {
+                    let crystal = crystal.clone();
+                    let out = simcomm::run(4, MachineModel::ideal(), move |comm| {
+                        let set = particles::local_set(
+                            &crystal,
+                            particles::InitialDistribution::Grid,
+                            comm.rank(),
+                            4,
+                            simcomm::CartGrid::balanced(4).dims(),
+                        );
+                        let mut h = fcs::Fcs::init(kind, 4);
+                        h.set_common(bbox);
+                        h.set_tolerance(1e-2);
+                        h.tune(comm, &set.pos, &set.charge);
+                        h.set_resort(true);
+                        let o = h.run(comm, &set.pos, &set.charge, &set.id, usize::MAX);
+                        o.potential.len()
+                    });
+                    black_box(out.results[0])
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_alltoall_specific, bench_parallel_sorts, bench_solver_execution);
+criterion_main!(benches);

@@ -1,0 +1,208 @@
+//! # bench — harnesses reproducing the paper's evaluation
+//!
+//! One binary per figure of the paper's Sect. IV (`fig6`, `fig7`, `fig8`,
+//! `fig9`), an `ablation` binary for the design-choice comparisons, and
+//! Criterion micro-benchmarks for the computational kernels.
+//!
+//! The figure binaries print the same rows/series the paper plots and write
+//! CSV files. Runtimes are **virtual seconds** of the simulated machine
+//! models (`juropa_like`, `juqueen_like`); see `DESIGN.md` for the
+//! substitution rationale. Default workload sizes are scaled down from the
+//! paper's 829 440-particle system so every figure regenerates on a laptop in
+//! minutes; `--cells`/`--steps`/`--procs` restore paper scale.
+
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::io::Write;
+
+use mdsim::StepRecord;
+
+/// A tiny command-line flag parser: `--key value` pairs plus `--flag`
+/// booleans. Unknown keys panic with a usage hint.
+pub struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+    allowed: Vec<&'static str>,
+}
+
+impl Args {
+    /// Parse `std::env::args`, allowing only the given keys.
+    pub fn parse(allowed: &[&'static str]) -> Args {
+        let mut values = HashMap::new();
+        let mut flags = Vec::new();
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < argv.len() {
+            let a = &argv[i];
+            let key = a
+                .strip_prefix("--")
+                .unwrap_or_else(|| panic!("unexpected argument '{a}' (allowed: {allowed:?})"));
+            assert!(
+                allowed.contains(&key),
+                "unknown option '--{key}' (allowed: {allowed:?})"
+            );
+            if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+                values.insert(key.to_string(), argv[i + 1].clone());
+                i += 2;
+            } else {
+                flags.push(key.to_string());
+                i += 1;
+            }
+        }
+        Args { values, flags, allowed: allowed.to_vec() }
+    }
+
+    /// Get a typed value with a default.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T
+    where
+        T::Err: std::fmt::Debug,
+    {
+        assert!(self.allowed.contains(&key), "option '{key}' not declared");
+        self.values
+            .get(key)
+            .map(|v| v.parse().unwrap_or_else(|e| panic!("bad value for --{key}: {e:?}")))
+            .unwrap_or(default)
+    }
+
+    /// Was a boolean flag given?
+    pub fn flag(&self, key: &str) -> bool {
+        assert!(self.allowed.contains(&key), "flag '{key}' not declared");
+        self.flags.iter().any(|f| f == key)
+    }
+
+    /// Comma-separated list of usizes.
+    pub fn list(&self, key: &str, default: &[usize]) -> Vec<usize> {
+        assert!(self.allowed.contains(&key), "option '{key}' not declared");
+        match self.values.get(key) {
+            None => default.to_vec(),
+            Some(v) => v
+                .split(',')
+                .map(|x| x.trim().parse().expect("bad list entry"))
+                .collect(),
+        }
+    }
+}
+
+/// Run a full MD simulation world and return the per-step records aggregated
+/// over ranks (component-wise maxima), the global RMS drift, and the world
+/// makespan in virtual seconds.
+pub fn run_md_world(
+    model: simcomm::MachineModel,
+    p: usize,
+    crystal: &particles::IonicCrystal,
+    dist: particles::InitialDistribution,
+    cfg: &mdsim::SimConfig,
+) -> (Vec<StepRecord>, f64, f64) {
+    let bbox = particles::ParticleSource::system_box(crystal);
+    let crystal = crystal.clone();
+    let cfg = cfg.clone();
+    let out = simcomm::run(p, model, move |comm| {
+        let dims = simcomm::CartGrid::balanced(p).dims();
+        let set = particles::local_set(&crystal, dist, comm.rank(), p, dims);
+        mdsim::simulate(comm, bbox, set, &cfg)
+    });
+    let per_rank: Vec<Vec<StepRecord>> = out.results.iter().map(|r| r.records.clone()).collect();
+    let agg = aggregate_steps(&per_rank);
+    let rms = out.results[0].rms_displacement;
+    (agg, rms, out.makespan())
+}
+
+/// Aggregate per-rank step records into per-step maxima (the slowest rank
+/// determines the parallel runtime of each component).
+pub fn aggregate_steps(per_rank: &[Vec<StepRecord>]) -> Vec<StepRecord> {
+    assert!(!per_rank.is_empty());
+    let steps = per_rank[0].len();
+    (0..steps)
+        .map(|s| {
+            let mut agg = StepRecord { step: per_rank[0][s].step, ..StepRecord::default() };
+            for r in per_rank {
+                agg.sort = agg.sort.max(r[s].sort);
+                agg.restore = agg.restore.max(r[s].restore);
+                agg.resort = agg.resort.max(r[s].resort);
+                agg.total = agg.total.max(r[s].total);
+                agg.max_move = agg.max_move.max(r[s].max_move);
+                agg.energy = r[s].energy; // identical on every rank
+                agg.resorted = r[s].resorted;
+            }
+            agg
+        })
+        .collect()
+}
+
+/// Sum of a field over records `from..` (skipping warm-up entries).
+pub fn sum_from(records: &[StepRecord], from: usize, f: impl Fn(&StepRecord) -> f64) -> f64 {
+    records[from.min(records.len())..].iter().map(f).sum()
+}
+
+/// Write CSV rows to `results/<name>.csv` (header + rows of f64 columns).
+pub fn write_csv(name: &str, header: &str, rows: &[Vec<f64>]) -> std::path::PathBuf {
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join(format!("{name}.csv"));
+    let mut f = std::fs::File::create(&path).expect("create csv");
+    writeln!(f, "{header}").unwrap();
+    for row in rows {
+        let line: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+        writeln!(f, "{}", line.join(",")).unwrap();
+    }
+    path
+}
+
+/// Format a duration in seconds with engineering-style precision.
+pub fn fmt_secs(s: f64) -> String {
+    if s == 0.0 {
+        "0".into()
+    } else if s >= 0.1 {
+        format!("{s:.3}")
+    } else if s >= 1e-4 {
+        format!("{:.3}m", s * 1e3)
+    } else {
+        format!("{:.3}u", s * 1e6)
+    }
+}
+
+/// Print a header banner for a figure harness.
+pub fn banner(title: &str, detail: &str) {
+    println!("==============================================================");
+    println!("{title}");
+    println!("{detail}");
+    println!("(virtual seconds on the simulated machine model; shapes, not");
+    println!(" absolute values, are comparable to the paper — see DESIGN.md)");
+    println!("==============================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_takes_maxima() {
+        let r1 = vec![StepRecord { step: 0, sort: 1.0, total: 5.0, ..Default::default() }];
+        let r2 = vec![StepRecord { step: 0, sort: 2.0, total: 4.0, ..Default::default() }];
+        let agg = aggregate_steps(&[r1, r2]);
+        assert_eq!(agg.len(), 1);
+        assert_eq!(agg[0].sort, 2.0);
+        assert_eq!(agg[0].total, 5.0);
+    }
+
+    #[test]
+    fn sum_from_skips_prefix() {
+        let recs = vec![
+            StepRecord { total: 1.0, ..Default::default() },
+            StepRecord { total: 2.0, ..Default::default() },
+            StepRecord { total: 4.0, ..Default::default() },
+        ];
+        assert_eq!(sum_from(&recs, 1, |r| r.total), 6.0);
+        assert_eq!(sum_from(&recs, 0, |r| r.total), 7.0);
+        assert_eq!(sum_from(&recs, 10, |r| r.total), 0.0);
+    }
+
+    #[test]
+    fn fmt_secs_ranges() {
+        assert_eq!(fmt_secs(0.0), "0");
+        assert_eq!(fmt_secs(1.5), "1.500");
+        assert!(fmt_secs(0.0015).ends_with('m'));
+        assert!(fmt_secs(1.5e-6).ends_with('u'));
+    }
+}

@@ -1,0 +1,288 @@
+//! Particle system input/output: a plain XYZ-with-charge text format (the
+//! paper's application "reads the particle system from an input file"), plus
+//! full-state text snapshots for checkpoint/restart (no extra dependencies;
+//! `f64` values round-trip exactly through Rust's shortest-float formatting).
+
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+use particles::{ParticleSet, SystemBox, Vec3};
+
+/// A complete, self-describing simulation snapshot (one rank's share or a
+/// gathered world state).
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct Snapshot {
+    /// The system box.
+    pub bbox: SystemBox,
+    /// Completed time steps.
+    pub step: usize,
+    /// Positions.
+    pub pos: Vec<Vec3>,
+    /// Charges.
+    pub charge: Vec<f64>,
+    /// Global particle ids.
+    pub id: Vec<u64>,
+    /// Velocities.
+    pub vel: Vec<Vec3>,
+    /// Accelerations.
+    pub accel: Vec<Vec3>,
+}
+
+impl Default for Snapshot {
+    fn default() -> Self {
+        Snapshot {
+            bbox: SystemBox::cubic(1.0),
+            step: 0,
+            pos: Vec::new(),
+            charge: Vec::new(),
+            id: Vec::new(),
+            vel: Vec::new(),
+            accel: Vec::new(),
+        }
+    }
+}
+
+impl Snapshot {
+    /// Number of particles in the snapshot.
+    pub fn len(&self) -> usize {
+        self.pos.len()
+    }
+
+    /// Is the snapshot empty?
+    pub fn is_empty(&self) -> bool {
+        self.pos.is_empty()
+    }
+
+    /// Write the snapshot to a text file:
+    ///
+    /// ```text
+    /// snapshot <n> step <step>
+    /// box <lx> <ly> <lz> periodic <px> <py> <pz>
+    /// <id> <q> <x> <y> <z> <vx> <vy> <vz> <ax> <ay> <az>
+    /// ...
+    /// ```
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let mut w = BufWriter::new(std::fs::File::create(path)?);
+        writeln!(w, "snapshot {} step {}", self.len(), self.step)?;
+        writeln!(
+            w,
+            "box {} {} {} periodic {} {} {}",
+            self.bbox.lengths.x(),
+            self.bbox.lengths.y(),
+            self.bbox.lengths.z(),
+            u8::from(self.bbox.periodic[0]),
+            u8::from(self.bbox.periodic[1]),
+            u8::from(self.bbox.periodic[2]),
+        )?;
+        for i in 0..self.len() {
+            let (p, v, a) = (self.pos[i], self.vel[i], self.accel[i]);
+            writeln!(
+                w,
+                "{} {} {} {} {} {} {} {} {} {} {}",
+                self.id[i], self.charge[i],
+                p.x(), p.y(), p.z(),
+                v.x(), v.y(), v.z(),
+                a.x(), a.y(), a.z(),
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Read a snapshot written by [`Snapshot::save`].
+    pub fn load(path: &Path) -> std::io::Result<Snapshot> {
+        let bad =
+            |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+        let f = std::io::BufReader::new(std::fs::File::open(path)?);
+        let mut lines = f.lines();
+        let head = lines.next().ok_or_else(|| bad("missing header"))??;
+        let tok: Vec<&str> = head.split_whitespace().collect();
+        if tok.len() != 4 || tok[0] != "snapshot" || tok[2] != "step" {
+            return Err(bad("malformed snapshot header"));
+        }
+        let n: usize = tok[1].parse().map_err(|_| bad("bad count"))?;
+        let step: usize = tok[3].parse().map_err(|_| bad("bad step"))?;
+        let boxline = lines.next().ok_or_else(|| bad("missing box line"))??;
+        let tok: Vec<&str> = boxline.split_whitespace().collect();
+        if tok.len() != 8 || tok[0] != "box" || tok[4] != "periodic" {
+            return Err(bad("malformed box line"));
+        }
+        let pf = |s: &str| s.parse::<f64>().map_err(|_| bad("bad number"));
+        let bbox = SystemBox::new(
+            Vec3::ZERO,
+            Vec3::new(pf(tok[1])?, pf(tok[2])?, pf(tok[3])?),
+            [tok[5] == "1", tok[6] == "1", tok[7] == "1"],
+        );
+        let mut snap = Snapshot {
+            bbox,
+            step,
+            pos: Vec::with_capacity(n),
+            charge: Vec::with_capacity(n),
+            id: Vec::with_capacity(n),
+            vel: Vec::with_capacity(n),
+            accel: Vec::with_capacity(n),
+        };
+        for _ in 0..n {
+            let line = lines.next().ok_or_else(|| bad("truncated snapshot"))??;
+            let tok: Vec<&str> = line.split_whitespace().collect();
+            if tok.len() != 11 {
+                return Err(bad("malformed snapshot particle line"));
+            }
+            snap.id.push(tok[0].parse().map_err(|_| bad("bad id"))?);
+            snap.charge.push(pf(tok[1])?);
+            snap.pos.push(Vec3::new(pf(tok[2])?, pf(tok[3])?, pf(tok[4])?));
+            snap.vel.push(Vec3::new(pf(tok[5])?, pf(tok[6])?, pf(tok[7])?));
+            snap.accel.push(Vec3::new(pf(tok[8])?, pf(tok[9])?, pf(tok[10])?));
+        }
+        Ok(snap)
+    }
+}
+
+/// Write a particle set in the extended-XYZ-like text format:
+///
+/// ```text
+/// <n>
+/// box <lx> <ly> <lz> periodic <px> <py> <pz>
+/// <id> <charge> <x> <y> <z>
+/// ...
+/// ```
+pub fn write_xyzq<W: Write>(
+    mut w: W,
+    bbox: &SystemBox,
+    set: &ParticleSet,
+) -> std::io::Result<()> {
+    writeln!(w, "{}", set.len())?;
+    writeln!(
+        w,
+        "box {} {} {} periodic {} {} {}",
+        bbox.lengths.x(),
+        bbox.lengths.y(),
+        bbox.lengths.z(),
+        u8::from(bbox.periodic[0]),
+        u8::from(bbox.periodic[1]),
+        u8::from(bbox.periodic[2]),
+    )?;
+    for i in 0..set.len() {
+        writeln!(
+            w,
+            "{} {} {} {} {}",
+            set.id[i],
+            set.charge[i],
+            set.pos[i].x(),
+            set.pos[i].y(),
+            set.pos[i].z()
+        )?;
+    }
+    Ok(())
+}
+
+/// Read a particle set written by [`write_xyzq`]. Returns the box and set.
+pub fn read_xyzq<R: BufRead>(r: R) -> std::io::Result<(SystemBox, ParticleSet)> {
+    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+    let mut lines = r.lines();
+    let n: usize = lines
+        .next()
+        .ok_or_else(|| bad("missing count line"))??
+        .trim()
+        .parse()
+        .map_err(|_| bad("bad particle count"))?;
+    let header = lines.next().ok_or_else(|| bad("missing box line"))??;
+    let tok: Vec<&str> = header.split_whitespace().collect();
+    if tok.len() != 8 || tok[0] != "box" || tok[4] != "periodic" {
+        return Err(bad("malformed box line"));
+    }
+    let parse_f = |s: &str| s.parse::<f64>().map_err(|_| bad("bad box number"));
+    let lengths = Vec3::new(parse_f(tok[1])?, parse_f(tok[2])?, parse_f(tok[3])?);
+    let mut periodic = [false; 3];
+    for d in 0..3 {
+        periodic[d] = tok[5 + d] == "1";
+    }
+    let bbox = SystemBox::new(Vec3::ZERO, lengths, periodic);
+    let mut set = ParticleSet::with_capacity(n);
+    for _ in 0..n {
+        let line = lines.next().ok_or_else(|| bad("truncated particle data"))??;
+        let tok: Vec<&str> = line.split_whitespace().collect();
+        if tok.len() != 5 {
+            return Err(bad("malformed particle line"));
+        }
+        let id: u64 = tok[0].parse().map_err(|_| bad("bad id"))?;
+        let q = parse_f(tok[1])?;
+        set.push(Vec3::new(parse_f(tok[2])?, parse_f(tok[3])?, parse_f(tok[4])?), q, id);
+    }
+    Ok((bbox, set))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use particles::IonicCrystal;
+
+    fn sample_set() -> (SystemBox, ParticleSet) {
+        let c = IonicCrystal::cubic(3, 1.5, 0.2, 4);
+        let bbox = c.system_box();
+        let mut set = ParticleSet::default();
+        for i in 0..c.n() as u64 {
+            let (x, q) = c.particle(i);
+            set.push(x, q, i);
+        }
+        (bbox, set)
+    }
+
+    #[test]
+    fn xyzq_roundtrip() {
+        let (bbox, set) = sample_set();
+        let mut buf = Vec::new();
+        write_xyzq(&mut buf, &bbox, &set).unwrap();
+        let (bbox2, set2) = read_xyzq(std::io::Cursor::new(&buf)).unwrap();
+        assert_eq!(bbox2.lengths, bbox.lengths);
+        assert_eq!(bbox2.periodic, bbox.periodic);
+        assert_eq!(set2.len(), set.len());
+        for i in 0..set.len() {
+            assert_eq!(set2.id[i], set.id[i]);
+            assert_eq!(set2.charge[i], set.charge[i]);
+            assert!((set2.pos[i] - set.pos[i]).norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn xyzq_rejects_malformed_input() {
+        assert!(read_xyzq(std::io::Cursor::new(b"not a number\n".as_slice())).is_err());
+        assert!(read_xyzq(std::io::Cursor::new(b"2\nnobox 1 2 3\n".as_slice())).is_err());
+        assert!(
+            read_xyzq(std::io::Cursor::new(
+                b"2\nbox 1 1 1 periodic 1 1 1\n0 1.0 0.1 0.1 0.1\n".as_slice()
+            ))
+            .is_err(),
+            "truncated particle data must be rejected"
+        );
+        assert!(
+            read_xyzq(std::io::Cursor::new(
+                b"1\nbox 1 1 1 periodic 1 1 1\n0 1.0 0.1 0.1\n".as_slice()
+            ))
+            .is_err(),
+            "short particle line must be rejected"
+        );
+    }
+
+    #[test]
+    fn snapshot_roundtrip_via_file() {
+        let (bbox, set) = sample_set();
+        let n = set.len();
+        let snap = Snapshot {
+            bbox,
+            step: 42,
+            pos: set.pos.clone(),
+            charge: set.charge.clone(),
+            id: set.id.clone(),
+            vel: vec![Vec3::new(0.1, -0.2, 0.3); n],
+            accel: vec![Vec3::ZERO; n],
+        };
+        let dir = std::env::temp_dir().join("cpr_snapshot_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.json");
+        snap.save(&path).unwrap();
+        let back = Snapshot::load(&path).unwrap();
+        assert_eq!(back, snap);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,359 @@
+//! Reference solvers for validation: direct O(n^2) summation for open
+//! boundaries, and classical Ewald summation for fully periodic boxes.
+//!
+//! These are deliberately simple and slow; the test suites use them to pin the
+//! accuracy of the FMM and particle-mesh solvers (the paper requires a
+//! relative error below 1e-3 for the total energy, Sect. IV-A).
+//!
+//! Units are Gaussian (`4*pi*eps0 = 1`): the potential of a unit charge at
+//! distance `r` is `1/r` and the interaction energy of charges `q1, q2` is
+//! `q1*q2/r`.
+
+use crate::boxgeom::SystemBox;
+use crate::math::{erfc, M_2_SQRTPI};
+use crate::vec3::Vec3;
+
+/// Potentials and field values of a charge configuration, plus total energy.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FieldSolution {
+    /// Per-particle electrostatic potential (excluding self-interaction).
+    pub potential: Vec<f64>,
+    /// Per-particle electric field (negative potential gradient).
+    pub field: Vec<Vec3>,
+    /// Total electrostatic energy `0.5 * sum_i q_i phi_i`.
+    pub energy: f64,
+}
+
+impl FieldSolution {
+    /// Relative difference of total energies.
+    pub fn energy_rel_error(&self, other: &FieldSolution) -> f64 {
+        (self.energy - other.energy).abs() / other.energy.abs().max(f64::MIN_POSITIVE)
+    }
+
+    /// Root-mean-square relative error of the potentials, normalized by the
+    /// RMS magnitude of the reference potentials.
+    pub fn potential_rms_error(&self, other: &FieldSolution) -> f64 {
+        assert_eq!(self.potential.len(), other.potential.len());
+        let scale = other
+            .potential
+            .iter()
+            .map(|p| p * p)
+            .sum::<f64>()
+            .sqrt()
+            .max(f64::MIN_POSITIVE);
+        let diff = self
+            .potential
+            .iter()
+            .zip(&other.potential)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        diff / scale
+    }
+}
+
+/// Direct pairwise summation with open (non-periodic) boundaries.
+pub fn direct_open(pos: &[Vec3], charge: &[f64]) -> FieldSolution {
+    assert_eq!(pos.len(), charge.len());
+    let n = pos.len();
+    let mut potential = vec![0.0; n];
+    let mut field = vec![Vec3::ZERO; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = pos[i] - pos[j];
+            let r2 = d.norm2();
+            let r = r2.sqrt();
+            let inv_r = 1.0 / r;
+            let inv_r3 = inv_r / r2;
+            potential[i] += charge[j] * inv_r;
+            potential[j] += charge[i] * inv_r;
+            field[i] += d * (charge[j] * inv_r3);
+            field[j] -= d * (charge[i] * inv_r3);
+        }
+    }
+    let energy = 0.5 * potential.iter().zip(charge).map(|(p, q)| p * q).sum::<f64>();
+    FieldSolution { potential, field, energy }
+}
+
+/// Parameters of a classical Ewald summation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EwaldParams {
+    /// Splitting parameter (1/length): larger pushes work to reciprocal space.
+    pub alpha: f64,
+    /// Real-space cutoff; must be at most half the shortest box edge.
+    pub rcut: f64,
+    /// Reciprocal-space cutoff: integer k-vectors with `|k|_inf <= kmax`.
+    pub kmax: i32,
+}
+
+impl EwaldParams {
+    /// Conservative parameters for a cubic box of edge `l`, aiming at <=1e-5
+    /// relative accuracy for typical homogeneous neutral systems.
+    pub fn for_cubic_box(l: f64) -> Self {
+        let rcut = 0.45 * l;
+        // erfc(alpha*rcut) ~ 1e-7 -> alpha*rcut ~ 3.8
+        let alpha = 3.8 / rcut;
+        // exp(-(pi*kmax/(alpha*l))^2) small -> kmax ~ alpha*l*3.5/pi
+        let kmax = ((alpha * l * 3.5) / std::f64::consts::PI).ceil() as i32;
+        EwaldParams { alpha, rcut, kmax }
+    }
+}
+
+/// Classical Ewald summation for a fully periodic orthogonal box.
+///
+/// Returns per-particle potentials/fields and the total energy, all excluding
+/// each particle's self-interaction (the self term is subtracted).
+pub fn ewald(pos: &[Vec3], charge: &[f64], bbox: &SystemBox, params: EwaldParams) -> FieldSolution {
+    assert_eq!(pos.len(), charge.len());
+    assert!(bbox.fully_periodic(), "Ewald needs a fully periodic box");
+    let n = pos.len();
+    let l = bbox.lengths;
+    assert!(
+        params.rcut <= 0.5 * l.x().min(l.y()).min(l.z()) + 1e-12,
+        "rcut must be at most half the shortest box edge (minimum image)"
+    );
+    let volume = bbox.volume();
+    let alpha = params.alpha;
+
+    let mut potential = vec![0.0; n];
+    let mut field = vec![Vec3::ZERO; n];
+
+    // --- Real-space sum (minimum image within rcut) ---
+    let rcut2 = params.rcut * params.rcut;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = bbox.min_image(pos[i], pos[j]);
+            let r2 = d.norm2();
+            if r2 > rcut2 || r2 == 0.0 {
+                continue;
+            }
+            let r = r2.sqrt();
+            let e = erfc(alpha * r) / r;
+            let de = e / r2 + alpha * M_2_SQRTPI * (-alpha * alpha * r2).exp() / r2;
+            potential[i] += charge[j] * e;
+            potential[j] += charge[i] * e;
+            field[i] += d * (charge[j] * de);
+            field[j] -= d * (charge[i] * de);
+        }
+    }
+
+    // --- Reciprocal-space sum ---
+    let two_pi = 2.0 * std::f64::consts::PI;
+    let kmax = params.kmax;
+    for kx in -kmax..=kmax {
+        for ky in -kmax..=kmax {
+            for kz in -kmax..=kmax {
+                if kx == 0 && ky == 0 && kz == 0 {
+                    continue;
+                }
+                let k = Vec3::new(
+                    two_pi * kx as f64 / l.x(),
+                    two_pi * ky as f64 / l.y(),
+                    two_pi * kz as f64 / l.z(),
+                );
+                let k2 = k.norm2();
+                let ak = 4.0 * std::f64::consts::PI / volume * (-k2 / (4.0 * alpha * alpha)).exp()
+                    / k2;
+                // Structure factor S(k) = sum_j q_j exp(i k.r_j)
+                let mut s_re = 0.0;
+                let mut s_im = 0.0;
+                for j in 0..n {
+                    let phase = k.dot(&pos[j]);
+                    s_re += charge[j] * phase.cos();
+                    s_im += charge[j] * phase.sin();
+                }
+                for i in 0..n {
+                    let phase = k.dot(&pos[i]);
+                    let (sin_p, cos_p) = phase.sin_cos();
+                    // phi_i += ak * Re[S(k) * exp(-i k.r_i)]
+                    potential[i] += ak * (s_re * cos_p + s_im * sin_p);
+                    // E_i = -grad phi_i = -ak * k * Im[S(k) * exp(-i k.r_i)]
+                    let im = s_im * cos_p - s_re * sin_p;
+                    field[i] -= k * (ak * im);
+                }
+            }
+        }
+    }
+
+    // --- Self-energy correction ---
+    let self_term = 2.0 * alpha / std::f64::consts::PI.sqrt();
+    for i in 0..n {
+        potential[i] -= self_term * charge[i];
+    }
+
+    let energy = 0.5 * potential.iter().zip(charge).map(|(p, q)| p * q).sum::<f64>();
+    FieldSolution { potential, field, energy }
+}
+
+/// Total energy per ion of a perfect rock-salt crystal with nearest-neighbour
+/// distance `a` (Gaussian units): each ion sits at potential
+/// `-MADELUNG_NACL * q / a`, and the total energy counts every pair once, so
+/// the energy per ion is `-MADELUNG_NACL / (2 a)` for unit charges.
+pub fn madelung_energy_per_ion(a: f64) -> f64 {
+    -crate::systems::MADELUNG_NACL / (2.0 * a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::systems::IonicCrystal;
+
+    #[test]
+    fn direct_two_charges() {
+        let pos = [Vec3::ZERO, Vec3::new(2.0, 0.0, 0.0)];
+        let charge = [1.0, -1.0];
+        let sol = direct_open(&pos, &charge);
+        assert!((sol.potential[0] - -0.5).abs() < 1e-14);
+        assert!((sol.potential[1] - 0.5).abs() < 1e-14);
+        assert!((sol.energy - -0.5).abs() < 1e-14);
+        // Field on charge 0 points toward the negative charge (+x), with
+        // magnitude q/r^2 = 1/4.
+        assert!((sol.field[0].x() - 0.25).abs() < 1e-14);
+        // Newton's third law on forces: q0*E0 = -q1*E1.
+        let f0 = sol.field[0] * charge[0];
+        let f1 = sol.field[1] * charge[1];
+        assert!((f0 + f1).norm() < 1e-14);
+    }
+
+    #[test]
+    fn direct_field_is_negative_gradient() {
+        // Numerical gradient check of the potential at particle 0.
+        let charge = [1.0, -2.0, 1.5];
+        let base = [
+            Vec3::new(0.1, 0.2, 0.3),
+            Vec3::new(1.5, 0.1, -0.4),
+            Vec3::new(-0.8, 1.1, 0.9),
+        ];
+        let sol = direct_open(&base, &charge);
+        let h = 1e-6;
+        for axis in 0..3 {
+            let mut plus = base;
+            plus[0][axis] += h;
+            let mut minus = base;
+            minus[0][axis] -= h;
+            let ppot = direct_open(&plus, &charge).potential[0];
+            let mpot = direct_open(&minus, &charge).potential[0];
+            let grad = (ppot - mpot) / (2.0 * h);
+            assert!(
+                (sol.field[0][axis] + grad).abs() < 1e-5,
+                "axis {axis}: field {} vs -grad {}",
+                sol.field[0][axis],
+                -grad
+            );
+        }
+    }
+
+    #[test]
+    fn ewald_reproduces_madelung_constant() {
+        // Perfect 4x4x4 rock-salt crystal, spacing 1.
+        let c = IonicCrystal::cubic(4, 1.0, 0.0, 0);
+        let n = c.n();
+        let mut pos = Vec::with_capacity(n);
+        let mut charge = Vec::with_capacity(n);
+        for id in 0..n as u64 {
+            let (p, q) = c.particle(id);
+            pos.push(p);
+            charge.push(q);
+        }
+        let bbox = c.system_box();
+        let params = EwaldParams::for_cubic_box(bbox.lengths.x());
+        let sol = ewald(&pos, &charge, &bbox, params);
+        let per_ion = sol.energy / n as f64;
+        let want = madelung_energy_per_ion(1.0);
+        assert!(
+            (per_ion - want).abs() / want.abs() < 1e-5,
+            "per-ion energy {per_ion}, want {want}"
+        );
+        // Each ion's potential is -M * q / a (q = +-1, a = 1).
+        for (p, q) in sol.potential.iter().zip(&charge) {
+            assert!(
+                (p - -crate::systems::MADELUNG_NACL * q).abs() < 1e-5,
+                "ion potential {p} for charge {q}"
+            );
+        }
+        // In the perfect crystal the field at every ion vanishes by symmetry.
+        for f in &sol.field {
+            assert!(f.norm() < 1e-6, "field should vanish: {f:?}");
+        }
+    }
+
+    #[test]
+    fn ewald_energy_independent_of_alpha() {
+        let c = IonicCrystal::cubic(2, 1.3, 0.2, 5);
+        let n = c.n();
+        let (mut pos, mut charge) = (Vec::new(), Vec::new());
+        for id in 0..n as u64 {
+            let (p, q) = c.particle(id);
+            pos.push(p);
+            charge.push(q);
+        }
+        let bbox = c.system_box();
+        let l = bbox.lengths.x();
+        // alpha*rcut >= 3.5 keeps the real-space truncation below ~1e-6, and
+        // kmax >= alpha*l*3.5/pi does the same for reciprocal space.
+        let a = ewald(
+            &pos,
+            &charge,
+            &bbox,
+            EwaldParams { alpha: 7.2 / l, rcut: 0.49 * l, kmax: 9 },
+        );
+        let b = ewald(
+            &pos,
+            &charge,
+            &bbox,
+            EwaldParams { alpha: 8.5 / l, rcut: 0.49 * l, kmax: 11 },
+        );
+        assert!(
+            a.energy_rel_error(&b) < 1e-5,
+            "alpha-independence: {} vs {}",
+            a.energy,
+            b.energy
+        );
+    }
+
+    #[test]
+    fn ewald_field_is_negative_gradient() {
+        let bbox = SystemBox::cubic(5.0);
+        let params = EwaldParams::for_cubic_box(5.0);
+        let charge = [1.0, -1.0, 0.5, -0.5];
+        let base = [
+            Vec3::new(0.3, 0.4, 0.5),
+            Vec3::new(2.6, 1.0, 3.9),
+            Vec3::new(4.1, 4.2, 0.7),
+            Vec3::new(1.2, 3.3, 2.2),
+        ];
+        let sol = ewald(&base, &charge, &bbox, params);
+        let h = 1e-5;
+        for axis in 0..3 {
+            let mut plus = base;
+            plus[0][axis] += h;
+            let mut minus = base;
+            minus[0][axis] -= h;
+            let ppot = ewald(&plus, &charge, &bbox, params).potential[0];
+            let mpot = ewald(&minus, &charge, &bbox, params).potential[0];
+            let grad = (ppot - mpot) / (2.0 * h);
+            assert!(
+                (sol.field[0][axis] + grad).abs() < 1e-4,
+                "axis {axis}: field {} vs -grad {}",
+                sol.field[0][axis],
+                -grad
+            );
+        }
+    }
+
+    #[test]
+    fn solution_error_metrics() {
+        let a = FieldSolution {
+            potential: vec![1.0, 2.0],
+            field: vec![Vec3::ZERO; 2],
+            energy: 10.0,
+        };
+        let b = FieldSolution {
+            potential: vec![1.0, 2.0],
+            field: vec![Vec3::ZERO; 2],
+            energy: 10.1,
+        };
+        assert!((a.energy_rel_error(&b) - 0.1 / 10.1).abs() < 1e-12);
+        assert_eq!(a.potential_rms_error(&a), 0.0);
+    }
+}

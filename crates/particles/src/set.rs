@@ -1,0 +1,172 @@
+//! Particle containers.
+//!
+//! A [`ParticleSet`] is the structure-of-arrays view of the particle data the
+//! coupling library transports: positions and charges on input, potential and
+//! field values on output. Every particle carries a global id so tests can
+//! verify ordering/distribution properties exactly; ids are also the basis of
+//! the "consecutive numbering" the FMM solver uses to restore the original
+//! order (paper, Sect. III-A).
+
+use crate::vec3::Vec3;
+
+/// Structure-of-arrays particle data: positions, charges and global ids.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ParticleSet {
+    /// Particle positions.
+    pub pos: Vec<Vec3>,
+    /// Particle charges.
+    pub charge: Vec<f64>,
+    /// Global particle ids (unique across all ranks).
+    pub id: Vec<u64>,
+}
+
+impl ParticleSet {
+    /// An empty set with reserved capacity.
+    pub fn with_capacity(n: usize) -> Self {
+        ParticleSet {
+            pos: Vec::with_capacity(n),
+            charge: Vec::with_capacity(n),
+            id: Vec::with_capacity(n),
+        }
+    }
+
+    /// Number of local particles.
+    #[inline]
+    pub fn len(&self) -> usize {
+        debug_assert_eq!(self.pos.len(), self.charge.len());
+        debug_assert_eq!(self.pos.len(), self.id.len());
+        self.pos.len()
+    }
+
+    /// Is the set empty?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append one particle.
+    pub fn push(&mut self, pos: Vec3, charge: f64, id: u64) {
+        self.pos.push(pos);
+        self.charge.push(charge);
+        self.id.push(id);
+    }
+
+    /// Append all particles of `other`.
+    pub fn extend(&mut self, other: &ParticleSet) {
+        self.pos.extend_from_slice(&other.pos);
+        self.charge.extend_from_slice(&other.charge);
+        self.id.extend_from_slice(&other.id);
+    }
+
+    /// Total charge of the local particles.
+    pub fn total_charge(&self) -> f64 {
+        self.charge.iter().sum()
+    }
+
+    /// Reorder all arrays in place so element `i` moves to position `perm[i]`
+    /// (a "scatter" permutation). `perm` must be a permutation of `0..len`.
+    pub fn scatter_permute(&mut self, perm: &[usize]) {
+        assert_eq!(perm.len(), self.len());
+        self.pos = scatter(&self.pos, perm);
+        self.charge = scatter(&self.charge, perm);
+        self.id = scatter(&self.id, perm);
+    }
+
+    /// Reorder all arrays in place so position `i` receives element `order[i]`
+    /// (a "gather" permutation). `order` must be a permutation of `0..len`.
+    pub fn gather_permute(&mut self, order: &[usize]) {
+        assert_eq!(order.len(), self.len());
+        self.pos = gather(&self.pos, order);
+        self.charge = gather(&self.charge, order);
+        self.id = gather(&self.id, order);
+    }
+}
+
+/// `out[perm[i]] = data[i]` — scatter by target position.
+pub fn scatter<T: Copy + Default>(data: &[T], perm: &[usize]) -> Vec<T> {
+    debug_assert_eq!(data.len(), perm.len());
+    let mut out = vec![T::default(); data.len()];
+    for (i, &p) in perm.iter().enumerate() {
+        out[p] = data[i];
+    }
+    out
+}
+
+/// `out[i] = data[order[i]]` — gather by source position.
+pub fn gather<T: Copy + Default>(data: &[T], order: &[usize]) -> Vec<T> {
+    debug_assert_eq!(data.len(), order.len());
+    order.iter().map(|&o| data[o]).collect()
+}
+
+/// Invert a permutation: if `perm[i] = j`, the result maps `j -> i`.
+pub fn invert_permutation(perm: &[usize]) -> Vec<usize> {
+    let mut inv = vec![usize::MAX; perm.len()];
+    for (i, &p) in perm.iter().enumerate() {
+        debug_assert!(inv[p] == usize::MAX, "not a permutation");
+        inv[p] = i;
+    }
+    inv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ParticleSet {
+        let mut s = ParticleSet::default();
+        for i in 0..5 {
+            s.push(Vec3::splat(i as f64), (-1.0f64).powi(i), 100 + i as u64);
+        }
+        s
+    }
+
+    #[test]
+    fn push_and_len() {
+        let s = sample();
+        assert_eq!(s.len(), 5);
+        assert!(!s.is_empty());
+        assert_eq!(s.id, vec![100, 101, 102, 103, 104]);
+        assert_eq!(s.total_charge(), 1.0);
+    }
+
+    #[test]
+    fn scatter_gather_inverse() {
+        let data = [10, 20, 30, 40];
+        let perm = [2, 0, 3, 1];
+        let scattered = scatter(&data, &perm);
+        assert_eq!(scattered, vec![20, 40, 10, 30]);
+        let back = gather(&scattered, &perm);
+        assert_eq!(back, data.to_vec());
+    }
+
+    #[test]
+    fn permutation_inversion() {
+        let perm = [2, 0, 3, 1];
+        let inv = invert_permutation(&perm);
+        assert_eq!(inv, vec![1, 3, 0, 2]);
+        // scatter by perm == gather by inverse
+        let data = [1, 2, 3, 4];
+        assert_eq!(scatter(&data, &perm), gather(&data, &inv));
+    }
+
+    #[test]
+    fn set_permutations_consistent_across_fields() {
+        let mut s = sample();
+        let perm = [4, 2, 0, 1, 3];
+        s.scatter_permute(&perm);
+        assert_eq!(s.id, vec![102, 103, 101, 104, 100]);
+        assert_eq!(s.pos[0], Vec3::splat(2.0));
+        let inv = invert_permutation(&perm);
+        s.scatter_permute(&inv);
+        assert_eq!(s, sample());
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let mut a = sample();
+        let b = sample();
+        a.extend(&b);
+        assert_eq!(a.len(), 10);
+        assert_eq!(a.id[5], 100);
+    }
+}

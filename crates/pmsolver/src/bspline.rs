@@ -1,0 +1,139 @@
+//! Cardinal B-spline charge assignment weights (the "window functions" of
+//! particle-mesh methods: order 1 = NGP, 2 = CIC, 3 = TSC, ...), plus their
+//! Fourier transforms for the deconvolution in the influence function.
+
+/// Evaluate the centered cardinal B-spline `M_p` at `x` (support `[0, p]`),
+/// via the Cox-de Boor recursion.
+pub fn bspline(p: usize, x: f64) -> f64 {
+    assert!(p >= 1);
+    if x < 0.0 || x >= p as f64 {
+        return 0.0;
+    }
+    if p == 1 {
+        return 1.0;
+    }
+    (x * bspline(p - 1, x) + (p as f64 - x) * bspline(p - 1, x - 1.0)) / (p as f64 - 1.0)
+}
+
+/// Assignment stencil for a particle at fractional mesh coordinate `u`
+/// (in mesh units, unbounded): returns the first mesh index and the `p`
+/// weights for indices `first, first+1, ..., first+p-1`.
+///
+/// Convention: for even `p` the stencil is centered between the two nearest
+/// points of `floor(u)`, for odd `p` on the nearest point — the standard
+/// particle-mesh layouts (CIC, TSC, ...).
+pub fn stencil(p: usize, u: f64, weights: &mut [f64]) -> i64 {
+    debug_assert_eq!(weights.len(), p);
+    // Shift so that the spline argument u - first covers (0, p).
+    let first = if p.is_multiple_of(2) {
+        u.floor() as i64 - (p as i64 / 2 - 1)
+    } else {
+        u.round() as i64 - (p as i64 - 1) / 2
+    };
+    // Weight on grid point g is M_p evaluated at (u - g) shifted into the
+    // spline's support [0, p]; the chosen `first` centers the stencil so all
+    // nonzero weights are covered.
+    for (j, w) in weights.iter_mut().enumerate() {
+        let g = first + j as i64;
+        *w = bspline(p, u - g as f64 + p as f64 / 2.0);
+    }
+    first
+}
+
+/// Fourier transform of the order-`p` B-spline at integer frequency `m` on a
+/// mesh of `n` points: `[sinc(pi m / n)]^p` (the deconvolution denominator).
+pub fn bspline_hat(p: usize, m: i64, n: usize) -> f64 {
+    if m == 0 {
+        return 1.0;
+    }
+    let x = std::f64::consts::PI * m as f64 / n as f64;
+    (x.sin() / x).powi(p as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bspline_box_and_triangle() {
+        // Order 1: box on [0,1).
+        assert_eq!(bspline(1, 0.5), 1.0);
+        assert_eq!(bspline(1, 1.5), 0.0);
+        // Order 2: triangle peaking at 1.
+        assert!((bspline(2, 1.0) - 1.0).abs() < 1e-12);
+        assert!((bspline(2, 0.5) - 0.5).abs() < 1e-12);
+        assert!((bspline(2, 1.5) - 0.5).abs() < 1e-12);
+        assert_eq!(bspline(2, 2.0), 0.0);
+    }
+
+    #[test]
+    fn bspline_smoothness_and_symmetry() {
+        for p in 2..=5usize {
+            let c = p as f64 / 2.0;
+            let mut x = 0.05;
+            while x < c {
+                let left = bspline(p, c - x);
+                let right = bspline(p, c + x);
+                assert!((left - right).abs() < 1e-12, "p={p} x={x}");
+                x += 0.1;
+            }
+        }
+    }
+
+    #[test]
+    fn stencil_partition_of_unity() {
+        for p in 1..=4usize {
+            let mut w = vec![0.0; p];
+            for k in 0..50 {
+                let u = 3.0 + k as f64 * 0.137;
+                stencil(p, u, &mut w);
+                let sum: f64 = w.iter().sum();
+                assert!(
+                    (sum - 1.0).abs() < 1e-10,
+                    "p={p} u={u}: weights {w:?} sum {sum}"
+                );
+                assert!(w.iter().all(|&x| x >= -1e-12), "negative weight p={p} u={u}");
+            }
+        }
+    }
+
+    #[test]
+    fn stencil_reproduces_linear_functions() {
+        // sum_g w_g * g == u for p >= 2 (first-moment preservation).
+        for p in 2..=4usize {
+            let mut w = vec![0.0; p];
+            for k in 0..20 {
+                let u = 5.0 + k as f64 * 0.217;
+                let first = stencil(p, u, &mut w);
+                let mean: f64 = w
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &x)| x * (first + j as i64) as f64)
+                    .sum();
+                assert!((mean - u).abs() < 1e-10, "p={p} u={u} mean {mean}");
+            }
+        }
+    }
+
+    #[test]
+    fn stencil_cic_matches_manual() {
+        // p=2 (cloud-in-cell): weights (1-f, f) on floor(u), floor(u)+1.
+        let mut w = [0.0; 2];
+        let first = stencil(2, 7.3, &mut w);
+        assert_eq!(first, 7);
+        assert!((w[0] - 0.7).abs() < 1e-12);
+        assert!((w[1] - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bspline_hat_limits() {
+        assert_eq!(bspline_hat(3, 0, 32), 1.0);
+        // Decreases with |m| and with order.
+        let a = bspline_hat(2, 4, 32);
+        let b = bspline_hat(2, 8, 32);
+        assert!(b < a);
+        let c = bspline_hat(4, 8, 32);
+        assert!(c < b);
+        assert!(a > 0.0 && c > 0.0);
+    }
+}

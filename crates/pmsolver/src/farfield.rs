@@ -1,0 +1,1082 @@
+//! The Fourier-space (far-field) part of the particle-mesh Ewald solver:
+//! B-spline charge assignment onto a global mesh, a slab-decomposed
+//! distributed 3D FFT (from scratch), multiplication with the influence
+//! function (Ewald Green's function with double B-spline deconvolution and
+//! ik differentiation for the field), and back-interpolation to particles.
+//!
+//! Layouts:
+//! * particles live on a 3D Cartesian process grid (the solver's domain
+//!   decomposition);
+//! * the mesh is redistributed into **x-slabs** for the first 2D transform,
+//!   transposed into **y-slabs** for the transform along x, and the inverse
+//!   path mirrors this — the transpose steps are the communication pattern
+//!   of parallel FFT-based solvers (cf. the paper's P2NFFT).
+
+use std::collections::HashMap;
+
+use particles::{SystemBox, Vec3};
+use simcomm::{Comm, Work};
+
+use crate::bspline::{bspline_hat, stencil};
+use crate::fft::{fft_in_place, Complex, Direction};
+
+/// How the mesh is distributed for the parallel FFT.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum MeshDecomp {
+    /// 1D slabs along x: simplest, but at `P > mesh` only `mesh` ranks carry
+    /// transform work (the compute-imbalance limitation noted in DESIGN.md).
+    #[default]
+    Slab,
+    /// 2D pencils: the `P` ranks form a `p1 x p2` grid owning `(x, y)`,
+    /// `(x, z)` and `(y, z)` rectangles in the three transform stages — the
+    /// decomposition the real P2NFFT uses, keeping all ranks busy up to
+    /// `P = mesh^2`.
+    Pencil,
+}
+
+/// Geometry/layout of the distributed mesh computation.
+#[derive(Clone, Debug)]
+pub struct FarFieldPlan {
+    /// Mesh points per dimension (power of two).
+    pub mesh: usize,
+    /// B-spline assignment order.
+    pub assign_order: usize,
+    /// Ewald splitting parameter.
+    pub alpha: f64,
+    /// Process grid extents.
+    pub dims: [usize; 3],
+    /// The system box.
+    pub bbox: SystemBox,
+    /// Mesh distribution for the parallel FFT.
+    pub decomp: MeshDecomp,
+}
+
+impl FarFieldPlan {
+    /// Index range `[lo, hi)` of grid coordinate `c` along dimension `d`.
+    fn dim_range(&self, d: usize, c: usize) -> (usize, usize) {
+        (
+            c * self.mesh / self.dims[d],
+            (c + 1) * self.mesh / self.dims[d],
+        )
+    }
+
+    /// Grid coordinate owning mesh index `i` along dimension `d`.
+    #[cfg_attr(not(test), allow(dead_code))]
+    fn dim_owner(&self, d: usize, i: usize) -> usize {
+        // Floor ranges: coordinate c owns [c*M/D, (c+1)*M/D). Find c by a
+        // guarded division.
+        let dd = self.dims[d];
+        let mut c = (i * dd) / self.mesh;
+        while self.dim_range(d, c).1 <= i {
+            c += 1;
+        }
+        while self.dim_range(d, c).0 > i {
+            c -= 1;
+        }
+        c
+    }
+
+    /// Rank owning the grid cell with coordinates `c` (row-major).
+    fn grid_rank(&self, c: [usize; 3]) -> usize {
+        c[0] * self.dims[1] * self.dims[2] + c[1] * self.dims[2] + c[2]
+    }
+
+    /// x-slab `[lo, hi)` of `rank` in a world of `p` ranks.
+    fn slab_range(&self, rank: usize, p: usize) -> (usize, usize) {
+        (rank * self.mesh / p, (rank + 1) * self.mesh / p)
+    }
+
+    /// Rank owning x-plane `x` in a world of `p` ranks.
+    fn slab_owner(&self, x: usize, p: usize) -> usize {
+        let mut r = x * p / self.mesh;
+        while self.slab_range(r, p).1 <= x {
+            r += 1;
+        }
+        while self.slab_range(r, p).0 > x {
+            r -= 1;
+        }
+        r
+    }
+
+    #[inline]
+    fn pack(&self, i: usize, j: usize, k: usize) -> u64 {
+        ((i * self.mesh + j) * self.mesh + k) as u64
+    }
+
+    #[inline]
+    fn unpack(&self, p: u64) -> (usize, usize, usize) {
+        let m = self.mesh as u64;
+        ((p / (m * m)) as usize, ((p / m) % m) as usize, (p % m) as usize)
+    }
+
+    /// Signed integer frequency of mesh index `i`.
+    #[inline]
+    fn freq(&self, i: usize) -> i64 {
+        if i <= self.mesh / 2 {
+            i as i64
+        } else {
+            i as i64 - self.mesh as i64
+        }
+    }
+
+    /// The Hockney-Eastwood *optimal* influence function at integer
+    /// frequencies `(mx, my, mz)`:
+    ///
+    /// `G_opt(k) = sum_s W_hat(k_s)^2 G_true(k_s) / (sum_s W_hat(k_s)^2)^2`
+    ///
+    /// where `k_s` runs over the first aliasing images (`s` in `{-1,0,1}^3`)
+    /// and `G_true(k) = 4 pi exp(-k^2/4 alpha^2) / (k^2 V)`. Compared to the
+    /// plain double deconvolution, this suppresses the B-spline aliasing
+    /// error near the Nyquist frequency by orders of magnitude. Zero at k=0.
+    fn influence(&self, mx: i64, my: i64, mz: i64) -> f64 {
+        if mx == 0 && my == 0 && mz == 0 {
+            return 0.0;
+        }
+        let l = self.bbox.lengths;
+        let two_pi = 2.0 * std::f64::consts::PI;
+        let v = self.bbox.volume();
+        let m = self.mesh as i64;
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for sx in -1..=1i64 {
+            for sy in -1..=1i64 {
+                for sz in -1..=1i64 {
+                    let ax = mx + sx * m;
+                    let ay = my + sy * m;
+                    let az = mz + sz * m;
+                    let w = bspline_hat(self.assign_order, ax, self.mesh)
+                        * bspline_hat(self.assign_order, ay, self.mesh)
+                        * bspline_hat(self.assign_order, az, self.mesh);
+                    let w2 = w * w;
+                    den += w2;
+                    let kx = two_pi * ax as f64 / l.x();
+                    let ky = two_pi * ay as f64 / l.y();
+                    let kz = two_pi * az as f64 / l.z();
+                    let k2 = kx * kx + ky * ky + kz * kz;
+                    if k2 > 0.0 {
+                        let g = 4.0 * std::f64::consts::PI
+                            * (-k2 / (4.0 * self.alpha * self.alpha)).exp()
+                            / (k2 * v);
+                        num += w2 * g;
+                    }
+                }
+            }
+        }
+        num / (den * den)
+    }
+
+    /// Physical wave vector of integer frequencies, with the Nyquist
+    /// component zeroed for differentiation (keeps the ik-differentiated
+    /// field real).
+    fn kvec(&self, mx: i64, my: i64, mz: i64) -> Vec3 {
+        let l = self.bbox.lengths;
+        let two_pi = 2.0 * std::f64::consts::PI;
+        let ny = (self.mesh / 2) as i64;
+        let f = |m: i64, len: f64| if m == ny || m == -ny { 0.0 } else { two_pi * m as f64 / len };
+        Vec3::new(f(mx, l.x()), f(my, l.y()), f(mz, l.z()))
+    }
+    /// Compute potentials and fields at the owned particle positions.
+    ///
+    /// Collective: all ranks must call it with their local particles.
+    pub fn execute(
+        &self,
+        comm: &mut Comm,
+        pos: &[Vec3],
+        charge: &[f64],
+    ) -> (Vec<f64>, Vec<Vec3>) {
+        match self.decomp {
+            MeshDecomp::Slab => self.execute_slab(comm, pos, charge),
+            MeshDecomp::Pencil => self.execute_pencil(comm, pos, charge),
+        }
+    }
+
+    /// B-spline charge assignment: sparse per-mesh-point contributions of the
+    /// local particles.
+    fn assign_charges(&self, comm: &mut Comm, pos: &[Vec3], charge: &[f64]) -> HashMap<u64, f64> {
+        let m = self.mesh;
+        let order = self.assign_order;
+        let mut contrib: HashMap<u64, f64> = HashMap::new();
+        let mut wx = vec![0.0; order];
+        let mut wy = vec![0.0; order];
+        let mut wz = vec![0.0; order];
+        for (x, &q) in pos.iter().zip(charge) {
+            let t = self.bbox.normalized(*x);
+            let fx = stencil(order, t.x() * m as f64, &mut wx);
+            let fy = stencil(order, t.y() * m as f64, &mut wy);
+            let fz = stencil(order, t.z() * m as f64, &mut wz);
+            for (a, &wxa) in wx.iter().enumerate() {
+                let gi = (fx + a as i64).rem_euclid(m as i64) as usize;
+                for (b, &wyb) in wy.iter().enumerate() {
+                    let gj = (fy + b as i64).rem_euclid(m as i64) as usize;
+                    let part = q * wxa * wyb;
+                    for (c, &wzc) in wz.iter().enumerate() {
+                        let gk = (fz + c as i64).rem_euclid(m as i64) as usize;
+                        *contrib.entry(self.pack(gi, gj, gk)).or_insert(0.0) += part * wzc;
+                    }
+                }
+            }
+        }
+        comm.compute(Work::MeshPoint, (pos.len() * order * order * order) as f64);
+        contrib
+    }
+
+    /// Distribute computed mesh values (phi, Ex, Ey, Ez per point) to the
+    /// interpolation patches of the particle-grid owners, then interpolate
+    /// potentials/fields at the local particles and apply the self-energy
+    /// correction.
+    fn distribute_and_interpolate(
+        &self,
+        comm: &mut Comm,
+        owned_points: Vec<(u64, [f64; 4])>,
+        pos: &[Vec3],
+        charge: &[f64],
+    ) -> (Vec<f64>, Vec<Vec3>) {
+        let m = self.mesh;
+        let order = self.assign_order;
+        // Per-dimension: which grid coordinates need mesh index i (their
+        // interior range expanded by the assignment order, wrapped)?
+        let mut needers: [Vec<Vec<usize>>; 3] =
+            [vec![Vec::new(); m], vec![Vec::new(); m], vec![Vec::new(); m]];
+        for (d, need_d) in needers.iter_mut().enumerate() {
+            for c in 0..self.dims[d] {
+                let (lo, hi) = self.dim_range(d, c);
+                if lo == hi {
+                    continue;
+                }
+                for off in -(order as i64)..(hi - lo) as i64 + order as i64 {
+                    let i = (lo as i64 + off).rem_euclid(m as i64) as usize;
+                    if !need_d[i].contains(&c) {
+                        need_d[i].push(c);
+                    }
+                }
+            }
+        }
+        let mut sends: HashMap<usize, Vec<(u64, [f64; 4])>> = HashMap::new();
+        for (idx, rec) in owned_points {
+            let (i, j, k) = self.unpack(idx);
+            for &cx in &needers[0][i] {
+                for &cy in &needers[1][j] {
+                    for &cz in &needers[2][k] {
+                        let dst = self.grid_rank([cx, cy, cz]);
+                        sends.entry(dst).or_default().push((idx, rec));
+                    }
+                }
+            }
+        }
+        let received = comm.alltoallv(sends.into_iter().collect());
+        let mut patch: HashMap<u64, [f64; 4]> = HashMap::new();
+        for (_src, buf) in received {
+            for (idx, v) in buf {
+                patch.insert(idx, v);
+            }
+        }
+
+        let mut phi = vec![0.0; pos.len()];
+        let mut field = vec![Vec3::ZERO; pos.len()];
+        let mut wx = vec![0.0; order];
+        let mut wy = vec![0.0; order];
+        let mut wz = vec![0.0; order];
+        for (pi, x) in pos.iter().enumerate() {
+            let t = self.bbox.normalized(*x);
+            let fx = stencil(order, t.x() * m as f64, &mut wx);
+            let fy = stencil(order, t.y() * m as f64, &mut wy);
+            let fz = stencil(order, t.z() * m as f64, &mut wz);
+            for (a, &wxa) in wx.iter().enumerate() {
+                let gi = (fx + a as i64).rem_euclid(m as i64) as usize;
+                for (b, &wyb) in wy.iter().enumerate() {
+                    let gj = (fy + b as i64).rem_euclid(m as i64) as usize;
+                    let wab = wxa * wyb;
+                    for (c, &wzc) in wz.iter().enumerate() {
+                        let gk = (fz + c as i64).rem_euclid(m as i64) as usize;
+                        let w = wab * wzc;
+                        let v = patch.get(&self.pack(gi, gj, gk)).unwrap_or_else(|| {
+                            panic!("mesh point ({gi},{gj},{gk}) missing from patch")
+                        });
+                        phi[pi] += w * v[0];
+                        field[pi] += Vec3::new(v[1], v[2], v[3]) * w;
+                    }
+                }
+            }
+        }
+        comm.compute(Work::MeshPoint, (pos.len() * order * order * order) as f64);
+
+        let self_term = 2.0 * self.alpha / std::f64::consts::PI.sqrt();
+        for (pi, &q) in charge.iter().enumerate() {
+            phi[pi] -= self_term * q;
+        }
+        comm.compute(Work::ParticleOp, pos.len() as f64);
+        (phi, field)
+    }
+
+    /// Slab-decomposed execution (1D decomposition along x).
+    fn execute_slab(
+        &self,
+        comm: &mut Comm,
+        pos: &[Vec3],
+        charge: &[f64],
+    ) -> (Vec<f64>, Vec<Vec3>) {
+        let p = comm.size();
+        let me = comm.rank();
+        let m = self.mesh;
+
+        let contrib = self.assign_charges(comm, pos, charge);
+
+        // ---- Route contributions to x-slab owners and densify ----
+        let mut by_owner: HashMap<usize, Vec<(u64, f64)>> = HashMap::new();
+        for (&idx, &val) in &contrib {
+            let (i, _, _) = self.unpack(idx);
+            by_owner.entry(self.slab_owner(i, p)).or_default().push((idx, val));
+        }
+        let received = comm.alltoallv(by_owner.into_iter().collect());
+        let (sx0, sx1) = self.slab_range(me, p);
+        let sx = sx1 - sx0;
+        // Slab layout: data[(x - sx0) * m * m + y * m + z].
+        let mut slab = vec![Complex::ZERO; sx * m * m];
+        for (_src, buf) in received {
+            for (idx, val) in buf {
+                let (i, j, k) = self.unpack(idx);
+                debug_assert!((sx0..sx1).contains(&i));
+                slab[((i - sx0) * m + j) * m + k].re += val;
+            }
+        }
+        comm.compute(Work::MeshPoint, (sx * m * m) as f64);
+
+        // ---- Forward 2D FFT (y, z) per x-plane ----
+        let mut fft_ops = 0u64;
+        for plane in slab.chunks_exact_mut(m * m) {
+            fft_ops += fft_2d(plane, m, Direction::Forward);
+        }
+
+        // ---- Transpose to y-slabs ----
+        let (sy0, sy1) = self.slab_range(me, p);
+        let sy = sy1 - sy0;
+        let mut sends: HashMap<usize, Vec<(u64, [f64; 2])>> = HashMap::new();
+        for xi in 0..sx {
+            for y in 0..m {
+                let dst = self.slab_owner(y, p);
+                let row = sends.entry(dst).or_default();
+                for z in 0..m {
+                    let c = slab[(xi * m + y) * m + z];
+                    row.push((self.pack(sx0 + xi, y, z), [c.re, c.im]));
+                }
+            }
+        }
+        let received = comm.alltoallv(sends.into_iter().collect());
+        // y-slab layout: data[(y - sy0) * m * m + x * m + z].
+        let mut yslab = vec![Complex::ZERO; sy * m * m];
+        for (_src, buf) in received {
+            for (idx, [re, im]) in buf {
+                let (x, y, z) = self.unpack(idx);
+                debug_assert!((sy0..sy1).contains(&y));
+                yslab[((y - sy0) * m + x) * m + z] = Complex::new(re, im);
+            }
+        }
+
+        // ---- FFT along x (strided within the y-slab) ----
+        fft_ops += fft_axis_x(&mut yslab, sy, m, Direction::Forward);
+
+        // ---- Influence function; produce phi-hat and ik-field-hat ----
+        let mut phi_hat = vec![Complex::ZERO; sy * m * m];
+        let mut ex_hat = vec![Complex::ZERO; sy * m * m];
+        let mut ey_hat = vec![Complex::ZERO; sy * m * m];
+        let mut ez_hat = vec![Complex::ZERO; sy * m * m];
+        for yi in 0..sy {
+            let myf = self.freq(sy0 + yi);
+            for x in 0..m {
+                let mxf = self.freq(x);
+                for z in 0..m {
+                    let mzf = self.freq(z);
+                    let g = self.influence(mxf, myf, mzf);
+                    if g == 0.0 {
+                        continue;
+                    }
+                    let q = yslab[(yi * m + x) * m + z];
+                    let ph = q.scale(g);
+                    phi_hat[(yi * m + x) * m + z] = ph;
+                    // E-hat = -i k phi-hat: (-i)(a + bi) = b - ai.
+                    let k = self.kvec(mxf, myf, mzf);
+                    let mik_ph = Complex::new(ph.im, -ph.re);
+                    ex_hat[(yi * m + x) * m + z] = mik_ph.scale(k.x());
+                    ey_hat[(yi * m + x) * m + z] = mik_ph.scale(k.y());
+                    ez_hat[(yi * m + x) * m + z] = mik_ph.scale(k.z());
+                }
+            }
+        }
+        comm.compute(Work::MeshPoint, (sy * m * m) as f64 * 4.0);
+
+        // ---- Inverse FFT along x for the four spectra ----
+        for arr in [&mut phi_hat, &mut ex_hat, &mut ey_hat, &mut ez_hat] {
+            fft_ops += fft_axis_x(arr, sy, m, Direction::Inverse);
+        }
+
+        // ---- Transpose back to x-slabs (four values per point) ----
+        let mut sends: HashMap<usize, Vec<(u64, [f64; 8])>> = HashMap::new();
+        for yi in 0..sy {
+            for x in 0..m {
+                let dst = self.slab_owner(x, p);
+                let row = sends.entry(dst).or_default();
+                for z in 0..m {
+                    let o = (yi * m + x) * m + z;
+                    row.push((
+                        self.pack(x, sy0 + yi, z),
+                        [
+                            phi_hat[o].re,
+                            phi_hat[o].im,
+                            ex_hat[o].re,
+                            ex_hat[o].im,
+                            ey_hat[o].re,
+                            ey_hat[o].im,
+                            ez_hat[o].re,
+                            ez_hat[o].im,
+                        ],
+                    ));
+                }
+            }
+        }
+        let received = comm.alltoallv(sends.into_iter().collect());
+        let mut xphi = vec![Complex::ZERO; sx * m * m];
+        let mut xex = vec![Complex::ZERO; sx * m * m];
+        let mut xey = vec![Complex::ZERO; sx * m * m];
+        let mut xez = vec![Complex::ZERO; sx * m * m];
+        for (_src, buf) in received {
+            for (idx, v) in buf {
+                let (x, y, z) = self.unpack(idx);
+                let o = ((x - sx0) * m + y) * m + z;
+                xphi[o] = Complex::new(v[0], v[1]);
+                xex[o] = Complex::new(v[2], v[3]);
+                xey[o] = Complex::new(v[4], v[5]);
+                xez[o] = Complex::new(v[6], v[7]);
+            }
+        }
+
+        // ---- Inverse 2D FFT (y, z) per x-plane ----
+        for arr in [&mut xphi, &mut xex, &mut xey, &mut xez] {
+            for plane in arr.chunks_exact_mut(m * m) {
+                fft_ops += fft_2d(plane, m, Direction::Inverse);
+            }
+        }
+        comm.compute(Work::FftPoint, fft_ops as f64);
+
+        // ---- Patch distribution + interpolation ----
+        let mut owned_points = Vec::with_capacity(sx * m * m);
+        for xi in 0..sx {
+            for j in 0..m {
+                for k in 0..m {
+                    let o = (xi * m + j) * m + k;
+                    owned_points.push((
+                        self.pack(sx0 + xi, j, k),
+                        [xphi[o].re, xex[o].re, xey[o].re, xez[o].re],
+                    ));
+                }
+            }
+        }
+        self.distribute_and_interpolate(comm, owned_points, pos, charge)
+    }
+
+    /// Pencil-decomposed execution (2D decomposition): the `P` ranks form a
+    /// `p1 x p2` grid; the three transform stages own z-, y- and x-pencils
+    /// respectively, so every rank carries transform work up to `P = mesh^2`.
+    fn execute_pencil(
+        &self,
+        comm: &mut Comm,
+        pos: &[Vec3],
+        charge: &[f64],
+    ) -> (Vec<f64>, Vec<Vec3>) {
+        let p = comm.size();
+        let me = comm.rank();
+        let m = self.mesh;
+        let grid = simcomm::balanced_dims(p, 2);
+        let (p1, p2) = (grid[0], grid[1]);
+        let (a_me, b_me) = (me / p2, me % p2);
+        // Floor ranges of the mesh over p1 / p2 along a given axis.
+        let range = |c: usize, parts: usize| -> (usize, usize) {
+            (c * m / parts, (c + 1) * m / parts)
+        };
+        let owner = |i: usize, parts: usize| -> usize {
+            let mut c = (i * parts) / m;
+            while range(c, parts).1 <= i {
+                c += 1;
+            }
+            while range(c, parts).0 > i {
+                c -= 1;
+            }
+            c
+        };
+        let rank_of = |a: usize, b: usize| a * p2 + b;
+
+        let contrib = self.assign_charges(comm, pos, charge);
+
+        // ---- Stage A: z-pencils (x in XA[a], y in YB[b], full z) ----
+        let (ax0, ax1) = range(a_me, p1);
+        let (ay0, ay1) = range(b_me, p2);
+        let (anx, any) = (ax1 - ax0, ay1 - ay0);
+        let mut by_owner: HashMap<usize, Vec<(u64, f64)>> = HashMap::new();
+        for (&idx, &val) in &contrib {
+            let (i, j, _) = self.unpack(idx);
+            by_owner
+                .entry(rank_of(owner(i, p1), owner(j, p2)))
+                .or_default()
+                .push((idx, val));
+        }
+        let received = comm.alltoallv(by_owner.into_iter().collect());
+        // Layout: zp[((xi * any) + yj) * m + z], z contiguous.
+        let mut zp = vec![Complex::ZERO; anx * any * m];
+        for (_src, buf) in received {
+            for (idx, val) in buf {
+                let (i, j, k) = self.unpack(idx);
+                debug_assert!((ax0..ax1).contains(&i) && (ay0..ay1).contains(&j));
+                zp[((i - ax0) * any + (j - ay0)) * m + k].re += val;
+            }
+        }
+        comm.compute(Work::MeshPoint, (anx * any * m) as f64);
+
+        // ---- FFT along z ----
+        let mut fft_ops = 0u64;
+        for line in zp.chunks_exact_mut(m) {
+            fft_ops += fft_in_place(line, Direction::Forward);
+        }
+
+        // ---- Transpose A -> B: y-pencils (x in XA[a] unchanged, z in ZB[b],
+        // full y). Traffic stays within each p1-row. ----
+        let (bz0, bz1) = range(b_me, p2);
+        let bnz = bz1 - bz0;
+        let mut sends: HashMap<usize, Vec<(u64, [f64; 2])>> = HashMap::new();
+        for xi in 0..anx {
+            for yj in 0..any {
+                for z in 0..m {
+                    let c = zp[(xi * any + yj) * m + z];
+                    let dst = rank_of(a_me, owner(z, p2));
+                    sends
+                        .entry(dst)
+                        .or_default()
+                        .push((self.pack(ax0 + xi, ay0 + yj, z), [c.re, c.im]));
+                }
+            }
+        }
+        let received = comm.alltoallv(sends.into_iter().collect());
+        // Layout: yp[((xi * bnz) + zk) * m + y], y contiguous.
+        let mut yp = vec![Complex::ZERO; anx * bnz * m];
+        for (_src, buf) in received {
+            for (idx, [re, im]) in buf {
+                let (i, j, k) = self.unpack(idx);
+                debug_assert!((ax0..ax1).contains(&i) && (bz0..bz1).contains(&k));
+                yp[((i - ax0) * bnz + (k - bz0)) * m + j] = Complex::new(re, im);
+            }
+        }
+
+        // ---- FFT along y ----
+        for line in yp.chunks_exact_mut(m) {
+            fft_ops += fft_in_place(line, Direction::Forward);
+        }
+
+        // ---- Transpose B -> C: x-pencils (y in YA[a], z in ZB[b] unchanged,
+        // full x). Traffic stays within each p2-column. ----
+        let (cy0, cy1) = range(a_me, p1);
+        let cny = cy1 - cy0;
+        let mut sends: HashMap<usize, Vec<(u64, [f64; 2])>> = HashMap::new();
+        for xi in 0..anx {
+            for zk in 0..bnz {
+                for y in 0..m {
+                    let c = yp[(xi * bnz + zk) * m + y];
+                    let dst = rank_of(owner(y, p1), b_me);
+                    sends
+                        .entry(dst)
+                        .or_default()
+                        .push((self.pack(ax0 + xi, y, bz0 + zk), [c.re, c.im]));
+                }
+            }
+        }
+        let received = comm.alltoallv(sends.into_iter().collect());
+        // Layout: xp[((yj * bnz) + zk) * m + x], x contiguous.
+        let mut xp = vec![Complex::ZERO; cny * bnz * m];
+        for (_src, buf) in received {
+            for (idx, [re, im]) in buf {
+                let (i, j, k) = self.unpack(idx);
+                debug_assert!((cy0..cy1).contains(&j) && (bz0..bz1).contains(&k));
+                xp[((j - cy0) * bnz + (k - bz0)) * m + i] = Complex::new(re, im);
+            }
+        }
+
+        // ---- FFT along x ----
+        for line in xp.chunks_exact_mut(m) {
+            fft_ops += fft_in_place(line, Direction::Forward);
+        }
+
+        // ---- Influence function in the x-pencil layout ----
+        let n_local = cny * bnz * m;
+        let mut phi_hat = vec![Complex::ZERO; n_local];
+        let mut ex_hat = vec![Complex::ZERO; n_local];
+        let mut ey_hat = vec![Complex::ZERO; n_local];
+        let mut ez_hat = vec![Complex::ZERO; n_local];
+        for yj in 0..cny {
+            let myf = self.freq(cy0 + yj);
+            for zk in 0..bnz {
+                let mzf = self.freq(bz0 + zk);
+                for x in 0..m {
+                    let mxf = self.freq(x);
+                    let g = self.influence(mxf, myf, mzf);
+                    if g == 0.0 {
+                        continue;
+                    }
+                    let o = (yj * bnz + zk) * m + x;
+                    let ph = xp[o].scale(g);
+                    phi_hat[o] = ph;
+                    let k = self.kvec(mxf, myf, mzf);
+                    let mik_ph = Complex::new(ph.im, -ph.re);
+                    ex_hat[o] = mik_ph.scale(k.x());
+                    ey_hat[o] = mik_ph.scale(k.y());
+                    ez_hat[o] = mik_ph.scale(k.z());
+                }
+            }
+        }
+        comm.compute(Work::MeshPoint, n_local as f64 * 4.0);
+
+        // ---- Inverse FFT along x for the four spectra ----
+        for arr in [&mut phi_hat, &mut ex_hat, &mut ey_hat, &mut ez_hat] {
+            for line in arr.chunks_exact_mut(m) {
+                fft_ops += fft_in_place(line, Direction::Inverse);
+            }
+        }
+
+        // ---- Transpose C -> B (four spectra packed) ----
+        let mut sends: HashMap<usize, Vec<(u64, [f64; 8])>> = HashMap::new();
+        for yj in 0..cny {
+            for zk in 0..bnz {
+                for x in 0..m {
+                    let o = (yj * bnz + zk) * m + x;
+                    let dst = rank_of(owner(x, p1), b_me);
+                    sends.entry(dst).or_default().push((
+                        self.pack(x, cy0 + yj, bz0 + zk),
+                        [
+                            phi_hat[o].re,
+                            phi_hat[o].im,
+                            ex_hat[o].re,
+                            ex_hat[o].im,
+                            ey_hat[o].re,
+                            ey_hat[o].im,
+                            ez_hat[o].re,
+                            ez_hat[o].im,
+                        ],
+                    ));
+                }
+            }
+        }
+        let received = comm.alltoallv(sends.into_iter().collect());
+        let nb = anx * bnz * m;
+        let mut bphi = vec![Complex::ZERO; nb];
+        let mut bex = vec![Complex::ZERO; nb];
+        let mut bey = vec![Complex::ZERO; nb];
+        let mut bez = vec![Complex::ZERO; nb];
+        for (_src, buf) in received {
+            for (idx, v) in buf {
+                let (i, j, k) = self.unpack(idx);
+                let o = ((i - ax0) * bnz + (k - bz0)) * m + j;
+                bphi[o] = Complex::new(v[0], v[1]);
+                bex[o] = Complex::new(v[2], v[3]);
+                bey[o] = Complex::new(v[4], v[5]);
+                bez[o] = Complex::new(v[6], v[7]);
+            }
+        }
+
+        // ---- Inverse FFT along y ----
+        for arr in [&mut bphi, &mut bex, &mut bey, &mut bez] {
+            for line in arr.chunks_exact_mut(m) {
+                fft_ops += fft_in_place(line, Direction::Inverse);
+            }
+        }
+
+        // ---- Transpose B -> A ----
+        let mut sends: HashMap<usize, Vec<(u64, [f64; 8])>> = HashMap::new();
+        for xi in 0..anx {
+            for zk in 0..bnz {
+                for y in 0..m {
+                    let o = (xi * bnz + zk) * m + y;
+                    let dst = rank_of(a_me, owner(y, p2));
+                    sends.entry(dst).or_default().push((
+                        self.pack(ax0 + xi, y, bz0 + zk),
+                        [
+                            bphi[o].re, bphi[o].im, bex[o].re, bex[o].im, bey[o].re, bey[o].im,
+                            bez[o].re, bez[o].im,
+                        ],
+                    ));
+                }
+            }
+        }
+        let received = comm.alltoallv(sends.into_iter().collect());
+        let na = anx * any * m;
+        let mut aphi = vec![Complex::ZERO; na];
+        let mut aex = vec![Complex::ZERO; na];
+        let mut aey = vec![Complex::ZERO; na];
+        let mut aez = vec![Complex::ZERO; na];
+        for (_src, buf) in received {
+            for (idx, v) in buf {
+                let (i, j, k) = self.unpack(idx);
+                let o = ((i - ax0) * any + (j - ay0)) * m + k;
+                aphi[o] = Complex::new(v[0], v[1]);
+                aex[o] = Complex::new(v[2], v[3]);
+                aey[o] = Complex::new(v[4], v[5]);
+                aez[o] = Complex::new(v[6], v[7]);
+            }
+        }
+
+        // ---- Inverse FFT along z ----
+        for arr in [&mut aphi, &mut aex, &mut aey, &mut aez] {
+            for line in arr.chunks_exact_mut(m) {
+                fft_ops += fft_in_place(line, Direction::Inverse);
+            }
+        }
+        comm.compute(Work::FftPoint, fft_ops as f64);
+
+        // ---- Patch distribution + interpolation ----
+        let mut owned_points = Vec::with_capacity(na);
+        for xi in 0..anx {
+            for yj in 0..any {
+                for z in 0..m {
+                    let o = (xi * any + yj) * m + z;
+                    owned_points.push((
+                        self.pack(ax0 + xi, ay0 + yj, z),
+                        [aphi[o].re, aex[o].re, aey[o].re, aez[o].re],
+                    ));
+                }
+            }
+        }
+        self.distribute_and_interpolate(comm, owned_points, pos, charge)
+    }
+}
+
+/// 2D FFT of an `m x m` plane stored row-major (rows along the second index).
+fn fft_2d(plane: &mut [Complex], m: usize, dir: Direction) -> u64 {
+    debug_assert_eq!(plane.len(), m * m);
+    let mut ops = 0;
+    // Rows (contiguous).
+    for row in plane.chunks_exact_mut(m) {
+        ops += fft_in_place(row, dir);
+    }
+    // Columns (strided): gather/scatter through a temp buffer.
+    let mut col = vec![Complex::ZERO; m];
+    for c in 0..m {
+        for r in 0..m {
+            col[r] = plane[r * m + c];
+        }
+        ops += fft_in_place(&mut col, dir);
+        for r in 0..m {
+            plane[r * m + c] = col[r];
+        }
+    }
+    ops
+}
+
+/// FFT along the x axis of a y-slab array laid out as
+/// `data[(y_local * m + x) * m + z]`.
+fn fft_axis_x(data: &mut [Complex], sy: usize, m: usize, dir: Direction) -> u64 {
+    let mut ops = 0;
+    let mut line = vec![Complex::ZERO; m];
+    for yi in 0..sy {
+        for z in 0..m {
+            for x in 0..m {
+                line[x] = data[(yi * m + x) * m + z];
+            }
+            ops += fft_in_place(&mut line, dir);
+            for x in 0..m {
+                data[(yi * m + x) * m + z] = line[x];
+            }
+        }
+    }
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use particles::reference::{ewald, EwaldParams};
+    use particles::IonicCrystal;
+    use simcomm::{run, MachineModel};
+
+    #[test]
+    fn dim_ranges_partition_mesh() {
+        let plan = FarFieldPlan {
+            mesh: 32,
+            assign_order: 3,
+            alpha: 1.0,
+            dims: [3, 2, 5],
+            bbox: SystemBox::cubic(8.0),
+            decomp: MeshDecomp::default(),
+        };
+        for d in 0..3 {
+            let mut covered = 0;
+            for c in 0..plan.dims[d] {
+                let (lo, hi) = plan.dim_range(d, c);
+                assert_eq!(lo, covered);
+                covered = hi;
+                for i in lo..hi {
+                    assert_eq!(plan.dim_owner(d, i), c);
+                }
+            }
+            assert_eq!(covered, 32);
+        }
+    }
+
+    #[test]
+    fn slab_ranges_partition_mesh() {
+        let plan = FarFieldPlan {
+            mesh: 16,
+            assign_order: 2,
+            alpha: 1.0,
+            dims: [1, 1, 1],
+            bbox: SystemBox::cubic(4.0),
+            decomp: MeshDecomp::default(),
+        };
+        for p in [1usize, 3, 16, 40] {
+            let mut covered = 0;
+            for r in 0..p {
+                let (lo, hi) = plan.slab_range(r, p);
+                assert_eq!(lo, covered);
+                covered = hi;
+                for x in lo..hi {
+                    assert_eq!(plan.slab_owner(x, p), r);
+                }
+            }
+            assert_eq!(covered, 16, "p={p}");
+        }
+    }
+
+    #[test]
+    fn influence_zero_at_origin_and_positive() {
+        let plan = FarFieldPlan {
+            mesh: 32,
+            assign_order: 3,
+            alpha: 1.2,
+            dims: [2, 2, 2],
+            bbox: SystemBox::cubic(8.0),
+            decomp: MeshDecomp::default(),
+        };
+        assert_eq!(plan.influence(0, 0, 0), 0.0);
+        assert!(plan.influence(1, 0, 0) > 0.0);
+        assert!(plan.influence(1, 2, 3) > 0.0);
+        // Decays for large k.
+        assert!(plan.influence(14, 14, 14) < plan.influence(1, 1, 1));
+    }
+
+    #[test]
+    fn pencil_matches_slab() {
+        // Identical physics from both decompositions, at several process
+        // counts including P > mesh extents along one axis.
+        let c = IonicCrystal::cubic(4, 1.0, 0.17, 12);
+        let bbox = c.system_box();
+        let n = c.n();
+        let alpha = 6.0 / bbox.lengths.x();
+        let mut pos_all = Vec::new();
+        let mut charge_all = Vec::new();
+        for i in 0..n as u64 {
+            let (x, q) = c.particle(i);
+            pos_all.push(x);
+            charge_all.push(q);
+        }
+        for p in [1usize, 4, 6, 9] {
+            let dims = {
+                let d = simcomm::balanced_dims(p, 3);
+                [d[0], d[1], d[2]]
+            };
+            let pos_all = pos_all.clone();
+            let charge_all = charge_all.clone();
+            let out = run(p, MachineModel::ideal(), move |comm| {
+                let me = comm.rank();
+                let mut pos = Vec::new();
+                let mut charge = Vec::new();
+                for (x, q) in pos_all.iter().zip(&charge_all) {
+                    if particles::grid_rank_of(dims, &bbox, *x) == me {
+                        pos.push(*x);
+                        charge.push(*q);
+                    }
+                }
+                let mut plan = FarFieldPlan {
+                    mesh: 8,
+                    assign_order: 3,
+                    alpha,
+                    dims,
+                    bbox,
+                    decomp: MeshDecomp::Slab,
+                };
+                let (phi_s, field_s) = plan.execute(comm, &pos, &charge);
+                plan.decomp = MeshDecomp::Pencil;
+                let (phi_p, field_p) = plan.execute(comm, &pos, &charge);
+                (phi_s, field_s, phi_p, field_p)
+            });
+            for (phi_s, field_s, phi_p, field_p) in &out.results {
+                for (a, b) in phi_s.iter().zip(phi_p) {
+                    assert!((a - b).abs() < 1e-10 * a.abs().max(1.0), "p={p}: {a} vs {b}");
+                }
+                for (a, b) in field_s.iter().zip(field_p) {
+                    assert!((*a - *b).norm() < 1e-10, "p={p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pencil_spreads_fft_work_beyond_mesh_ranks() {
+        // With P > mesh, the slab decomposition idles most ranks during the
+        // transforms while pencils keep them busy; compare per-rank modelled
+        // compute spread (max/mean of compute_seconds).
+        let c = IonicCrystal::cubic(4, 1.0, 0.1, 5);
+        let bbox = c.system_box();
+        let n = c.n();
+        let p = 16; // mesh = 8 < P
+        let imbalance = |decomp: MeshDecomp| -> f64 {
+            let c = c.clone();
+            let out = run(p, MachineModel::juqueen_like(), move |comm| {
+                let dims = {
+                    let d = simcomm::balanced_dims(p, 3);
+                    [d[0], d[1], d[2]]
+                };
+                let me = comm.rank();
+                let mut pos = Vec::new();
+                let mut charge = Vec::new();
+                for i in 0..n as u64 {
+                    let (x, q) = c.particle(i);
+                    if particles::grid_rank_of(dims, &bbox, x) == me {
+                        pos.push(x);
+                        charge.push(q);
+                    }
+                }
+                let plan = FarFieldPlan {
+                    mesh: 8,
+                    assign_order: 3,
+                    alpha: 6.0 / bbox.lengths.x(),
+                    dims,
+                    bbox,
+                    decomp,
+                };
+                let _ = plan.execute(comm, &pos, &charge);
+                comm.stats().compute_seconds
+            });
+            let max = out.results.iter().cloned().fold(0.0, f64::max);
+            let mean = out.results.iter().sum::<f64>() / p as f64;
+            max / mean
+        };
+        let slab = imbalance(MeshDecomp::Slab);
+        let pencil = imbalance(MeshDecomp::Pencil);
+        assert!(
+            pencil < slab,
+            "pencils must balance better than slabs at P > mesh: {pencil} vs {slab}"
+        );
+    }
+
+    /// Far field + analytic real-space remainder must reproduce Ewald.
+    #[test]
+    fn far_field_matches_ewald_k_space() {
+        // Single rank: compare the mesh far field against the exact
+        // reciprocal-space Ewald sum (plus self term) for a small crystal.
+        let c = IonicCrystal::cubic(4, 1.0, 0.13, 21);
+        let bbox = c.system_box();
+        let n = c.n();
+        let mut pos = Vec::new();
+        let mut charge = Vec::new();
+        for i in 0..n as u64 {
+            let (x, q) = c.particle(i);
+            pos.push(x);
+            charge.push(q);
+        }
+        let l = bbox.lengths.x();
+        let alpha = 7.0 / l;
+        // Reference: Ewald with a negligible real-space part is exactly the
+        // k-space + self contribution.
+        let want = ewald(
+            &pos,
+            &charge,
+            &bbox,
+            EwaldParams { alpha, rcut: 1e-9, kmax: 14 },
+        );
+        let plan = FarFieldPlan {
+            mesh: 64,
+            assign_order: 4,
+            alpha,
+            dims: [1, 1, 1],
+            bbox,
+            decomp: MeshDecomp::default(),
+        };
+        let out = run(1, MachineModel::ideal(), |comm| plan.execute(comm, &pos, &charge));
+        let (phi, field) = &out.results[0];
+        let scale = (want.potential.iter().map(|x| x * x).sum::<f64>() / n as f64)
+            .sqrt()
+            .max(1e-12);
+        for i in 0..n {
+            assert!(
+                (phi[i] - want.potential[i]).abs() < 2e-3 * scale.max(want.potential[i].abs()),
+                "i={i}: {a} vs {b}",
+                a = phi[i],
+                b = want.potential[i]
+            );
+            assert!(
+                (field[i] - want.field[i]).norm() < 5e-3 * scale,
+                "field i={i}: {a:?} vs {b:?}",
+                a = field[i],
+                b = want.field[i]
+            );
+        }
+    }
+
+    #[test]
+    fn far_field_independent_of_process_count() {
+        let c = IonicCrystal::cubic(4, 1.0, 0.2, 8);
+        let bbox = c.system_box();
+        let n = c.n();
+        let alpha = 6.0 / bbox.lengths.x();
+        let mut pos_all = Vec::new();
+        let mut charge_all = Vec::new();
+        for i in 0..n as u64 {
+            let (x, q) = c.particle(i);
+            pos_all.push(x);
+            charge_all.push(q);
+        }
+        // Serial reference.
+        let plan1 = FarFieldPlan {
+            mesh: 32,
+            assign_order: 3,
+            alpha,
+            dims: [1, 1, 1],
+            bbox,
+            decomp: MeshDecomp::default(),
+        };
+        let serial = run(1, MachineModel::ideal(), |comm| {
+            plan1.execute(comm, &pos_all, &charge_all)
+        });
+        let (phi_ref, _) = &serial.results[0];
+
+        // Parallel: grid distribution over 8 ranks.
+        let dims = [2, 2, 2];
+        let out = run(8, MachineModel::ideal(), |comm| {
+            let me = comm.rank();
+            let mut pos = Vec::new();
+            let mut charge = Vec::new();
+            let mut ids = Vec::new();
+            for i in 0..n as u64 {
+                let (x, q) = c.particle(i);
+                if particles::grid_rank_of(dims, &bbox, x) == me {
+                    pos.push(x);
+                    charge.push(q);
+                    ids.push(i);
+                }
+            }
+            let plan = FarFieldPlan {
+                mesh: 32,
+                assign_order: 3,
+                alpha,
+                dims,
+                bbox,
+                decomp: MeshDecomp::default(),
+            };
+            let (phi, _) = plan.execute(comm, &pos, &charge);
+            (ids, phi)
+        });
+        for (ids, phi) in &out.results {
+            for (id, ph) in ids.iter().zip(phi) {
+                let want = phi_ref[*id as usize];
+                assert!(
+                    (ph - want).abs() < 1e-9 * want.abs().max(1.0),
+                    "id {id}: {ph} vs {want}"
+                );
+            }
+        }
+    }
+}

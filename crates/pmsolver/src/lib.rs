@@ -1,0 +1,259 @@
+//! # pmsolver — a parallel particle-mesh Ewald solver (P2NFFT stand-in)
+//!
+//! From-scratch member of the Ewald-splitting particle-mesh family the
+//! paper's P2NFFT solver belongs to (Sect. II-C), with the same *data
+//! handling*: the particle system is distributed uniformly over a Cartesian
+//! process grid using a fine-grained data redistribution operation that
+//! duplicates boundary particles as **ghosts** (each copy carrying a 64-bit
+//! index value: source rank in the upper 32 bits, source position in the
+//! lower 32, ghosts marked invalid); real-space contributions use a
+//! linked-cell algorithm within the cutoff; Fourier-space contributions use
+//! B-spline charge assignment and a distributed FFT implemented from
+//! scratch (1D slab or 2D pencil decomposition, see [`MeshDecomp`]) with a
+//! Hockney-Eastwood optimal influence function and ik differentiation.
+//!
+//! After the computation the solver either restores the original particle
+//! order and distribution (Method A) or returns the changed grid
+//! distribution with resort indices (Method B); with limited particle
+//! movement the redistribution switches from collective all-to-all to
+//! neighbourhood point-to-point communication (Sect. III-B).
+
+#![warn(missing_docs)]
+
+mod bspline;
+mod farfield;
+mod fft;
+mod nearfield;
+mod solver;
+
+pub use bspline::{bspline, bspline_hat, stencil};
+pub use farfield::{FarFieldPlan, MeshDecomp};
+pub use fft::{dft_reference, fft_in_place, fft_rows, Complex, Direction};
+pub use nearfield::near_field;
+pub use solver::{PmConfig, PmParticle, PmRunReport, PmSolver};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use particles::reference::madelung_energy_per_ion;
+    use particles::{local_set, InitialDistribution, IonicCrystal, RedistMethod, SystemBox};
+    use simcomm::{run, CartGrid, MachineModel};
+
+    fn crystal_energy(p: usize, cells: usize, jitter: f64, method: RedistMethod) -> f64 {
+        let c = IonicCrystal::cubic(cells, 1.0, jitter, 77);
+        let bbox = c.system_box();
+        let cfg = PmConfig::tuned(&bbox, 1e-4, (0.49 * bbox.lengths.x()).min(3.0));
+        let out = run(p, MachineModel::ideal(), move |comm| {
+            let dims = CartGrid::balanced(p).dims();
+            let set = local_set(&c, InitialDistribution::Grid, comm.rank(), p, dims);
+            let mut solver = PmSolver::new(bbox, cfg.clone(), p);
+            let o = solver.run(
+                comm,
+                &set.pos,
+                &set.charge,
+                &set.id,
+                method,
+                None,
+                usize::MAX,
+            );
+            0.5 * o.potential.iter().zip(&o.charge).map(|(a, q)| a * q).sum::<f64>()
+        });
+        out.results.iter().sum()
+    }
+
+    #[test]
+    fn reproduces_madelung_constant_serial() {
+        let energy = crystal_energy(1, 4, 0.0, RedistMethod::RestoreOriginal);
+        let want = madelung_energy_per_ion(1.0) * 64.0;
+        let rel = (energy - want).abs() / want.abs();
+        assert!(rel < 1e-3, "energy {energy} vs {want}, rel {rel}");
+    }
+
+    #[test]
+    fn reproduces_madelung_constant_parallel() {
+        let energy = crystal_energy(8, 4, 0.0, RedistMethod::RestoreOriginal);
+        let want = madelung_energy_per_ion(1.0) * 64.0;
+        let rel = (energy - want).abs() / want.abs();
+        assert!(rel < 1e-3, "energy {energy} vs {want}, rel {rel}");
+    }
+
+    #[test]
+    fn method_a_and_b_compute_identical_energies() {
+        let ea = crystal_energy(4, 6, 0.15, RedistMethod::RestoreOriginal);
+        let eb = crystal_energy(4, 6, 0.15, RedistMethod::UseChanged);
+        assert!((ea - eb).abs() < 1e-9 * ea.abs(), "{ea} vs {eb}");
+    }
+
+    #[test]
+    fn method_a_restores_exact_input_order() {
+        let c = IonicCrystal::cubic(6, 1.0, 0.2, 3);
+        let bbox = c.system_box();
+        let cfg = PmConfig::tuned(&bbox, 1e-3, 2.0);
+        let p = 4;
+        run(p, MachineModel::ideal(), move |comm| {
+            let set = local_set(&c, InitialDistribution::Random, comm.rank(), p, [2, 2, 1]);
+            let mut solver = PmSolver::new(bbox, cfg.clone(), p);
+            let o = solver.run(
+                comm,
+                &set.pos,
+                &set.charge,
+                &set.id,
+                RedistMethod::RestoreOriginal,
+                None,
+                usize::MAX,
+            );
+            assert!(!o.resorted);
+            assert_eq!(o.pos, set.pos);
+            assert_eq!(o.charge, set.charge);
+            assert_eq!(o.id, set.id);
+        });
+    }
+
+    #[test]
+    fn method_b_resort_indices_route_additional_data() {
+        let c = IonicCrystal::cubic(6, 1.0, 0.2, 5);
+        let bbox = c.system_box();
+        let cfg = PmConfig::tuned(&bbox, 1e-3, 2.0);
+        let p = 8;
+        let out = run(p, MachineModel::ideal(), move |comm| {
+            let set = local_set(&c, InitialDistribution::Random, comm.rank(), p, [2, 2, 2]);
+            let mut solver = PmSolver::new(bbox, cfg.clone(), p);
+            let o = solver.run(
+                comm,
+                &set.pos,
+                &set.charge,
+                &set.id,
+                RedistMethod::UseChanged,
+                None,
+                usize::MAX,
+            );
+            assert!(o.resorted);
+            assert_eq!(o.resort_indices.len(), set.len());
+            // Resorting the original ids must match the changed order (in
+            // particular, ghosts are not part of the returned particles).
+            let moved_ids = atasp::resort(
+                comm,
+                &set.id,
+                &o.resort_indices,
+                o.id.len(),
+                &atasp::ExchangeMode::Collective,
+            );
+            assert_eq!(moved_ids, o.id);
+            // All returned particles must live in this rank's subdomain.
+            let dims = CartGrid::balanced(p).dims();
+            for &x in &o.pos {
+                assert_eq!(particles::grid_rank_of(dims, &bbox, x), comm.rank());
+            }
+            o.id.len()
+        });
+        let total: usize = out.results.iter().sum();
+        assert_eq!(total, 216);
+    }
+
+    #[test]
+    fn neighborhood_mode_matches_collective() {
+        // Start from the solver's own grid distribution, jitter positions a
+        // little, and re-run with a movement hint: the neighbourhood path
+        // must produce identical results to the collective path.
+        let c = IonicCrystal::cubic(6, 1.0, 0.1, 11);
+        let bbox = c.system_box();
+        let cfg = PmConfig::tuned(&bbox, 1e-3, 1.5);
+        let p = 8;
+        let out = run(p, MachineModel::ideal(), move |comm| {
+            let dims = CartGrid::balanced(p).dims();
+            let set = local_set(&c, InitialDistribution::Grid, comm.rank(), p, dims);
+            let mut solver = PmSolver::new(bbox, cfg.clone(), p);
+            let o1 = solver.run(
+                comm,
+                &set.pos,
+                &set.charge,
+                &set.id,
+                RedistMethod::UseChanged,
+                None,
+                usize::MAX,
+            );
+            assert!(!solver.last_report.used_neighborhood);
+            // Move every particle slightly (deterministic pseudo-jitter).
+            let moved: Vec<particles::Vec3> = o1
+                .pos
+                .iter()
+                .zip(&o1.id)
+                .map(|(&x, &id)| {
+                    let h = particles::systems::splitmix64(id ^ 0xfeed);
+                    let d = particles::Vec3::new(
+                        ((h & 0xff) as f64 / 255.0 - 0.5) * 0.05,
+                        (((h >> 8) & 0xff) as f64 / 255.0 - 0.5) * 0.05,
+                        (((h >> 16) & 0xff) as f64 / 255.0 - 0.5) * 0.05,
+                    );
+                    bbox.wrap(x + d)
+                })
+                .collect();
+            let o_coll = solver.run(
+                comm,
+                &moved,
+                &o1.charge,
+                &o1.id,
+                RedistMethod::UseChanged,
+                None,
+                usize::MAX,
+            );
+            assert!(!solver.last_report.used_neighborhood);
+            let o_neigh = solver.run(
+                comm,
+                &moved,
+                &o1.charge,
+                &o1.id,
+                RedistMethod::UseChanged,
+                Some(0.05),
+                usize::MAX,
+            );
+            assert!(solver.last_report.used_neighborhood);
+            (o_coll, o_neigh)
+        });
+        for (a, b) in out.results {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.pos, b.pos);
+            assert_eq!(a.resort_indices, b.resort_indices);
+            for (x, y) in a.potential.iter().zip(&b.potential) {
+                assert!((x - y).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_fallback_restores_original() {
+        let c = IonicCrystal::cubic(4, 1.0, 0.1, 9);
+        let bbox = c.system_box();
+        let cfg = PmConfig::tuned(&bbox, 1e-3, 1.5);
+        let p = 2;
+        run(p, MachineModel::ideal(), move |comm| {
+            let set = local_set(&c, InitialDistribution::Random, comm.rank(), p, [2, 1, 1]);
+            let mut solver = PmSolver::new(bbox, cfg.clone(), p);
+            let o = solver.run(
+                comm,
+                &set.pos,
+                &set.charge,
+                &set.id,
+                RedistMethod::UseChanged,
+                None,
+                0, // force fallback
+            );
+            assert!(!o.resorted);
+            assert_eq!(o.id, set.id);
+            assert!(o.resort_indices.is_empty());
+        });
+    }
+
+    #[test]
+    fn tuned_config_is_consistent() {
+        let bbox = SystemBox::cubic(248.0);
+        let cfg = PmConfig::tuned(&bbox, 1e-3, 4.8);
+        assert!((cfg.rcut - 4.8).abs() < 1e-12, "paper cutoff fits the box");
+        assert!(cfg.mesh.is_power_of_two());
+        assert!(cfg.alpha * cfg.rcut >= 2.0);
+        // Tighter accuracy -> denser mesh and higher order.
+        let tight = PmConfig::tuned(&bbox, 1e-6, 4.8);
+        assert!(tight.mesh >= cfg.mesh);
+        assert!(tight.assign_order >= cfg.assign_order);
+    }
+}

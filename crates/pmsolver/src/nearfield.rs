@@ -1,0 +1,281 @@
+//! Real-space (near-field) part of the particle-mesh Ewald solver: the
+//! erfc-screened Coulomb interactions of all pairs within the cutoff radius,
+//! evaluated with a linked-cell algorithm over the local subdomain plus ghost
+//! particles (paper Sect. II-C: "computations are performed with a linked
+//! cell algorithm that sorts all particles into boxes of size of the cutoff
+//! radius").
+
+use particles::math::{erfc, M_2_SQRTPI};
+use particles::{SystemBox, Vec3};
+
+/// Compute near-field potentials and fields for `owned` particles; `ghosts`
+/// contribute as sources only. Returns per-owned-particle `(potential,
+/// field)` plus the number of pair interactions evaluated (for work
+/// accounting).
+///
+/// Positions may be periodic images; all displacements go through the
+/// minimum-image convention, which is exact as long as `rcut` is at most half
+/// the shortest box edge.
+#[allow(clippy::too_many_arguments)]
+pub fn near_field(
+    bbox: &SystemBox,
+    alpha: f64,
+    rcut: f64,
+    soft_core: Option<particles::SoftCore>,
+    region: (Vec3, Vec3),
+    owned_pos: &[Vec3],
+    owned_charge: &[f64],
+    ghost_pos: &[Vec3],
+    ghost_charge: &[f64],
+) -> (Vec<f64>, Vec<Vec3>, u64) {
+    let l = bbox.lengths;
+    assert!(
+        rcut <= 0.5 * l.x().min(l.y()).min(l.z()) + 1e-12,
+        "near-field cutoff must satisfy the minimum-image condition"
+    );
+    let n_owned = owned_pos.len();
+    let n_all = n_owned + ghost_pos.len();
+    let (lo, hi) = region;
+    let center = (lo + hi) * 0.5;
+
+    // Linked cells. Along dimensions where the region covers the whole
+    // (periodic) box there are no ghosts, so the cell grid itself wraps;
+    // otherwise the region is expanded by rcut to hold the ghosts.
+    let mut ncell = [0usize; 3];
+    let mut cell_w = [0.0f64; 3];
+    let mut origin = Vec3::ZERO;
+    let mut wraps = [false; 3];
+    for d in 0..3 {
+        wraps[d] = bbox.periodic[d] && (hi[d] - lo[d]) >= l[d] - 1e-9;
+        let span = if wraps[d] {
+            hi[d] - lo[d]
+        } else {
+            (hi[d] - lo[d]) + 2.0 * rcut
+        };
+        ncell[d] = ((span / rcut).floor() as usize).max(1);
+        cell_w[d] = span / ncell[d] as f64;
+        origin[d] = if wraps[d] { lo[d] } else { lo[d] - rcut };
+    }
+    let cell_coords = |p: Vec3| -> [usize; 3] {
+        // Localize the (possibly wrapped) position relative to the region.
+        let rel = center + bbox.min_image(p, center);
+        let mut c = [0usize; 3];
+        for d in 0..3 {
+            let x = ((rel[d] - origin[d]) / cell_w[d]).floor();
+            c[d] = (x.max(0.0) as usize).min(ncell[d] - 1);
+        }
+        c
+    };
+    let cell_of = |p: Vec3| -> usize {
+        let c = cell_coords(p);
+        (c[0] * ncell[1] + c[1]) * ncell[2] + c[2]
+    };
+
+    // Head/next linked lists over the combined particle set.
+    let total_cells = ncell[0] * ncell[1] * ncell[2];
+    let mut head = vec![usize::MAX; total_cells];
+    let mut next = vec![usize::MAX; n_all];
+    let pos_of = |i: usize| -> Vec3 {
+        if i < n_owned {
+            owned_pos[i]
+        } else {
+            ghost_pos[i - n_owned]
+        }
+    };
+    let charge_of = |i: usize| -> f64 {
+        if i < n_owned {
+            owned_charge[i]
+        } else {
+            ghost_charge[i - n_owned]
+        }
+    };
+    for (i, nx) in next.iter_mut().enumerate() {
+        let c = cell_of(pos_of(i));
+        *nx = head[c];
+        head[c] = i;
+    }
+
+    let rcut2 = rcut * rcut;
+    let mut potential = vec![0.0; n_owned];
+    let mut field = vec![Vec3::ZERO; n_owned];
+    let mut pairs = 0u64;
+    for i in 0..n_owned {
+        let pi = owned_pos[i];
+        let ci = cell_coords(pi);
+        // Collect the distinct neighbouring cells (wrapped dimensions may
+        // alias several offsets onto the same cell on tiny grids).
+        let mut visit: Vec<usize> = Vec::with_capacity(27);
+        for dx in -1..=1i64 {
+            for dy in -1..=1i64 {
+                for dz in -1..=1i64 {
+                    let mut c = [0usize; 3];
+                    let mut ok = true;
+                    for (d, dd) in [dx, dy, dz].into_iter().enumerate() {
+                        let raw = ci[d] as i64 + dd;
+                        if wraps[d] {
+                            c[d] = raw.rem_euclid(ncell[d] as i64) as usize;
+                        } else if raw < 0 || raw >= ncell[d] as i64 {
+                            ok = false;
+                            break;
+                        } else {
+                            c[d] = raw as usize;
+                        }
+                    }
+                    if ok {
+                        visit.push((c[0] * ncell[1] + c[1]) * ncell[2] + c[2]);
+                    }
+                }
+            }
+        }
+        visit.sort_unstable();
+        visit.dedup();
+        for cell in visit {
+            let mut j = head[cell];
+            while j != usize::MAX {
+                if j != i {
+                    let d = bbox.min_image(pi, pos_of(j));
+                    let r2 = d.norm2();
+                    if r2 <= rcut2 && r2 > 0.0 {
+                        let r = r2.sqrt();
+                        let qj = charge_of(j);
+                        let e = erfc(alpha * r) / r;
+                        let de = e / r2 + alpha * M_2_SQRTPI * (-alpha * alpha * r2).exp() / r2;
+                        potential[i] += qj * e;
+                        field[i] += d * (qj * de);
+                        if let Some(core) = &soft_core {
+                            // Pair repulsion folded into the potential/field
+                            // channels (divided by the receiving charge so
+                            // 0.5*q*phi and q*E give pair energy and force).
+                            let qi = owned_charge[i];
+                            let u = core.energy(r);
+                            let fmag = core.force(r);
+                            potential[i] += u / qi;
+                            field[i] += d * (fmag / (r * qi));
+                        }
+                        pairs += 1;
+                    }
+                }
+                j = next[j];
+            }
+        }
+    }
+    (potential, field, pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_force(
+        bbox: &SystemBox,
+        alpha: f64,
+        rcut: f64,
+        owned: &[(Vec3, f64)],
+        all: &[(Vec3, f64)],
+    ) -> (Vec<f64>, Vec<Vec3>) {
+        let mut pot = vec![0.0; owned.len()];
+        let mut field = vec![Vec3::ZERO; owned.len()];
+        for (i, &(pi, _)) in owned.iter().enumerate() {
+            for &(pj, qj) in all {
+                let d = bbox.min_image(pi, pj);
+                let r2 = d.norm2();
+                if r2 == 0.0 || r2 > rcut * rcut {
+                    continue;
+                }
+                let r = r2.sqrt();
+                let e = erfc(alpha * r) / r;
+                let de = e / r2 + alpha * M_2_SQRTPI * (-alpha * alpha * r2).exp() / r2;
+                pot[i] += qj * e;
+                field[i] += d * (qj * de);
+            }
+        }
+        (pot, field)
+    }
+
+    fn hash_pos(i: u64, l: f64) -> Vec3 {
+        let h = |x: u64| -> f64 {
+            let mut v = x.wrapping_mul(0x9e3779b97f4a7c15);
+            v ^= v >> 29;
+            v = v.wrapping_mul(0xbf58476d1ce4e5b9);
+            (v >> 11) as f64 / (1u64 << 53) as f64 * l
+        };
+        Vec3::new(h(i * 3 + 1), h(i * 3 + 2), h(i * 3 + 3))
+    }
+
+    #[test]
+    fn linked_cells_match_brute_force() {
+        let bbox = SystemBox::cubic(10.0);
+        let alpha = 0.8;
+        let rcut = 2.5;
+        // Owned region: half the box; ghosts everywhere else (as sources).
+        let region = (Vec3::ZERO, Vec3::new(5.0, 10.0, 10.0));
+        let mut owned = Vec::new();
+        let mut ghosts = Vec::new();
+        for i in 0..300u64 {
+            let p = hash_pos(i, 10.0);
+            let q = if i % 2 == 0 { 1.0 } else { -1.0 };
+            if p.x() < 5.0 {
+                owned.push((p, q));
+            } else {
+                ghosts.push((p, q));
+            }
+        }
+        let (op, oq): (Vec<Vec3>, Vec<f64>) = owned.iter().cloned().unzip();
+        let (gp, gq): (Vec<Vec3>, Vec<f64>) = ghosts.iter().cloned().unzip();
+        let (pot, field, pairs) =
+            near_field(&bbox, alpha, rcut, None, region, &op, &oq, &gp, &gq);
+        let all: Vec<(Vec3, f64)> = owned.iter().chain(&ghosts).cloned().collect();
+        let (wpot, wfield) = brute_force(&bbox, alpha, rcut, &owned, &all);
+        assert!(pairs > 0);
+        for i in 0..owned.len() {
+            assert!(
+                (pot[i] - wpot[i]).abs() < 1e-12 * wpot[i].abs().max(1.0),
+                "i={i}: {a} vs {b}",
+                a = pot[i],
+                b = wpot[i]
+            );
+            assert!((field[i] - wfield[i]).norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn wrapped_pairs_are_found() {
+        // Two particles across the periodic boundary, within rcut.
+        let bbox = SystemBox::cubic(10.0);
+        let region = (Vec3::ZERO, Vec3::splat(10.0));
+        let pos = vec![Vec3::new(0.2, 5.0, 5.0), Vec3::new(9.9, 5.0, 5.0)];
+        let charge = vec![1.0, 1.0];
+        let (pot, _, pairs) = near_field(&bbox, 0.5, 2.0, None, region, &pos, &charge, &[], &[]);
+        assert_eq!(pairs, 2);
+        let r = 0.3;
+        let want = erfc(0.5 * r) / r;
+        assert!((pot[0] - want).abs() < 1e-12);
+        assert!((pot[1] - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pairs_beyond_cutoff_ignored() {
+        let bbox = SystemBox::cubic(20.0);
+        let region = (Vec3::ZERO, Vec3::splat(20.0));
+        let pos = vec![Vec3::new(1.0, 1.0, 1.0), Vec3::new(9.0, 9.0, 9.0)];
+        let charge = vec![1.0, -1.0];
+        let (pot, field, pairs) = near_field(&bbox, 0.5, 3.0, None, region, &pos, &charge, &[], &[]);
+        assert_eq!(pairs, 0);
+        assert!(pot.iter().all(|&p| p == 0.0));
+        assert!(field.iter().all(|f| f.norm() == 0.0));
+    }
+
+    #[test]
+    fn ghost_only_sources_do_not_receive() {
+        let bbox = SystemBox::cubic(10.0);
+        let region = (Vec3::ZERO, Vec3::splat(5.0));
+        let op = vec![Vec3::new(2.0, 2.0, 2.0)];
+        let oq = vec![1.0];
+        let gp = vec![Vec3::new(2.5, 2.0, 2.0)];
+        let gq = vec![-1.0];
+        let (pot, _, pairs) = near_field(&bbox, 1.0, 2.0, None, region, &op, &oq, &gp, &gq);
+        assert_eq!(pot.len(), 1, "ghosts must not receive results");
+        assert_eq!(pairs, 1);
+        assert!(pot[0] < 0.0);
+    }
+}

@@ -1,0 +1,420 @@
+//! The parallel particle-mesh Ewald solver: Cartesian-grid domain
+//! decomposition with fine-grained particle redistribution and ghost
+//! duplication, linked-cell near field, FFT-mesh far field, and the paper's
+//! two data redistribution paths.
+
+use atasp::{
+    alltoall_specific, alltoall_specific_dup, build_resort_indices_with, decode_index,
+    encode_index, ExchangeMode, GHOST_INDEX,
+};
+use particles::{
+    grid_cell_bounds, grid_rank_of, MovementHint, RedistMethod, SolverOutput, SolverTimings,
+    SystemBox, Vec3,
+};
+use simcomm::{CartGrid, Comm, Work};
+
+use crate::farfield::{FarFieldPlan, MeshDecomp};
+use crate::nearfield::near_field;
+
+/// One particle as transported by the particle-mesh solver. `origin` is the
+/// 64-bit index value of the paper (source rank in the upper 32 bits, source
+/// position in the lower 32) or [`GHOST_INDEX`] for ghost duplicates.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PmParticle {
+    /// Particle position.
+    pub pos: Vec3,
+    /// Particle charge.
+    pub charge: f64,
+    /// Application-level global particle id.
+    pub id: u64,
+    /// Origin code or [`GHOST_INDEX`].
+    pub origin: u64,
+}
+
+/// A computed particle traveling back to its origin (Method A).
+#[derive(Clone, Copy, Debug)]
+struct ResultParticle {
+    pos: Vec3,
+    charge: f64,
+    id: u64,
+    origin: u64,
+    potential: f64,
+    field: Vec3,
+}
+
+/// Static configuration of the particle-mesh solver.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PmConfig {
+    /// Mesh points per dimension (power of two).
+    pub mesh: usize,
+    /// B-spline charge assignment order.
+    pub assign_order: usize,
+    /// Ewald splitting parameter.
+    pub alpha: f64,
+    /// Real-space cutoff radius.
+    pub rcut: f64,
+    /// Optional short-range repulsive core evaluated in the near field
+    /// (see [`particles::coupling::SoftCore`]). `None` = pure Coulomb.
+    pub soft_core: Option<particles::SoftCore>,
+    /// Use the 2D pencil decomposition for the parallel FFT instead of 1D
+    /// slabs (see [`MeshDecomp`]); recommended when the process count
+    /// exceeds the mesh extent.
+    pub pencil: bool,
+}
+
+impl PmConfig {
+    /// Choose parameters for a target relative accuracy: the cutoff is taken
+    /// as `desired_rcut` (capped by the minimum-image bound), the splitting
+    /// parameter from `erfc(alpha * rcut) ~ eps`, and the mesh so the
+    /// reciprocal-space truncation matches.
+    pub fn tuned(bbox: &SystemBox, accuracy: f64, desired_rcut: f64) -> Self {
+        let l = bbox.lengths;
+        let lmin = l.x().min(l.y()).min(l.z());
+        let rcut = desired_rcut.min(0.49 * lmin);
+        let factor = (-accuracy.ln()).sqrt().max(1.5);
+        let alpha = factor / rcut;
+        let lmax = l.x().max(l.y()).max(l.z());
+        // Two mesh constraints: the reciprocal-space Gaussian must be
+        // truncated at the same accuracy (Nyquist >= 2 alpha * factor), and
+        // the mesh spacing must resolve the Gaussian for the B-spline
+        // assignment (alpha * h small enough for the chosen order).
+        let kspace = 2.0 * alpha * factor * lmax / std::f64::consts::PI;
+        let assign_order = if accuracy >= 1e-3 { 3 } else { 4 };
+        let max_alpha_h = if accuracy >= 1e-3 { 0.6 } else { 0.4 };
+        let resolve = alpha * lmax / max_alpha_h;
+        let mesh_min = kspace.max(resolve).ceil() as usize;
+        let mesh = mesh_min.next_power_of_two().clamp(8, 512);
+        PmConfig { mesh, assign_order, alpha, rcut, soft_core: None, pencil: false }
+    }
+}
+
+/// Report of one particle-mesh solver execution.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PmRunReport {
+    /// Whether neighbourhood point-to-point communication replaced the
+    /// collective all-to-all for the particle redistribution (Method B with
+    /// limited movement).
+    pub used_neighborhood: bool,
+    /// Ghost particles received by this rank.
+    pub ghosts_received: u64,
+    /// Particles this rank sent away during the owner redistribution.
+    pub redist_sent: u64,
+    /// Near-field pair interactions evaluated.
+    pub near_pairs: u64,
+}
+
+/// The parallel particle-mesh Ewald solver (P2NFFT stand-in).
+///
+/// One instance lives on every rank; all methods taking a [`Comm`] are
+/// collective.
+pub struct PmSolver {
+    cfg: PmConfig,
+    bbox: SystemBox,
+    grid: CartGrid,
+    /// Report of the most recent run.
+    pub last_report: PmRunReport,
+}
+
+impl PmSolver {
+    /// Create a solver for `nprocs` ranks arranged in a balanced 3D grid.
+    /// The box must be fully periodic. The cutoff must not exceed the
+    /// smallest subdomain width (ghost exchange uses one ring of neighbours).
+    pub fn new(bbox: SystemBox, cfg: PmConfig, nprocs: usize) -> Self {
+        assert!(bbox.fully_periodic(), "the particle-mesh solver needs a periodic box");
+        assert!(cfg.mesh.is_power_of_two(), "mesh must be a power of two");
+        let grid = CartGrid::balanced(nprocs);
+        let dims = grid.dims();
+        let min_width = (0..3)
+            .map(|d| bbox.lengths[d] / dims[d] as f64)
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            cfg.rcut <= min_width + 1e-12,
+            "cutoff {rcut} exceeds the smallest subdomain width {min_width}; \
+             use fewer processes or a smaller cutoff",
+            rcut = cfg.rcut
+        );
+        PmSolver { cfg, bbox, grid, last_report: PmRunReport::default() }
+    }
+
+    /// The solver's configuration.
+    pub fn config(&self) -> &PmConfig {
+        &self.cfg
+    }
+
+    /// The process grid used for the domain decomposition.
+    pub fn process_grid(&self) -> &CartGrid {
+        &self.grid
+    }
+
+    /// Execute the solver; see [`fmm::FmmSolver::run`](https://docs.rs) for
+    /// the shared semantics of `method`, `movement` and `max_local`.
+    ///
+    /// With limited movement (Method B), both the owner redistribution and
+    /// the resort-index construction switch from collective all-to-all to
+    /// neighbourhood point-to-point communication (paper Sect. III-B).
+    #[allow(clippy::too_many_arguments)]
+    pub fn run(
+        &mut self,
+        comm: &mut Comm,
+        pos: &[Vec3],
+        charge: &[f64],
+        id: &[u64],
+        method: RedistMethod,
+        movement: MovementHint,
+        max_local: usize,
+    ) -> SolverOutput {
+        let n_in = pos.len();
+        assert_eq!(charge.len(), n_in);
+        assert_eq!(id.len(), n_in);
+        let me = comm.rank();
+        assert_eq!(comm.size(), self.grid.size(), "world size must match the process grid");
+        self.last_report = PmRunReport::default();
+        let t_start = comm.clock();
+        let dims = self.grid.dims();
+
+        // Movement heuristic: limited movement keeps every particle's new
+        // owner within the holder's direct grid neighbourhood.
+        let min_width = (0..3)
+            .map(|d| self.bbox.lengths[d] / dims[d] as f64)
+            .fold(f64::INFINITY, f64::min);
+        let use_neighborhood =
+            method == RedistMethod::UseChanged && movement.is_some_and(|m| m < min_width);
+        self.last_report.used_neighborhood = use_neighborhood;
+        let neighbors = self.grid.neighbors26(me);
+        let owner_mode = if use_neighborhood {
+            ExchangeMode::Neighborhood(neighbors.clone())
+        } else {
+            ExchangeMode::Collective
+        };
+
+        // --- Redistribute particles to their subdomain owners ---
+        let mut records: Vec<PmParticle> = Vec::with_capacity(n_in);
+        let mut targets: Vec<usize> = Vec::with_capacity(n_in);
+        for i in 0..n_in {
+            records.push(PmParticle {
+                pos: pos[i],
+                charge: charge[i],
+                id: id[i],
+                origin: encode_index(me, i),
+            });
+            targets.push(grid_rank_of(dims, &self.bbox, pos[i]));
+        }
+        comm.compute(Work::ParticleOp, n_in as f64);
+        self.last_report.redist_sent =
+            targets.iter().filter(|&&t| t != me).count() as u64;
+        let mut owned = alltoall_specific(comm, &records, &targets, &owner_mode);
+
+        // --- Sort particles into linked-cell boxes (the solver-specific
+        // local order; paper: "a reordering of the particles is performed on
+        // each process") ---
+        let (lo, hi) = grid_cell_bounds(dims, &self.bbox, me);
+        let cell_key = |p: Vec3| -> u64 {
+            let mut key = 0u64;
+            for d in 0..3 {
+                let w = self.cfg.rcut;
+                let c = (((p[d] - lo[d]) / w).floor().max(0.0) as u64).min(255);
+                key = key << 8 | c;
+            }
+            key
+        };
+        owned.sort_by_key(|r| cell_key(r.pos));
+        comm.compute(
+            Work::SortCmp,
+            (owned.len().max(2) as f64) * (owned.len().max(2) as f64).log2(),
+        );
+
+        // --- Ghost exchange: duplicate boundary particles to neighbours
+        // within the cutoff (always point-to-point with the 26 grid
+        // neighbours; ghosts are born with an invalid index value) ---
+        let rcut = self.cfg.rcut;
+        let ghost_mode = ExchangeMode::Neighborhood(neighbors.clone());
+        let grid = self.grid.clone();
+        let bbox = self.bbox;
+        let ghosts: Vec<PmParticle> = alltoall_specific_dup(
+            comm,
+            &owned,
+            |_, rec, out| {
+                for ddx in -1..=1i64 {
+                    for ddy in -1..=1i64 {
+                        for ddz in -1..=1i64 {
+                            if ddx == 0 && ddy == 0 && ddz == 0 {
+                                continue;
+                            }
+                            let nb = grid.shifted_rank(me, [ddx as isize, ddy as isize, ddz as isize]);
+                            if nb == me {
+                                continue;
+                            }
+                            // Distance from the particle to the face/edge/
+                            // corner adjoining that neighbour.
+                            let mut dist2 = 0.0;
+                            for (d, dd) in [ddx, ddy, ddz].into_iter().enumerate() {
+                                let g = match dd {
+                                    1 => hi[d] - rec.pos[d],
+                                    -1 => rec.pos[d] - lo[d],
+                                    _ => 0.0,
+                                };
+                                dist2 += g * g;
+                            }
+                            if dist2 <= rcut * rcut {
+                                out.push((
+                                    nb,
+                                    PmParticle { origin: GHOST_INDEX, ..*rec },
+                                ));
+                            }
+                        }
+                    }
+                }
+            },
+            &ghost_mode,
+        );
+        // A particle may reach the same neighbour through several offsets on
+        // tiny grids; deduplicate by (id, position).
+        let mut ghosts = ghosts;
+        ghosts.sort_by_key(|a| a.id);
+        ghosts.dedup_by(|a, b| a.id == b.id && a.pos == b.pos);
+        self.last_report.ghosts_received = ghosts.len() as u64;
+        let _ = bbox;
+        let t_sorted = comm.clock();
+
+        // --- Near field (linked cells) + far field (mesh) ---
+        let owned_pos: Vec<Vec3> = owned.iter().map(|r| r.pos).collect();
+        let owned_charge: Vec<f64> = owned.iter().map(|r| r.charge).collect();
+        let ghost_pos: Vec<Vec3> = ghosts.iter().map(|r| r.pos).collect();
+        let ghost_charge: Vec<f64> = ghosts.iter().map(|r| r.charge).collect();
+        let (mut potential, mut field, pairs) = near_field(
+            &self.bbox,
+            self.cfg.alpha,
+            self.cfg.rcut,
+            self.cfg.soft_core,
+            (lo, hi),
+            &owned_pos,
+            &owned_charge,
+            &ghost_pos,
+            &ghost_charge,
+        );
+        comm.compute(Work::Interaction, pairs as f64);
+        self.last_report.near_pairs = pairs;
+
+        let plan = FarFieldPlan {
+            mesh: self.cfg.mesh,
+            assign_order: self.cfg.assign_order,
+            alpha: self.cfg.alpha,
+            dims,
+            bbox: self.bbox,
+            decomp: if self.cfg.pencil {
+                MeshDecomp::Pencil
+            } else {
+                MeshDecomp::Slab
+            },
+        };
+        let (far_phi, far_field) = plan.execute(comm, &owned_pos, &owned_charge);
+        for i in 0..owned.len() {
+            potential[i] += far_phi[i];
+            field[i] += far_field[i];
+        }
+        // Synchronize before the redistribution phase so that compute load
+        // imbalance is attributed to the computation, not to the timing of
+        // the redistribution that happens to follow it.
+        comm.barrier();
+        let t_computed = comm.clock();
+
+        // --- Redistribution back to the application ---
+        match method {
+            RedistMethod::RestoreOriginal => {
+                let mut out = self.restore_original(comm, &owned, &potential, &field, n_in);
+                out.timings = SolverTimings {
+                    sort: t_sorted - t_start,
+                    compute: t_computed - t_sorted,
+                    restore: comm.clock() - t_computed,
+                    resort_create: 0.0,
+                    total: comm.clock() - t_start,
+                };
+                out
+            }
+            RedistMethod::UseChanged => {
+                let fits = owned.len() <= max_local;
+                let all_fit = comm.allreduce(fits, |a, b| a && b);
+                if !all_fit {
+                    let mut out = self.restore_original(comm, &owned, &potential, &field, n_in);
+                    out.timings = SolverTimings {
+                        sort: t_sorted - t_start,
+                        compute: t_computed - t_sorted,
+                        restore: comm.clock() - t_computed,
+                        resort_create: 0.0,
+                        total: comm.clock() - t_start,
+                    };
+                    return out;
+                }
+                let origin: Vec<u64> = owned.iter().map(|r| r.origin).collect();
+                let resort_indices =
+                    build_resort_indices_with(comm, &origin, n_in, &owner_mode);
+                let t_resort = comm.clock();
+                SolverOutput {
+                    pos: owned_pos,
+                    charge: owned_charge,
+                    id: owned.iter().map(|r| r.id).collect(),
+                    potential,
+                    field,
+                    resorted: true,
+                    resort_indices,
+                    timings: SolverTimings {
+                        sort: t_sorted - t_start,
+                        compute: t_computed - t_sorted,
+                        restore: 0.0,
+                        resort_create: t_resort - t_computed,
+                        total: comm.clock() - t_start,
+                    },
+                }
+            }
+        }
+    }
+
+    /// Route computed particles back to their origin rank and position.
+    fn restore_original(
+        &self,
+        comm: &mut Comm,
+        owned: &[PmParticle],
+        potential: &[f64],
+        field: &[Vec3],
+        original_len: usize,
+    ) -> SolverOutput {
+        let results: Vec<ResultParticle> = owned
+            .iter()
+            .enumerate()
+            .map(|(i, r)| ResultParticle {
+                pos: r.pos,
+                charge: r.charge,
+                id: r.id,
+                origin: r.origin,
+                potential: potential[i],
+                field: field[i],
+            })
+            .collect();
+        let targets: Vec<usize> = owned.iter().map(|r| decode_index(r.origin).0).collect();
+        let received = alltoall_specific(comm, &results, &targets, &ExchangeMode::Collective);
+        assert_eq!(received.len(), original_len);
+        let mut out = SolverOutput {
+            pos: vec![Vec3::ZERO; original_len],
+            charge: vec![0.0; original_len],
+            id: vec![0; original_len],
+            potential: vec![0.0; original_len],
+            field: vec![Vec3::ZERO; original_len],
+            resorted: false,
+            resort_indices: Vec::new(),
+            timings: SolverTimings::default(),
+        };
+        for r in received {
+            let (_, pos_ix) = decode_index(r.origin);
+            out.pos[pos_ix] = r.pos;
+            out.charge[pos_ix] = r.charge;
+            out.id[pos_ix] = r.id;
+            out.potential[pos_ix] = r.potential;
+            out.field[pos_ix] = r.field;
+        }
+        comm.compute(
+            Work::ByteCopy,
+            (original_len * std::mem::size_of::<ResultParticle>()) as f64,
+        );
+        out
+    }
+}

@@ -1,0 +1,176 @@
+//! Local (per-rank) sorting kernels: an LSD radix sort for `u64` keys with an
+//! attached payload permutation, and a k-way merge of sorted runs.
+
+/// Sort `keys` ascending and apply the same permutation to `values`.
+/// Uses an 8-bit LSD radix sort (8 passes over `u64` keys), skipping passes
+/// whose digit is constant — for almost-sorted or small-range keys this makes
+/// the sort close to linear.
+///
+/// Returns the number of counting passes actually performed (useful for work
+/// accounting).
+pub fn radix_sort_by_key<T: Copy>(keys: &mut Vec<u64>, values: &mut Vec<T>) -> u32 {
+    assert_eq!(keys.len(), values.len());
+    let n = keys.len();
+    if n <= 1 {
+        return 0;
+    }
+    let mut passes = 0;
+    let mut k_src = std::mem::take(keys);
+    let mut v_src = std::mem::take(values);
+    let mut k_dst = vec![0u64; n];
+    let mut v_dst = v_src.clone();
+    for shift in (0..64).step_by(8) {
+        let mut counts = [0usize; 256];
+        for &k in &k_src {
+            counts[((k >> shift) & 0xff) as usize] += 1;
+        }
+        // Skip passes where all keys share the digit.
+        if counts.contains(&n) {
+            continue;
+        }
+        passes += 1;
+        let mut offsets = [0usize; 256];
+        let mut acc = 0;
+        for d in 0..256 {
+            offsets[d] = acc;
+            acc += counts[d];
+        }
+        for (i, &k) in k_src.iter().enumerate() {
+            let d = ((k >> shift) & 0xff) as usize;
+            k_dst[offsets[d]] = k;
+            v_dst[offsets[d]] = v_src[i];
+            offsets[d] += 1;
+        }
+        std::mem::swap(&mut k_src, &mut k_dst);
+        std::mem::swap(&mut v_src, &mut v_dst);
+    }
+    *keys = k_src;
+    *values = v_src;
+    passes
+}
+
+/// Merge `runs` of (individually sorted) key/value pairs into one sorted pair
+/// of vectors. Stable across runs: ties preserve run order.
+pub fn kway_merge<T: Copy>(runs: Vec<(Vec<u64>, Vec<T>)>) -> (Vec<u64>, Vec<T>) {
+    let total: usize = runs.iter().map(|(k, _)| k.len()).sum();
+    let mut out_k = Vec::with_capacity(total);
+    let mut out_v = Vec::with_capacity(total);
+    // Simple loser-tree-free approach: repeatedly pick the run with the
+    // smallest head. For the small run counts of a rank (typically <= P) a
+    // linear scan with a heap is enough; use a binary heap keyed by
+    // (key, run index) for O(total log runs).
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut cursors = vec![0usize; runs.len()];
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+    for (r, (k, _)) in runs.iter().enumerate() {
+        if !k.is_empty() {
+            heap.push(Reverse((k[0], r)));
+        }
+    }
+    while let Some(Reverse((key, r))) = heap.pop() {
+        let c = cursors[r];
+        out_k.push(key);
+        out_v.push(runs[r].1[c]);
+        cursors[r] += 1;
+        if cursors[r] < runs[r].0.len() {
+            heap.push(Reverse((runs[r].0[cursors[r]], r)));
+        }
+    }
+    (out_k, out_v)
+}
+
+/// Is the slice sorted ascending?
+pub fn is_sorted(keys: &[u64]) -> bool {
+    keys.windows(2).all(|w| w[0] <= w[1])
+}
+
+/// Split a sorted `keys` slice at `splitters` (ascending): returns the start
+/// index of each of the `splitters.len() + 1` buckets, where bucket `i`
+/// contains keys in `[splitters[i-1], splitters[i])`.
+pub fn bucket_bounds(keys: &[u64], splitters: &[u64]) -> Vec<usize> {
+    debug_assert!(is_sorted(keys));
+    let mut bounds = Vec::with_capacity(splitters.len() + 1);
+    bounds.push(0);
+    for &s in splitters {
+        bounds.push(keys.partition_point(|&k| k < s));
+    }
+    bounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn radix_sorts_random() {
+        let mut keys: Vec<u64> = (0..1000).map(|i| (i * 2654435761u64) ^ (i << 32)).collect();
+        let mut vals: Vec<u64> = keys.clone();
+        radix_sort_by_key(&mut keys, &mut vals);
+        assert!(is_sorted(&keys));
+        assert_eq!(keys, vals, "payload must follow keys");
+    }
+
+    #[test]
+    fn radix_handles_trivial_inputs() {
+        let mut k: Vec<u64> = vec![];
+        let mut v: Vec<u8> = vec![];
+        assert_eq!(radix_sort_by_key(&mut k, &mut v), 0);
+        let mut k = vec![7u64];
+        let mut v = vec![1u8];
+        assert_eq!(radix_sort_by_key(&mut k, &mut v), 0);
+        assert_eq!(k, vec![7]);
+    }
+
+    #[test]
+    fn radix_skips_constant_digits() {
+        // Keys within one byte: only one pass needed.
+        let mut k: Vec<u64> = (0..256u64).rev().collect();
+        let mut v: Vec<u64> = k.clone();
+        let passes = radix_sort_by_key(&mut k, &mut v);
+        assert_eq!(passes, 1);
+        assert!(is_sorted(&k));
+    }
+
+    #[test]
+    fn radix_is_stable_like_for_payloads() {
+        // Equal keys: payload order preserved (LSD radix is stable).
+        let mut k = vec![5u64, 3, 5, 3, 5];
+        let mut v = vec![0u32, 1, 2, 3, 4];
+        radix_sort_by_key(&mut k, &mut v);
+        assert_eq!(k, vec![3, 3, 5, 5, 5]);
+        assert_eq!(v, vec![1, 3, 0, 2, 4]);
+    }
+
+    #[test]
+    fn kway_merge_merges() {
+        let runs = vec![
+            (vec![1u64, 4, 9], vec![10u32, 40, 90]),
+            (vec![2, 3, 11], vec![20, 30, 110]),
+            (vec![], vec![]),
+            (vec![5], vec![50]),
+        ];
+        let (k, v) = kway_merge(runs);
+        assert_eq!(k, vec![1, 2, 3, 4, 5, 9, 11]);
+        assert_eq!(v, vec![10, 20, 30, 40, 50, 90, 110]);
+    }
+
+    #[test]
+    fn bucket_bounds_partition_correctly() {
+        let keys = [1u64, 3, 5, 5, 8, 13];
+        let bounds = bucket_bounds(&keys, &[5, 9]);
+        assert_eq!(bounds, vec![0, 2, 5]);
+        // bucket 0: [1,3), keys < 5 -> indices 0..2
+        // bucket 1: 5 <= k < 9 -> indices 2..5
+        // bucket 2: k >= 9 -> indices 5..6
+    }
+
+    #[test]
+    fn bucket_bounds_empty_and_extreme_splitters() {
+        let keys = [10u64, 20, 30];
+        assert_eq!(bucket_bounds(&keys, &[]), vec![0]);
+        assert_eq!(bucket_bounds(&keys, &[0, 100]), vec![0, 0, 3]);
+        let empty: [u64; 0] = [];
+        assert_eq!(bucket_bounds(&empty, &[5]), vec![0, 0]);
+    }
+}

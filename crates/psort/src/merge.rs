@@ -1,0 +1,402 @@
+//! Merge-based parallel sorting (Dachsel/Hofmann/Rünger, Euro-Par'07), used by
+//! the FMM solver for *almost sorted* particle data — paper Sect. III-B.
+//!
+//! Structure: local sort, then pairwise **compare-split** steps between ranks
+//! following Batcher's merge-exchange network, using only point-to-point
+//! communication. Each compare-split first probes the pair's boundary keys
+//! (16 bytes each way); if the two runs are already ordered — the common case
+//! for almost-sorted data — the full exchange is skipped. This is what makes
+//! the method cheap when particles moved only slightly since the last sort.
+//!
+//! Block compare-split is only guaranteed to sort by the 0-1 principle when
+//! all blocks have equal size; with the (slightly) unequal counts a particle
+//! simulation produces, a few odd-even transposition cleanup rounds run until
+//! a global sortedness check passes. For almost-sorted data, zero cleanup
+//! rounds are needed in practice.
+
+use simcomm::{Comm, Work};
+
+use crate::local::{is_sorted, radix_sort_by_key};
+use crate::network::merge_exchange_rounds;
+
+/// Report of one merge-based parallel sort execution.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MergeSortReport {
+    /// Compare-split steps this rank participated in.
+    pub comparators: u64,
+    /// Steps skipped after the boundary probe (runs already ordered).
+    pub probes_skipped: u64,
+    /// Full data exchanges performed.
+    pub exchanges: u64,
+    /// Elements shipped to the partner across all exchanges.
+    pub sent_elems: u64,
+    /// Odd-even transposition cleanup rounds after the network.
+    pub cleanup_rounds: u64,
+}
+
+/// Message tags (distinct from any user tags in the same phase).
+const TAG_PROBE: u64 = 0x6d65_7267_6531; // "merge1"
+const TAG_DATA: u64 = 0x6d65_7267_6532;
+
+/// Compare-split between this rank and `partner`: the lower-numbered rank of
+/// the pair keeps the smallest `n_low` elements of the union, the higher one
+/// the largest `n_high`, where `n_low`/`n_high` are the entry counts.
+/// `keys` must be locally sorted. Returns `true` if a full exchange happened.
+fn compare_split<T: Copy + Send + 'static>(
+    comm: &mut Comm,
+    partner: usize,
+    keys: &mut Vec<u64>,
+    values: &mut Vec<T>,
+    report: &mut MergeSortReport,
+) -> bool {
+    debug_assert!(is_sorted(keys));
+    let i_am_low = comm.rank() < partner;
+    report.comparators += 1;
+
+    // Boundary probe: low side sends its max, high side its min, plus an
+    // emptiness flag. If either run is empty the compare-split is a no-op
+    // (counts are preserved, so the empty side keeps zero elements and the
+    // other side keeps everything, whatever the order); otherwise the pair is
+    // already ordered iff low.max <= high.min.
+    let my_probe: u64 = if i_am_low {
+        keys.last().copied().unwrap_or(u64::MAX)
+    } else {
+        keys.first().copied().unwrap_or(0)
+    };
+    let (p_key, p_empty) = {
+        let got = comm.sendrecv(partner, vec![(my_probe, keys.is_empty())], partner, TAG_PROBE);
+        debug_assert_eq!(got.len(), 1);
+        got[0]
+    };
+    let ordered = if i_am_low { my_probe <= p_key } else { p_key <= my_probe };
+    if keys.is_empty() || p_empty || ordered {
+        report.probes_skipped += 1;
+        return false;
+    }
+
+    // Full exchange: ship our run, receive the partner's, merge, keep our part.
+    let n_mine = keys.len();
+    let outgoing: Vec<(u64, T)> = keys.iter().copied().zip(values.iter().copied()).collect();
+    report.exchanges += 1;
+    report.sent_elems += n_mine as u64;
+    comm.compute(Work::ByteCopy, (n_mine * std::mem::size_of::<(u64, T)>()) as f64);
+    let incoming = comm.sendrecv(partner, outgoing, partner, TAG_DATA);
+
+    // Deterministic stable merge: on equal keys the lower rank's elements come
+    // first, so both sides compute the identical union order.
+    let (a_keys, a_vals, b_keys, b_vals): (&[u64], &[T], Vec<u64>, Vec<T>) = {
+        let (ik, iv): (Vec<u64>, Vec<T>) = incoming.into_iter().unzip();
+        (keys, values, ik, iv)
+    };
+    let total = a_keys.len() + b_keys.len();
+    let mut merged_k = Vec::with_capacity(total);
+    let mut merged_v = Vec::with_capacity(total);
+    {
+        // "low" rank's data must precede on ties.
+        let (lo_k, lo_v, hi_k, hi_v): (&[u64], &[T], &[u64], &[T]) = if i_am_low {
+            (a_keys, a_vals, &b_keys, &b_vals)
+        } else {
+            (&b_keys, &b_vals, a_keys, a_vals)
+        };
+        let (mut x, mut y) = (0, 0);
+        while x < lo_k.len() && y < hi_k.len() {
+            if lo_k[x] <= hi_k[y] {
+                merged_k.push(lo_k[x]);
+                merged_v.push(lo_v[x]);
+                x += 1;
+            } else {
+                merged_k.push(hi_k[y]);
+                merged_v.push(hi_v[y]);
+                y += 1;
+            }
+        }
+        merged_k.extend_from_slice(&lo_k[x..]);
+        merged_v.extend_from_slice(&lo_v[x..]);
+        merged_k.extend_from_slice(&hi_k[y..]);
+        merged_v.extend_from_slice(&hi_v[y..]);
+    }
+    comm.compute(Work::SortCmp, total as f64);
+
+    // Keep entry count: low side the first n_mine, high side the last n_mine.
+    if i_am_low {
+        merged_k.truncate(n_mine);
+        merged_v.truncate(n_mine);
+        *keys = merged_k;
+        *values = merged_v;
+    } else {
+        *keys = merged_k.split_off(total - n_mine);
+        *values = merged_v.split_off(total - n_mine);
+    }
+    true
+}
+
+/// Is the distributed array (locally sorted `keys` per rank, concatenated in
+/// rank order) globally sorted? Collective.
+pub fn is_globally_sorted(comm: &mut Comm, keys: &[u64]) -> bool {
+    let local_ok = is_sorted(keys);
+    let boundary = (
+        local_ok,
+        keys.first().copied(),
+        keys.last().copied(),
+    );
+    let all = comm.allgather(boundary);
+    let mut prev_last: Option<u64> = None;
+    for (ok, first, last) in all {
+        if !ok {
+            return false;
+        }
+        if let (Some(pl), Some(f)) = (prev_last, first) {
+            if pl > f {
+                return false;
+            }
+        }
+        if last.is_some() {
+            prev_last = last;
+        }
+    }
+    true
+}
+
+/// Merge-based parallel sort: local sort plus Batcher merge-exchange rounds of
+/// pairwise compare-split, followed by odd-even transposition cleanup rounds
+/// until a global sortedness check passes (needed because per-rank counts may
+/// be unequal). Per-rank element counts are preserved exactly.
+///
+/// This is a synchronizing collective operation: all ranks must call it.
+pub fn merge_exchange_sort_by_key<T>(
+    comm: &mut Comm,
+    keys: Vec<u64>,
+    values: Vec<T>,
+) -> (Vec<u64>, Vec<T>, MergeSortReport)
+where
+    T: Copy + Send + 'static,
+{
+    assert_eq!(keys.len(), values.len());
+    let p = comm.size();
+    let mut keys = keys;
+    let mut values = values;
+    let mut report = MergeSortReport::default();
+
+    let passes = radix_sort_by_key(&mut keys, &mut values);
+    comm.compute(Work::SortCmp, (passes as f64) * keys.len() as f64);
+
+    if p == 1 {
+        return (keys, values, report);
+    }
+
+    // --- Batcher merge-exchange network over ranks ---
+    let rounds = merge_exchange_rounds(p);
+    let me = comm.rank();
+    for round in &rounds {
+        // At most one comparator involves this rank per round.
+        let mine = round.iter().find(|&&(a, b)| a == me || b == me);
+        if let Some(&(a, b)) = mine {
+            let partner = if a == me { b } else { a };
+            compare_split(comm, partner, &mut keys, &mut values, &mut report);
+        }
+        // Ranks without a comparator this round simply proceed; point-to-point
+        // messages are matched by tag, so no global synchronization is needed.
+    }
+
+    // --- Cleanup: odd-even transposition until globally sorted ---
+    // Compare-split preserves per-rank counts, so an *empty* rank is a wall
+    // the transposition cannot move data through; run the transposition over
+    // the compacted sequence of non-empty ranks instead (empty ranks only
+    // take part in the collective sortedness checks and barriers).
+    let counts = comm.allgather(keys.len());
+    let nonempty: Vec<usize> = (0..p).filter(|&r| counts[r] > 0).collect();
+    let my_slot = nonempty.iter().position(|&r| r == me);
+    loop {
+        if is_globally_sorted(comm, &keys) {
+            break;
+        }
+        report.cleanup_rounds += 1;
+        // One even phase (slot pairs (0,1),(2,3),...) and one odd phase
+        // (pairs (1,2),(3,4),...) per cleanup round, over non-empty slots.
+        for phase in 0..2usize {
+            if let Some(slot) = my_slot {
+                let partner_slot = if slot % 2 == phase {
+                    Some(slot + 1).filter(|&q| q < nonempty.len())
+                } else {
+                    slot.checked_sub(1)
+                };
+                if let Some(ps) = partner_slot {
+                    compare_split(comm, nonempty[ps], &mut keys, &mut values, &mut report);
+                }
+            }
+            comm.barrier();
+        }
+    }
+
+    (keys, values, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcomm::{run, MachineModel};
+
+    fn splitmix(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn check_global_sort(p: usize, local_data: impl Fn(usize) -> Vec<u64> + Send + Sync) {
+        let counts: Vec<usize> = (0..p).map(|r| local_data(r).len()).collect();
+        let out = run(p, MachineModel::ideal(), |comm| {
+            let keys = local_data(comm.rank());
+            let values: Vec<u64> = keys.iter().map(|k| k ^ 0x5555).collect();
+            let (k, v, rep) = merge_exchange_sort_by_key(comm, keys, values);
+            (k, v, rep)
+        });
+        let mut all_in: Vec<u64> = (0..p).flat_map(&local_data).collect();
+        let mut prev_last: Option<u64> = None;
+        let mut all_out = Vec::new();
+        for (r, (k, v, _)) in out.results.iter().enumerate() {
+            assert_eq!(k.len(), counts[r], "counts must be preserved");
+            assert!(k.windows(2).all(|w| w[0] <= w[1]));
+            for (key, val) in k.iter().zip(v) {
+                assert_eq!(*val, *key ^ 0x5555);
+            }
+            if let (Some(pl), Some(&f)) = (prev_last, k.first()) {
+                assert!(pl <= f, "rank boundary out of order");
+            }
+            if let Some(&l) = k.last() {
+                prev_last = Some(l);
+            }
+            all_out.extend_from_slice(k);
+        }
+        all_in.sort_unstable();
+        let mut sorted_out = all_out;
+        sorted_out.sort_unstable();
+        assert_eq!(all_in, sorted_out);
+    }
+
+    #[test]
+    fn sorts_random_equal_blocks() {
+        check_global_sort(8, |r| (0..128).map(|i| splitmix((r * 128 + i) as u64)).collect());
+    }
+
+    #[test]
+    fn sorts_random_unequal_blocks() {
+        check_global_sort(5, |r| (0..64 + r * 17).map(|i| splitmix((r * 997 + i) as u64)).collect());
+    }
+
+    #[test]
+    fn empty_rank_between_unsorted_neighbours_terminates() {
+        // Regression: an empty rank is a wall for count-preserving
+        // compare-split; the cleanup transposition must skip over it instead
+        // of livelocking. Keys chosen so the Batcher network leaves the two
+        // outer ranks out of order relative to each other.
+        check_global_sort(3, |r| match r {
+            0 => vec![9, 10, 11],
+            1 => Vec::new(),
+            _ => vec![1, 2, 3],
+        });
+        // Several empties and duplicates.
+        check_global_sort(5, |r| match r {
+            0 => vec![7, 7, 8],
+            2 => vec![7],
+            4 => vec![0, 7],
+            _ => Vec::new(),
+        });
+    }
+
+    #[test]
+    fn sorts_with_empty_ranks() {
+        check_global_sort(6, |r| {
+            if r == 2 || r == 3 {
+                Vec::new()
+            } else {
+                (0..100).map(|i| splitmix((r * 7919 + i) as u64)).collect()
+            }
+        });
+    }
+
+    #[test]
+    fn sorts_non_power_of_two_worlds() {
+        for p in [3usize, 5, 7, 12] {
+            check_global_sort(p, |r| (0..50).map(|i| splitmix((r * 131 + i) as u64)).collect());
+        }
+    }
+
+    #[test]
+    fn sorts_duplicates() {
+        check_global_sort(4, |r| (0..100).map(|i| ((r * 100 + i) % 7) as u64).collect());
+    }
+
+    #[test]
+    fn almost_sorted_data_skips_most_exchanges() {
+        let p = 16;
+        let per = 64u64;
+        let out = run(p, MachineModel::ideal(), move |comm| {
+            // Each rank holds its own contiguous key range except one element
+            // swapped with the neighbouring rank (simulating slight movement).
+            let base = comm.rank() as u64 * per;
+            let mut keys: Vec<u64> = (base..base + per).collect();
+            if comm.rank() + 1 < p {
+                keys[per as usize - 1] = base + per; // belongs to the right neighbour
+            }
+            let values = keys.clone();
+            let (k, _, rep) = merge_exchange_sort_by_key(comm, keys, values);
+            (k, rep)
+        });
+        let mut total_exchanges = 0;
+        let mut total_comparators = 0;
+        let mut prev_last: Option<u64> = None;
+        for (k, rep) in &out.results {
+            assert!(k.windows(2).all(|w| w[0] <= w[1]));
+            if let (Some(pl), Some(&f)) = (prev_last, k.first()) {
+                assert!(pl <= f);
+            }
+            prev_last = k.last().copied();
+            total_exchanges += rep.exchanges;
+            total_comparators += rep.comparators;
+        }
+        assert!(
+            total_exchanges * 3 < total_comparators,
+            "almost-sorted data should skip most exchanges: {total_exchanges}/{total_comparators}"
+        );
+    }
+
+    #[test]
+    fn perfectly_sorted_data_exchanges_nothing() {
+        let p = 8;
+        let out = run(p, MachineModel::ideal(), move |comm| {
+            let base = comm.rank() as u64 * 100;
+            let keys: Vec<u64> = (base..base + 100).collect();
+            let values = keys.clone();
+            let (_, _, rep) = merge_exchange_sort_by_key(comm, keys, values);
+            rep
+        });
+        for rep in &out.results {
+            assert_eq!(rep.exchanges, 0);
+            assert_eq!(rep.cleanup_rounds, 0);
+        }
+    }
+
+    #[test]
+    fn globally_sorted_check() {
+        let out = run(4, MachineModel::ideal(), |comm| {
+            let sorted_keys: Vec<u64> = vec![comm.rank() as u64 * 10, comm.rank() as u64 * 10 + 5];
+            let a = is_globally_sorted(comm, &sorted_keys);
+            // Reverse rank order -> not globally sorted.
+            let bad: Vec<u64> = vec![(3 - comm.rank()) as u64 * 10];
+            let b = is_globally_sorted(comm, &bad);
+            (a, b)
+        });
+        for (a, b) in out.results {
+            assert!(a);
+            assert!(!b);
+        }
+    }
+
+    #[test]
+    fn empty_world_edge_cases() {
+        check_global_sort(1, |_| vec![3, 1, 2]);
+        check_global_sort(4, |_| Vec::new());
+    }
+}

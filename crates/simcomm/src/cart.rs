@@ -1,0 +1,206 @@
+//! Cartesian process-grid topology, as used by the P2NFFT-style solver's
+//! domain decomposition (a `p0 x p1 x p2` grid of processes with periodic
+//! wraparound, matching `MPI_Cart_create`).
+
+use crate::model::balanced_dims;
+
+/// A 3D Cartesian layout of `dims[0] * dims[1] * dims[2]` ranks with periodic
+/// boundaries, mapping ranks to grid coordinates in row-major order.
+///
+/// This is pure topology bookkeeping (no communication state); pair it with a
+/// [`crate::Comm`] whose world size equals [`CartGrid::size`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CartGrid {
+    dims: [usize; 3],
+}
+
+impl CartGrid {
+    /// Create a grid with explicit extents.
+    pub fn new(dims: [usize; 3]) -> Self {
+        assert!(dims.iter().all(|&d| d >= 1), "grid extents must be >= 1");
+        CartGrid { dims }
+    }
+
+    /// Create a balanced grid for `n` ranks (like `MPI_Dims_create(n, 3, ...)`).
+    pub fn balanced(n: usize) -> Self {
+        let d = balanced_dims(n, 3);
+        CartGrid { dims: [d[0], d[1], d[2]] }
+    }
+
+    /// Grid extents per dimension.
+    #[inline]
+    pub fn dims(&self) -> [usize; 3] {
+        self.dims
+    }
+
+    /// Total number of ranks in the grid.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.dims[0] * self.dims[1] * self.dims[2]
+    }
+
+    /// Coordinates of `rank` (row-major).
+    #[inline]
+    pub fn coords(&self, rank: usize) -> [usize; 3] {
+        debug_assert!(rank < self.size());
+        let [_, d1, d2] = self.dims;
+        [rank / (d1 * d2), (rank / d2) % d1, rank % d2]
+    }
+
+    /// Rank at the given coordinates.
+    #[inline]
+    pub fn rank_of(&self, coords: [usize; 3]) -> usize {
+        debug_assert!(coords.iter().zip(&self.dims).all(|(&c, &d)| c < d));
+        let [_, d1, d2] = self.dims;
+        coords[0] * d1 * d2 + coords[1] * d2 + coords[2]
+    }
+
+    /// Rank at coordinates shifted by `delta` with periodic wraparound.
+    pub fn shifted_rank(&self, rank: usize, delta: [isize; 3]) -> usize {
+        let c = self.coords(rank);
+        let mut s = [0usize; 3];
+        for i in 0..3 {
+            let d = self.dims[i] as isize;
+            s[i] = ((c[i] as isize + delta[i]).rem_euclid(d)) as usize;
+        }
+        self.rank_of(s)
+    }
+
+    /// All distinct ranks within a Chebyshev distance of 1 on the periodic
+    /// grid (the up-to-26 face/edge/corner neighbours), excluding `rank`
+    /// itself, sorted ascending. On small grids where several offsets alias to
+    /// the same rank, each neighbour appears once.
+    pub fn neighbors26(&self, rank: usize) -> Vec<usize> {
+        let mut out = Vec::with_capacity(26);
+        for dx in -1..=1isize {
+            for dy in -1..=1isize {
+                for dz in -1..=1isize {
+                    if dx == 0 && dy == 0 && dz == 0 {
+                        continue;
+                    }
+                    let r = self.shifted_rank(rank, [dx, dy, dz]);
+                    if r != rank {
+                        out.push(r);
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The up-to-6 face neighbours (±1 along one axis), deduplicated and
+    /// excluding `rank` itself, sorted ascending.
+    pub fn neighbors6(&self, rank: usize) -> Vec<usize> {
+        let mut out = Vec::with_capacity(6);
+        for axis in 0..3 {
+            for sign in [-1isize, 1] {
+                let mut delta = [0isize; 3];
+                delta[axis] = sign;
+                let r = self.shifted_rank(rank, delta);
+                if r != rank {
+                    out.push(r);
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Chebyshev distance between two ranks on the periodic grid: the number
+    /// of "rings" of neighbours separating them. Distance <= 1 means direct
+    /// (26-)neighbours.
+    pub fn chebyshev(&self, a: usize, b: usize) -> usize {
+        let ca = self.coords(a);
+        let cb = self.coords(b);
+        (0..3)
+            .map(|i| {
+                let d = ca[i].abs_diff(cb[i]);
+                d.min(self.dims[i] - d)
+            })
+            .max()
+            .unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coords_roundtrip() {
+        let g = CartGrid::new([4, 3, 2]);
+        for r in 0..g.size() {
+            assert_eq!(g.rank_of(g.coords(r)), r);
+        }
+    }
+
+    #[test]
+    fn balanced_grid_covers_world() {
+        for n in [1, 2, 8, 24, 256, 4096] {
+            let g = CartGrid::balanced(n);
+            assert_eq!(g.size(), n);
+        }
+    }
+
+    #[test]
+    fn shift_wraps_around() {
+        let g = CartGrid::new([3, 3, 3]);
+        let corner = g.rank_of([0, 0, 0]);
+        assert_eq!(g.shifted_rank(corner, [-1, -1, -1]), g.rank_of([2, 2, 2]));
+        assert_eq!(g.shifted_rank(corner, [3, 0, 0]), corner);
+    }
+
+    #[test]
+    fn neighbors26_count_on_large_grid() {
+        let g = CartGrid::new([4, 4, 4]);
+        for r in 0..g.size() {
+            assert_eq!(g.neighbors26(r).len(), 26);
+        }
+    }
+
+    #[test]
+    fn neighbors26_dedup_on_small_grid() {
+        let g = CartGrid::new([2, 2, 2]);
+        // On a 2x2x2 periodic grid every other rank is a neighbour.
+        for r in 0..g.size() {
+            assert_eq!(g.neighbors26(r).len(), 7);
+        }
+        let g1 = CartGrid::new([1, 1, 1]);
+        assert!(g1.neighbors26(0).is_empty());
+    }
+
+    #[test]
+    fn neighbors6_subset_of_26() {
+        let g = CartGrid::new([4, 3, 5]);
+        for r in 0..g.size() {
+            let n6 = g.neighbors6(r);
+            let n26 = g.neighbors26(r);
+            for x in &n6 {
+                assert!(n26.contains(x));
+            }
+        }
+    }
+
+    #[test]
+    fn neighborship_is_symmetric() {
+        let g = CartGrid::new([3, 4, 2]);
+        for a in 0..g.size() {
+            for &b in &g.neighbors26(a) {
+                assert!(g.neighbors26(b).contains(&a), "{a} <-> {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn chebyshev_distance() {
+        let g = CartGrid::new([4, 4, 4]);
+        let a = g.rank_of([0, 0, 0]);
+        assert_eq!(g.chebyshev(a, g.rank_of([1, 1, 1])), 1);
+        assert_eq!(g.chebyshev(a, g.rank_of([2, 0, 0])), 2);
+        assert_eq!(g.chebyshev(a, g.rank_of([3, 3, 3])), 1); // wraparound
+        assert_eq!(g.chebyshev(a, a), 0);
+    }
+}

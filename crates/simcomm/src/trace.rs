@@ -1,0 +1,134 @@
+//! Communication event tracing: an optional per-rank timeline of every
+//! point-to-point and collective operation in virtual time, exportable as
+//! CSV for offline analysis (who communicated with whom, when, how much).
+
+use std::io::Write;
+
+/// The kind of a traced communication operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    /// Point-to-point send.
+    Send,
+    /// Point-to-point receive.
+    Recv,
+    /// Barrier.
+    Barrier,
+    /// Broadcast.
+    Bcast,
+    /// All-reduce / exclusive scan.
+    Reduce,
+    /// Allgather(v).
+    Gather,
+    /// All-to-all-v.
+    Alltoallv,
+}
+
+impl TraceKind {
+    /// Short stable label for CSV output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TraceKind::Send => "send",
+            TraceKind::Recv => "recv",
+            TraceKind::Barrier => "barrier",
+            TraceKind::Bcast => "bcast",
+            TraceKind::Reduce => "reduce",
+            TraceKind::Gather => "gather",
+            TraceKind::Alltoallv => "alltoallv",
+        }
+    }
+}
+
+/// One traced communication event on one rank.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// The rank the event occurred on.
+    pub rank: usize,
+    /// Operation kind.
+    pub kind: TraceKind,
+    /// Virtual time the operation started.
+    pub t_start: f64,
+    /// Virtual time the operation completed.
+    pub t_end: f64,
+    /// Payload bytes (this rank's contribution).
+    pub bytes: u64,
+    /// Peer rank for point-to-point operations.
+    pub peer: Option<usize>,
+}
+
+/// A per-rank collection of trace events.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    /// Events in the order they occurred on this rank.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    pub(crate) fn record(
+        &mut self,
+        rank: usize,
+        kind: TraceKind,
+        t_start: f64,
+        t_end: f64,
+        bytes: u64,
+        peer: Option<usize>,
+    ) {
+        self.events.push(TraceEvent { rank, kind, t_start, t_end, bytes, peer });
+    }
+
+    /// Total virtual time covered by events of a kind.
+    pub fn time_in(&self, kind: TraceKind) -> f64 {
+        self.events
+            .iter()
+            .filter(|e| e.kind == kind)
+            .map(|e| e.t_end - e.t_start)
+            .sum()
+    }
+}
+
+/// Write traces of all ranks as CSV (`rank,kind,t_start,t_end,bytes,peer`).
+pub fn write_trace_csv<W: Write>(mut w: W, traces: &[Trace]) -> std::io::Result<()> {
+    writeln!(w, "rank,kind,t_start,t_end,bytes,peer")?;
+    for t in traces {
+        for e in &t.events {
+            writeln!(
+                w,
+                "{},{},{},{},{},{}",
+                e.rank,
+                e.kind.label(),
+                e.t_start,
+                e.t_end,
+                e.bytes,
+                e.peer.map(|p| p.to_string()).unwrap_or_default()
+            )?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_in_sums_by_kind() {
+        let mut t = Trace::default();
+        t.record(0, TraceKind::Send, 0.0, 1.0, 8, Some(1));
+        t.record(0, TraceKind::Recv, 1.0, 3.0, 8, Some(1));
+        t.record(0, TraceKind::Send, 3.0, 3.5, 8, Some(2));
+        assert!((t.time_in(TraceKind::Send) - 1.5).abs() < 1e-12);
+        assert!((t.time_in(TraceKind::Recv) - 2.0).abs() < 1e-12);
+        assert_eq!(t.time_in(TraceKind::Barrier), 0.0);
+    }
+
+    #[test]
+    fn csv_format() {
+        let mut t = Trace::default();
+        t.record(3, TraceKind::Alltoallv, 0.5, 0.75, 1024, None);
+        let mut buf = Vec::new();
+        write_trace_csv(&mut buf, &[t]).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        let mut lines = s.lines();
+        assert_eq!(lines.next(), Some("rank,kind,t_start,t_end,bytes,peer"));
+        assert_eq!(lines.next(), Some("3,alltoallv,0.5,0.75,1024,"));
+    }
+}

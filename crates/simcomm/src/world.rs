@@ -1,0 +1,1038 @@
+//! The simulated world: thread-per-rank execution, mailboxes, collectives,
+//! and per-rank virtual clocks.
+//!
+//! [`run`] spawns one OS thread per simulated rank and hands each a [`Comm`].
+//! Rank code is written exactly like an MPI program: blocking point-to-point
+//! `send`/`recv`, collective operations that all ranks of the world enter in
+//! the same order, and a Cartesian-topology helper (see [`crate::cart`]).
+//!
+//! Data exchange is real (typed buffers move between threads through shared
+//! memory); *time* is virtual: every operation advances the calling rank's
+//! clock according to the world's [`MachineModel`], and synchronizing
+//! operations propagate clock values the way the real operation would
+//! (a receive cannot complete before the matching send departed; a collective
+//! cannot complete before its last participant arrived).
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::model::{MachineModel, Work};
+use crate::trace::{Trace, TraceKind};
+
+/// A type-erased in-flight message.
+struct Message {
+    src: usize,
+    tag: u64,
+    /// Virtual time at which the message left the sender.
+    depart: f64,
+    /// Payload size in bytes (for costing).
+    bytes: u64,
+    payload: Box<dyn Any + Send>,
+}
+
+/// Mailbox of one destination rank.
+#[derive(Default)]
+struct Mailbox {
+    queue: Mutex<VecDeque<Message>>,
+    cv: Condvar,
+}
+
+/// One entry deposited into a rank's all-to-all-v bin.
+struct BinEntry {
+    round: u64,
+    src: usize,
+    bytes: u64,
+    payload: Box<dyn Any + Send>,
+}
+
+/// State of the single shared collective slot (all ranks enter collectives in
+/// the same order, so one slot with a phase counter suffices).
+struct CollState {
+    /// Even phase: depositing; odd phase: result ready for reading.
+    phase: u64,
+    arrived: usize,
+    deposits: Vec<Option<Box<dyn Any + Send>>>,
+    max_clock: f64,
+    /// Result published by the last depositor for all ranks to read.
+    agg: Option<Arc<dyn Any + Send + Sync>>,
+}
+
+struct Collective {
+    m: Mutex<CollState>,
+    cv: Condvar,
+}
+
+pub(crate) struct WorldShared {
+    pub n: usize,
+    pub model: MachineModel,
+    torus_dims: Vec<usize>,
+    mailboxes: Vec<Mailbox>,
+    bins: Vec<Mutex<Vec<BinEntry>>>,
+    coll: Collective,
+    poisoned: AtomicBool,
+}
+
+impl WorldShared {
+    fn new(n: usize, model: MachineModel) -> Self {
+        let torus_dims = model.torus_dims(n);
+        WorldShared {
+            n,
+            model,
+            torus_dims,
+            mailboxes: (0..n).map(|_| Mailbox::default()).collect(),
+            bins: (0..n).map(|_| Mutex::new(Vec::new())).collect(),
+            coll: Collective {
+                m: Mutex::new(CollState {
+                    phase: 0,
+                    arrived: 0,
+                    deposits: (0..n).map(|_| None).collect(),
+                    max_clock: 0.0,
+                    agg: None,
+                }),
+                cv: Condvar::new(),
+            },
+            poisoned: AtomicBool::new(false),
+        }
+    }
+
+    fn poison(&self) {
+        self.poisoned.store(true, Ordering::SeqCst);
+        for mb in &self.mailboxes {
+            mb.cv.notify_all();
+        }
+        self.coll.cv.notify_all();
+    }
+
+    fn check_poison(&self) {
+        if self.poisoned.load(Ordering::SeqCst) {
+            panic!("simcomm world poisoned: another rank panicked");
+        }
+    }
+
+    fn hops(&self, a: usize, b: usize) -> usize {
+        if self.torus_dims.is_empty() {
+            usize::from(a != b)
+        } else {
+            crate::model::torus_hops(a, b, &self.torus_dims)
+        }
+    }
+}
+
+/// Per-rank accumulated statistics (virtual-time and traffic accounting).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RankStats {
+    /// Point-to-point messages sent.
+    pub p2p_sent_msgs: u64,
+    /// Point-to-point bytes sent.
+    pub p2p_sent_bytes: u64,
+    /// Point-to-point messages received.
+    pub p2p_recv_msgs: u64,
+    /// Point-to-point bytes received.
+    pub p2p_recv_bytes: u64,
+    /// Collective operations entered.
+    pub coll_ops: u64,
+    /// Bytes contributed to collective operations.
+    pub coll_bytes: u64,
+    /// Virtual seconds spent in modelled computation.
+    pub compute_seconds: f64,
+    /// Virtual seconds spent in communication (clock advanced by comm ops).
+    pub comm_seconds: f64,
+}
+
+/// The per-rank communicator handle: the interface rank code programs against.
+///
+/// All collective operations must be entered by **every** rank of the world in
+/// the same order (SPMD), exactly like MPI collectives on `MPI_COMM_WORLD`.
+pub struct Comm {
+    shared: Arc<WorldShared>,
+    rank: usize,
+    clock: f64,
+    stats: RankStats,
+    trace: Option<Trace>,
+}
+
+/// Result of running a world: per-rank return values, final clocks and stats.
+pub struct RunOutput<R> {
+    /// Rank closures' return values, indexed by rank.
+    pub results: Vec<R>,
+    /// Final virtual clock of each rank (seconds).
+    pub clocks: Vec<f64>,
+    /// Per-rank traffic/time statistics.
+    pub stats: Vec<RankStats>,
+    /// Per-rank communication traces (empty unless [`run_traced`] was used).
+    pub traces: Vec<Trace>,
+}
+
+impl<R> RunOutput<R> {
+    /// The maximum final virtual clock — the world's makespan in seconds.
+    pub fn makespan(&self) -> f64 {
+        self.clocks.iter().cloned().fold(0.0, f64::max)
+    }
+}
+
+/// Stack size for simulated rank threads. Rank code keeps its bulk data on the
+/// heap, so a small stack lets worlds of many thousands of ranks fit easily.
+const RANK_STACK_BYTES: usize = 1 << 20;
+
+/// Run a simulated world of `n` ranks under the given machine model.
+///
+/// The closure is invoked once per rank (concurrently, one OS thread each)
+/// with that rank's [`Comm`]. Returns per-rank results, final virtual clocks
+/// and statistics.
+///
+/// # Panics
+///
+/// If any rank's closure panics, the world is poisoned (all blocked ranks are
+/// woken and panic too) and `run` itself panics with the original message.
+///
+/// ```
+/// use simcomm::{run, MachineModel};
+/// let out = run(4, MachineModel::ideal(), |comm| {
+///     let sum: u64 = comm.allreduce(comm.rank() as u64, |a, b| a + b);
+///     sum
+/// });
+/// assert!(out.results.iter().all(|&s| s == 0 + 1 + 2 + 3));
+/// ```
+pub fn run<R, F>(n: usize, model: MachineModel, f: F) -> RunOutput<R>
+where
+    R: Send,
+    F: Fn(&mut Comm) -> R + Send + Sync,
+{
+    run_with(n, model, false, f)
+}
+
+/// Like [`run`], additionally recording a communication [`Trace`] per rank
+/// (see [`RunOutput::traces`] and [`crate::write_trace_csv`]).
+pub fn run_traced<R, F>(n: usize, model: MachineModel, f: F) -> RunOutput<R>
+where
+    R: Send,
+    F: Fn(&mut Comm) -> R + Send + Sync,
+{
+    run_with(n, model, true, f)
+}
+
+fn run_with<R, F>(n: usize, model: MachineModel, traced: bool, f: F) -> RunOutput<R>
+where
+    R: Send,
+    F: Fn(&mut Comm) -> R + Send + Sync,
+{
+    assert!(n >= 1, "world must have at least one rank");
+    let shared = Arc::new(WorldShared::new(n, model));
+    type Slot<R> = Mutex<Option<(R, f64, RankStats, Trace)>>;
+    let slots: Vec<Slot<R>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let panicked: Mutex<Option<String>> = Mutex::new(None);
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(n);
+        for rank in 0..n {
+            let shared = Arc::clone(&shared);
+            let f = &f;
+            let slots = &slots;
+            let panicked = &panicked;
+            let h = std::thread::Builder::new()
+                .name(format!("rank-{rank}"))
+                .stack_size(RANK_STACK_BYTES)
+                .spawn_scoped(scope, move || {
+                    let mut comm = Comm {
+                        shared: Arc::clone(&shared),
+                        rank,
+                        clock: 0.0,
+                        stats: RankStats::default(),
+                        trace: traced.then(Trace::default),
+                    };
+                    let result = catch_unwind(AssertUnwindSafe(|| f(&mut comm)));
+                    match result {
+                        Ok(r) => {
+                            *slots[rank].lock() = Some((
+                                r,
+                                comm.clock,
+                                comm.stats,
+                                comm.trace.take().unwrap_or_default(),
+                            ));
+                        }
+                        Err(e) => {
+                            let msg = e
+                                .downcast_ref::<String>()
+                                .cloned()
+                                .or_else(|| e.downcast_ref::<&str>().map(|s| s.to_string()))
+                                .unwrap_or_else(|| "rank panicked".to_string());
+                            let mut p = panicked.lock();
+                            if p.is_none() {
+                                *p = Some(format!("rank {rank}: {msg}"));
+                            }
+                            drop(p);
+                            shared.poison();
+                        }
+                    }
+                })
+                .expect("failed to spawn rank thread");
+            handles.push(h);
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+    });
+
+    if let Some(msg) = panicked.into_inner() {
+        panic!("simcomm world failed: {msg}");
+    }
+
+    let mut results = Vec::with_capacity(n);
+    let mut clocks = Vec::with_capacity(n);
+    let mut stats = Vec::with_capacity(n);
+    let mut traces = Vec::with_capacity(n);
+    for slot in slots {
+        let (r, c, s, t) = slot.into_inner().expect("rank produced no result");
+        results.push(r);
+        clocks.push(c);
+        stats.push(s);
+        traces.push(t);
+    }
+    RunOutput { results, clocks, stats, traces }
+}
+
+impl Comm {
+    /// This rank's id in `0..size()`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the world.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.shared.n
+    }
+
+    /// The machine model this world runs under.
+    #[inline]
+    pub fn model(&self) -> &MachineModel {
+        &self.shared.model
+    }
+
+    /// Current virtual time of this rank, in seconds.
+    #[inline]
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    /// Accumulated statistics of this rank.
+    #[inline]
+    pub fn stats(&self) -> &RankStats {
+        &self.stats
+    }
+
+    /// Advance this rank's clock by `seconds` of (externally measured or
+    /// modelled) computation.
+    pub fn advance(&mut self, seconds: f64) {
+        debug_assert!(seconds >= 0.0, "cannot advance time backwards");
+        self.clock += seconds;
+        self.stats.compute_seconds += seconds;
+    }
+
+    /// Advance this rank's clock by the modelled time of `units` operations of
+    /// the given [`Work`] kind.
+    pub fn compute(&mut self, kind: Work, units: f64) {
+        let dt = self.shared.model.work_time(kind, units);
+        self.advance(dt);
+    }
+
+    /// Record a trace event if tracing is enabled.
+    fn trace_event(&mut self, kind: TraceKind, t_start: f64, bytes: u64, peer: Option<usize>) {
+        let t_end = self.clock;
+        if let Some(tr) = self.trace.as_mut() {
+            tr.record(self.rank, kind, t_start, t_end, bytes, peer);
+        }
+    }
+
+    fn advance_comm(&mut self, seconds: f64) {
+        debug_assert!(seconds >= 0.0);
+        self.clock += seconds;
+        self.stats.comm_seconds += seconds;
+    }
+
+    /// Hop distance from this rank to `other` on the modelled topology.
+    pub fn hops_to(&self, other: usize) -> usize {
+        self.shared.hops(self.rank, other)
+    }
+
+    // ----------------------------------------------------------------- p2p
+
+    /// Send a typed buffer to `dst` with a user `tag`. Buffered/eager: the
+    /// sender only pays its CPU-side overhead; wire time is charged on the
+    /// receiving side (the receive cannot complete before the message, sent at
+    /// the sender's current clock, has traversed the network).
+    pub fn send<T: Send + 'static>(&mut self, dst: usize, tag: u64, data: Vec<T>) {
+        assert!(dst < self.shared.n, "send to invalid rank {dst}");
+        self.shared.check_poison();
+        let bytes = (data.len() * std::mem::size_of::<T>()) as u64;
+        // CPU overhead plus NIC injection: consecutive sends serialize their
+        // payloads at the link bandwidth (LogGP `o` + `G*bytes`).
+        self.advance_comm(self.shared.model.p2p_overhead + self.shared.model.injection_time(bytes));
+        self.stats.p2p_sent_msgs += 1;
+        self.stats.p2p_sent_bytes += bytes;
+        let msg = Message {
+            src: self.rank,
+            tag,
+            depart: self.clock,
+            bytes,
+            payload: Box::new(data),
+        };
+        let mb = &self.shared.mailboxes[dst];
+        mb.queue.lock().push_back(msg);
+        mb.cv.notify_all();
+        let t0 = self.clock - (self.shared.model.p2p_overhead + self.shared.model.injection_time(bytes));
+        self.trace_event(TraceKind::Send, t0, bytes, Some(dst));
+    }
+
+    /// Blocking receive of a typed buffer from `src` with matching `tag`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matched message's payload type is not `Vec<T>`.
+    pub fn recv<T: Send + 'static>(&mut self, src: usize, tag: u64) -> Vec<T> {
+        self.recv_match(Some(src), tag).1
+    }
+
+    /// Blocking receive from any source with matching `tag`; returns `(src, data)`.
+    pub fn recv_any<T: Send + 'static>(&mut self, tag: u64) -> (usize, Vec<T>) {
+        self.recv_match(None, tag)
+    }
+
+    fn recv_match<T: Send + 'static>(&mut self, src: Option<usize>, tag: u64) -> (usize, Vec<T>) {
+        let mb = &self.shared.mailboxes[self.rank];
+        let mut q = mb.queue.lock();
+        loop {
+            self.shared.check_poison();
+            if let Some(pos) = q
+                .iter()
+                .position(|m| m.tag == tag && src.is_none_or(|s| m.src == s))
+            {
+                let msg = q.remove(pos).unwrap();
+                drop(q);
+                let hops = self.shared.hops(msg.src, self.rank);
+                // Payload time was paid at injection; the wire adds latency.
+                let arrival = msg.depart + self.shared.model.wire_latency(hops);
+                let ready = self.clock + self.shared.model.p2p_overhead;
+                let finish = arrival.max(ready);
+                self.advance_comm(finish - self.clock);
+                self.stats.p2p_recv_msgs += 1;
+                self.stats.p2p_recv_bytes += msg.bytes;
+                self.trace_event(TraceKind::Recv, ready - self.shared.model.p2p_overhead, msg.bytes, Some(msg.src));
+                let data = msg
+                    .payload
+                    .downcast::<Vec<T>>()
+                    .unwrap_or_else(|_| panic!("recv type mismatch (src {:?}, tag {tag})", msg.src));
+                return (msg.src, *data);
+            }
+            mb.cv.wait(&mut q);
+        }
+    }
+
+    /// Combined send to `dst` and receive from `src` (deadlock-free pairwise
+    /// exchange, like `MPI_Sendrecv`).
+    pub fn sendrecv<T: Send + 'static>(
+        &mut self,
+        dst: usize,
+        send: Vec<T>,
+        src: usize,
+        tag: u64,
+    ) -> Vec<T> {
+        self.send(dst, tag, send);
+        self.recv(src, tag)
+    }
+
+    // ---------------------------------------------------------- collectives
+
+    /// Core collective rendezvous: every rank deposits `contrib`; the last
+    /// depositor runs `combine` over all deposits to publish a shared result;
+    /// every rank receives the `Arc`ed result and the maximum entry clock.
+    fn coll_exchange<T, A, C>(&mut self, contrib: T, combine: C) -> (Arc<A>, f64)
+    where
+        T: Send + 'static,
+        A: Send + Sync + 'static,
+        C: FnOnce(Vec<T>) -> A,
+    {
+        self.stats.coll_ops += 1;
+        let coll = &self.shared.coll;
+        let mut st = coll.m.lock();
+        // Wait for the previous collective's read phase to finish.
+        while st.phase % 2 == 1 {
+            self.shared.check_poison();
+            coll.cv.wait(&mut st);
+        }
+        let my_phase = st.phase;
+        st.deposits[self.rank] = Some(Box::new(contrib));
+        st.max_clock = st.max_clock.max(self.clock);
+        st.arrived += 1;
+        if st.arrived == self.shared.n {
+            // Last depositor: build the shared result and open the read phase.
+            let items: Vec<T> = st
+                .deposits
+                .iter_mut()
+                .map(|d| *d.take().expect("missing deposit").downcast::<T>().expect("collective type mismatch"))
+                .collect();
+            st.agg = Some(Arc::new(combine(items)));
+            st.arrived = 0;
+            st.phase += 1;
+            coll.cv.notify_all();
+        } else {
+            while st.phase == my_phase {
+                self.shared.check_poison();
+                coll.cv.wait(&mut st);
+            }
+        }
+        // Read phase.
+        let agg = Arc::clone(st.agg.as_ref().expect("collective result missing"));
+        let max_clock = st.max_clock;
+        st.arrived += 1;
+        if st.arrived == self.shared.n {
+            st.arrived = 0;
+            st.agg = None;
+            st.max_clock = 0.0;
+            st.phase += 1;
+            coll.cv.notify_all();
+        }
+        drop(st);
+        let agg = agg.downcast::<A>().expect("collective aggregate type mismatch");
+        (agg, max_clock)
+    }
+
+    /// Synchronize all ranks; clocks advance to the barrier completion time.
+    pub fn barrier(&mut self) {
+        let t0 = self.clock;
+        let (_, max_clock) = self.coll_exchange::<(), (), _>((), |_| ());
+        let t = max_clock + self.shared.model.barrier_time(self.shared.n);
+        self.advance_comm((t - self.clock).max(0.0));
+        self.trace_event(TraceKind::Barrier, t0, 0, None);
+    }
+
+    /// Broadcast `root`'s value to all ranks.
+    pub fn bcast<T: Clone + Send + Sync + 'static>(&mut self, root: usize, value: T) -> T {
+        assert!(root < self.shared.n);
+        let bytes = std::mem::size_of::<T>() as u64;
+        self.stats.coll_bytes += bytes;
+        let t0 = self.clock;
+        let rank = self.rank;
+        let (agg, max_clock) = self.coll_exchange::<Option<T>, T, _>(
+            if rank == root { Some(value) } else { None },
+            move |items| {
+                items
+                    .into_iter()
+                    .flatten()
+                    .next()
+                    .expect("bcast root contributed no value")
+            },
+        );
+        let t = max_clock + self.shared.model.tree_coll_time(self.shared.n, bytes);
+        self.advance_comm((t - self.clock).max(0.0));
+        self.trace_event(TraceKind::Bcast, t0, bytes, None);
+        (*agg).clone()
+    }
+
+    /// All-reduce with a user-provided associative, commutative operator.
+    pub fn allreduce<T, Op>(&mut self, value: T, op: Op) -> T
+    where
+        T: Clone + Send + Sync + 'static,
+        Op: Fn(T, T) -> T,
+    {
+        let bytes = std::mem::size_of::<T>() as u64;
+        self.stats.coll_bytes += bytes;
+        let t0 = self.clock;
+        let (agg, max_clock) = self.coll_exchange::<T, T, _>(value, move |items| {
+            items
+                .into_iter()
+                .reduce(&op)
+                .expect("allreduce over empty world")
+        });
+        let t = max_clock + self.shared.model.tree_coll_time(self.shared.n, bytes);
+        self.advance_comm((t - self.clock).max(0.0));
+        self.trace_event(TraceKind::Reduce, t0, bytes, None);
+        (*agg).clone()
+    }
+
+    /// Exclusive prefix scan: rank `r` receives `op` folded over the values of
+    /// ranks `0..r`; rank 0 receives `identity`.
+    pub fn exscan<T, Op>(&mut self, value: T, identity: T, op: Op) -> T
+    where
+        T: Clone + Send + Sync + 'static,
+        Op: Fn(T, T) -> T,
+    {
+        let bytes = std::mem::size_of::<T>() as u64;
+        self.stats.coll_bytes += bytes;
+        let t0 = self.clock;
+        let (agg, max_clock) = self.coll_exchange::<T, Vec<T>, _>(value, |items| items);
+        let t = max_clock + self.shared.model.tree_coll_time(self.shared.n, bytes);
+        self.advance_comm((t - self.clock).max(0.0));
+        self.trace_event(TraceKind::Reduce, t0, bytes, None);
+        let mut acc = identity;
+        for v in agg.iter().take(self.rank) {
+            acc = op(acc, v.clone());
+        }
+        acc
+    }
+
+    /// Gather one value from every rank onto all ranks, ordered by rank.
+    pub fn allgather<T: Clone + Send + Sync + 'static>(&mut self, value: T) -> Vec<T> {
+        let per = std::mem::size_of::<T>() as u64;
+        let total = per * self.shared.n as u64;
+        self.stats.coll_bytes += per;
+        let t0 = self.clock;
+        let (agg, max_clock) = self.coll_exchange::<T, Vec<T>, _>(value, |items| items);
+        let t = max_clock + self.shared.model.allgather_time(self.shared.n, total);
+        self.advance_comm((t - self.clock).max(0.0));
+        self.trace_event(TraceKind::Gather, t0, per, None);
+        (*agg).clone()
+    }
+
+    /// Gather variable-length buffers from every rank onto all ranks,
+    /// concatenated in rank order.
+    pub fn allgatherv<T: Clone + Send + Sync + 'static>(&mut self, data: Vec<T>) -> Vec<T> {
+        let per = (data.len() * std::mem::size_of::<T>()) as u64;
+        self.stats.coll_bytes += per;
+        let t0 = self.clock;
+        let (agg, max_clock) = self.coll_exchange::<Vec<T>, (Vec<T>, u64), _>(data, |items| {
+            let total: u64 = items
+                .iter()
+                .map(|v| (v.len() * std::mem::size_of::<T>()) as u64)
+                .sum();
+            (items.into_iter().flatten().collect(), total)
+        });
+        let (flat, total) = &*agg;
+        let t = max_clock + self.shared.model.allgather_time(self.shared.n, *total);
+        self.advance_comm((t - self.clock).max(0.0));
+        self.trace_event(TraceKind::Gather, t0, per, None);
+        flat.clone()
+    }
+
+    /// Sparse all-to-all-v: send each `(dst, buffer)` pair; receive the list of
+    /// `(src, buffer)` pairs addressed to this rank, sorted by source rank.
+    ///
+    /// Models an `MPI_Alltoallv` (a synchronizing vector collective whose cost
+    /// scans all `P` count entries), *not* a point-to-point exchange — use
+    /// [`Comm::neighbor_exchange`] for that.
+    pub fn alltoallv<T: Send + 'static>(
+        &mut self,
+        sends: Vec<(usize, Vec<T>)>,
+    ) -> Vec<(usize, Vec<T>)> {
+        self.shared.check_poison();
+        let t0 = self.clock;
+        let mut s_msgs = 0u64;
+        let mut s_bytes = 0u64;
+        // Determine the round from the collective phase counter (two phase
+        // increments per collective → round = phase / 2 at deposit time).
+        let round = {
+            let st = self.shared.coll.m.lock();
+            (st.phase + st.phase % 2) / 2
+        };
+        for (dst, data) in sends {
+            assert!(dst < self.shared.n, "alltoallv to invalid rank {dst}");
+            let bytes = (data.len() * std::mem::size_of::<T>()) as u64;
+            s_msgs += 1;
+            s_bytes += bytes;
+            let entry = BinEntry {
+                round,
+                src: self.rank,
+                bytes,
+                payload: Box::new(data),
+            };
+            self.shared.bins[dst].lock().push(entry);
+        }
+        self.stats.coll_bytes += s_bytes;
+        self.stats.p2p_sent_msgs += s_msgs;
+        self.stats.p2p_sent_bytes += s_bytes;
+
+        // Synchronize: all deposits are now visible.
+        let (_, max_clock) = self.coll_exchange::<(), (), _>((), |_| ());
+
+        // Drain this rank's bin for this round.
+        let mut received = Vec::new();
+        {
+            let mut bin = self.shared.bins[self.rank].lock();
+            let mut keep = Vec::with_capacity(bin.len());
+            for e in bin.drain(..) {
+                if e.round == round {
+                    received.push(e);
+                } else {
+                    keep.push(e);
+                }
+            }
+            *bin = keep;
+        }
+        received.sort_by_key(|e| e.src);
+        let r_msgs = received.len() as u64;
+        let r_bytes: u64 = received.iter().map(|e| e.bytes).sum();
+        self.stats.p2p_recv_msgs += r_msgs;
+        self.stats.p2p_recv_bytes += r_bytes;
+
+        let cost = self
+            .shared
+            .model
+            .alltoallv_time(self.shared.n, s_msgs, s_bytes, r_msgs, r_bytes);
+        let t = max_clock + cost;
+        self.advance_comm((t - self.clock).max(0.0));
+        self.trace_event(TraceKind::Alltoallv, t0, s_bytes, None);
+
+        received
+            .into_iter()
+            .map(|e| {
+                let data = e
+                    .payload
+                    .downcast::<Vec<T>>()
+                    .unwrap_or_else(|_| panic!("alltoallv type mismatch from rank {}", e.src));
+                (e.src, *data)
+            })
+            .collect()
+    }
+
+    /// Dense all-to-all of exactly one element per rank pair. Convenience
+    /// wrapper over [`Comm::alltoallv`]; intended for small worlds.
+    pub fn alltoall<T: Clone + Send + 'static>(&mut self, data: &[T]) -> Vec<T> {
+        assert_eq!(data.len(), self.shared.n, "alltoall needs one element per rank");
+        let sends = data
+            .iter()
+            .enumerate()
+            .map(|(dst, v)| (dst, vec![v.clone()]))
+            .collect();
+        let recvd = self.alltoallv(sends);
+        let mut out: Vec<Option<T>> = (0..self.shared.n).map(|_| None).collect();
+        for (src, mut v) in recvd {
+            assert_eq!(v.len(), 1);
+            out[src] = Some(v.pop().unwrap());
+        }
+        out.into_iter()
+            .map(|o| o.expect("alltoall missing contribution"))
+            .collect()
+    }
+
+    /// Point-to-point neighbourhood exchange with a known partner set: send
+    /// `data[i]` to `partners[i]` and receive one buffer from each partner
+    /// (possibly empty), returned in `(src, buffer)` pairs sorted by source.
+    ///
+    /// Unlike [`Comm::alltoallv`] this is **not** globally synchronizing and is
+    /// costed as individual point-to-point messages — this is the operation
+    /// Method B uses when the maximum particle movement restricts
+    /// redistribution to direct neighbours (Sect. III-B of the paper).
+    ///
+    /// Both sides must agree on the partner relation (if `a` lists `b`, then
+    /// `b` must list `a`).
+    pub fn neighbor_exchange<T: Send + 'static>(
+        &mut self,
+        partners: &[usize],
+        data: Vec<(usize, Vec<T>)>,
+        tag: u64,
+    ) -> Vec<(usize, Vec<T>)> {
+        debug_assert_eq!(partners.len(), data.len());
+        for (i, (dst, buf)) in data.into_iter().enumerate() {
+            debug_assert_eq!(partners[i], dst);
+            self.send(dst, tag, buf);
+        }
+        let mut out: Vec<(usize, Vec<T>)> = partners
+            .iter()
+            .map(|&src| (src, self.recv::<T>(src, tag)))
+            .collect();
+        out.sort_by_key(|&(src, _)| src);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::MachineModel;
+
+    #[test]
+    fn single_rank_world() {
+        let out = run(1, MachineModel::ideal(), |comm| {
+            assert_eq!(comm.rank(), 0);
+            assert_eq!(comm.size(), 1);
+            comm.barrier();
+            comm.allreduce(5u32, |a, b| a + b)
+        });
+        assert_eq!(out.results, vec![5]);
+    }
+
+    #[test]
+    fn p2p_roundtrip() {
+        let out = run(2, MachineModel::juropa_like(), |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 7, vec![1u64, 2, 3]);
+                comm.recv::<u64>(1, 8)
+            } else {
+                let v = comm.recv::<u64>(0, 7);
+                let doubled: Vec<u64> = v.iter().map(|x| x * 2).collect();
+                comm.send(0, 8, doubled.clone());
+                doubled
+            }
+        });
+        assert_eq!(out.results[0], vec![2, 4, 6]);
+        assert_eq!(out.results[1], vec![2, 4, 6]);
+        // The receive could not have completed before the send departed.
+        assert!(out.clocks[0] > 0.0 && out.clocks[1] > 0.0);
+    }
+
+    #[test]
+    fn p2p_tag_matching_out_of_order() {
+        let out = run(2, MachineModel::ideal(), |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, vec![10u8]);
+                comm.send(1, 2, vec![20u8]);
+                0
+            } else {
+                // Receive in reverse tag order.
+                let b = comm.recv::<u8>(0, 2);
+                let a = comm.recv::<u8>(0, 1);
+                assert_eq!((a, b), (vec![10], vec![20]));
+                1
+            }
+        });
+        assert_eq!(out.results, vec![0, 1]);
+    }
+
+    #[test]
+    fn allreduce_sum_and_max() {
+        for n in [1, 2, 3, 5, 8, 17] {
+            let out = run(n, MachineModel::ideal(), move |comm| {
+                let s = comm.allreduce(comm.rank() as u64 + 1, |a, b| a + b);
+                let m = comm.allreduce(comm.rank() as u64, u64::max);
+                (s, m)
+            });
+            let expect_sum = (n as u64) * (n as u64 + 1) / 2;
+            for (s, m) in out.results {
+                assert_eq!(s, expect_sum);
+                assert_eq!(m, n as u64 - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn bcast_from_each_root() {
+        let out = run(5, MachineModel::ideal(), |comm| {
+            let mut got = Vec::new();
+            for root in 0..5 {
+                let v = comm.bcast(root, if comm.rank() == root { root * 100 } else { 0 });
+                got.push(v);
+            }
+            got
+        });
+        for r in out.results {
+            assert_eq!(r, vec![0, 100, 200, 300, 400]);
+        }
+    }
+
+    #[test]
+    fn exscan_prefix_sums() {
+        let out = run(6, MachineModel::ideal(), |comm| {
+            comm.exscan(comm.rank() as u64 + 1, 0u64, |a, b| a + b)
+        });
+        assert_eq!(out.results, vec![0, 1, 3, 6, 10, 15]);
+    }
+
+    #[test]
+    fn allgather_ordered() {
+        let out = run(4, MachineModel::ideal(), |comm| comm.allgather(comm.rank() as u32 * 10));
+        for r in out.results {
+            assert_eq!(r, vec![0, 10, 20, 30]);
+        }
+    }
+
+    #[test]
+    fn allgatherv_concatenates_in_rank_order() {
+        let out = run(4, MachineModel::ideal(), |comm| {
+            let mine: Vec<u32> = (0..comm.rank() as u32).collect();
+            comm.allgatherv(mine)
+        });
+        for r in out.results {
+            assert_eq!(r, vec![0, 0, 1, 0, 1, 2]);
+        }
+    }
+
+    #[test]
+    fn alltoallv_sparse_exchange() {
+        let out = run(4, MachineModel::ideal(), |comm| {
+            // Each rank sends rank*10+dst to dst for dst != rank, skipping rank 3 -> 0.
+            let sends: Vec<(usize, Vec<u32>)> = (0..4)
+                .filter(|&d| d != comm.rank() && !(comm.rank() == 3 && d == 0))
+                .map(|d| (d, vec![(comm.rank() * 10 + d) as u32]))
+                .collect();
+            comm.alltoallv(sends)
+        });
+        // Rank 0 receives from 1 and 2 only.
+        assert_eq!(out.results[0], vec![(1, vec![10]), (2, vec![20])]);
+        assert_eq!(
+            out.results[2],
+            vec![(0, vec![2]), (1, vec![12]), (3, vec![32])]
+        );
+    }
+
+    #[test]
+    fn alltoall_dense() {
+        let out = run(3, MachineModel::ideal(), |comm| {
+            let data: Vec<u64> = (0..3).map(|d| (comm.rank() * 3 + d) as u64).collect();
+            comm.alltoall(&data)
+        });
+        // out[r][s] = s*3 + r
+        assert_eq!(out.results[0], vec![0, 3, 6]);
+        assert_eq!(out.results[1], vec![1, 4, 7]);
+        assert_eq!(out.results[2], vec![2, 5, 8]);
+    }
+
+    #[test]
+    fn alltoallv_to_self_only() {
+        let out = run(3, MachineModel::juropa_like(), |comm| {
+            let me = comm.rank();
+            let got = comm.alltoallv(vec![(me, vec![me as u32 * 7])]);
+            assert_eq!(got.len(), 1);
+            assert_eq!(got[0], (me, vec![me as u32 * 7]));
+            comm.clock()
+        });
+        assert!(out.makespan() > 0.0, "even self-traffic pays the collective cost");
+    }
+
+    #[test]
+    fn consecutive_alltoallv_rounds_do_not_mix() {
+        let out = run(3, MachineModel::ideal(), |comm| {
+            let r = comm.rank();
+            let first = comm.alltoallv(vec![((r + 1) % 3, vec![1u8])]);
+            let second = comm.alltoallv(vec![((r + 1) % 3, vec![2u8])]);
+            (first, second)
+        });
+        for (first, second) in out.results {
+            assert_eq!(first.len(), 1);
+            assert_eq!(first[0].1, vec![1]);
+            assert_eq!(second[0].1, vec![2]);
+        }
+    }
+
+    #[test]
+    fn neighbor_exchange_pairwise() {
+        let out = run(4, MachineModel::juqueen_like(), |comm| {
+            let r = comm.rank();
+            let left = (r + 3) % 4;
+            let right = (r + 1) % 4;
+            let partners = [left, right];
+            let data = vec![(left, vec![r as u32]), (right, vec![r as u32])];
+            comm.neighbor_exchange(&partners, data, 0)
+        });
+        for (r, res) in out.results.iter().enumerate() {
+            let left = (r + 3) % 4;
+            let right = (r + 1) % 4;
+            let mut expect = vec![(left, vec![left as u32]), (right, vec![right as u32])];
+            expect.sort_by_key(|&(s, _)| s);
+            assert_eq!(res, &expect);
+        }
+    }
+
+    #[test]
+    fn clocks_synchronize_at_barrier() {
+        let out = run(4, MachineModel::juropa_like(), |comm| {
+            // Rank 2 is slow before the barrier.
+            if comm.rank() == 2 {
+                comm.advance(1.0);
+            }
+            comm.barrier();
+            comm.clock()
+        });
+        let min = out.results.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(min >= 1.0, "all ranks must wait for the slow one: {out:?}", out = out.results);
+    }
+
+    #[test]
+    fn virtual_time_is_deterministic() {
+        let run_once = || {
+            run(8, MachineModel::juqueen_like(), |comm| {
+                let v = comm.allgather(comm.rank());
+                comm.compute(Work::ParticleOp, 1000.0);
+                let _ = comm.alltoallv(vec![((comm.rank() + 1) % 8, v)]);
+                comm.clock()
+            })
+            .clocks
+        };
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    #[should_panic(expected = "simcomm world failed")]
+    fn rank_panic_poisons_world() {
+        run(3, MachineModel::ideal(), |comm| {
+            if comm.rank() == 1 {
+                panic!("deliberate");
+            }
+            // Other ranks block in a collective; poisoning must wake them.
+            comm.barrier();
+        });
+    }
+
+    #[test]
+    fn tracing_records_events_in_order() {
+        let out = crate::world::run_traced(2, MachineModel::juropa_like(), |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, vec![0u8; 64]);
+            } else {
+                let _ = comm.recv::<u8>(0, 0);
+            }
+            comm.barrier();
+            let _ = comm.allreduce(1u32, |a, b| a + b);
+            let _ = comm.alltoallv(vec![((comm.rank() + 1) % 2, vec![1u8, 2])]);
+        });
+        assert_eq!(out.traces.len(), 2);
+        let kinds0: Vec<crate::trace::TraceKind> =
+            out.traces[0].events.iter().map(|e| e.kind).collect();
+        use crate::trace::TraceKind::*;
+        assert_eq!(kinds0, vec![Send, Barrier, Reduce, Alltoallv]);
+        let kinds1: Vec<crate::trace::TraceKind> =
+            out.traces[1].events.iter().map(|e| e.kind).collect();
+        assert_eq!(kinds1, vec![Recv, Barrier, Reduce, Alltoallv]);
+        for t in &out.traces {
+            for e in &t.events {
+                assert!(e.t_end >= e.t_start, "{e:?}");
+            }
+            // Events are time-ordered per rank.
+            for w in t.events.windows(2) {
+                assert!(w[1].t_start >= w[0].t_start - 1e-12);
+            }
+        }
+        // The send carried 64 bytes to rank 1.
+        let send = &out.traces[0].events[0];
+        assert_eq!(send.bytes, 64);
+        assert_eq!(send.peer, Some(1));
+        // Untraced runs produce empty traces.
+        let out2 = run(2, MachineModel::ideal(), |comm| comm.barrier());
+        assert!(out2.traces.iter().all(|t| t.events.is_empty()));
+    }
+
+    #[test]
+    fn stats_account_traffic() {
+        let out = run(2, MachineModel::juropa_like(), |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, vec![0u8; 100]);
+            } else {
+                let _ = comm.recv::<u8>(0, 0);
+            }
+            comm.barrier();
+            comm.stats().clone()
+        });
+        assert_eq!(out.results[0].p2p_sent_bytes, 100);
+        assert_eq!(out.results[1].p2p_recv_bytes, 100);
+        assert_eq!(out.results[0].coll_ops, 1);
+    }
+
+    #[test]
+    fn large_world_smoke() {
+        // Many ranks on one machine must work (the Fig. 9 sweep needs 16384;
+        // keep the unit test at 2048 for speed).
+        let out = run(2048, MachineModel::juqueen_like(), |comm| {
+            let s = comm.allreduce(1u64, |a, b| a + b);
+            assert_eq!(s, 2048);
+            comm.barrier();
+            comm.rank()
+        });
+        assert_eq!(out.results.len(), 2048);
+        assert!(out.makespan() > 0.0);
+    }
+}

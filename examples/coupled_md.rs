@@ -1,0 +1,84 @@
+//! A complete coupled particle dynamics simulation: the paper's Fig. 3
+//! pseudocode driving both long-range solvers with Method A and Method B,
+//! reporting per-step timing breakdowns and energy conservation.
+//!
+//! Run with: `cargo run --release --example coupled_md -- [steps] [procs]`
+
+use fcs::SolverKind;
+use mdsim::{simulate, SimConfig};
+use particles::{local_set, InitialDistribution, IonicCrystal};
+use simcomm::{run, CartGrid, MachineModel};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let steps: usize = args.get(1).map(|s| s.parse().expect("steps")).unwrap_or(12);
+    let nprocs: usize = args.get(2).map(|s| s.parse().expect("procs")).unwrap_or(16);
+
+    let crystal = IonicCrystal::cubic(10, 2.0, 0.3, 7);
+    let bbox = crystal.system_box();
+    println!(
+        "coupled MD: {} ions, {} simulated processes, {} steps, juropa-like machine\n",
+        crystal.n(),
+        nprocs,
+        steps
+    );
+
+    for solver in [SolverKind::Fmm, SolverKind::P2Nfft] {
+        for (label, resort) in [("method A (restore original)", false), ("method B (use changed)", true)] {
+            let crystal = crystal.clone();
+            let cfg = SimConfig {
+                solver,
+                resort,
+                steps,
+                tolerance: 1e-2,
+                dt: mdsim::suggested_dt(crystal.spacing, 1.0),
+                ..SimConfig::default()
+            };
+            let out = run(nprocs, MachineModel::juropa_like(), move |comm| {
+                let dims = CartGrid::balanced(comm.size()).dims();
+                let set = local_set(
+                    &crystal,
+                    InitialDistribution::Random,
+                    comm.rank(),
+                    comm.size(),
+                    dims,
+                );
+                simulate(comm, bbox, set, &cfg)
+            });
+            // Aggregate: slowest rank per component, per step.
+            let r0 = &out.results[0].records;
+            let total: f64 = (0..r0.len())
+                .map(|s| {
+                    out.results
+                        .iter()
+                        .map(|r| r.records[s].total)
+                        .fold(0.0, f64::max)
+                })
+                .sum();
+            let redist: f64 = (0..r0.len())
+                .map(|s| {
+                    out.results
+                        .iter()
+                        .map(|r| {
+                            let rec = &r.records[s];
+                            rec.sort + rec.restore + rec.resort
+                        })
+                        .fold(0.0, f64::max)
+                })
+                .sum();
+            let e0 = r0[0].energy;
+            let e_end = r0[r0.len() - 1].energy;
+            println!(
+                "{solver:?} / {label}: total {total:8.3} ms, redistribution {redist:7.3} ms \
+                 ({:4.1} %), energy drift {:+.3} %",
+                100.0 * redist / total,
+                100.0 * (e_end - e0) / e0.abs(),
+                total = total * 1e3,
+                redist = redist * 1e3,
+            );
+        }
+    }
+    println!("\nMethod B trades the per-step restore for a one-off resort of the");
+    println!("application's additional data; from the second step on it re-sorts");
+    println!("an almost-sorted particle set — the paper's central optimization.");
+}

@@ -1,0 +1,68 @@
+//! Explore the virtual-time machine models: what the same communication
+//! pattern costs on a switched-fabric cluster vs a torus supercomputer, and
+//! why the paper's "exploit the limited particle movement" optimization only
+//! pays off on the torus (paper Sect. IV-D).
+//!
+//! Run with: `cargo run --release --example machine_models`
+
+use simcomm::{run, CartGrid, MachineModel};
+
+/// One neighbourhood exchange (26 partners, `bytes` each) measured as a
+/// collective all-to-all-v and as point-to-point messages.
+fn measure(model: MachineModel, p: usize, bytes: usize) -> (f64, f64) {
+    let out = run(p, model, move |comm| {
+        let grid = CartGrid::balanced(comm.size());
+        let partners = grid.neighbors26(comm.rank());
+        let payload = vec![0u8; bytes];
+
+        // Collective: a sparse alltoallv carrying only neighbour traffic.
+        let t0 = comm.clock();
+        let sends: Vec<(usize, Vec<u8>)> =
+            partners.iter().map(|&q| (q, payload.clone())).collect();
+        let _ = comm.alltoallv(sends);
+        let coll = comm.clock() - t0;
+
+        // Point-to-point: the same traffic as pairwise messages.
+        let t1 = comm.clock();
+        let data: Vec<(usize, Vec<u8>)> =
+            partners.iter().map(|&q| (q, payload.clone())).collect();
+        let _ = comm.neighbor_exchange(&partners, data, 99);
+        let p2p = comm.clock() - t1;
+        (coll, p2p)
+    });
+    let coll = out.results.iter().map(|r| r.0).fold(0.0, f64::max);
+    let p2p = out.results.iter().map(|r| r.1).fold(0.0, f64::max);
+    (coll, p2p)
+}
+
+fn main() {
+    let bytes = 4096;
+    println!("26-neighbourhood exchange of {bytes} B per partner: collective vs p2p\n");
+    println!(
+        "{:<10} {:>14} {:>14} {:>14} | {:>14} {:>14} {:>14}",
+        "", "switched", "", "", "torus", "", ""
+    );
+    println!(
+        "{:<10} {:>14} {:>14} {:>10} | {:>14} {:>14} {:>10}",
+        "procs", "alltoallv", "p2p", "winner", "alltoallv", "p2p", "winner"
+    );
+    for p in [16usize, 64, 256, 1024, 4096] {
+        let (cs, ps) = measure(MachineModel::juropa_like(), p, bytes);
+        let (ct, pt) = measure(MachineModel::juqueen_like(), p, bytes);
+        let w = |c: f64, q: f64| if c <= q { "coll" } else { "p2p" };
+        println!(
+            "{:<10} {:>12.1}us {:>12.1}us {:>10} | {:>12.1}us {:>12.1}us {:>10}",
+            p,
+            cs * 1e6,
+            ps * 1e6,
+            w(cs, ps),
+            ct * 1e6,
+            pt * 1e6,
+            w(ct, pt)
+        );
+    }
+    println!("\nOn the switched fabric the collective stays competitive at every");
+    println!("size (the paper found p2p slightly *slower* there), while on the");
+    println!("torus the collective's P-dependent costs grow until neighbourhood");
+    println!("p2p wins decisively — the Fig. 9 (right) crossover.");
+}

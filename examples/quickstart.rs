@@ -1,0 +1,83 @@
+//! Quickstart: couple a long-range solver to a small particle system through
+//! the `fcs` library interface and compare Method A (restore the original
+//! particle order and distribution) against Method B (use the solver's
+//! changed order with resort indices).
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use fcs::{Fcs, SolverKind};
+use particles::{local_set, InitialDistribution, IonicCrystal};
+use simcomm::{run, CartGrid, MachineModel};
+
+fn main() {
+    // A small ionic crystal (rock-salt ± lattice with thermal jitter),
+    // standing in for the paper's melting-silica system.
+    let crystal = IonicCrystal::cubic(8, 1.0, 0.15, 42);
+    let bbox = crystal.system_box();
+    let nprocs = 8;
+    println!(
+        "system: {} ions in a {:.0}^3 periodic box, {} simulated processes\n",
+        crystal.n(),
+        bbox.lengths.x(),
+        nprocs
+    );
+
+    // Everything inside `run` executes once per simulated process (rank),
+    // exactly like an MPI program.
+    let out = run(nprocs, MachineModel::juropa_like(), |comm| {
+        // Each rank generates its local share of the system (uniformly
+        // random assignment of particles to processes).
+        let dims = CartGrid::balanced(comm.size()).dims();
+        let set = local_set(
+            &crystal,
+            InitialDistribution::Random,
+            comm.rank(),
+            comm.size(),
+            dims,
+        );
+
+        // fcs_init + fcs_set_common + fcs_tune: create a solver handle.
+        let mut handle = Fcs::init(SolverKind::Fmm, comm.size());
+        handle.set_common(bbox);
+        handle.set_tolerance(1e-3);
+        handle.tune(comm, &set.pos, &set.charge);
+
+        // --- Method A: results come back in the submitted order. ---
+        let a = handle.run(comm, &set.pos, &set.charge, &set.id, usize::MAX);
+        assert!(!handle.resorted());
+        assert_eq!(a.pos, set.pos, "method A restores the original order");
+
+        // --- Method B: results come back in the solver's Z-order; use the
+        // resort indices to bring additional per-particle data along. ---
+        handle.set_resort(true);
+        let b = handle.run(comm, &set.pos, &set.charge, &set.id, usize::MAX);
+        assert!(handle.resorted());
+        let tags: Vec<f64> = set.id.iter().map(|&i| i as f64).collect();
+        let moved_tags = handle.resort_floats(comm, &tags);
+        for (tag, id) in moved_tags.iter().zip(&b.id) {
+            assert_eq!(*tag, *id as f64, "resorted data follows its particle");
+        }
+
+        // Both methods compute identical physics.
+        let energy = |o: &particles::SolverOutput| {
+            0.5 * o.potential.iter().zip(&o.charge).map(|(p, q)| p * q).sum::<f64>()
+        };
+        (energy(&a), energy(&b), a.timings, b.timings)
+    });
+
+    let ea: f64 = out.results.iter().map(|r| r.0).sum();
+    let eb: f64 = out.results.iter().map(|r| r.1).sum();
+    println!("total electrostatic energy, method A: {ea:.6}");
+    println!("total electrostatic energy, method B: {eb:.6}");
+    println!(
+        "per-ion energy {:.6} (Madelung reference for the perfect crystal: {:.6})",
+        ea / crystal.n() as f64,
+        particles::reference::madelung_energy_per_ion(1.0)
+    );
+    let ta = out.results.iter().map(|r| r.2.total).fold(0.0, f64::max);
+    let tb = out.results.iter().map(|r| r.3.total).fold(0.0, f64::max);
+    println!("\nvirtual solver runtime, method A: {:.3} ms", ta * 1e3);
+    println!("virtual solver runtime, method B: {:.3} ms", tb * 1e3);
+    println!("(method B pays off over repeated runs in a simulation loop — see");
+    println!(" examples/coupled_md.rs and the fig7/fig8 benchmark harnesses)");
+}

@@ -1,0 +1,34 @@
+//! # coupled-particle-redistribution
+//!
+//! A reproduction of M. Hofmann and G. Rünger, *Efficient Data Redistribution
+//! Methods for Coupled Parallel Particle Codes* (ICPP 2013): a coupling
+//! library for application-independent long-range solvers with two particle
+//! data redistribution methods, built on a simulated distributed-memory
+//! machine.
+//!
+//! This umbrella crate re-exports the workspace's public crates; see the
+//! README for the architecture overview and `DESIGN.md` for the substitution
+//! rationale and per-experiment index.
+//!
+//! * [`simcomm`] — the MPI-like simulated runtime with virtual-time machine
+//!   models (switched fabric / torus).
+//! * [`psort`] — partition-based and merge-based parallel sorting.
+//! * [`atasp`] — fine-grained data redistribution with duplication and the
+//!   resort operation.
+//! * [`particles`] — particle data, geometry, Z-Morton ordering, synthetic
+//!   systems and reference solvers.
+//! * [`fmm`] — the tree-based Fast Multipole Method solver.
+//! * [`pmsolver`] — the grid-based particle-mesh Ewald solver.
+//! * [`fcs`] — the coupling library interface (the paper's contribution).
+//! * [`mdsim`] — the particle dynamics simulation application.
+
+#![warn(missing_docs)]
+
+pub use atasp;
+pub use fcs;
+pub use fmm;
+pub use mdsim;
+pub use particles;
+pub use pmsolver;
+pub use psort;
+pub use simcomm;

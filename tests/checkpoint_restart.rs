@@ -1,0 +1,99 @@
+//! Checkpoint/restart integration: a simulation split into two halves via a
+//! saved snapshot must reproduce the uninterrupted run exactly — a strong
+//! end-to-end determinism check of the whole redistribution pipeline.
+
+use fcs::SolverKind;
+use mdsim::{simulate, simulate_from, SimConfig};
+use particles::{local_set, InitialDistribution, IonicCrystal};
+use simcomm::{run, CartGrid, MachineModel};
+
+fn config(solver: SolverKind, resort: bool, steps: usize) -> SimConfig {
+    SimConfig {
+        solver,
+        resort,
+        steps,
+        tolerance: 1e-2,
+        dt: mdsim::suggested_dt(1.0, 1.0),
+        track_displacement: true,
+        ..SimConfig::default()
+    }
+}
+
+#[test]
+fn split_run_reproduces_continuous_run() {
+    let crystal = IonicCrystal::cubic(6, 1.0, 0.15, 31);
+    let bbox = crystal.system_box();
+    let p = 4;
+    for (solver, resort) in [
+        (SolverKind::Fmm, false),
+        (SolverKind::Fmm, true),
+        (SolverKind::P2Nfft, true),
+    ] {
+        let crystal = crystal.clone();
+        let out = run(p, MachineModel::ideal(), move |comm| {
+            let dims = CartGrid::balanced(p).dims();
+            let set = local_set(&crystal, InitialDistribution::Grid, comm.rank(), p, dims);
+
+            // Continuous run: 6 steps.
+            let full = simulate(comm, bbox, set.clone(), &config(solver, resort, 6));
+
+            // Split run: 3 steps, checkpoint, then 3 more.
+            let first = simulate(comm, bbox, set, &config(solver, resort, 3));
+            let snap = first.final_state.clone();
+            assert_eq!(snap.step, 3);
+            let second = simulate_from(comm, snap, &config(solver, resort, 3));
+            assert_eq!(second.final_state.step, 6);
+            (full.final_state, second.final_state, full.records, second.records)
+        });
+        for (full, resumed, full_recs, resumed_recs) in out.results {
+            // Identical particle state, element by element (positions are
+            // bitwise deterministic; the restart recomputes the same
+            // accelerations from the same positions).
+            assert_eq!(full.id, resumed.id, "{solver:?} resort={resort}");
+            assert_eq!(full.pos, resumed.pos);
+            for (a, b) in full.vel.iter().zip(&resumed.vel) {
+                assert!((*a - *b).norm() < 1e-12);
+            }
+            // Energies of the overlapping steps agree.
+            let full_e: Vec<f64> = full_recs.iter().skip(4).map(|r| r.energy).collect();
+            let res_e: Vec<f64> = resumed_recs.iter().skip(1).map(|r| r.energy).collect();
+            assert_eq!(full_e.len(), res_e.len());
+            for (a, b) in full_e.iter().zip(&res_e) {
+                assert!((a - b).abs() < 1e-9 * a.abs().max(1.0), "{a} vs {b}");
+            }
+        }
+    }
+}
+
+#[test]
+fn snapshot_file_roundtrip_preserves_simulation() {
+    // Save each rank's snapshot to disk, reload, continue — same as in-memory.
+    let crystal = IonicCrystal::cubic(4, 1.0, 0.1, 7);
+    let bbox = crystal.system_box();
+    let p = 2;
+    let dir = std::env::temp_dir().join("cpr_restart_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let dir2 = dir.clone();
+    let out = run(p, MachineModel::ideal(), move |comm| {
+        let set = local_set(
+            &crystal,
+            InitialDistribution::Grid,
+            comm.rank(),
+            p,
+            CartGrid::balanced(p).dims(),
+        );
+        let cfg = config(SolverKind::P2Nfft, true, 2);
+        let first = simulate(comm, bbox, set, &cfg);
+        let path = dir2.join(format!("rank{}.snap", comm.rank()));
+        first.final_state.save(&path).unwrap();
+        let loaded = mdsim::io::Snapshot::load(&path).unwrap();
+        assert_eq!(loaded, first.final_state, "exact text round-trip");
+        let resumed = simulate_from(comm, loaded, &cfg);
+        let direct = simulate_from(comm, first.final_state.clone(), &cfg);
+        assert_eq!(resumed.final_state.pos, direct.final_state.pos);
+        resumed.final_state.id.len()
+    });
+    let total: usize = out.results.iter().sum();
+    assert_eq!(total, 64);
+    std::fs::remove_dir_all(&dir).ok();
+}

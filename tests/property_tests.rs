@@ -1,0 +1,190 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants: Morton codes, permutations, box geometry, the redistribution
+//! operations, and the parallel sorts under arbitrary inputs.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use particles::{invert_permutation, scatter, SystemBox, Vec3};
+
+proptest! {
+    /// Morton encode/decode round-trips for arbitrary 21-bit coordinates.
+    #[test]
+    fn zorder_roundtrip(x in 0u32..(1 << 21), y in 0u32..(1 << 21), z in 0u32..(1 << 21)) {
+        let k = particles::zorder::encode(x, y, z);
+        prop_assert_eq!(particles::zorder::decode(k), (x, y, z));
+    }
+
+    /// Parent/child relations are consistent for any key and child index.
+    #[test]
+    fn zorder_parent_child(x in 0u32..(1 << 20), y in 0u32..(1 << 20), z in 0u32..(1 << 20), c in 0u8..8) {
+        let k = particles::zorder::encode(x, y, z);
+        prop_assert_eq!(particles::zorder::parent(particles::zorder::child(k, c)), k);
+    }
+
+    /// Morton order restricted to one axis is monotone.
+    #[test]
+    fn zorder_axis_monotone(a in 0u32..(1 << 21), b in 0u32..(1 << 21)) {
+        prop_assume!(a < b);
+        prop_assert!(particles::zorder::encode(a, 0, 0) < particles::zorder::encode(b, 0, 0));
+    }
+
+    /// Wrapping always lands inside the box; wrapping twice is idempotent.
+    #[test]
+    fn box_wrap_idempotent(
+        px in -1e3f64..1e3, py in -1e3f64..1e3, pz in -1e3f64..1e3,
+        l in 1.0f64..100.0,
+    ) {
+        let bbox = SystemBox::cubic(l);
+        let w = bbox.wrap(Vec3::new(px, py, pz));
+        prop_assert!(bbox.contains(w), "{w:?} not in box of edge {l}");
+        let w2 = bbox.wrap(w);
+        prop_assert!((w - w2).norm() < 1e-9 * l);
+    }
+
+    /// Minimum-image displacement components never exceed half the box.
+    #[test]
+    fn min_image_bounded(
+        ax in 0.0f64..50.0, ay in 0.0f64..50.0, az in 0.0f64..50.0,
+        bx in 0.0f64..50.0, by in 0.0f64..50.0, bz in 0.0f64..50.0,
+    ) {
+        let bbox = SystemBox::cubic(50.0);
+        let d = bbox.min_image(Vec3::new(ax, ay, az), Vec3::new(bx, by, bz));
+        prop_assert!(d.max_abs() <= 25.0 + 1e-9);
+    }
+
+    /// scatter by a permutation then by its inverse is the identity.
+    #[test]
+    fn permutation_roundtrip(perm_seed in vec(0u64..1_000_000, 1..200)) {
+        // Build a permutation by arg-sorting random values.
+        let mut idx: Vec<usize> = (0..perm_seed.len()).collect();
+        idx.sort_by_key(|&i| (perm_seed[i], i));
+        let perm = invert_permutation(&idx); // idx is a permutation; invert for variety
+        let data: Vec<u64> = (0..perm_seed.len() as u64).collect();
+        let there = scatter(&data, &perm);
+        let back = scatter(&there, &invert_permutation(&perm));
+        prop_assert_eq!(back, data);
+    }
+
+    /// Resort-index encoding round-trips.
+    #[test]
+    fn resort_index_roundtrip(rank in 0usize..(u32::MAX as usize), pos in 0usize..(u32::MAX as usize)) {
+        let ix = atasp::encode_index(rank, pos);
+        prop_assert_eq!(atasp::decode_index(ix), (rank, pos));
+        prop_assert!(!atasp::is_ghost(ix) || rank == u32::MAX as usize && pos == u32::MAX as usize);
+    }
+
+    /// The balanced factorization covers the world for any size/dims.
+    #[test]
+    fn balanced_dims_product(n in 1usize..10_000, nd in 1usize..6) {
+        let dims = simcomm::balanced_dims(n, nd);
+        prop_assert_eq!(dims.iter().product::<usize>(), n);
+        prop_assert_eq!(dims.len(), nd);
+    }
+
+    /// B-spline stencils are a partition of unity for any position and order.
+    #[test]
+    fn bspline_partition_of_unity(u in 0.0f64..1e4, p in 1usize..6) {
+        let mut w = vec![0.0; p];
+        pmsolver::stencil(p, u, &mut w);
+        let sum: f64 = w.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9, "order {p}, u {u}: {w:?}");
+        prop_assert!(w.iter().all(|&x| x >= -1e-12));
+    }
+
+    /// The local radix sort sorts any input and carries its payload.
+    #[test]
+    fn radix_sort_correct(keys in vec(any::<u64>(), 0..500)) {
+        let vals: Vec<u64> = keys.iter().map(|k| k.wrapping_mul(3)).collect();
+        let mut k = keys.clone();
+        let mut v = vals;
+        psort::radix_sort_by_key(&mut k, &mut v);
+        prop_assert!(k.windows(2).all(|w| w[0] <= w[1]));
+        let mut expect = keys;
+        expect.sort_unstable();
+        prop_assert_eq!(&k, &expect);
+        for (key, val) in k.iter().zip(&v) {
+            prop_assert_eq!(*val, key.wrapping_mul(3));
+        }
+    }
+}
+
+// Parallel-sort property: arbitrary per-rank data is globally sorted and
+// remains a permutation of the input, for both algorithms. (World creation
+// is relatively expensive, so proptest cases are bounded.)
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn parallel_sorts_sort_anything(
+        data in vec(vec(any::<u64>(), 0..120), 1..6),
+    ) {
+        let p = data.len();
+        let data2 = data.clone();
+        let out = simcomm::run(p, simcomm::MachineModel::ideal(), move |comm| {
+            let keys = data2[comm.rank()].clone();
+            let vals = keys.clone();
+            let (pk, _, _) = psort::partition_sort_by_key(comm, keys.clone(), vals.clone());
+            let (mk, _, _) = psort::merge_exchange_sort_by_key(comm, keys, vals);
+            (pk, mk)
+        });
+        let mut expect: Vec<u64> = data.into_iter().flatten().collect();
+        expect.sort_unstable();
+        let mut got_p: Vec<u64> = Vec::new();
+        let mut got_m: Vec<u64> = Vec::new();
+        let mut prev_p: Option<u64> = None;
+        let mut prev_m: Option<u64> = None;
+        for (pk, mk) in out.results {
+            prop_assert!(pk.windows(2).all(|w| w[0] <= w[1]));
+            prop_assert!(mk.windows(2).all(|w| w[0] <= w[1]));
+            if let (Some(l), Some(&f)) = (prev_p, pk.first()) {
+                prop_assert!(l <= f);
+            }
+            if let (Some(l), Some(&f)) = (prev_m, mk.first()) {
+                prop_assert!(l <= f);
+            }
+            prev_p = pk.last().copied().or(prev_p);
+            prev_m = mk.last().copied().or(prev_m);
+            got_p.extend(pk);
+            got_m.extend(mk);
+        }
+        got_p.sort_unstable();
+        got_m.sort_unstable();
+        prop_assert_eq!(&got_p, &expect);
+        prop_assert_eq!(&got_m, &expect);
+    }
+
+    /// alltoall_specific delivers every element to its target exactly once.
+    #[test]
+    fn alltoall_specific_is_exact(
+        targets in vec(vec(0usize..4, 0..80), 4),
+    ) {
+        let targets2 = targets.clone();
+        let out = simcomm::run(4, simcomm::MachineModel::ideal(), move |comm| {
+            let me = comm.rank();
+            let t = &targets2[me];
+            let elements: Vec<u64> = (0..t.len())
+                .map(|i| ((me as u64) << 32) | i as u64)
+                .collect();
+            atasp::alltoall_specific(comm, &elements, t, &atasp::ExchangeMode::Collective)
+        });
+        // Every sent element appears exactly once, at its target.
+        let mut received: Vec<u64> = Vec::new();
+        for (rank, res) in out.results.iter().enumerate() {
+            for &e in res {
+                let src = (e >> 32) as usize;
+                let idx = (e & 0xffff_ffff) as usize;
+                prop_assert_eq!(targets[src][idx], rank, "element {:#x} misrouted", e);
+                received.push(e);
+            }
+        }
+        received.sort_unstable();
+        let mut expect: Vec<u64> = Vec::new();
+        for (src, t) in targets.iter().enumerate() {
+            for i in 0..t.len() {
+                expect.push(((src as u64) << 32) | i as u64);
+            }
+        }
+        prop_assert_eq!(received, expect);
+    }
+}
