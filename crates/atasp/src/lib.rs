@@ -218,13 +218,16 @@ pub fn resort<T: Send + Copy + Default + 'static>(
         })
         .collect();
     let targets: Vec<usize> = resort_indices.iter().map(|&ix| decode_index(ix).0).collect();
+    comm.enter_phase("redistribute");
     let received = alltoall_specific(comm, &pairs, &targets, mode);
+    comm.exit_phase();
     assert_eq!(
         received.len(),
         new_len,
         "resort produced {} elements, expected {new_len}",
         received.len()
     );
+    comm.enter_phase("place");
     let mut out = vec![T::default(); new_len];
     #[cfg(debug_assertions)]
     let mut hit = vec![false; new_len];
@@ -239,6 +242,7 @@ pub fn resort<T: Send + Copy + Default + 'static>(
         out[pos] = d;
     }
     comm.compute(Work::ByteCopy, (new_len * std::mem::size_of::<T>()) as f64);
+    comm.exit_phase();
     out
 }
 

@@ -1,9 +1,12 @@
-//! Criterion micro-benchmarks of the computational kernels (real wall time,
-//! as opposed to the figure harnesses' virtual time): local sorting, Morton
-//! encoding, FFT, B-spline stencils, FMM expansion operators, special
-//! functions and the linked-cell near field.
+//! Micro-benchmarks of the computational kernels (real wall time, as opposed
+//! to the figure harnesses' virtual time): local sorting, Morton encoding,
+//! FFT, B-spline stencils, FMM expansion operators, special functions and the
+//! linked-cell near field.
+//!
+//! Plain binary (`harness = false`); run with `cargo bench -p bench`.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::microbench::bench_case;
+use std::hint::black_box;
 
 fn splitmix(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e3779b97f4a7c15);
@@ -13,43 +16,34 @@ fn splitmix(mut x: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-fn bench_local_sort(c: &mut Criterion) {
-    let mut g = c.benchmark_group("local_sort");
+fn bench_local_sort() {
     for n in [1_000usize, 100_000] {
         let keys: Vec<u64> = (0..n as u64).map(splitmix).collect();
         let vals: Vec<u64> = keys.clone();
-        g.bench_with_input(BenchmarkId::new("radix_u64", n), &n, |b, _| {
-            b.iter(|| {
-                let mut k = keys.clone();
-                let mut v = vals.clone();
-                psort::radix_sort_by_key(&mut k, &mut v);
-                black_box(k.len())
-            })
+        bench_case("local_sort", &format!("radix_u64/{n}"), || {
+            let mut k = keys.clone();
+            let mut v = vals.clone();
+            psort::radix_sort_by_key(&mut k, &mut v);
+            k.len()
         });
-        g.bench_with_input(BenchmarkId::new("std_sort_by_key", n), &n, |b, _| {
-            b.iter(|| {
-                let mut pairs: Vec<(u64, u64)> =
-                    keys.iter().copied().zip(vals.iter().copied()).collect();
-                pairs.sort_unstable_by_key(|&(k, _)| k);
-                black_box(pairs.len())
-            })
+        bench_case("local_sort", &format!("std_sort_by_key/{n}"), || {
+            let mut pairs: Vec<(u64, u64)> =
+                keys.iter().copied().zip(vals.iter().copied()).collect();
+            pairs.sort_unstable_by_key(|&(k, _)| k);
+            pairs.len()
         });
         // Almost sorted input: the radix early-exit pass skip.
         let sorted_keys: Vec<u64> = (0..n as u64).collect();
-        g.bench_with_input(BenchmarkId::new("radix_sorted_input", n), &n, |b, _| {
-            b.iter(|| {
-                let mut k = sorted_keys.clone();
-                let mut v = vals.clone();
-                psort::radix_sort_by_key(&mut k, &mut v);
-                black_box(k.len())
-            })
+        bench_case("local_sort", &format!("radix_sorted_input/{n}"), || {
+            let mut k = sorted_keys.clone();
+            let mut v = vals.clone();
+            psort::radix_sort_by_key(&mut k, &mut v);
+            k.len()
         });
     }
-    g.finish();
 }
 
-fn bench_zorder(c: &mut Criterion) {
-    let mut g = c.benchmark_group("zorder");
+fn bench_zorder() {
     let coords: Vec<(u32, u32, u32)> = (0..4096u64)
         .map(|i| {
             let h = splitmix(i);
@@ -60,34 +54,28 @@ fn bench_zorder(c: &mut Criterion) {
             )
         })
         .collect();
-    g.bench_function("encode_4096", |b| {
-        b.iter(|| {
-            let mut acc = 0u64;
-            for &(x, y, z) in &coords {
-                acc ^= particles::zorder::encode(x, y, z);
-            }
-            black_box(acc)
-        })
+    bench_case("zorder", "encode_4096", || {
+        let mut acc = 0u64;
+        for &(x, y, z) in &coords {
+            acc ^= particles::zorder::encode(x, y, z);
+        }
+        acc
     });
     let keys: Vec<u64> = coords
         .iter()
         .map(|&(x, y, z)| particles::zorder::encode(x, y, z))
         .collect();
-    g.bench_function("decode_4096", |b| {
-        b.iter(|| {
-            let mut acc = 0u32;
-            for &k in &keys {
-                let (x, y, z) = particles::zorder::decode(k);
-                acc ^= x ^ y ^ z;
-            }
-            black_box(acc)
-        })
+    bench_case("zorder", "decode_4096", || {
+        let mut acc = 0u32;
+        for &k in &keys {
+            let (x, y, z) = particles::zorder::decode(k);
+            acc ^= x ^ y ^ z;
+        }
+        acc
     });
-    g.finish();
 }
 
-fn bench_fft(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fft");
+fn bench_fft() {
     for n in [256usize, 4096] {
         let data: Vec<pmsolver::Complex> = (0..n as u64)
             .map(|i| {
@@ -98,38 +86,30 @@ fn bench_fft(c: &mut Criterion) {
                 )
             })
             .collect();
-        g.bench_with_input(BenchmarkId::new("complex_1d", n), &n, |b, _| {
-            b.iter(|| {
-                let mut x = data.clone();
-                pmsolver::fft_in_place(&mut x, pmsolver::Direction::Forward);
-                black_box(x[0].re)
-            })
+        bench_case("fft", &format!("complex_1d/{n}"), || {
+            let mut x = data.clone();
+            pmsolver::fft_in_place(&mut x, pmsolver::Direction::Forward);
+            x[0].re
         });
     }
-    g.finish();
 }
 
-fn bench_bspline(c: &mut Criterion) {
-    let mut g = c.benchmark_group("bspline");
+fn bench_bspline() {
     for order in [2usize, 3, 4] {
-        g.bench_with_input(BenchmarkId::new("stencil", order), &order, |b, &p| {
-            let mut w = vec![0.0; p];
-            b.iter(|| {
-                let mut acc = 0.0;
-                for i in 0..1000 {
-                    let u = 5.0 + i as f64 * 0.137;
-                    pmsolver::stencil(p, u, &mut w);
-                    acc += w[0];
-                }
-                black_box(acc)
-            })
+        bench_case("bspline", &format!("stencil/{order}"), || {
+            let mut w = vec![0.0; order];
+            let mut acc = 0.0;
+            for i in 0..1000 {
+                let u = 5.0 + i as f64 * 0.137;
+                pmsolver::stencil(order, u, &mut w);
+                acc += w[0];
+            }
+            acc
         });
     }
-    g.finish();
 }
 
-fn bench_expansion_ops(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fmm_expansion");
+fn bench_expansion_ops() {
     for order in [2usize, 4, 6] {
         let ops = fmm::ExpansionOps::new(order);
         let nc = ops.len();
@@ -137,48 +117,41 @@ fn bench_expansion_ops(c: &mut Criterion) {
         let w = particles::Vec3::new(3.5, 0.5, 0.5);
         let mut m = vec![0.0; nc];
         ops.p2m(&mut m, z, particles::Vec3::new(0.4, 0.6, 0.5), 1.0);
-        g.bench_with_input(BenchmarkId::new("m2l", order), &order, |b, _| {
-            let t = ops.derivative_tensor(w - z);
-            b.iter(|| {
-                let mut l = vec![0.0; nc];
-                ops.m2l_with_tensor(&mut l, &m, &t);
-                black_box(l[0])
-            })
+        let t = ops.derivative_tensor(w - z);
+        bench_case("fmm_expansion", &format!("m2l/{order}"), || {
+            let mut l = vec![0.0; nc];
+            ops.m2l_with_tensor(&mut l, &m, &t);
+            l[0]
         });
-        g.bench_with_input(BenchmarkId::new("derivative_tensor", order), &order, |b, _| {
-            b.iter(|| black_box(ops.derivative_tensor(w - z)[0]))
+        bench_case("fmm_expansion", &format!("derivative_tensor/{order}"), || {
+            ops.derivative_tensor(w - z)[0]
         });
-        g.bench_with_input(BenchmarkId::new("p2m", order), &order, |b, _| {
-            b.iter(|| {
-                let mut mm = vec![0.0; nc];
-                for i in 0..100 {
-                    ops.p2m(
-                        &mut mm,
-                        z,
-                        particles::Vec3::new(0.4, 0.5 + i as f64 * 1e-3, 0.5),
-                        1.0,
-                    );
-                }
-                black_box(mm[0])
-            })
+        bench_case("fmm_expansion", &format!("p2m/{order}"), || {
+            let mut mm = vec![0.0; nc];
+            for i in 0..100 {
+                ops.p2m(
+                    &mut mm,
+                    z,
+                    particles::Vec3::new(0.4, 0.5 + i as f64 * 1e-3, 0.5),
+                    1.0,
+                );
+            }
+            mm[0]
         });
     }
-    g.finish();
 }
 
-fn bench_special_functions(c: &mut Criterion) {
-    c.bench_function("erfc_1000", |b| {
-        b.iter(|| {
-            let mut acc = 0.0;
-            for i in 0..1000 {
-                acc += particles::math::erfc(i as f64 * 0.003);
-            }
-            black_box(acc)
-        })
+fn bench_special_functions() {
+    bench_case("special", "erfc_1000", || {
+        let mut acc = 0.0;
+        for i in 0..1000 {
+            acc += particles::math::erfc(i as f64 * 0.003);
+        }
+        acc
     });
 }
 
-fn bench_near_field(c: &mut Criterion) {
+fn bench_near_field() {
     let bbox = particles::SystemBox::cubic(10.0);
     let gas = particles::RandomGas { n: 2000, bbox, seed: 5 };
     let mut pos = Vec::new();
@@ -188,32 +161,28 @@ fn bench_near_field(c: &mut Criterion) {
         pos.push(x);
         charge.push(q);
     }
-    c.bench_function("linked_cell_2000_rcut1.5", |b| {
-        b.iter(|| {
-            let (p, _, pairs) = pmsolver::near_field(
-                &bbox,
-                1.0,
-                1.5,
-                None,
-                (particles::Vec3::ZERO, particles::Vec3::splat(10.0)),
-                &pos,
-                &charge,
-                &[],
-                &[],
-            );
-            black_box((p[0], pairs))
-        })
+    bench_case("near_field", "linked_cell_2000_rcut1.5", || {
+        let (p, _, pairs) = pmsolver::near_field(
+            &bbox,
+            1.0,
+            1.5,
+            None,
+            (particles::Vec3::ZERO, particles::Vec3::splat(10.0)),
+            &pos,
+            &charge,
+            &[],
+            &[],
+        );
+        black_box((p[0], pairs))
     });
 }
 
-criterion_group!(
-    benches,
-    bench_local_sort,
-    bench_zorder,
-    bench_fft,
-    bench_bspline,
-    bench_expansion_ops,
-    bench_special_functions,
-    bench_near_field
-);
-criterion_main!(benches);
+fn main() {
+    bench_local_sort();
+    bench_zorder();
+    bench_fft();
+    bench_bspline();
+    bench_expansion_ops();
+    bench_special_functions();
+    bench_near_field();
+}

@@ -1,9 +1,11 @@
-//! Criterion micro-benchmarks of the redistribution operations themselves
-//! (real wall time of the simulated implementation on small worlds): the
-//! fine-grained all-to-all-specific exchange, resort, the two parallel sorts,
-//! and one full solver execution per solver.
+//! Micro-benchmarks of the redistribution operations themselves (real wall
+//! time of the simulated implementation on small worlds): the fine-grained
+//! all-to-all-specific exchange, the two parallel sorts, and one full solver
+//! execution per solver.
+//!
+//! Plain binary (`harness = false`); run with `cargo bench -p bench`.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::microbench::bench_case;
 use simcomm::MachineModel;
 
 fn splitmix(mut x: u64) -> u64 {
@@ -14,120 +16,102 @@ fn splitmix(mut x: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-fn bench_alltoall_specific(c: &mut Criterion) {
-    let mut g = c.benchmark_group("alltoall_specific");
-    g.sample_size(20);
+fn bench_alltoall_specific() {
     for p in [4usize, 16] {
-        g.bench_with_input(BenchmarkId::new("world", p), &p, |b, &p| {
-            b.iter(|| {
-                let out = simcomm::run(p, MachineModel::ideal(), |comm| {
-                    let me = comm.rank();
-                    let n = 1000;
-                    let elements: Vec<u64> = (0..n).map(|i| (me * n + i) as u64).collect();
-                    let targets: Vec<usize> =
-                        (0..n).map(|i| splitmix((me * n + i) as u64) as usize % p).collect();
-                    atasp::alltoall_specific(
-                        comm,
-                        &elements,
-                        &targets,
-                        &atasp::ExchangeMode::Collective,
-                    )
-                    .len()
-                });
-                black_box(out.results[0])
-            })
+        bench_case("alltoall_specific", &format!("world/{p}"), || {
+            let out = simcomm::run(p, MachineModel::ideal(), move |comm| {
+                let me = comm.rank();
+                let n = 1000;
+                let elements: Vec<u64> = (0..n).map(|i| (me * n + i) as u64).collect();
+                let targets: Vec<usize> =
+                    (0..n).map(|i| splitmix((me * n + i) as u64) as usize % p).collect();
+                atasp::alltoall_specific(
+                    comm,
+                    &elements,
+                    &targets,
+                    &atasp::ExchangeMode::Collective,
+                )
+                .len()
+            });
+            out.results[0]
         });
     }
-    g.finish();
 }
 
-fn bench_parallel_sorts(c: &mut Criterion) {
-    let mut g = c.benchmark_group("parallel_sort");
-    g.sample_size(15);
+fn bench_parallel_sorts() {
     let p = 8;
     for (name, sorted) in [("random", false), ("almost_sorted", true)] {
-        g.bench_with_input(BenchmarkId::new("partition", name), &sorted, |b, &sorted| {
-            b.iter(|| {
-                let out = simcomm::run(p, MachineModel::ideal(), move |comm| {
-                    let me = comm.rank();
-                    let n = 2000usize;
-                    let keys: Vec<u64> = (0..n)
-                        .map(|i| {
-                            if sorted {
-                                (me * n + i) as u64
-                            } else {
-                                splitmix((me * n + i) as u64)
-                            }
-                        })
-                        .collect();
-                    let vals = keys.clone();
-                    let (k, _, _) = psort::partition_sort_by_key(comm, keys, vals);
-                    k.len()
-                });
-                black_box(out.results[0])
-            })
+        bench_case("parallel_sort", &format!("partition/{name}"), || {
+            let out = simcomm::run(p, MachineModel::ideal(), move |comm| {
+                let me = comm.rank();
+                let n = 2000usize;
+                let keys: Vec<u64> = (0..n)
+                    .map(|i| {
+                        if sorted {
+                            (me * n + i) as u64
+                        } else {
+                            splitmix((me * n + i) as u64)
+                        }
+                    })
+                    .collect();
+                let vals = keys.clone();
+                let (k, _, _) = psort::partition_sort_by_key(comm, keys, vals);
+                k.len()
+            });
+            out.results[0]
         });
-        g.bench_with_input(BenchmarkId::new("merge_exchange", name), &sorted, |b, &sorted| {
-            b.iter(|| {
-                let out = simcomm::run(p, MachineModel::ideal(), move |comm| {
-                    let me = comm.rank();
-                    let n = 2000usize;
-                    let keys: Vec<u64> = (0..n)
-                        .map(|i| {
-                            if sorted {
-                                (me * n + i) as u64
-                            } else {
-                                splitmix((me * n + i) as u64)
-                            }
-                        })
-                        .collect();
-                    let vals = keys.clone();
-                    let (k, _, _) = psort::merge_exchange_sort_by_key(comm, keys, vals);
-                    k.len()
-                });
-                black_box(out.results[0])
-            })
+        bench_case("parallel_sort", &format!("merge_exchange/{name}"), || {
+            let out = simcomm::run(p, MachineModel::ideal(), move |comm| {
+                let me = comm.rank();
+                let n = 2000usize;
+                let keys: Vec<u64> = (0..n)
+                    .map(|i| {
+                        if sorted {
+                            (me * n + i) as u64
+                        } else {
+                            splitmix((me * n + i) as u64)
+                        }
+                    })
+                    .collect();
+                let vals = keys.clone();
+                let (k, _, _) = psort::merge_exchange_sort_by_key(comm, keys, vals);
+                k.len()
+            });
+            out.results[0]
         });
     }
-    g.finish();
 }
 
-fn bench_solver_execution(c: &mut Criterion) {
-    let mut g = c.benchmark_group("solver_run");
-    g.sample_size(10);
+fn bench_solver_execution() {
     let crystal = particles::IonicCrystal::cubic(8, 1.0, 0.15, 3);
     let bbox = particles::ParticleSource::system_box(&crystal);
     for kind in [fcs::SolverKind::Fmm, fcs::SolverKind::P2Nfft] {
-        g.bench_with_input(
-            BenchmarkId::new("method_b", format!("{kind:?}")),
-            &kind,
-            |b, &kind| {
-                let crystal = crystal.clone();
-                b.iter(|| {
-                    let crystal = crystal.clone();
-                    let out = simcomm::run(4, MachineModel::ideal(), move |comm| {
-                        let set = particles::local_set(
-                            &crystal,
-                            particles::InitialDistribution::Grid,
-                            comm.rank(),
-                            4,
-                            simcomm::CartGrid::balanced(4).dims(),
-                        );
-                        let mut h = fcs::Fcs::init(kind, 4);
-                        h.set_common(bbox);
-                        h.set_tolerance(1e-2);
-                        h.tune(comm, &set.pos, &set.charge);
-                        h.set_resort(true);
-                        let o = h.run(comm, &set.pos, &set.charge, &set.id, usize::MAX);
-                        o.potential.len()
-                    });
-                    black_box(out.results[0])
-                })
-            },
-        );
+        let crystal = crystal.clone();
+        bench_case("solver_run", &format!("method_b/{kind:?}"), move || {
+            let crystal = crystal.clone();
+            let out = simcomm::run(4, MachineModel::ideal(), move |comm| {
+                let set = particles::local_set(
+                    &crystal,
+                    particles::InitialDistribution::Grid,
+                    comm.rank(),
+                    4,
+                    simcomm::CartGrid::balanced(4).dims(),
+                );
+                let mut h = fcs::Fcs::init(kind, 4);
+                h.set_common(bbox);
+                h.set_tolerance(1e-2);
+                h.tune(comm, &set.pos, &set.charge);
+                h.set_resort(true);
+                let o = h.run(comm, &set.pos, &set.charge, &set.id, usize::MAX);
+                o.potential.len()
+            });
+            out.results[0]
+        });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_alltoall_specific, bench_parallel_sorts, bench_solver_execution);
-criterion_main!(benches);
+fn main() {
+    bench_alltoall_specific();
+    bench_parallel_sorts();
+    bench_solver_execution();
+}

@@ -10,11 +10,11 @@
 //!
 //! Prints one table per study; virtual seconds.
 
-use bench::{banner, fmt_secs, Args};
+use bench::{banner, fmt_secs, report_summary, Args, RunEntry, RunReport};
 use particles::systems::splitmix64;
 use simcomm::{run, CartGrid, MachineModel};
 
-fn sort_ablation(per_rank: usize) {
+fn sort_ablation(per_rank: usize, report: &mut RunReport) {
     println!("\n[1] partition-based vs merge-based parallel sort ({per_rank} keys/rank)");
     println!(
         "{:<8} {:<14} {:>14} {:>14} {:>10}",
@@ -49,6 +49,7 @@ fn sort_ablation(per_rank: usize) {
                 let t_merge = comm.clock() - t1;
                 (t_part, t_merge)
             });
+            report.push(format!("sort/p={p}/{sortedness}"), RunEntry::from_run(&out));
             let part = out.results.iter().map(|r| r.0).fold(0.0, f64::max);
             let merge = out.results.iter().map(|r| r.1).fold(0.0, f64::max);
             println!(
@@ -64,7 +65,7 @@ fn sort_ablation(per_rank: usize) {
     println!("(the paper's heuristic picks merge-exchange only for almost-sorted data)");
 }
 
-fn comm_ablation(bytes: usize) {
+fn comm_ablation(bytes: usize, report: &mut RunReport) {
     println!("\n[2] collective vs neighbourhood exchange (26 partners, {bytes} B each)");
     println!(
         "{:<10} {:<22} {:>14} {:>14} {:>10}",
@@ -91,6 +92,7 @@ fn comm_ablation(bytes: usize) {
                 let p2p = comm.clock() - t1;
                 (coll, p2p)
             });
+            report.push(format!("exchange/p={p}/{name}"), RunEntry::from_run(&out));
             let coll = out.results.iter().map(|r| r.0).fold(0.0, f64::max);
             let p2p = out.results.iter().map(|r| r.1).fold(0.0, f64::max);
             println!(
@@ -106,7 +108,7 @@ fn comm_ablation(bytes: usize) {
     println!("(the torus flips to p2p at scale — the paper's Fig. 9 right crossover)");
 }
 
-fn ghost_ablation() {
+fn ghost_ablation(report: &mut RunReport) {
     println!("\n[3] ghost-layer volume vs cutoff radius (particle-mesh solver)");
     println!("{:<10} {:>12} {:>14} {:>14}", "rcut", "ghosts", "sort time", "near pairs");
     let c = particles::IonicCrystal::cubic(12, 1.0, 0.15, 3);
@@ -140,6 +142,7 @@ fn ghost_ablation() {
                 solver.last_report.near_pairs,
             )
         });
+        report.push(format!("ghost/rcut={rcut}"), RunEntry::from_run(&out));
         let ghosts: u64 = out.results.iter().map(|r| r.0).sum();
         let sort = out.results.iter().map(|r| r.1).fold(0.0, f64::max);
         let pairs: u64 = out.results.iter().map(|r| r.2).sum();
@@ -156,7 +159,11 @@ fn main() {
         "Ablations — design choices of the paper's Sect. III",
         "sorting algorithm switch, exchange-mode switch, ghost-layer width",
     );
-    sort_ablation(keys);
-    comm_ablation(bytes);
-    ghost_ablation();
+    let mut report = RunReport::new("ablation", "mixed");
+    report.param("keys", keys);
+    report.param("bytes", bytes);
+    sort_ablation(keys, &mut report);
+    comm_ablation(bytes, &mut report);
+    ghost_ablation(&mut report);
+    report_summary(&report.write("ablation"), &report);
 }

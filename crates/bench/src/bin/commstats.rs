@@ -1,0 +1,185 @@
+//! Summarize observability output into human-readable phase tables.
+//!
+//! Two input modes:
+//!
+//! * `commstats --report results/fig8_report.json` — print each run entry's
+//!   per-phase aggregate table (critical path, mean, imbalance, comm/wait/
+//!   compute split, traffic) and verify the accounting invariants.
+//! * `commstats --trace results/trace_timeline.csv` — aggregate a per-event
+//!   trace CSV by phase and by operation kind (with collective fan-out from
+//!   the `nranks` column). Pre-observability six-column traces (without the
+//!   `nranks`/`phase` columns) are accepted; their events count as untagged.
+//!
+//! All times are virtual seconds of the simulated machine model; sizes are
+//! bytes. See `docs/OBSERVABILITY.md` for the schema reference.
+
+use std::collections::BTreeMap;
+
+use bench::json::Json;
+use bench::{fmt_secs, format_phase_table, Args, RunReport};
+
+/// Report a usage/input error without a panic backtrace.
+fn fail(msg: String) -> ! {
+    eprintln!("commstats: {msg}");
+    std::process::exit(2);
+}
+
+fn summarize_report(path: &str) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(format!("cannot read {path}: {e}")));
+    let value = Json::parse(&text).unwrap_or_else(|e| fail(format!("{path}: invalid JSON: {e}")));
+    let report = RunReport::from_json(&value)
+        .unwrap_or_else(|e| fail(format!("{path}: not a run report: {e}")));
+    println!(
+        "report {path}: figure {figure}, machine {machine}, {n} runs",
+        figure = report.figure,
+        machine = report.machine,
+        n = report.runs.len()
+    );
+    if !report.params.is_empty() {
+        let params: Vec<String> =
+            report.params.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        println!("params: {}", params.join(", "));
+    }
+    for run in &report.runs {
+        println!(
+            "\n== {label} ({nranks} ranks, makespan {makespan}) ==",
+            label = run.label,
+            nranks = run.nranks,
+            makespan = fmt_secs(run.makespan)
+        );
+        print!("{}", format_phase_table(run));
+        let err = run.decomposition_error();
+        assert!(
+            err <= 1e-6 * run.makespan.max(1e-9),
+            "accounting violated: phase/rank times diverge from clocks by {err} s"
+        );
+    }
+    println!(
+        "\naccounting check passed: phase times sum to rank clocks within {:.1e} s",
+        report.decomposition_error().max(1e-15)
+    );
+}
+
+/// Per-group aggregate of trace events (group = phase name or event kind).
+#[derive(Default)]
+struct Bucket {
+    events: u64,
+    bytes: u64,
+    busy_seconds: f64,
+    /// Sum and count of the communicator size over collective events, for the
+    /// mean fan-out.
+    coll_events: u64,
+    coll_nranks_sum: u64,
+}
+
+const P2P_KINDS: [&str; 2] = ["send", "recv"];
+
+fn summarize_trace(path: &str) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(format!("cannot read {path}: {e}")));
+    let mut lines = text.lines();
+    let header = lines.next().unwrap_or_else(|| fail(format!("{path}: empty file")));
+    let columns: Vec<&str> = header.split(',').collect();
+    if !columns.starts_with(&["rank", "kind", "t_start", "t_end", "bytes", "peer"]) {
+        fail(format!("{path}: not a trace CSV (header '{header}')"));
+    }
+    let has_extended = columns.len() >= 8;
+
+    let mut by_phase: BTreeMap<String, Bucket> = BTreeMap::new();
+    let mut by_kind: BTreeMap<String, Bucket> = BTreeMap::new();
+    let mut ranks: BTreeMap<u64, f64> = BTreeMap::new();
+    let mut rows = 0u64;
+    for (lineno, line) in lines.enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let f: Vec<&str> = line.split(',').collect();
+        assert!(
+            f.len() >= 6,
+            "{path}:{}: expected at least 6 columns",
+            lineno + 2
+        );
+        let parse_f64 = |s: &str| -> f64 { s.parse().expect("bad number in trace") };
+        let rank: u64 = f[0].parse().expect("bad rank");
+        let kind = f[1];
+        let t_start = parse_f64(f[2]);
+        let t_end = parse_f64(f[3]);
+        let bytes: u64 = f[4].parse().expect("bad bytes");
+        let is_p2p = P2P_KINDS.contains(&kind);
+        let nranks: Option<u64> = if has_extended { f[6].parse().ok() } else { None };
+        let phase = if has_extended && !f[7].is_empty() {
+            f[7].to_string()
+        } else {
+            "(untagged)".to_string()
+        };
+
+        for bucket in [
+            by_phase.entry(phase).or_default(),
+            by_kind.entry(kind.to_string()).or_default(),
+        ] {
+            bucket.events += 1;
+            bucket.bytes += bytes;
+            bucket.busy_seconds += (t_end - t_start).max(0.0);
+            if !is_p2p {
+                bucket.coll_events += 1;
+                bucket.coll_nranks_sum += nranks.unwrap_or(0);
+            }
+        }
+        let clock = ranks.entry(rank).or_insert(0.0);
+        *clock = clock.max(t_end);
+        rows += 1;
+    }
+    println!(
+        "trace {path}: {rows} events, {nranks} ranks, last event ends at {end}",
+        nranks = ranks.len(),
+        end = fmt_secs(ranks.values().cloned().fold(0.0, f64::max))
+    );
+    if !has_extended {
+        println!("(six-column legacy trace: no phase tags or communicator sizes)");
+    }
+
+    let print_table = |title: &str, table: &BTreeMap<String, Bucket>| {
+        println!("\nby {title}:");
+        println!(
+            "{:<16} {:>8} {:>14} {:>12} {:>9} {:>9}",
+            title, "events", "bytes", "busy[s]", "colls", "fan-out"
+        );
+        for (name, b) in table {
+            let fanout = if b.coll_events > 0 && has_extended {
+                format!("{:.0}", b.coll_nranks_sum as f64 / b.coll_events as f64)
+            } else {
+                "-".to_string()
+            };
+            println!(
+                "{:<16} {:>8} {:>14} {:>12} {:>9} {:>9}",
+                name,
+                b.events,
+                b.bytes,
+                fmt_secs(b.busy_seconds),
+                b.coll_events,
+                fanout
+            );
+        }
+    };
+    print_table("phase", &by_phase);
+    print_table("kind", &by_kind);
+}
+
+fn main() {
+    let args = Args::parse(&["report", "trace"]);
+    let report: String = args.get("report", String::new());
+    let trace: String = args.get("trace", String::new());
+    if report.is_empty() && trace.is_empty() {
+        fail(
+            "usage: commstats --report results/<name>_report.json | --trace results/<trace>.csv"
+                .to_string(),
+        );
+    }
+    if !report.is_empty() {
+        summarize_report(&report);
+    }
+    if !trace.is_empty() {
+        summarize_trace(&trace);
+    }
+}

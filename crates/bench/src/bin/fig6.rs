@@ -15,7 +15,7 @@
 //! magnitude, and for the P2NFFT solver (which uses the same grid
 //! decomposition) the remaining redistribution cost is mainly ghost creation.
 
-use bench::{banner, fmt_secs, write_csv, Args};
+use bench::{banner, fmt_secs, report_summary, write_csv, Args, RunReport};
 use fcs::SolverKind;
 use mdsim::SimConfig;
 use particles::{InitialDistribution, IonicCrystal};
@@ -47,6 +47,11 @@ fn main() {
         "{:<8} {:<16} {:>12} {:>12} {:>12}",
         "solver", "distribution", "total", "sort", "restore"
     );
+    let mut report = RunReport::new("fig6", "juropa_like");
+    report.param("cells", cells);
+    report.param("procs", procs);
+    report.param("tolerance", tolerance);
+    report.param("seed", seed);
     let mut rows = Vec::new();
     for (si, solver) in [SolverKind::Fmm, SolverKind::P2Nfft].into_iter().enumerate() {
         for (di, dist) in dists.into_iter().enumerate() {
@@ -59,8 +64,9 @@ fn main() {
                 tolerance,
                 ..SimConfig::default()
             };
-            let (records, _, _) =
+            let (records, _, entry) =
                 bench::run_md_world(MachineModel::juropa_like(), procs, &crystal, dist, &cfg);
+            report.push(format!("{solver:?}/{}", dist.label()), entry);
             let r = &records[0];
             println!(
                 "{:<8} {:<16} {:>12} {:>12} {:>12}",
@@ -75,5 +81,6 @@ fn main() {
     }
     let path = write_csv("fig6", "solver,distribution,total,sort,restore", &rows);
     println!("\nwrote {}", path.display());
+    report_summary(&report.write("fig6"), &report);
     println!("(solver: 0 = FMM, 1 = P2NFFT; distribution: 0 = single process, 1 = random, 2 = grid)");
 }

@@ -13,7 +13,7 @@
 //! fraction of Method A's (the paper reports ~45 % for the FMM and ~20 % for
 //! the P2NFFT solver).
 
-use bench::{aggregate_steps, banner, fmt_secs, write_csv, Args};
+use bench::{aggregate_steps, banner, fmt_secs, report_summary, write_csv, Args, RunReport};
 use fcs::SolverKind;
 use mdsim::SimConfig;
 use particles::{InitialDistribution, IonicCrystal};
@@ -39,6 +39,12 @@ fn main() {
     );
     let _ = aggregate_steps; // (re-exported for doc discoverability)
 
+    let mut report = RunReport::new("fig7", "juropa_like");
+    report.param("cells", cells);
+    report.param("procs", procs);
+    report.param("tolerance", tolerance);
+    report.param("steps", steps);
+    report.param("seed", seed);
     let mut rows = Vec::new();
     for (si, solver) in [SolverKind::Fmm, SolverKind::P2Nfft].into_iter().enumerate() {
         println!("\n--- {} solver ---", format!("{solver:?}").to_uppercase());
@@ -55,17 +61,19 @@ fn main() {
                 dt,
                 ..SimConfig::default()
             };
-            bench::run_md_world(
+            let (records, _, entry) = bench::run_md_world(
                 MachineModel::juropa_like(),
                 procs,
                 &crystal,
                 InitialDistribution::Random,
                 &cfg,
-            )
-            .0
+            );
+            (records, entry)
         };
-        let a = run(false);
-        let b = run(true);
+        let (a, entry_a) = run(false);
+        let (b, entry_b) = run(true);
+        report.push(format!("{solver:?}/methodA"), entry_a);
+        report.push(format!("{solver:?}/methodB"), entry_b);
         for s in 0..=steps {
             let label = if s == 0 { "initial".to_string() } else { s.to_string() };
             println!(
@@ -100,4 +108,5 @@ fn main() {
         &rows,
     );
     println!("\nwrote {}", path.display());
+    report_summary(&report.write("fig7"), &report);
 }

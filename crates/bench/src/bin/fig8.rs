@@ -10,7 +10,7 @@
 //! the paper's 1000 steps it is ~50 % of the FMM step time and up to ~75 % of
 //! the P2NFFT step time — while Method B stays flat (~3 % / ~2 %).
 
-use bench::{banner, fmt_secs, sum_from, write_csv, Args};
+use bench::{banner, fmt_secs, report_summary, sum_from, write_csv, Args, RunReport};
 use fcs::SolverKind;
 use mdsim::SimConfig;
 use particles::{InitialDistribution, IonicCrystal};
@@ -39,6 +39,13 @@ fn main() {
         ),
     );
 
+    let mut report = RunReport::new("fig8", "juropa_like");
+    report.param("cells", cells);
+    report.param("procs", procs);
+    report.param("tolerance", tolerance);
+    report.param("steps", steps);
+    report.param("seed", seed);
+    report.param("jitter", jitter);
     let mut rows = Vec::new();
     for (si, solver) in [SolverKind::Fmm, SolverKind::P2Nfft].into_iter().enumerate() {
         println!("\n--- {} solver ---", format!("{solver:?}").to_uppercase());
@@ -64,8 +71,10 @@ fn main() {
                 &cfg,
             )
         };
-        let (a, rms_a, _) = run(false);
-        let (b, _, _) = run(true);
+        let (a, rms_a, entry_a) = run(false);
+        let (b, _, entry_b) = run(true);
+        report.push(format!("{solver:?}/methodA"), entry_a);
+        report.push(format!("{solver:?}/methodB"), entry_b);
         println!(
             "{:<8} {:>12} {:>12} | {:>12} {:>12} {:>10}",
             "step", "redistA", "totalA", "redistB", "totalB", "drift"
@@ -106,4 +115,5 @@ fn main() {
     }
     let path = write_csv("fig8", "solver,step,redistA,totalA,redistB,totalB", &rows);
     println!("\nwrote {}", path.display());
+    report_summary(&report.write("fig8"), &report);
 }

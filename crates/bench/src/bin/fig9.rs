@@ -16,7 +16,7 @@
 //!   with maximum movement keeps scaling and ends ~40 % below Method A at the
 //!   largest machine.
 
-use bench::{banner, fmt_secs, sum_from, write_csv, Args};
+use bench::{banner, fmt_secs, report_summary, sum_from, write_csv, Args, RunReport};
 use fcs::SolverKind;
 use mdsim::SimConfig;
 use particles::{InitialDistribution, IonicCrystal};
@@ -57,6 +57,12 @@ fn main() {
         ),
     );
 
+    let mut report = RunReport::new("fig9", "mixed");
+    report.param("cells", cells);
+    report.param("tolerance", tolerance);
+    report.param("steps", steps);
+    report.param("seed", seed);
+    report.param("dist", dist.label());
     let mut rows = Vec::new();
     #[allow(clippy::too_many_arguments)]
     let panel = |name: &str,
@@ -64,7 +70,8 @@ fn main() {
                      model: MachineModel,
                      procs_list: &[usize],
                      panel_ix: f64,
-                     rows: &mut Vec<Vec<f64>>| {
+                     rows: &mut Vec<Vec<f64>>,
+                     report: &mut RunReport| {
         println!("\n--- {name} ---");
         println!(
             "{:<8} {:>12} {:>12} {:>16} | {:>11} {:>11} {:>11}",
@@ -74,6 +81,11 @@ fn main() {
             let mut totals = Vec::new();
             let mut redists = Vec::new();
             for (resort, exploit) in [(false, false), (true, false), (true, true)] {
+                let method = match (resort, exploit) {
+                    (false, _) => "methodA",
+                    (true, false) => "methodB",
+                    (true, true) => "methodB+move",
+                };
                 let cfg = SimConfig {
                     solver,
                     resort,
@@ -84,8 +96,9 @@ fn main() {
                     pencil_fft: args.flag("pencil"),
                     ..SimConfig::default()
                 };
-                let (records, _, _) =
+                let (records, _, entry) =
                     bench::run_md_world(model.clone(), p, &crystal, dist, &cfg);
+                report.push(format!("{solver:?}/p={p}/{method}"), entry);
                 // Total simulation runtime: sum of all solver executions
                 // (including application-side resorting), like the paper's
                 // "total parallel runtimes". The redistribution-only sums
@@ -119,6 +132,7 @@ fn main() {
             &left_procs,
             0.0,
             &mut rows,
+            &mut report,
         );
     }
     if !args.flag("skip-right") {
@@ -129,14 +143,17 @@ fn main() {
             &right_procs,
             1.0,
             &mut rows,
+            &mut report,
         );
     }
 
+    let name = if args.flag("pencil") { "fig9_pencil" } else { "fig9" };
     let path = write_csv(
-        "fig9",
+        name,
         "panel,procs,methodA,methodB,methodB_move,redistA,redistB,redistB_move",
         &rows,
     );
     println!("\nwrote {}", path.display());
+    report_summary(&report.write(name), &report);
     println!("(panel: 0 = FMM/juropa-like, 1 = P2NFFT/juqueen-like)");
 }

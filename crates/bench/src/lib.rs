@@ -13,10 +13,15 @@
 
 #![warn(missing_docs)]
 
+pub mod json;
+pub mod microbench;
+pub mod report;
+
 use std::collections::HashMap;
 use std::io::Write;
 
 use mdsim::StepRecord;
+pub use report::{format_phase_table, PhaseRow, RankRow, RunEntry, RunReport};
 
 /// A tiny command-line flag parser: `--key value` pairs plus `--flag`
 /// booleans. Unknown keys panic with a usage hint.
@@ -85,15 +90,16 @@ impl Args {
 }
 
 /// Run a full MD simulation world and return the per-step records aggregated
-/// over ranks (component-wise maxima), the global RMS drift, and the world
-/// makespan in virtual seconds.
+/// over ranks (component-wise maxima), the global RMS drift, and a report
+/// entry (makespan, per-phase and per-rank aggregates — see [`RunEntry`])
+/// ready to be pushed into a [`RunReport`].
 pub fn run_md_world(
     model: simcomm::MachineModel,
     p: usize,
     crystal: &particles::IonicCrystal,
     dist: particles::InitialDistribution,
     cfg: &mdsim::SimConfig,
-) -> (Vec<StepRecord>, f64, f64) {
+) -> (Vec<StepRecord>, f64, RunEntry) {
     let bbox = particles::ParticleSource::system_box(crystal);
     let crystal = crystal.clone();
     let cfg = cfg.clone();
@@ -105,7 +111,19 @@ pub fn run_md_world(
     let per_rank: Vec<Vec<StepRecord>> = out.results.iter().map(|r| r.records.clone()).collect();
     let agg = aggregate_steps(&per_rank);
     let rms = out.results[0].rms_displacement;
-    (agg, rms, out.makespan())
+    (agg, rms, RunEntry::from_run(&out))
+}
+
+/// Print the one-line report summary every harness emits after writing its
+/// JSON report: path, entry count, and the worst accounting error (see
+/// [`RunEntry::decomposition_error`]).
+pub fn report_summary(path: &std::path::Path, report: &RunReport) {
+    println!(
+        "wrote {} ({} runs; phase times sum to rank clocks within {:.1e} s)",
+        path.display(),
+        report.runs.len(),
+        report.decomposition_error().max(1e-15)
+    );
 }
 
 /// Aggregate per-rank step records into per-step maxima (the slowest rank

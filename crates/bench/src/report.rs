@@ -1,0 +1,570 @@
+//! Machine-readable run reports.
+//!
+//! Every figure harness and the ablation binary emit a [`RunReport`] as
+//! `results/<name>_report.json` next to their CSV output. A report captures
+//! the workload parameters, the machine model, and for every world executed a
+//! [`RunEntry`]: makespan, per-phase aggregate table (critical path, mean,
+//! imbalance, traffic) and per-rank totals. All times are **virtual seconds**
+//! of the simulated machine model; all sizes are bytes. See
+//! `docs/OBSERVABILITY.md` for the full field reference.
+
+use std::path::PathBuf;
+
+use simcomm::{PhaseAgg, RankStats, RunOutput};
+
+use crate::json::Json;
+
+/// Current report schema version (bumped on breaking field changes).
+pub const REPORT_SCHEMA: u64 = 1;
+
+/// One JSON report file: workload description plus one entry per world run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunReport {
+    /// Schema version ([`REPORT_SCHEMA`]).
+    pub schema: u64,
+    /// Which harness produced the report (`"fig6"` … `"ablation"`).
+    pub figure: String,
+    /// Machine model name (`"juropa_like"`, `"juqueen_like"`, `"ideal"`, or
+    /// `"mixed"` when entries use different models).
+    pub machine: String,
+    /// Workload parameters as key/value strings (cells, steps, tolerance, …).
+    pub params: Vec<(String, String)>,
+    /// One entry per simulated world, in execution order.
+    pub runs: Vec<RunEntry>,
+}
+
+/// Aggregates of one simulated world execution.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunEntry {
+    /// What this run was (`"fmm/methodA"`, `"p=256 random"`, …).
+    pub label: String,
+    /// World size (number of simulated ranks).
+    pub nranks: usize,
+    /// Maximum final rank clock — the run's makespan in virtual seconds.
+    pub makespan: f64,
+    /// Mean final rank clock in virtual seconds. The per-phase
+    /// `mean_seconds` (including `"(untagged)"`) sum to this within rounding.
+    pub mean_clock: f64,
+    /// Per-phase cross-rank aggregates, `"(untagged)"` last.
+    pub phases: Vec<PhaseRow>,
+    /// Per-rank totals, indexed by rank.
+    pub ranks: Vec<RankRow>,
+}
+
+/// Cross-rank aggregate of one phase (the serialized form of
+/// [`simcomm::PhaseAgg`]).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PhaseRow {
+    /// Phase name (`"(untagged)"` for the remainder row).
+    pub name: String,
+    /// Spans entered, summed over ranks.
+    pub spans: u64,
+    /// Critical path: maximum over ranks of the attributed virtual seconds.
+    pub max_seconds: f64,
+    /// Mean over ranks of the attributed virtual seconds.
+    pub mean_seconds: f64,
+    /// Imbalance ratio `max/mean` (1.0 when the mean is zero).
+    pub imbalance: f64,
+    /// Mean over ranks of the communication-transfer virtual seconds.
+    pub mean_comm_seconds: f64,
+    /// Mean over ranks of the rendezvous-wait virtual seconds.
+    pub mean_wait_seconds: f64,
+    /// Mean over ranks of the modelled-compute virtual seconds.
+    pub mean_compute_seconds: f64,
+    /// Point-to-point messages sent, summed over ranks.
+    pub p2p_msgs: u64,
+    /// Point-to-point bytes sent, summed over ranks.
+    pub p2p_bytes: u64,
+    /// Collective operations entered, summed over ranks.
+    pub coll_ops: u64,
+    /// Bytes contributed to collectives, summed over ranks.
+    pub coll_bytes: u64,
+}
+
+/// Totals of one rank (the serialized form of [`simcomm::RankStats`] plus the
+/// final clock).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RankRow {
+    /// Rank index.
+    pub rank: usize,
+    /// Final virtual clock in seconds
+    /// (= `comm_seconds + wait_seconds + compute_seconds`).
+    pub clock: f64,
+    /// Virtual seconds of modelled communication transfer cost.
+    pub comm_seconds: f64,
+    /// Virtual seconds idle in rendezvous.
+    pub wait_seconds: f64,
+    /// Virtual seconds of modelled computation.
+    pub compute_seconds: f64,
+    /// Point-to-point messages sent.
+    pub p2p_sent_msgs: u64,
+    /// Point-to-point bytes sent.
+    pub p2p_sent_bytes: u64,
+    /// Point-to-point messages received.
+    pub p2p_recv_msgs: u64,
+    /// Point-to-point bytes received.
+    pub p2p_recv_bytes: u64,
+    /// Collective operations entered.
+    pub coll_ops: u64,
+    /// Bytes contributed to collective operations.
+    pub coll_bytes: u64,
+}
+
+impl RunEntry {
+    /// Build an entry from a finished world run (label set to `""`; fill it
+    /// in before pushing the entry into a report).
+    pub fn from_run<R>(out: &RunOutput<R>) -> RunEntry {
+        Self::from_parts(&out.phase_table(), &out.stats, &out.clocks)
+    }
+
+    /// Build an entry from the world's aggregate pieces.
+    pub fn from_parts(table: &[PhaseAgg], stats: &[RankStats], clocks: &[f64]) -> RunEntry {
+        let nranks = clocks.len();
+        RunEntry {
+            label: String::new(),
+            nranks,
+            makespan: clocks.iter().cloned().fold(0.0, f64::max),
+            mean_clock: clocks.iter().sum::<f64>() / nranks.max(1) as f64,
+            phases: table
+                .iter()
+                .map(|a| PhaseRow {
+                    name: a.name.to_string(),
+                    spans: a.spans,
+                    max_seconds: a.max_seconds,
+                    mean_seconds: a.mean_seconds,
+                    imbalance: a.imbalance,
+                    mean_comm_seconds: a.mean_comm_seconds,
+                    mean_wait_seconds: a.mean_wait_seconds,
+                    mean_compute_seconds: a.mean_compute_seconds,
+                    p2p_msgs: a.p2p_msgs,
+                    p2p_bytes: a.p2p_bytes,
+                    coll_ops: a.coll_ops,
+                    coll_bytes: a.coll_bytes,
+                })
+                .collect(),
+            ranks: stats
+                .iter()
+                .zip(clocks)
+                .enumerate()
+                .map(|(rank, (s, &clock))| RankRow {
+                    rank,
+                    clock,
+                    comm_seconds: s.comm_seconds,
+                    wait_seconds: s.wait_seconds,
+                    compute_seconds: s.compute_seconds,
+                    p2p_sent_msgs: s.p2p_sent_msgs,
+                    p2p_sent_bytes: s.p2p_sent_bytes,
+                    p2p_recv_msgs: s.p2p_recv_msgs,
+                    p2p_recv_bytes: s.p2p_recv_bytes,
+                    coll_ops: s.coll_ops,
+                    coll_bytes: s.coll_bytes,
+                })
+                .collect(),
+        }
+    }
+
+    /// Largest violation of the accounting invariants, in virtual seconds:
+    /// per rank `|clock − (comm + wait + compute)|`, and across phases
+    /// `|Σ mean_seconds − mean_clock|`. Zero up to floating-point rounding
+    /// for every entry the harnesses produce.
+    pub fn decomposition_error(&self) -> f64 {
+        let rank_err = self
+            .ranks
+            .iter()
+            .map(|r| (r.clock - (r.comm_seconds + r.wait_seconds + r.compute_seconds)).abs())
+            .fold(0.0, f64::max);
+        let phase_sum: f64 = self.phases.iter().map(|p| p.mean_seconds).sum();
+        rank_err.max((phase_sum - self.mean_clock).abs())
+    }
+
+    /// Virtual seconds attributed to phases whose name starts with `prefix`
+    /// (mean over ranks). E.g. `share_of("sort")` covers `sort`,
+    /// `sort:exchange`, ….
+    pub fn mean_seconds_of(&self, prefix: &str) -> f64 {
+        self.phases
+            .iter()
+            .filter(|p| p.name.starts_with(prefix))
+            .map(|p| p.mean_seconds)
+            .sum()
+    }
+}
+
+impl RunReport {
+    /// Create an empty report.
+    pub fn new(figure: &str, machine: &str) -> RunReport {
+        RunReport {
+            schema: REPORT_SCHEMA,
+            figure: figure.to_string(),
+            machine: machine.to_string(),
+            params: Vec::new(),
+            runs: Vec::new(),
+        }
+    }
+
+    /// Record a workload parameter.
+    pub fn param(&mut self, key: &str, value: impl std::fmt::Display) {
+        self.params.push((key.to_string(), value.to_string()));
+    }
+
+    /// Add a run entry under the given label.
+    pub fn push(&mut self, label: impl Into<String>, mut entry: RunEntry) {
+        entry.label = label.into();
+        self.runs.push(entry);
+    }
+
+    /// Largest [`RunEntry::decomposition_error`] across entries.
+    pub fn decomposition_error(&self) -> f64 {
+        self.runs.iter().map(|r| r.decomposition_error()).fold(0.0, f64::max)
+    }
+
+    /// Serialize to the JSON document structure.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema", Json::Num(self.schema as f64)),
+            ("figure", Json::Str(self.figure.clone())),
+            ("machine", Json::Str(self.machine.clone())),
+            (
+                "params",
+                Json::Obj(
+                    self.params
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                        .collect(),
+                ),
+            ),
+            (
+                "runs",
+                Json::Arr(self.runs.iter().map(run_to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Parse a report back from JSON (inverse of [`RunReport::to_json`]).
+    pub fn from_json(v: &Json) -> Result<RunReport, String> {
+        let schema = field_u64(v, "schema")?;
+        if schema != REPORT_SCHEMA {
+            return Err(format!("unsupported report schema {schema}"));
+        }
+        Ok(RunReport {
+            schema,
+            figure: field_str(v, "figure")?,
+            machine: field_str(v, "machine")?,
+            params: match v.get("params") {
+                Some(Json::Obj(pairs)) => pairs
+                    .iter()
+                    .map(|(k, val)| {
+                        val.as_str()
+                            .map(|s| (k.clone(), s.to_string()))
+                            .ok_or_else(|| format!("param '{k}' is not a string"))
+                    })
+                    .collect::<Result<_, _>>()?,
+                _ => return Err("missing 'params' object".into()),
+            },
+            runs: v
+                .get("runs")
+                .and_then(Json::as_arr)
+                .ok_or("missing 'runs' array")?
+                .iter()
+                .map(run_from_json)
+                .collect::<Result<_, _>>()?,
+        })
+    }
+
+    /// Write the report to `results/<name>_report.json`; returns the path.
+    pub fn write(&self, name: &str) -> PathBuf {
+        let dir = std::path::Path::new("results");
+        std::fs::create_dir_all(dir).expect("create results dir");
+        let path = dir.join(format!("{name}_report.json"));
+        std::fs::write(&path, self.to_json().pretty()).expect("write report");
+        path
+    }
+}
+
+fn run_to_json(r: &RunEntry) -> Json {
+    Json::obj(vec![
+        ("label", Json::Str(r.label.clone())),
+        ("nranks", Json::Num(r.nranks as f64)),
+        ("makespan", Json::Num(r.makespan)),
+        ("mean_clock", Json::Num(r.mean_clock)),
+        (
+            "phases",
+            Json::Arr(
+                r.phases
+                    .iter()
+                    .map(|p| {
+                        Json::obj(vec![
+                            ("name", Json::Str(p.name.clone())),
+                            ("spans", Json::Num(p.spans as f64)),
+                            ("max_seconds", Json::Num(p.max_seconds)),
+                            ("mean_seconds", Json::Num(p.mean_seconds)),
+                            ("imbalance", Json::Num(p.imbalance)),
+                            ("mean_comm_seconds", Json::Num(p.mean_comm_seconds)),
+                            ("mean_wait_seconds", Json::Num(p.mean_wait_seconds)),
+                            ("mean_compute_seconds", Json::Num(p.mean_compute_seconds)),
+                            ("p2p_msgs", Json::Num(p.p2p_msgs as f64)),
+                            ("p2p_bytes", Json::Num(p.p2p_bytes as f64)),
+                            ("coll_ops", Json::Num(p.coll_ops as f64)),
+                            ("coll_bytes", Json::Num(p.coll_bytes as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "ranks",
+            Json::Arr(
+                r.ranks
+                    .iter()
+                    .map(|k| {
+                        Json::obj(vec![
+                            ("rank", Json::Num(k.rank as f64)),
+                            ("clock", Json::Num(k.clock)),
+                            ("comm_seconds", Json::Num(k.comm_seconds)),
+                            ("wait_seconds", Json::Num(k.wait_seconds)),
+                            ("compute_seconds", Json::Num(k.compute_seconds)),
+                            ("p2p_sent_msgs", Json::Num(k.p2p_sent_msgs as f64)),
+                            ("p2p_sent_bytes", Json::Num(k.p2p_sent_bytes as f64)),
+                            ("p2p_recv_msgs", Json::Num(k.p2p_recv_msgs as f64)),
+                            ("p2p_recv_bytes", Json::Num(k.p2p_recv_bytes as f64)),
+                            ("coll_ops", Json::Num(k.coll_ops as f64)),
+                            ("coll_bytes", Json::Num(k.coll_bytes as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn field_f64(v: &Json, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("missing number field '{key}'"))
+}
+
+fn field_u64(v: &Json, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing integer field '{key}'"))
+}
+
+fn field_str(v: &Json, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing string field '{key}'"))
+}
+
+fn run_from_json(v: &Json) -> Result<RunEntry, String> {
+    Ok(RunEntry {
+        label: field_str(v, "label")?,
+        nranks: field_u64(v, "nranks")? as usize,
+        makespan: field_f64(v, "makespan")?,
+        mean_clock: field_f64(v, "mean_clock")?,
+        phases: v
+            .get("phases")
+            .and_then(Json::as_arr)
+            .ok_or("missing 'phases' array")?
+            .iter()
+            .map(|p| {
+                Ok(PhaseRow {
+                    name: field_str(p, "name")?,
+                    spans: field_u64(p, "spans")?,
+                    max_seconds: field_f64(p, "max_seconds")?,
+                    mean_seconds: field_f64(p, "mean_seconds")?,
+                    imbalance: field_f64(p, "imbalance")?,
+                    mean_comm_seconds: field_f64(p, "mean_comm_seconds")?,
+                    mean_wait_seconds: field_f64(p, "mean_wait_seconds")?,
+                    mean_compute_seconds: field_f64(p, "mean_compute_seconds")?,
+                    p2p_msgs: field_u64(p, "p2p_msgs")?,
+                    p2p_bytes: field_u64(p, "p2p_bytes")?,
+                    coll_ops: field_u64(p, "coll_ops")?,
+                    coll_bytes: field_u64(p, "coll_bytes")?,
+                })
+            })
+            .collect::<Result<_, String>>()?,
+        ranks: v
+            .get("ranks")
+            .and_then(Json::as_arr)
+            .ok_or("missing 'ranks' array")?
+            .iter()
+            .map(|k| {
+                Ok(RankRow {
+                    rank: field_u64(k, "rank")? as usize,
+                    clock: field_f64(k, "clock")?,
+                    comm_seconds: field_f64(k, "comm_seconds")?,
+                    wait_seconds: field_f64(k, "wait_seconds")?,
+                    compute_seconds: field_f64(k, "compute_seconds")?,
+                    p2p_sent_msgs: field_u64(k, "p2p_sent_msgs")?,
+                    p2p_sent_bytes: field_u64(k, "p2p_sent_bytes")?,
+                    p2p_recv_msgs: field_u64(k, "p2p_recv_msgs")?,
+                    p2p_recv_bytes: field_u64(k, "p2p_recv_bytes")?,
+                    coll_ops: field_u64(k, "coll_ops")?,
+                    coll_bytes: field_u64(k, "coll_bytes")?,
+                })
+            })
+            .collect::<Result<_, String>>()?,
+    })
+}
+
+/// Render an entry's phase table as aligned human-readable text (the format
+/// the `commstats` binary prints).
+pub fn format_phase_table(entry: &RunEntry) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<16} {:>6} {:>11} {:>11} {:>7} {:>11} {:>11} {:>11} {:>10} {:>12} {:>8} {:>12}",
+        "phase",
+        "spans",
+        "max[s]",
+        "mean[s]",
+        "imbal",
+        "comm[s]",
+        "wait[s]",
+        "compute[s]",
+        "p2p msgs",
+        "p2p bytes",
+        "colls",
+        "coll bytes"
+    );
+    for p in &entry.phases {
+        let _ = writeln!(
+            out,
+            "{:<16} {:>6} {:>11} {:>11} {:>7.2} {:>11} {:>11} {:>11} {:>10} {:>12} {:>8} {:>12}",
+            p.name,
+            p.spans,
+            crate::fmt_secs(p.max_seconds),
+            crate::fmt_secs(p.mean_seconds),
+            p.imbalance,
+            crate::fmt_secs(p.mean_comm_seconds),
+            crate::fmt_secs(p.mean_wait_seconds),
+            crate::fmt_secs(p.mean_compute_seconds),
+            p.p2p_msgs,
+            p.p2p_bytes,
+            p.coll_ops,
+            p.coll_bytes
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{:<16} {:>6} {:>11} {:>11}",
+        "(total)",
+        "",
+        crate::fmt_secs(entry.makespan),
+        crate::fmt_secs(entry.mean_clock)
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> RunReport {
+        let mut report = RunReport::new("figX", "juropa_like");
+        report.param("cells", 24);
+        report.param("tolerance", 1e-3);
+        let entry = RunEntry {
+            label: String::new(),
+            nranks: 2,
+            makespan: 3.5,
+            mean_clock: 3.0,
+            phases: vec![
+                PhaseRow {
+                    name: "sort".into(),
+                    spans: 4,
+                    max_seconds: 2.0,
+                    mean_seconds: 1.75,
+                    imbalance: 1.14,
+                    mean_comm_seconds: 0.5,
+                    mean_wait_seconds: 0.25,
+                    mean_compute_seconds: 1.0,
+                    p2p_msgs: 12,
+                    p2p_bytes: 4096,
+                    coll_ops: 3,
+                    coll_bytes: 128,
+                },
+                PhaseRow { name: "(untagged)".into(), mean_seconds: 1.25, ..Default::default() },
+            ],
+            ranks: vec![
+                RankRow {
+                    rank: 0,
+                    clock: 2.5,
+                    comm_seconds: 1.0,
+                    wait_seconds: 0.5,
+                    compute_seconds: 1.0,
+                    p2p_sent_msgs: 6,
+                    p2p_sent_bytes: 2048,
+                    p2p_recv_msgs: 6,
+                    p2p_recv_bytes: 2048,
+                    coll_ops: 3,
+                    coll_bytes: 64,
+                },
+                RankRow {
+                    rank: 1,
+                    clock: 3.5,
+                    comm_seconds: 1.5,
+                    wait_seconds: 0.5,
+                    compute_seconds: 1.5,
+                    ..Default::default()
+                },
+            ],
+        };
+        report.push("methodA", entry);
+        report
+    }
+
+    #[test]
+    fn json_round_trip_preserves_report() {
+        let report = sample_report();
+        let text = report.to_json().pretty();
+        let back = RunReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn decomposition_error_detects_violations() {
+        let mut report = sample_report();
+        // The sample is exactly consistent.
+        assert!(report.decomposition_error() < 1e-12);
+        report.runs[0].ranks[1].wait_seconds += 0.25;
+        assert!(report.decomposition_error() > 0.2);
+    }
+
+    #[test]
+    fn mean_seconds_of_matches_prefix() {
+        let report = sample_report();
+        assert!((report.runs[0].mean_seconds_of("sort") - 1.75).abs() < 1e-12);
+        assert_eq!(report.runs[0].mean_seconds_of("nosuch"), 0.0);
+    }
+
+    #[test]
+    fn phase_table_renders_all_rows() {
+        let report = sample_report();
+        let text = format_phase_table(&report.runs[0]);
+        assert!(text.contains("sort"));
+        assert!(text.contains("(untagged)"));
+        assert!(text.contains("(total)"));
+    }
+
+    #[test]
+    fn from_run_collects_phase_and_rank_tables() {
+        let out = simcomm::run(2, simcomm::MachineModel::juropa_like(), |comm| {
+            comm.enter_phase("work");
+            if comm.rank() == 0 {
+                comm.send(1, 0, vec![1u8; 64]);
+            } else {
+                let _: Vec<u8> = comm.recv(0, 0);
+            }
+            comm.exit_phase();
+            comm.barrier();
+        });
+        let entry = RunEntry::from_run(&out);
+        assert_eq!(entry.nranks, 2);
+        assert!(entry.makespan > 0.0);
+        assert_eq!(entry.phases.first().map(|p| p.name.as_str()), Some("work"));
+        assert_eq!(entry.phases.last().map(|p| p.name.as_str()), Some("(untagged)"));
+        assert!(entry.decomposition_error() < 1e-9);
+    }
+}

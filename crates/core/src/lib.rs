@@ -188,6 +188,27 @@ impl Fcs {
 
     /// Enable Method B: return the changed (solver-specific) particle order
     /// and distribution instead of restoring the original one.
+    ///
+    /// ```
+    /// use fcs::{Fcs, SolverKind};
+    /// use particles::{SystemBox, Vec3};
+    ///
+    /// let out = simcomm::run(2, simcomm::MachineModel::ideal(), |comm| {
+    ///     let r = comm.rank() as f64;
+    ///     let pos = vec![Vec3::new(1.0 + r, 1.0, 1.0), Vec3::new(1.0 + r, 2.5, 2.0)];
+    ///     let charge = vec![1.0, -1.0];
+    ///     let id = vec![2 * comm.rank() as u64, 2 * comm.rank() as u64 + 1];
+    ///
+    ///     let mut h = Fcs::init(SolverKind::Fmm, comm.size());
+    ///     h.set_common(SystemBox::cubic(4.0));
+    ///     h.tune(comm, &pos, &charge);
+    ///     h.set_resort(true); // Method B: keep the solver's particle order
+    ///     let o = h.run(comm, &pos, &charge, &id, usize::MAX);
+    ///     assert!(h.resorted());
+    ///     o.pos.len() // the *changed* local particle count
+    /// });
+    /// assert_eq!(out.results.iter().sum::<usize>(), 4); // no particles lost
+    /// ```
     pub fn set_resort(&mut self, enabled: bool) {
         self.resort_enabled = enabled;
     }
@@ -196,6 +217,33 @@ impl Fcs {
     /// `run`. Solvers use this to switch to cheaper redistribution paths
     /// (merge-based sorting / neighbourhood communication). Reset to
     /// "unknown" by passing `None`.
+    ///
+    /// ```
+    /// use fcs::{Fcs, SolverKind};
+    /// use particles::{SystemBox, Vec3};
+    ///
+    /// simcomm::run(2, simcomm::MachineModel::ideal(), |comm| {
+    ///     let r = comm.rank() as f64;
+    ///     let mut pos = vec![Vec3::new(1.0 + r, 1.0, 1.0), Vec3::new(1.0 + r, 2.5, 2.0)];
+    ///     let charge = vec![1.0, -1.0];
+    ///     let id = vec![2 * comm.rank() as u64, 2 * comm.rank() as u64 + 1];
+    ///
+    ///     let mut h = Fcs::init(SolverKind::Fmm, comm.size());
+    ///     h.set_common(SystemBox::cubic(4.0));
+    ///     h.tune(comm, &pos, &charge);
+    ///     h.set_resort(true);
+    ///     h.run(comm, &pos, &charge, &id, usize::MAX);
+    ///
+    ///     // Particles drifted a little since the previous execution: tell
+    ///     // the library, so the next run may use the cheaper merge-based
+    ///     // redistribution instead of a full parallel sort.
+    ///     for p in &mut pos {
+    ///         *p = *p + Vec3::new(0.01, 0.0, 0.0);
+    ///     }
+    ///     h.set_max_particle_move(Some(0.01));
+    ///     h.run(comm, &pos, &charge, &id, usize::MAX);
+    /// });
+    /// ```
     pub fn set_max_particle_move(&mut self, movement: MovementHint) {
         self.max_move = movement;
     }
@@ -264,6 +312,7 @@ impl Fcs {
         } else {
             RedistMethod::RestoreOriginal
         };
+        comm.enter_phase("solver");
         let out = match solver {
             SolverInstance::Fmm(s) => {
                 let o = s.run(comm, pos, charge, id, method, self.max_move, max_local);
@@ -285,6 +334,7 @@ impl Fcs {
                 o
             }
         };
+        comm.exit_phase();
         self.last_resorted = out.resorted;
         self.last_resort_indices = out.resort_indices.clone();
         self.last_new_len = out.pos.len();
@@ -307,6 +357,31 @@ impl Fcs {
     /// `fcs_resort_floats`: redistribute additional per-particle `f64` data
     /// from the original order into the changed order of the most recent
     /// `run`. Must only be called when [`Fcs::resorted`] is true. Collective.
+    ///
+    /// ```
+    /// use fcs::{Fcs, SolverKind};
+    /// use particles::{SystemBox, Vec3};
+    ///
+    /// simcomm::run(2, simcomm::MachineModel::ideal(), |comm| {
+    ///     let r = comm.rank() as f64;
+    ///     let pos = vec![Vec3::new(1.0 + r, 1.0, 1.0), Vec3::new(1.0 + r, 2.5, 2.0)];
+    ///     let charge = vec![1.0, -1.0];
+    ///     let id = vec![2 * comm.rank() as u64, 2 * comm.rank() as u64 + 1];
+    ///
+    ///     let mut h = Fcs::init(SolverKind::Fmm, comm.size());
+    ///     h.set_common(SystemBox::cubic(4.0));
+    ///     h.tune(comm, &pos, &charge);
+    ///     h.set_resort(true);
+    ///     h.run(comm, &pos, &charge, &id, usize::MAX);
+    ///     assert!(h.resorted());
+    ///
+    ///     // Additional per-particle data (here: masses, keyed by particle
+    ///     // id) follows the particles into the changed distribution.
+    ///     let mass: Vec<f64> = id.iter().map(|&i| 1.0 + i as f64).collect();
+    ///     let mass_new = h.resort_floats(comm, &mass);
+    ///     assert_eq!(mass_new.len(), h.resort_len());
+    /// });
+    /// ```
     pub fn resort_floats(&self, comm: &mut Comm, data: &[f64]) -> Vec<f64> {
         self.resort_data(comm, data)
     }

@@ -130,6 +130,7 @@ impl EwaldSolver {
         let mut field = vec![Vec3::ZERO; n];
 
         // ---- Real space: systolic ring pass ----
+        comm.enter_phase("near");
         let alpha = self.cfg.alpha;
         let rcut2 = self.cfg.rcut * self.cfg.rcut;
         let mut pairs = 0u64;
@@ -185,8 +186,10 @@ impl EwaldSolver {
         }
         comm.compute(Work::Interaction, pairs as f64);
         self.last_report.near_pairs = pairs;
+        comm.exit_phase();
 
         // ---- Reciprocal space: local structure factors + allreduce ----
+        comm.enter_phase("far");
         let l = self.bbox.lengths;
         let volume = self.bbox.volume();
         let two_pi = 2.0 * std::f64::consts::PI;
@@ -239,6 +242,7 @@ impl EwaldSolver {
             }
         }
         comm.compute(Work::MeshPoint, (n * kvecs.len()) as f64);
+        comm.exit_phase();
 
         // ---- Self-energy ----
         let self_term = 2.0 * alpha / std::f64::consts::PI.sqrt();

@@ -163,6 +163,7 @@ impl FmmSolver {
         let p = comm.size();
         self.last_report = FmmRunReport::default();
         let t_start = comm.clock();
+        comm.enter_phase("sort");
 
         // --- Keys and records ---
         let mut keys: Vec<u64> = Vec::with_capacity(n_in);
@@ -196,6 +197,7 @@ impl FmmSolver {
         // --- Align cells to rank boundaries (each leaf cell wholly owned by
         // the lowest rank holding any of its particles) ---
         self.align_cells(comm, &mut keys, &mut recs);
+        comm.exit_phase();
         let t_sorted = comm.clock();
 
         // --- Compute near + far field on the sorted particles ---
@@ -210,8 +212,10 @@ impl FmmSolver {
         let original_len = n_in;
         match method {
             RedistMethod::RestoreOriginal => {
+                comm.enter_phase("restore");
                 let mut out =
                     self.restore_original(comm, &recs, &potential, &field, original_len);
+                comm.exit_phase();
                 out.timings = SolverTimings {
                     sort: t_sorted - t_start,
                     compute: t_computed - t_sorted,
@@ -228,8 +232,10 @@ impl FmmSolver {
                 let fits = recs.len() <= max_local;
                 let all_fit = comm.allreduce(fits, |a, b| a && b);
                 if !all_fit {
+                    comm.enter_phase("restore");
                     let mut out =
                         self.restore_original(comm, &recs, &potential, &field, original_len);
+                    comm.exit_phase();
                     out.timings = SolverTimings {
                         sort: t_sorted - t_start,
                         compute: t_computed - t_sorted,
@@ -240,7 +246,9 @@ impl FmmSolver {
                     return out;
                 }
                 let origin: Vec<u64> = recs.iter().map(|r| r.origin).collect();
+                comm.enter_phase("resort");
                 let resort_indices = build_resort_indices(comm, &origin, original_len);
+                comm.exit_phase();
                 let t_resort = comm.clock();
                 let out = SolverOutput {
                     pos: recs.iter().map(|r| r.pos).collect(),
@@ -396,6 +404,7 @@ impl FmmSolver {
         // ---- Ghost exchange for the near field ----
         // For each local cell, ranks owning (wrapped) neighbour keys receive a
         // copy of the cell's particles.
+        comm.enter_phase("near");
         let mut ghost_sends: HashMap<usize, Vec<FmmParticle>> = HashMap::new();
         for (k, range) in &leaf_cells {
             let mut dests: HashSet<usize> = HashSet::new();
@@ -428,8 +437,10 @@ impl FmmSolver {
             Work::ByteCopy,
             (ghost_count as usize * std::mem::size_of::<FmmParticle>()) as f64,
         );
+        comm.exit_phase();
 
         // ---- Upward pass: P2M + M2M (partial multipoles per level) ----
+        comm.enter_phase("tree");
         // levels: index l in 0..=leaf_level; multipoles[l]: key -> coeffs.
         let mut multipoles: Vec<HashMap<u64, Vec<f64>>> =
             (0..=leaf_level).map(|_| HashMap::new()).collect();
@@ -473,7 +484,10 @@ impl FmmSolver {
             targets[l as usize - 1] = up;
         }
 
+        comm.exit_phase();
+
         // ---- Locally essential multipoles: request remote (partial)
+        comm.enter_phase("far");
         // multipoles for all interaction-list source cells ----
         // A cell (l, k) spans leaf keys [k << s, (k+1) << s) with s = 3*(L-l);
         // every rank whose range intersects that interval may hold a partial.
@@ -588,6 +602,7 @@ impl FmmSolver {
             );
         }
         comm.compute(Work::ExpansionTerm, (m2l_count as usize * nc * nc) as f64);
+        comm.exit_phase();
         self.last_report.m2l_count = m2l_count;
 
         // ---- Evaluation: L2P + near-field P2P ----
@@ -667,8 +682,8 @@ impl FmmSolver {
                 }
             }
         }
-        comm.compute(Work::Interaction, p2p_pairs as f64);
-        comm.compute(Work::ExpansionTerm, (n * nc * 4) as f64);
+        comm.with_phase("near", |c| c.compute(Work::Interaction, p2p_pairs as f64));
+        comm.with_phase("far", |c| c.compute(Work::ExpansionTerm, (n * nc * 4) as f64));
         self.last_report.p2p_pairs = p2p_pairs;
 
         (potential, field)

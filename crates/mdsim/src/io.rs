@@ -10,8 +10,7 @@ use particles::{ParticleSet, SystemBox, Vec3};
 
 /// A complete, self-describing simulation snapshot (one rank's share or a
 /// gathered world state).
-#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
-#[serde(deny_unknown_fields)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Snapshot {
     /// The system box.
     pub bbox: SystemBox,

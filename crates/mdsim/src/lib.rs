@@ -98,7 +98,7 @@ impl Default for SimConfig {
 }
 
 /// Per-step timing and diagnostics record (virtual seconds).
-#[derive(Clone, Copy, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct StepRecord {
     /// Time step index (0 = the initial interaction computation).
     pub step: usize,
@@ -262,7 +262,9 @@ pub fn simulate_from(comm: &mut Comm, snapshot: io::Snapshot, cfg: &SimConfig) -
                 .zip(charge.iter())
                 .map(|(e, q)| *e * (q * inv_mass)),
         );
-        comm.compute(simcomm::Work::ParticleOp, pos.len() as f64);
+        comm.with_phase("integrate", |c| {
+            c.compute(simcomm::Work::ParticleOp, pos.len() as f64)
+        });
         rec.total = comm.clock() - t0;
         (rec, out.potential)
     };
@@ -285,6 +287,7 @@ pub fn simulate_from(comm: &mut Comm, snapshot: io::Snapshot, cfg: &SimConfig) -
     // Simulation loop (lines 8-12 of Fig. 3).
     for step in 1..=cfg.steps {
         // Positions x_{i+1} (Eq. 1), tracking the maximum movement.
+        comm.enter_phase("integrate");
         let mut max_move2: f64 = 0.0;
         for i in 0..pos.len() {
             let delta = vel[i] * cfg.dt + accel[i] * (0.5 * cfg.dt * cfg.dt);
@@ -309,6 +312,7 @@ pub fn simulate_from(comm: &mut Comm, snapshot: io::Snapshot, cfg: &SimConfig) -
             *v += *a * (0.5 * cfg.dt);
         }
         comm.compute(simcomm::Work::ParticleOp, pos.len() as f64);
+        comm.exit_phase();
 
         // fcs_run + data handling (line 10).
         let (mut rec, potential) = run_solver(
@@ -323,6 +327,7 @@ pub fn simulate_from(comm: &mut Comm, snapshot: io::Snapshot, cfg: &SimConfig) -
         );
 
         // Velocities v_{i+1} (Eq. 2, second half-kick).
+        comm.enter_phase("integrate");
         for (v, a) in vel.iter_mut().zip(accel.iter()) {
             *v += *a * (0.5 * cfg.dt);
         }
@@ -331,6 +336,7 @@ pub fn simulate_from(comm: &mut Comm, snapshot: io::Snapshot, cfg: &SimConfig) -
         rec.step = start_step + step;
         rec.max_move = max_move;
         rec.energy = total_energy(comm, &potential, &charge, &vel, cfg.mass);
+        comm.exit_phase();
         records.push(rec);
     }
 

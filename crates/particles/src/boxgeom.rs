@@ -9,7 +9,7 @@
 use crate::vec3::Vec3;
 
 /// An axis-aligned, optionally periodic system box.
-#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SystemBox {
     /// Lower corner of the box.
     pub offset: Vec3,

@@ -6,7 +6,7 @@ use crate::vec3::Vec3;
 
 /// Which particle data redistribution method a solver execution uses
 /// (the two methods of the paper, Sect. III).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RedistMethod {
     /// Method A: hide all reordering/redistribution inside the library and
     /// restore the original particle order and distribution (Sect. III-A).
@@ -30,7 +30,7 @@ pub type MovementHint = Option<f64>;
 /// the paper's wording). The range of the core must stay below the solvers'
 /// near-field reach (one cell / the cutoff radius), which holds for any
 /// `sigma` below the mean inter-particle spacing.
-#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SoftCore {
     /// Energy scale of the repulsion.
     pub epsilon: f64,
@@ -64,7 +64,7 @@ impl SoftCore {
 
 /// Virtual-time breakdown of one solver execution, mirroring the quantities
 /// the paper's figures report (sort / restore / resort / total).
-#[derive(Clone, Copy, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct SolverTimings {
     /// Redistributing/sorting particles into the solver's decomposition.
     pub sort: f64,

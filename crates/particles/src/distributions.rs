@@ -93,7 +93,7 @@ impl ParticleSource for RandomGas {
 }
 
 /// The three initial distributions compared in the paper (Sect. IV-B).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum InitialDistribution {
     /// All particles on process 0.
     SingleProcess,

@@ -188,6 +188,7 @@ impl PmSolver {
         };
 
         // --- Redistribute particles to their subdomain owners ---
+        comm.enter_phase("sort");
         let mut records: Vec<PmParticle> = Vec::with_capacity(n_in);
         let mut targets: Vec<usize> = Vec::with_capacity(n_in);
         for i in 0..n_in {
@@ -222,8 +223,10 @@ impl PmSolver {
             Work::SortCmp,
             (owned.len().max(2) as f64) * (owned.len().max(2) as f64).log2(),
         );
+        comm.exit_phase();
 
         // --- Ghost exchange: duplicate boundary particles to neighbours
+        comm.enter_phase("ghosts");
         // within the cutoff (always point-to-point with the 26 grid
         // neighbours; ghosts are born with an invalid index value) ---
         let rcut = self.cfg.rcut;
@@ -274,9 +277,11 @@ impl PmSolver {
         ghosts.dedup_by(|a, b| a.id == b.id && a.pos == b.pos);
         self.last_report.ghosts_received = ghosts.len() as u64;
         let _ = bbox;
+        comm.exit_phase();
         let t_sorted = comm.clock();
 
         // --- Near field (linked cells) + far field (mesh) ---
+        comm.enter_phase("near");
         let owned_pos: Vec<Vec3> = owned.iter().map(|r| r.pos).collect();
         let owned_charge: Vec<f64> = owned.iter().map(|r| r.charge).collect();
         let ghost_pos: Vec<Vec3> = ghosts.iter().map(|r| r.pos).collect();
@@ -294,7 +299,9 @@ impl PmSolver {
         );
         comm.compute(Work::Interaction, pairs as f64);
         self.last_report.near_pairs = pairs;
+        comm.exit_phase();
 
+        comm.enter_phase("far");
         let plan = FarFieldPlan {
             mesh: self.cfg.mesh,
             assign_order: self.cfg.assign_order,
@@ -312,6 +319,7 @@ impl PmSolver {
             potential[i] += far_phi[i];
             field[i] += far_field[i];
         }
+        comm.exit_phase();
         // Synchronize before the redistribution phase so that compute load
         // imbalance is attributed to the computation, not to the timing of
         // the redistribution that happens to follow it.
@@ -321,7 +329,9 @@ impl PmSolver {
         // --- Redistribution back to the application ---
         match method {
             RedistMethod::RestoreOriginal => {
+                comm.enter_phase("restore");
                 let mut out = self.restore_original(comm, &owned, &potential, &field, n_in);
+                comm.exit_phase();
                 out.timings = SolverTimings {
                     sort: t_sorted - t_start,
                     compute: t_computed - t_sorted,
@@ -335,7 +345,9 @@ impl PmSolver {
                 let fits = owned.len() <= max_local;
                 let all_fit = comm.allreduce(fits, |a, b| a && b);
                 if !all_fit {
+                    comm.enter_phase("restore");
                     let mut out = self.restore_original(comm, &owned, &potential, &field, n_in);
+                    comm.exit_phase();
                     out.timings = SolverTimings {
                         sort: t_sorted - t_start,
                         compute: t_computed - t_sorted,
@@ -346,8 +358,10 @@ impl PmSolver {
                     return out;
                 }
                 let origin: Vec<u64> = owned.iter().map(|r| r.origin).collect();
+                comm.enter_phase("resort");
                 let resort_indices =
                     build_resort_indices_with(comm, &origin, n_in, &owner_mode);
+                comm.exit_phase();
                 let t_resort = comm.clock();
                 SolverOutput {
                     pos: owned_pos,

@@ -177,14 +177,17 @@ where
     let mut values = values;
     let mut report = MergeSortReport::default();
 
+    comm.enter_phase("sort:local");
     let passes = radix_sort_by_key(&mut keys, &mut values);
     comm.compute(Work::SortCmp, (passes as f64) * keys.len() as f64);
+    comm.exit_phase();
 
     if p == 1 {
         return (keys, values, report);
     }
 
     // --- Batcher merge-exchange network over ranks ---
+    comm.enter_phase("sort:merge-rounds");
     let rounds = merge_exchange_rounds(p);
     let me = comm.rank();
     for round in &rounds {
@@ -197,8 +200,10 @@ where
         // Ranks without a comparator this round simply proceed; point-to-point
         // messages are matched by tag, so no global synchronization is needed.
     }
+    comm.exit_phase();
 
     // --- Cleanup: odd-even transposition until globally sorted ---
+    comm.enter_phase("sort:cleanup");
     // Compare-split preserves per-rank counts, so an *empty* rank is a wall
     // the transposition cannot move data through; run the transposition over
     // the compacted sequence of non-empty ranks instead (empty ranks only
@@ -227,6 +232,7 @@ where
             comm.barrier();
         }
     }
+    comm.exit_phase();
 
     (keys, values, report)
 }

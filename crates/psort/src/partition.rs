@@ -54,14 +54,17 @@ where
     let mut report = PartitionSortReport::default();
 
     // --- Local sort ---
+    comm.enter_phase("sort:local");
     let passes = radix_sort_by_key(&mut keys, &mut values);
     comm.compute(Work::SortCmp, (passes as f64) * keys.len() as f64);
+    comm.exit_phase();
 
     if p == 1 {
         return (keys, values, report);
     }
 
     // --- Global targets (and key range, in one reduction) ---
+    comm.enter_phase("sort:splitters");
     let n_local = keys.len() as u64;
     let local_min = keys.first().copied().unwrap_or(u64::MAX);
     let local_max = keys.last().copied().unwrap_or(0);
@@ -70,6 +73,7 @@ where
         |a, b| (a.0 + b.0, a.1.min(b.1), a.2.max(b.2)),
     );
     if n_total == 0 {
+        comm.exit_phase();
         return (keys, values, report);
     }
     // Target prefix counts: splitter k separates the first (k+1)*n/p elements.
@@ -161,8 +165,10 @@ where
             splitters[k] = splitters[k - 1];
         }
     }
+    comm.exit_phase();
 
     // --- All-to-all bucket exchange ---
+    comm.enter_phase("sort:exchange");
     let bounds = bucket_bounds(&keys, &splitters);
     let mut sends: Vec<(usize, Vec<(u64, T)>)> = Vec::new();
     for dst in 0..p {
@@ -179,8 +185,10 @@ where
         sends.push((dst, buf));
     }
     let received = comm.alltoallv(sends);
+    comm.exit_phase();
 
     // --- Local k-way merge of the received runs (each run is sorted) ---
+    comm.enter_phase("sort:merge");
     let mut runs: Vec<(Vec<u64>, Vec<T>)> = Vec::with_capacity(received.len());
     let mut total = 0usize;
     for (src, buf) in received {
@@ -194,6 +202,7 @@ where
     let nruns = runs.len().max(2) as f64;
     let (out_keys, out_values) = kway_merge(runs);
     comm.compute(Work::SortCmp, (total as f64) * nruns.log2());
+    comm.exit_phase();
 
     (out_keys, out_values, report)
 }

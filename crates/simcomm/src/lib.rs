@@ -37,6 +37,7 @@
 
 mod cart;
 mod model;
+mod phase;
 mod trace;
 mod world;
 
@@ -44,5 +45,6 @@ pub use cart::CartGrid;
 pub use model::{
     balanced_dims, torus_coords, torus_hops, ComputeRates, MachineModel, Topology, Work,
 };
+pub use phase::{aggregate_phases, PhaseAgg, PhaseProfile, PhaseSegment, PhaseStats, UNTAGGED};
 pub use trace::{write_trace_csv, Trace, TraceEvent, TraceKind};
 pub use world::{run, run_traced, Comm, RankStats, RunOutput};

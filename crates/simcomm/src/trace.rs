@@ -53,6 +53,12 @@ pub struct TraceEvent {
     pub bytes: u64,
     /// Peer rank for point-to-point operations.
     pub peer: Option<usize>,
+    /// Size of the communicator the operation ran on (the world size; lets
+    /// offline analysis compute collective fan-out).
+    pub nranks: usize,
+    /// Name of the innermost open phase when the event was recorded
+    /// (see [`crate::Comm::enter_phase`]); empty if none.
+    pub phase: &'static str,
 }
 
 /// A per-rank collection of trace events.
@@ -63,6 +69,7 @@ pub struct Trace {
 }
 
 impl Trace {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn record(
         &mut self,
         rank: usize,
@@ -71,8 +78,10 @@ impl Trace {
         t_end: f64,
         bytes: u64,
         peer: Option<usize>,
+        nranks: usize,
+        phase: &'static str,
     ) {
-        self.events.push(TraceEvent { rank, kind, t_start, t_end, bytes, peer });
+        self.events.push(TraceEvent { rank, kind, t_start, t_end, bytes, peer, nranks, phase });
     }
 
     /// Total virtual time covered by events of a kind.
@@ -85,20 +94,28 @@ impl Trace {
     }
 }
 
-/// Write traces of all ranks as CSV (`rank,kind,t_start,t_end,bytes,peer`).
+/// Write traces of all ranks as CSV.
+///
+/// Columns: `rank,kind,t_start,t_end,bytes,peer,nranks,phase`. The first six
+/// are the original schema; `nranks` (communicator size, for collective
+/// fan-out) and `phase` (innermost phase span name, possibly empty) were
+/// appended later — readers of the old schema keep working, new readers must
+/// tolerate their absence in old files.
 pub fn write_trace_csv<W: Write>(mut w: W, traces: &[Trace]) -> std::io::Result<()> {
-    writeln!(w, "rank,kind,t_start,t_end,bytes,peer")?;
+    writeln!(w, "rank,kind,t_start,t_end,bytes,peer,nranks,phase")?;
     for t in traces {
         for e in &t.events {
             writeln!(
                 w,
-                "{},{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{}",
                 e.rank,
                 e.kind.label(),
                 e.t_start,
                 e.t_end,
                 e.bytes,
-                e.peer.map(|p| p.to_string()).unwrap_or_default()
+                e.peer.map(|p| p.to_string()).unwrap_or_default(),
+                e.nranks,
+                e.phase
             )?;
         }
     }
@@ -112,9 +129,9 @@ mod tests {
     #[test]
     fn time_in_sums_by_kind() {
         let mut t = Trace::default();
-        t.record(0, TraceKind::Send, 0.0, 1.0, 8, Some(1));
-        t.record(0, TraceKind::Recv, 1.0, 3.0, 8, Some(1));
-        t.record(0, TraceKind::Send, 3.0, 3.5, 8, Some(2));
+        t.record(0, TraceKind::Send, 0.0, 1.0, 8, Some(1), 2, "");
+        t.record(0, TraceKind::Recv, 1.0, 3.0, 8, Some(1), 2, "");
+        t.record(0, TraceKind::Send, 3.0, 3.5, 8, Some(2), 2, "");
         assert!((t.time_in(TraceKind::Send) - 1.5).abs() < 1e-12);
         assert!((t.time_in(TraceKind::Recv) - 2.0).abs() < 1e-12);
         assert_eq!(t.time_in(TraceKind::Barrier), 0.0);
@@ -123,12 +140,14 @@ mod tests {
     #[test]
     fn csv_format() {
         let mut t = Trace::default();
-        t.record(3, TraceKind::Alltoallv, 0.5, 0.75, 1024, None);
+        t.record(3, TraceKind::Alltoallv, 0.5, 0.75, 1024, None, 8, "sort:exchange");
+        t.record(3, TraceKind::Send, 0.8, 0.9, 16, Some(1), 8, "");
         let mut buf = Vec::new();
         write_trace_csv(&mut buf, &[t]).unwrap();
         let s = String::from_utf8(buf).unwrap();
         let mut lines = s.lines();
-        assert_eq!(lines.next(), Some("rank,kind,t_start,t_end,bytes,peer"));
-        assert_eq!(lines.next(), Some("3,alltoallv,0.5,0.75,1024,"));
+        assert_eq!(lines.next(), Some("rank,kind,t_start,t_end,bytes,peer,nranks,phase"));
+        assert_eq!(lines.next(), Some("3,alltoallv,0.5,0.75,1024,,8,sort:exchange"));
+        assert_eq!(lines.next(), Some("3,send,0.8,0.9,16,1,8,"));
     }
 }

@@ -17,12 +17,22 @@ use std::any::Any;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-
-use parking_lot::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 use crate::model::{MachineModel, Work};
+use crate::phase::{aggregate_phases, PhaseAgg, PhaseProfile, PhaseSegment, PhaseStats};
 use crate::trace::{Trace, TraceKind};
+
+/// Lock a mutex, ignoring std poisoning: cross-rank failure propagation is
+/// handled by the world's own poison flag (see [`WorldShared::poison`]).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Wait on a condvar, ignoring std poisoning (same rationale as [`lock`]).
+fn wait<'a, T>(cv: &Condvar, g: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(g).unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// A type-erased in-flight message.
 struct Message {
@@ -140,8 +150,20 @@ pub struct RankStats {
     pub coll_bytes: u64,
     /// Virtual seconds spent in modelled computation.
     pub compute_seconds: f64,
-    /// Virtual seconds spent in communication (clock advanced by comm ops).
+    /// Virtual seconds spent in communication transfer cost (p2p overhead and
+    /// injection, modelled collective algorithm cost).
     pub comm_seconds: f64,
+    /// Virtual seconds spent idle in rendezvous: blocked on a message that had
+    /// not arrived yet, or waiting for the last participant of a collective.
+    pub wait_seconds: f64,
+}
+
+impl RankStats {
+    /// Total virtual seconds accounted for
+    /// (compute + comm + wait — the decomposition of the clock is exhaustive).
+    pub fn total_seconds(&self) -> f64 {
+        self.compute_seconds + self.comm_seconds + self.wait_seconds
+    }
 }
 
 /// The per-rank communicator handle: the interface rank code programs against.
@@ -154,6 +176,11 @@ pub struct Comm {
     clock: f64,
     stats: RankStats,
     trace: Option<Trace>,
+    /// Open phase spans, innermost last; all accounting goes to the top entry.
+    phase_stack: Vec<&'static str>,
+    /// Virtual time the current attribution segment started.
+    seg_start: f64,
+    profile: PhaseProfile,
 }
 
 /// Result of running a world: per-rank return values, final clocks and stats.
@@ -166,12 +193,22 @@ pub struct RunOutput<R> {
     pub stats: Vec<RankStats>,
     /// Per-rank communication traces (empty unless [`run_traced`] was used).
     pub traces: Vec<Trace>,
+    /// Per-rank phase profiles (see [`Comm::enter_phase`]). Aggregates are
+    /// always collected; attribution segments only in traced worlds.
+    pub phases: Vec<PhaseProfile>,
 }
 
 impl<R> RunOutput<R> {
     /// The maximum final virtual clock — the world's makespan in seconds.
     pub fn makespan(&self) -> f64 {
         self.clocks.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Cross-rank per-phase aggregate table (critical path, mean, imbalance,
+    /// traffic), with an `"(untagged)"` row covering everything outside phase
+    /// spans. See [`aggregate_phases`].
+    pub fn phase_table(&self) -> Vec<PhaseAgg> {
+        aggregate_phases(&self.phases, &self.stats)
     }
 }
 
@@ -223,7 +260,7 @@ where
 {
     assert!(n >= 1, "world must have at least one rank");
     let shared = Arc::new(WorldShared::new(n, model));
-    type Slot<R> = Mutex<Option<(R, f64, RankStats, Trace)>>;
+    type Slot<R> = Mutex<Option<(R, f64, RankStats, Trace, PhaseProfile)>>;
     let slots: Vec<Slot<R>> = (0..n).map(|_| Mutex::new(None)).collect();
     let panicked: Mutex<Option<String>> = Mutex::new(None);
 
@@ -244,15 +281,24 @@ where
                         clock: 0.0,
                         stats: RankStats::default(),
                         trace: traced.then(Trace::default),
+                        phase_stack: Vec::new(),
+                        seg_start: 0.0,
+                        profile: PhaseProfile::default(),
                     };
                     let result = catch_unwind(AssertUnwindSafe(|| f(&mut comm)));
                     match result {
                         Ok(r) => {
-                            *slots[rank].lock() = Some((
+                            // Close any phases the rank code left open so the
+                            // profile is complete.
+                            while !comm.phase_stack.is_empty() {
+                                comm.exit_phase();
+                            }
+                            *lock(&slots[rank]) = Some((
                                 r,
                                 comm.clock,
                                 comm.stats,
                                 comm.trace.take().unwrap_or_default(),
+                                std::mem::take(&mut comm.profile),
                             ));
                         }
                         Err(e) => {
@@ -261,7 +307,7 @@ where
                                 .cloned()
                                 .or_else(|| e.downcast_ref::<&str>().map(|s| s.to_string()))
                                 .unwrap_or_else(|| "rank panicked".to_string());
-                            let mut p = panicked.lock();
+                            let mut p = lock(&panicked);
                             if p.is_none() {
                                 *p = Some(format!("rank {rank}: {msg}"));
                             }
@@ -278,7 +324,7 @@ where
         }
     });
 
-    if let Some(msg) = panicked.into_inner() {
+    if let Some(msg) = panicked.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner) {
         panic!("simcomm world failed: {msg}");
     }
 
@@ -286,14 +332,19 @@ where
     let mut clocks = Vec::with_capacity(n);
     let mut stats = Vec::with_capacity(n);
     let mut traces = Vec::with_capacity(n);
+    let mut phases = Vec::with_capacity(n);
     for slot in slots {
-        let (r, c, s, t) = slot.into_inner().expect("rank produced no result");
+        let (r, c, s, t, p) = slot
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .expect("rank produced no result");
         results.push(r);
         clocks.push(c);
         stats.push(s);
         traces.push(t);
+        phases.push(p);
     }
-    RunOutput { results, clocks, stats, traces }
+    RunOutput { results, clocks, stats, traces, phases }
 }
 
 impl Comm {
@@ -333,6 +384,9 @@ impl Comm {
         debug_assert!(seconds >= 0.0, "cannot advance time backwards");
         self.clock += seconds;
         self.stats.compute_seconds += seconds;
+        if let Some(b) = self.top_bucket() {
+            b.compute_seconds += seconds;
+        }
     }
 
     /// Advance this rank's clock by the modelled time of `units` operations of
@@ -342,11 +396,92 @@ impl Comm {
         self.advance(dt);
     }
 
-    /// Record a trace event if tracing is enabled.
+    // --------------------------------------------------------------- phases
+
+    /// Open a named phase span. Phases nest as a stack; until the matching
+    /// [`Comm::exit_phase`], all time and traffic are attributed to this phase
+    /// (the innermost open span), and trace events are tagged with its name.
+    ///
+    /// Phase names should be `'static` string literals; the same name may be
+    /// entered any number of times and accumulates into one per-rank bucket.
+    pub fn enter_phase(&mut self, name: &'static str) {
+        self.close_segment();
+        self.phase_stack.push(name);
+        self.bucket(name).spans += 1;
+        self.seg_start = self.clock;
+    }
+
+    /// Close the innermost open phase span.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no phase is open.
+    pub fn exit_phase(&mut self) {
+        assert!(!self.phase_stack.is_empty(), "exit_phase without matching enter_phase");
+        self.close_segment();
+        self.phase_stack.pop();
+        self.seg_start = self.clock;
+    }
+
+    /// Run `f` inside a phase span (enter/exit pair).
+    pub fn with_phase<R>(&mut self, name: &'static str, f: impl FnOnce(&mut Self) -> R) -> R {
+        self.enter_phase(name);
+        let r = f(self);
+        self.exit_phase();
+        r
+    }
+
+    /// The innermost open phase, if any.
+    pub fn current_phase(&self) -> Option<&'static str> {
+        self.phase_stack.last().copied()
+    }
+
+    /// This rank's phase profile accumulated so far.
+    pub fn phase_profile(&self) -> &PhaseProfile {
+        &self.profile
+    }
+
+    /// Record the attribution segment of the current innermost phase (traced
+    /// worlds only; zero-length segments are skipped).
+    fn close_segment(&mut self) {
+        if let Some(&top) = self.phase_stack.last() {
+            if self.trace.is_some() && self.clock > self.seg_start {
+                self.profile.segments.push(PhaseSegment {
+                    name: top,
+                    t_start: self.seg_start,
+                    t_end: self.clock,
+                });
+            }
+        }
+    }
+
+    /// Find-or-insert the per-rank bucket of a phase.
+    fn bucket(&mut self, name: &'static str) -> &mut PhaseStats {
+        let phases = &mut self.profile.phases;
+        if let Some(i) = phases.iter().position(|p| p.name == name) {
+            &mut phases[i]
+        } else {
+            phases.push(PhaseStats { name, ..Default::default() });
+            phases.last_mut().expect("just pushed")
+        }
+    }
+
+    /// The bucket of the innermost open phase, if any.
+    fn top_bucket(&mut self) -> Option<&mut PhaseStats> {
+        let name = *self.phase_stack.last()?;
+        Some(self.bucket(name))
+    }
+
+    // ----------------------------------------------------------- accounting
+
+    /// Record a trace event if tracing is enabled, tagged with the current
+    /// phase and the communicator size.
     fn trace_event(&mut self, kind: TraceKind, t_start: f64, bytes: u64, peer: Option<usize>) {
         let t_end = self.clock;
+        let phase = self.phase_stack.last().copied().unwrap_or("");
+        let nranks = self.shared.n;
         if let Some(tr) = self.trace.as_mut() {
-            tr.record(self.rank, kind, t_start, t_end, bytes, peer);
+            tr.record(self.rank, kind, t_start, t_end, bytes, peer, nranks, phase);
         }
     }
 
@@ -354,6 +489,53 @@ impl Comm {
         debug_assert!(seconds >= 0.0);
         self.clock += seconds;
         self.stats.comm_seconds += seconds;
+        if let Some(b) = self.top_bucket() {
+            b.comm_seconds += seconds;
+        }
+    }
+
+    fn advance_wait(&mut self, seconds: f64) {
+        debug_assert!(seconds >= 0.0);
+        self.clock += seconds;
+        self.stats.wait_seconds += seconds;
+        if let Some(b) = self.top_bucket() {
+            b.wait_seconds += seconds;
+        }
+    }
+
+    /// Complete a collective that rendezvoused at `max_clock` and costs
+    /// `cost` modelled seconds: the gap to the last participant is rendezvous
+    /// wait, the algorithm cost is communication.
+    fn finish_collective(&mut self, max_clock: f64, cost: f64) {
+        self.advance_wait((max_clock - self.clock).max(0.0));
+        self.advance_comm(cost.max(0.0));
+    }
+
+    fn count_p2p_sent(&mut self, msgs: u64, bytes: u64) {
+        self.stats.p2p_sent_msgs += msgs;
+        self.stats.p2p_sent_bytes += bytes;
+        if let Some(b) = self.top_bucket() {
+            b.p2p_sent_msgs += msgs;
+            b.p2p_sent_bytes += bytes;
+        }
+    }
+
+    fn count_p2p_recv(&mut self, msgs: u64, bytes: u64) {
+        self.stats.p2p_recv_msgs += msgs;
+        self.stats.p2p_recv_bytes += bytes;
+        if let Some(b) = self.top_bucket() {
+            b.p2p_recv_msgs += msgs;
+            b.p2p_recv_bytes += bytes;
+        }
+    }
+
+    fn count_coll(&mut self, ops: u64, bytes: u64) {
+        self.stats.coll_ops += ops;
+        self.stats.coll_bytes += bytes;
+        if let Some(b) = self.top_bucket() {
+            b.coll_ops += ops;
+            b.coll_bytes += bytes;
+        }
     }
 
     /// Hop distance from this rank to `other` on the modelled topology.
@@ -374,8 +556,7 @@ impl Comm {
         // CPU overhead plus NIC injection: consecutive sends serialize their
         // payloads at the link bandwidth (LogGP `o` + `G*bytes`).
         self.advance_comm(self.shared.model.p2p_overhead + self.shared.model.injection_time(bytes));
-        self.stats.p2p_sent_msgs += 1;
-        self.stats.p2p_sent_bytes += bytes;
+        self.count_p2p_sent(1, bytes);
         let msg = Message {
             src: self.rank,
             tag,
@@ -384,7 +565,7 @@ impl Comm {
             payload: Box::new(data),
         };
         let mb = &self.shared.mailboxes[dst];
-        mb.queue.lock().push_back(msg);
+        lock(&mb.queue).push_back(msg);
         mb.cv.notify_all();
         let t0 = self.clock - (self.shared.model.p2p_overhead + self.shared.model.injection_time(bytes));
         self.trace_event(TraceKind::Send, t0, bytes, Some(dst));
@@ -406,7 +587,7 @@ impl Comm {
 
     fn recv_match<T: Send + 'static>(&mut self, src: Option<usize>, tag: u64) -> (usize, Vec<T>) {
         let mb = &self.shared.mailboxes[self.rank];
-        let mut q = mb.queue.lock();
+        let mut q = lock(&mb.queue);
         loop {
             self.shared.check_poison();
             if let Some(pos) = q
@@ -415,22 +596,23 @@ impl Comm {
             {
                 let msg = q.remove(pos).unwrap();
                 drop(q);
+                let t0 = self.clock;
                 let hops = self.shared.hops(msg.src, self.rank);
                 // Payload time was paid at injection; the wire adds latency.
+                // The receive overhead is communication; any further gap until
+                // the message's arrival is rendezvous wait.
                 let arrival = msg.depart + self.shared.model.wire_latency(hops);
-                let ready = self.clock + self.shared.model.p2p_overhead;
-                let finish = arrival.max(ready);
-                self.advance_comm(finish - self.clock);
-                self.stats.p2p_recv_msgs += 1;
-                self.stats.p2p_recv_bytes += msg.bytes;
-                self.trace_event(TraceKind::Recv, ready - self.shared.model.p2p_overhead, msg.bytes, Some(msg.src));
+                self.advance_comm(self.shared.model.p2p_overhead);
+                self.advance_wait((arrival - self.clock).max(0.0));
+                self.count_p2p_recv(1, msg.bytes);
+                self.trace_event(TraceKind::Recv, t0, msg.bytes, Some(msg.src));
                 let data = msg
                     .payload
                     .downcast::<Vec<T>>()
                     .unwrap_or_else(|_| panic!("recv type mismatch (src {:?}, tag {tag})", msg.src));
                 return (msg.src, *data);
             }
-            mb.cv.wait(&mut q);
+            q = wait(&mb.cv, q);
         }
     }
 
@@ -458,13 +640,13 @@ impl Comm {
         A: Send + Sync + 'static,
         C: FnOnce(Vec<T>) -> A,
     {
-        self.stats.coll_ops += 1;
+        self.count_coll(1, 0);
         let coll = &self.shared.coll;
-        let mut st = coll.m.lock();
+        let mut st = lock(&coll.m);
         // Wait for the previous collective's read phase to finish.
         while st.phase % 2 == 1 {
             self.shared.check_poison();
-            coll.cv.wait(&mut st);
+            st = wait(&coll.cv, st);
         }
         let my_phase = st.phase;
         st.deposits[self.rank] = Some(Box::new(contrib));
@@ -484,7 +666,7 @@ impl Comm {
         } else {
             while st.phase == my_phase {
                 self.shared.check_poison();
-                coll.cv.wait(&mut st);
+                st = wait(&coll.cv, st);
             }
         }
         // Read phase.
@@ -507,8 +689,7 @@ impl Comm {
     pub fn barrier(&mut self) {
         let t0 = self.clock;
         let (_, max_clock) = self.coll_exchange::<(), (), _>((), |_| ());
-        let t = max_clock + self.shared.model.barrier_time(self.shared.n);
-        self.advance_comm((t - self.clock).max(0.0));
+        self.finish_collective(max_clock, self.shared.model.barrier_time(self.shared.n));
         self.trace_event(TraceKind::Barrier, t0, 0, None);
     }
 
@@ -516,7 +697,7 @@ impl Comm {
     pub fn bcast<T: Clone + Send + Sync + 'static>(&mut self, root: usize, value: T) -> T {
         assert!(root < self.shared.n);
         let bytes = std::mem::size_of::<T>() as u64;
-        self.stats.coll_bytes += bytes;
+        self.count_coll(0, bytes);
         let t0 = self.clock;
         let rank = self.rank;
         let (agg, max_clock) = self.coll_exchange::<Option<T>, T, _>(
@@ -529,8 +710,7 @@ impl Comm {
                     .expect("bcast root contributed no value")
             },
         );
-        let t = max_clock + self.shared.model.tree_coll_time(self.shared.n, bytes);
-        self.advance_comm((t - self.clock).max(0.0));
+        self.finish_collective(max_clock, self.shared.model.tree_coll_time(self.shared.n, bytes));
         self.trace_event(TraceKind::Bcast, t0, bytes, None);
         (*agg).clone()
     }
@@ -542,7 +722,7 @@ impl Comm {
         Op: Fn(T, T) -> T,
     {
         let bytes = std::mem::size_of::<T>() as u64;
-        self.stats.coll_bytes += bytes;
+        self.count_coll(0, bytes);
         let t0 = self.clock;
         let (agg, max_clock) = self.coll_exchange::<T, T, _>(value, move |items| {
             items
@@ -550,8 +730,7 @@ impl Comm {
                 .reduce(&op)
                 .expect("allreduce over empty world")
         });
-        let t = max_clock + self.shared.model.tree_coll_time(self.shared.n, bytes);
-        self.advance_comm((t - self.clock).max(0.0));
+        self.finish_collective(max_clock, self.shared.model.tree_coll_time(self.shared.n, bytes));
         self.trace_event(TraceKind::Reduce, t0, bytes, None);
         (*agg).clone()
     }
@@ -564,11 +743,10 @@ impl Comm {
         Op: Fn(T, T) -> T,
     {
         let bytes = std::mem::size_of::<T>() as u64;
-        self.stats.coll_bytes += bytes;
+        self.count_coll(0, bytes);
         let t0 = self.clock;
         let (agg, max_clock) = self.coll_exchange::<T, Vec<T>, _>(value, |items| items);
-        let t = max_clock + self.shared.model.tree_coll_time(self.shared.n, bytes);
-        self.advance_comm((t - self.clock).max(0.0));
+        self.finish_collective(max_clock, self.shared.model.tree_coll_time(self.shared.n, bytes));
         self.trace_event(TraceKind::Reduce, t0, bytes, None);
         let mut acc = identity;
         for v in agg.iter().take(self.rank) {
@@ -581,11 +759,10 @@ impl Comm {
     pub fn allgather<T: Clone + Send + Sync + 'static>(&mut self, value: T) -> Vec<T> {
         let per = std::mem::size_of::<T>() as u64;
         let total = per * self.shared.n as u64;
-        self.stats.coll_bytes += per;
+        self.count_coll(0, per);
         let t0 = self.clock;
         let (agg, max_clock) = self.coll_exchange::<T, Vec<T>, _>(value, |items| items);
-        let t = max_clock + self.shared.model.allgather_time(self.shared.n, total);
-        self.advance_comm((t - self.clock).max(0.0));
+        self.finish_collective(max_clock, self.shared.model.allgather_time(self.shared.n, total));
         self.trace_event(TraceKind::Gather, t0, per, None);
         (*agg).clone()
     }
@@ -594,7 +771,7 @@ impl Comm {
     /// concatenated in rank order.
     pub fn allgatherv<T: Clone + Send + Sync + 'static>(&mut self, data: Vec<T>) -> Vec<T> {
         let per = (data.len() * std::mem::size_of::<T>()) as u64;
-        self.stats.coll_bytes += per;
+        self.count_coll(0, per);
         let t0 = self.clock;
         let (agg, max_clock) = self.coll_exchange::<Vec<T>, (Vec<T>, u64), _>(data, |items| {
             let total: u64 = items
@@ -604,8 +781,7 @@ impl Comm {
             (items.into_iter().flatten().collect(), total)
         });
         let (flat, total) = &*agg;
-        let t = max_clock + self.shared.model.allgather_time(self.shared.n, *total);
-        self.advance_comm((t - self.clock).max(0.0));
+        self.finish_collective(max_clock, self.shared.model.allgather_time(self.shared.n, *total));
         self.trace_event(TraceKind::Gather, t0, per, None);
         flat.clone()
     }
@@ -627,7 +803,7 @@ impl Comm {
         // Determine the round from the collective phase counter (two phase
         // increments per collective → round = phase / 2 at deposit time).
         let round = {
-            let st = self.shared.coll.m.lock();
+            let st = lock(&self.shared.coll.m);
             (st.phase + st.phase % 2) / 2
         };
         for (dst, data) in sends {
@@ -641,11 +817,10 @@ impl Comm {
                 bytes,
                 payload: Box::new(data),
             };
-            self.shared.bins[dst].lock().push(entry);
+            lock(&self.shared.bins[dst]).push(entry);
         }
-        self.stats.coll_bytes += s_bytes;
-        self.stats.p2p_sent_msgs += s_msgs;
-        self.stats.p2p_sent_bytes += s_bytes;
+        self.count_coll(0, s_bytes);
+        self.count_p2p_sent(s_msgs, s_bytes);
 
         // Synchronize: all deposits are now visible.
         let (_, max_clock) = self.coll_exchange::<(), (), _>((), |_| ());
@@ -653,7 +828,7 @@ impl Comm {
         // Drain this rank's bin for this round.
         let mut received = Vec::new();
         {
-            let mut bin = self.shared.bins[self.rank].lock();
+            let mut bin = lock(&self.shared.bins[self.rank]);
             let mut keep = Vec::with_capacity(bin.len());
             for e in bin.drain(..) {
                 if e.round == round {
@@ -667,15 +842,13 @@ impl Comm {
         received.sort_by_key(|e| e.src);
         let r_msgs = received.len() as u64;
         let r_bytes: u64 = received.iter().map(|e| e.bytes).sum();
-        self.stats.p2p_recv_msgs += r_msgs;
-        self.stats.p2p_recv_bytes += r_bytes;
+        self.count_p2p_recv(r_msgs, r_bytes);
 
         let cost = self
             .shared
             .model
             .alltoallv_time(self.shared.n, s_msgs, s_bytes, r_msgs, r_bytes);
-        let t = max_clock + cost;
-        self.advance_comm((t - self.clock).max(0.0));
+        self.finish_collective(max_clock, cost);
         self.trace_event(TraceKind::Alltoallv, t0, s_bytes, None);
 
         received
@@ -1020,6 +1193,155 @@ mod tests {
         assert_eq!(out.results[0].p2p_sent_bytes, 100);
         assert_eq!(out.results[1].p2p_recv_bytes, 100);
         assert_eq!(out.results[0].coll_ops, 1);
+    }
+
+    #[test]
+    fn clock_decomposition_is_exhaustive() {
+        // compute + comm + wait must account for every advanced second, on
+        // every rank, across p2p, barriers, gathers and alltoallv.
+        let out = run(4, MachineModel::juropa_like(), |comm| {
+            comm.compute(Work::ParticleOp, 500.0 * (comm.rank() + 1) as f64);
+            if comm.rank() == 0 {
+                comm.send(1, 0, vec![0u8; 256]);
+            }
+            if comm.rank() == 1 {
+                let _ = comm.recv::<u8>(0, 0);
+            }
+            comm.barrier();
+            let _ = comm.allgatherv(vec![0u8; comm.rank() * 8]);
+            let _ = comm.alltoallv(vec![((comm.rank() + 1) % 4, vec![1u32, 2])]);
+            comm.stats().clone()
+        });
+        for (r, st) in out.results.iter().enumerate() {
+            assert!(
+                (st.total_seconds() - out.clocks[r]).abs() <= 1e-9 * out.clocks[r].max(1.0),
+                "rank {r}: {} vs clock {}",
+                st.total_seconds(),
+                out.clocks[r]
+            );
+        }
+        // The fastest rank before the barrier must have waited for the others.
+        assert!(out.results[0].wait_seconds > 0.0);
+    }
+
+    #[test]
+    fn phase_aggregates_sum_to_untagged_totals() {
+        let out = run(4, MachineModel::juropa_like(), |comm| {
+            comm.enter_phase("sort");
+            comm.compute(Work::SortCmp, 1000.0);
+            let _ = comm.allreduce(comm.rank() as u64, u64::max);
+            comm.exit_phase();
+            // Untagged section.
+            comm.compute(Work::ParticleOp, 100.0);
+            comm.barrier();
+            comm.with_phase("exchange", |c| {
+                let _ = c.alltoallv(vec![((c.rank() + 1) % 4, vec![0u8; 64])]);
+            });
+        });
+        for r in 0..4 {
+            let prof = &out.phases[r];
+            let tot = &out.stats[r];
+            let tagged = prof.tagged_total();
+            let un = prof.untagged(tot);
+            // Seconds: tagged + untagged == total clock.
+            assert!(
+                (tagged.seconds() + un.seconds() - out.clocks[r]).abs() <= 1e-9,
+                "rank {r}"
+            );
+            // Bytes and counters partition the totals.
+            assert_eq!(tagged.p2p_sent_bytes + un.p2p_sent_bytes, tot.p2p_sent_bytes);
+            assert_eq!(tagged.coll_ops + un.coll_ops, tot.coll_ops);
+            assert_eq!(tagged.coll_bytes + un.coll_bytes, tot.coll_bytes);
+            // The alltoallv traffic landed in the "exchange" phase.
+            assert_eq!(prof.get("exchange").unwrap().p2p_sent_bytes, 64);
+            assert!(prof.get("sort").unwrap().compute_seconds > 0.0);
+        }
+        let table = out.phase_table();
+        let names: Vec<&str> = table.iter().map(|r| r.name).collect();
+        assert_eq!(names, vec!["sort", "exchange", crate::phase::UNTAGGED]);
+        // Aggregated mean phase seconds sum to the mean clock.
+        let mean_clock: f64 = out.clocks.iter().sum::<f64>() / 4.0;
+        let sum_means: f64 = table.iter().map(|r| r.mean_seconds).sum();
+        assert!((sum_means - mean_clock).abs() <= 1e-9);
+    }
+
+    #[test]
+    fn nested_phases_attribute_to_innermost() {
+        let out = run(2, MachineModel::ideal(), |comm| {
+            comm.enter_phase("outer");
+            comm.advance(1.0);
+            comm.enter_phase("inner");
+            comm.advance(2.0);
+            comm.exit_phase();
+            comm.advance(0.5);
+            comm.exit_phase();
+            comm.phase_profile().clone()
+        });
+        for prof in &out.results {
+            assert!((prof.get("outer").unwrap().compute_seconds - 1.5).abs() < 1e-12);
+            assert!((prof.get("inner").unwrap().compute_seconds - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn phase_segments_are_ordered_and_disjoint() {
+        let out = crate::world::run_traced(3, MachineModel::juropa_like(), |comm| {
+            for step in 0..5 {
+                comm.enter_phase("a");
+                comm.compute(Work::ParticleOp, (50 * (step + comm.rank() + 1)) as f64);
+                comm.enter_phase("b");
+                comm.barrier();
+                comm.exit_phase();
+                comm.exit_phase();
+                let _ = comm.allgather(comm.rank());
+            }
+        });
+        for (r, prof) in out.phases.iter().enumerate() {
+            assert!(!prof.segments.is_empty());
+            for seg in &prof.segments {
+                assert!(seg.t_end > seg.t_start, "rank {r}: {seg:?}");
+                assert!(seg.t_start >= 0.0 && seg.t_end <= out.clocks[r] + 1e-12);
+            }
+            for w in prof.segments.windows(2) {
+                assert!(
+                    w[1].t_start >= w[0].t_end - 1e-12,
+                    "rank {r}: overlapping segments {w:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn open_phases_are_closed_at_rank_exit() {
+        let out = run(2, MachineModel::ideal(), |comm| {
+            comm.enter_phase("left-open");
+            comm.advance(1.0);
+        });
+        for prof in &out.phases {
+            assert!((prof.get("left-open").unwrap().compute_seconds - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn trace_events_carry_phase_and_nranks() {
+        let out = crate::world::run_traced(2, MachineModel::juropa_like(), |comm| {
+            comm.with_phase("p", |c| {
+                if c.rank() == 0 {
+                    c.send(1, 0, vec![0u8; 8]);
+                } else {
+                    let _ = c.recv::<u8>(0, 0);
+                }
+                c.barrier();
+            });
+            let _ = comm.allreduce(1u32, |a, b| a + b);
+        });
+        for tr in &out.traces {
+            for e in &tr.events {
+                assert_eq!(e.nranks, 2);
+            }
+            let phases: Vec<&str> = tr.events.iter().map(|e| e.phase).collect();
+            assert_eq!(phases, vec!["p", "p", ""]);
+        }
     }
 
     #[test]

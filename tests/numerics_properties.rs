@@ -1,65 +1,101 @@
-//! Property-based tests on the numerical kernels: FFT algebra, FMM expansion
+//! Property-style tests on the numerical kernels: FFT algebra, FMM expansion
 //! operators, Ewald-family identities and the soft-core potential.
+//!
+//! Cases come from a deterministic splitmix64 stream (no external crates; see
+//! `property_tests.rs`), so failures are reproducible from the loop index.
 
-use proptest::collection::vec;
-use proptest::prelude::*;
-
+use particles::systems::splitmix64;
 use particles::Vec3;
 use pmsolver::{dft_reference, fft_in_place, Complex, Direction};
 
-fn signal_strategy(max_log: u32) -> impl Strategy<Value = Vec<Complex>> {
-    (0..=max_log).prop_flat_map(|log_n| {
-        let n = 1usize << log_n;
-        vec((-1.0f64..1.0, -1.0f64..1.0), n..=n)
-            .prop_map(|v| v.into_iter().map(|(re, im)| Complex::new(re, im)).collect())
-    })
+struct Gen(u64);
+
+impl Gen {
+    fn new(seed: u64) -> Gen {
+        Gen(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1))
+    }
+    fn u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(1);
+        splitmix64(self.0)
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.u64() % n.max(1)
+    }
+    fn f64(&mut self, lo: f64, hi: f64) -> f64 {
+        let u = (self.u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + u * (hi - lo)
+    }
+    /// A complex signal whose length is a random power of two `<= 2^max_log`.
+    fn signal(&mut self, max_log: u64) -> Vec<Complex> {
+        let n = 1usize << self.below(max_log + 1);
+        (0..n)
+            .map(|_| Complex::new(self.f64(-1.0, 1.0), self.f64(-1.0, 1.0)))
+            .collect()
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// FFT matches the naive DFT for any power-of-two signal.
-    #[test]
-    fn fft_matches_dft(x in signal_strategy(7)) {
+#[test]
+fn fft_matches_dft() {
+    let mut g = Gen::new(21);
+    for _ in 0..32 {
+        let x = g.signal(7);
         let mut fast = x.clone();
         fft_in_place(&mut fast, Direction::Forward);
         let slow = dft_reference(&x, Direction::Forward);
         for (f, s) in fast.iter().zip(&slow) {
-            prop_assert!((*f - *s).norm2().sqrt() < 1e-8 * (x.len() as f64 + 1.0));
+            assert!((*f - *s).norm2().sqrt() < 1e-8 * (x.len() as f64 + 1.0));
         }
     }
+}
 
-    /// Forward-then-inverse recovers the signal (scaled by N).
-    #[test]
-    fn fft_roundtrip(x in signal_strategy(8)) {
+#[test]
+fn fft_roundtrip() {
+    let mut g = Gen::new(22);
+    for _ in 0..32 {
+        let x = g.signal(8);
         let n = x.len() as f64;
         let mut y = x.clone();
         fft_in_place(&mut y, Direction::Forward);
         fft_in_place(&mut y, Direction::Inverse);
         for (a, b) in x.iter().zip(&y) {
-            prop_assert!((*a - b.scale(1.0 / n)).norm2().sqrt() < 1e-10);
+            assert!((*a - b.scale(1.0 / n)).norm2().sqrt() < 1e-10);
         }
     }
+}
 
-    /// Parseval: energy preserved up to the 1/N convention.
-    #[test]
-    fn fft_parseval(x in signal_strategy(8)) {
+#[test]
+fn fft_parseval() {
+    let mut g = Gen::new(23);
+    for _ in 0..32 {
+        let x = g.signal(8);
         let time: f64 = x.iter().map(|c| c.norm2()).sum();
         let mut y = x.clone();
         fft_in_place(&mut y, Direction::Forward);
         let freq: f64 = y.iter().map(|c| c.norm2()).sum::<f64>() / x.len() as f64;
-        prop_assert!((time - freq).abs() < 1e-9 * time.max(1.0));
+        assert!((time - freq).abs() < 1e-9 * time.max(1.0));
     }
+}
 
-    /// A multipole expansion of a random near-origin cluster evaluated far
-    /// away approximates the direct potential, and M2M translation preserves
-    /// the evaluation.
-    #[test]
-    fn fmm_expansion_far_field(
-        srcs in vec(((-0.4f64..0.4), (-0.4f64..0.4), (-0.4f64..0.4), (-1.0f64..1.0)), 1..8),
-        dir in ((0.6f64..1.0), (-1.0f64..1.0), (-1.0f64..1.0)),
-    ) {
-        let ops = fmm::ExpansionOps::new(6);
+/// A multipole expansion of a random near-origin cluster evaluated far away
+/// approximates the direct potential, and M2M translation preserves the
+/// evaluation.
+#[test]
+fn fmm_expansion_far_field() {
+    let mut g = Gen::new(24);
+    let ops = fmm::ExpansionOps::new(6);
+    for case in 0..32 {
+        let nsrc = 1 + g.below(7) as usize;
+        let srcs: Vec<(f64, f64, f64, f64)> = (0..nsrc)
+            .map(|_| {
+                (
+                    g.f64(-0.4, 0.4),
+                    g.f64(-0.4, 0.4),
+                    g.f64(-0.4, 0.4),
+                    g.f64(-1.0, 1.0),
+                )
+            })
+            .collect();
+        let dir = (g.f64(0.6, 1.0), g.f64(-1.0, 1.0), g.f64(-1.0, 1.0));
         let z = Vec3::ZERO;
         let mut m = vec![0.0; ops.len()];
         for &(x, y, zz, q) in &srcs {
@@ -73,40 +109,48 @@ proptest! {
         for &(x, y, zz, q) in &srcs {
             want += q / (y_pt - Vec3::new(x, y, zz)).norm();
         }
-        prop_assert!(
+        assert!(
             (phi - want).abs() < 1e-5 * want.abs().max(0.05),
-            "phi {phi} vs direct {want}"
+            "case {case}: phi {phi} vs direct {want}"
         );
         // M2M to a shifted center evaluates identically within truncation.
         let zp = Vec3::new(0.3, -0.2, 0.1);
         let mut mp = vec![0.0; ops.len()];
         ops.m2m(&mut mp, &m, z, zp);
         let (phi2, _) = ops.m2p(&mp, zp, y_pt);
-        prop_assert!((phi - phi2).abs() < 1e-4 * phi.abs().max(0.05));
+        assert!((phi - phi2).abs() < 1e-4 * phi.abs().max(0.05), "case {case}");
     }
+}
 
-    /// The soft core is positive, decreasing, and steeper than Coulomb.
-    #[test]
-    fn soft_core_properties(a in 0.5f64..5.0, r_frac in 0.2f64..1.5) {
+/// The soft core is positive, decreasing, and steeper than Coulomb.
+#[test]
+fn soft_core_properties() {
+    let mut g = Gen::new(25);
+    for _ in 0..128 {
+        let a = g.f64(0.5, 5.0);
+        let r = g.f64(0.2, 1.5) * a;
         let core = particles::SoftCore::for_spacing(a);
-        let r = r_frac * a;
         let u = core.energy(r);
         let f = core.force(r);
-        prop_assert!(u > 0.0 && f > 0.0);
+        assert!(u > 0.0 && f > 0.0);
         // Numerical derivative check: f = -du/dr.
         let h = r * 1e-6;
         let slope = (core.energy(r + h) - core.energy(r - h)) / (2.0 * h);
-        prop_assert!((f + slope).abs() < 1e-4 * f.max(1e-12), "f {f} vs -slope {}", -slope);
+        assert!((f + slope).abs() < 1e-4 * f.max(1e-12), "f {f} vs -slope {}", -slope);
         // Negligible at twice the spacing.
-        prop_assert!(core.energy(2.0 * a) < 1e-3);
+        assert!(core.energy(2.0 * a) < 1e-3);
     }
+}
 
-    /// erfc decreases monotonically and obeys the complement identity.
-    #[test]
-    fn erfc_properties(x in -4.0f64..4.0) {
+/// erfc decreases monotonically and obeys the complement identity.
+#[test]
+fn erfc_properties() {
+    let mut g = Gen::new(26);
+    for _ in 0..512 {
+        let x = g.f64(-4.0, 4.0);
         let e = particles::math::erfc(x);
-        prop_assert!((0.0..=2.0).contains(&e));
-        prop_assert!((particles::math::erfc(-x) - (2.0 - e)).abs() < 1e-9);
-        prop_assert!(particles::math::erfc(x + 0.1) <= e + 1e-12);
+        assert!((0.0..=2.0).contains(&e));
+        assert!((particles::math::erfc(-x) - (2.0 - e)).abs() < 1e-9);
+        assert!(particles::math::erfc(x + 0.1) <= e + 1e-12);
     }
 }
