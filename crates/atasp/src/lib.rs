@@ -208,40 +208,108 @@ pub fn resort<T: Send + Copy + Default + 'static>(
     new_len: usize,
     mode: &ExchangeMode,
 ) -> Vec<T> {
-    assert_eq!(data.len(), resort_indices.len());
-    let pairs: Vec<(u32, T)> = data
-        .iter()
-        .zip(resort_indices)
-        .map(|(&d, &ix)| {
-            let (_, pos) = decode_index(ix);
-            (pos as u32, d)
-        })
-        .collect();
-    let targets: Vec<usize> = resort_indices.iter().map(|&ix| decode_index(ix).0).collect();
+    resort_all(comm, &[data], resort_indices, new_len, mode)
+        .pop()
+        .expect("resort_all returns one vector per channel")
+}
+
+/// Redistribute several same-length data channels according to one set of
+/// resort indices in a **single** combined exchange round, and place every
+/// element of every channel at its target position (see [`resort`]).
+///
+/// This is the multi-field fast path for solvers that carry positions,
+/// velocities and accelerations through the same redistribution: instead of
+/// paying per-message overhead (and a full collective round) once per field,
+/// all `channels.len()` fields of an element travel in one message. Elements
+/// whose resort index is [`GHOST_INDEX`] are duplicates the solver created
+/// and are dropped rather than routed.
+///
+/// Returns one output vector per input channel, each of length `new_len`.
+/// Collective.
+///
+/// ```
+/// use simcomm::{run, MachineModel};
+/// use atasp::{encode_index, resort_all, ExchangeMode, GHOST_INDEX};
+///
+/// let out = run(2, MachineModel::ideal(), |comm| {
+///     let me = comm.rank();
+///     let dst = 1 - me;
+///     // Two fields ride one exchange; the last element is a ghost copy and
+///     // vanishes instead of being routed.
+///     let pos = [(me * 10) as f64, (me * 10 + 1) as f64, -1.0];
+///     let vel = [(me * 10) as f64 + 0.5, (me * 10 + 1) as f64 + 0.5, -1.0];
+///     let ix = [encode_index(dst, 0), encode_index(dst, 1), GHOST_INDEX];
+///     let mut got = resort_all(comm, &[&pos, &vel], &ix, 2, &ExchangeMode::Collective);
+///     let vel_out = got.pop().unwrap();
+///     let pos_out = got.pop().unwrap();
+///     (pos_out, vel_out)
+/// });
+/// assert_eq!(out.results[0].0, vec![10.0, 11.0]);
+/// assert_eq!(out.results[1].1, vec![0.5, 1.5]);
+/// ```
+pub fn resort_all<T: Send + Copy + Default + 'static>(
+    comm: &mut Comm,
+    channels: &[&[T]],
+    resort_indices: &[u64],
+    new_len: usize,
+    mode: &ExchangeMode,
+) -> Vec<Vec<T>> {
+    let k = channels.len();
+    assert!(k > 0, "resort_all needs at least one channel");
+    for (c, ch) in channels.iter().enumerate() {
+        assert_eq!(
+            ch.len(),
+            resort_indices.len(),
+            "channel {c} length does not match the resort indices"
+        );
+    }
+    // Pack k records per non-ghost element — (target position, lane value)
+    // for every channel, in channel order. The exchange preserves per-source
+    // order and all k records share one target, so each element's group stays
+    // contiguous in transit.
+    let live = resort_indices.iter().filter(|&&ix| !is_ghost(ix)).count();
+    let mut pairs: Vec<(u32, T)> = Vec::with_capacity(live * k);
+    let mut targets: Vec<usize> = Vec::with_capacity(live * k);
+    for (i, &ix) in resort_indices.iter().enumerate() {
+        if is_ghost(ix) {
+            continue;
+        }
+        let (t, pos) = decode_index(ix);
+        for ch in channels {
+            pairs.push((pos as u32, ch[i]));
+            targets.push(t);
+        }
+    }
     comm.enter_phase("redistribute");
     let received = alltoall_specific(comm, &pairs, &targets, mode);
     comm.exit_phase();
     assert_eq!(
         received.len(),
-        new_len,
-        "resort produced {} elements, expected {new_len}",
+        new_len * k,
+        "resort produced {} records, expected {new_len} x {k} channels",
         received.len()
     );
     comm.enter_phase("place");
-    let mut out = vec![T::default(); new_len];
+    let mut out: Vec<Vec<T>> = (0..k).map(|_| vec![T::default(); new_len]).collect();
     #[cfg(debug_assertions)]
     let mut hit = vec![false; new_len];
-    for (pos, d) in received {
-        let pos = pos as usize;
+    for rec in received.chunks_exact(k) {
+        let pos = rec[0].0 as usize;
         assert!(pos < new_len, "target position {pos} out of range");
+        debug_assert!(
+            rec.iter().all(|r| r.0 == rec[0].0),
+            "record group split in transit"
+        );
         #[cfg(debug_assertions)]
         {
             assert!(!hit[pos], "target position {pos} hit twice");
             hit[pos] = true;
         }
-        out[pos] = d;
+        for (lane, &(_, d)) in rec.iter().enumerate() {
+            out[lane][pos] = d;
+        }
     }
-    comm.compute(Work::ByteCopy, (new_len * std::mem::size_of::<T>()) as f64);
+    comm.compute(Work::ByteCopy, (k * new_len * std::mem::size_of::<T>()) as f64);
     comm.exit_phase();
     out
 }
@@ -527,6 +595,98 @@ mod tests {
         });
         for (data, back) in out.results {
             assert_eq!(data, back);
+        }
+    }
+
+    #[test]
+    fn resort_all_uses_one_exchange_round() {
+        use simcomm::{run_traced, TraceKind};
+        // One combined exchange for three fields versus one exchange per
+        // field, verified by counting redistribution rounds in the trace.
+        let trace_rounds = |combined: bool| {
+            let out = run_traced(4, MachineModel::ideal(), move |comm| {
+                let me = comm.rank();
+                let dst = (me + 1) % 4;
+                let n = 5usize;
+                let a: Vec<u64> = (0..n).map(|i| (me * 100 + i) as u64).collect();
+                let b: Vec<u64> = a.iter().map(|x| x + 1).collect();
+                let c: Vec<u64> = a.iter().map(|x| x + 2).collect();
+                let ix: Vec<u64> = (0..n).map(|i| encode_index(dst, i)).collect();
+                if combined {
+                    let _ = resort_all(comm, &[&a, &b, &c], &ix, n, &ExchangeMode::Collective);
+                } else {
+                    for ch in [&a, &b, &c] {
+                        let _ = resort(comm, ch, &ix, n, &ExchangeMode::Collective);
+                    }
+                }
+            });
+            out.traces
+                .iter()
+                .map(|t| {
+                    t.events
+                        .iter()
+                        .filter(|e| e.kind == TraceKind::Alltoallv && e.phase == "redistribute")
+                        .count()
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(trace_rounds(true), vec![1; 4], "multi-field resort must use one round");
+        assert_eq!(trace_rounds(false), vec![3; 4]);
+    }
+
+    #[test]
+    fn resort_all_matches_per_field_resorts_with_ghosts() {
+        fn splitmix(mut x: u64) -> u64 {
+            x = x.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+        let n = 40usize;
+        let out = run(6, MachineModel::ideal(), move |comm| {
+            let me = comm.rank();
+            let p = comm.size();
+            // Random per-element targets; positions on each target rank are
+            // consecutive blocks ordered by source rank, derived from an
+            // allgather of the per-(source, target) counts so that every
+            // position in 0..new_len is hit exactly once globally.
+            let targets: Vec<usize> = (0..n)
+                .map(|i| (splitmix((me * n + i) as u64 ^ 0xabcd) as usize) % p)
+                .collect();
+            let mut my_counts = vec![0usize; p];
+            for &t in &targets {
+                my_counts[t] += 1;
+            }
+            let all_counts = comm.allgather(my_counts);
+            let new_len: usize = (0..p).map(|s| all_counts[s][me]).sum();
+            let mut next_pos: Vec<usize> = (0..p)
+                .map(|t| (0..me).map(|s| all_counts[s][t]).sum())
+                .collect();
+            let n_ghost = me % 3;
+            let mut ix: Vec<u64> = Vec::with_capacity(n + n_ghost);
+            for &t in &targets {
+                ix.push(encode_index(t, next_pos[t]));
+                next_pos[t] += 1;
+            }
+            // Ghost duplicates carry junk payloads and must simply vanish.
+            ix.extend(std::iter::repeat_n(GHOST_INDEX, n_ghost));
+            let field = |salt: u64| -> Vec<u64> {
+                (0..n + n_ghost)
+                    .map(|i| splitmix((me * 7919 + i) as u64 ^ salt))
+                    .collect()
+            };
+            let (a, b, c) = (field(1), field(2), field(3));
+            let combined =
+                resort_all(comm, &[&a, &b, &c], &ix, new_len, &ExchangeMode::Collective);
+            let per_field: Vec<Vec<u64>> = [&a, &b, &c]
+                .into_iter()
+                .map(|ch| resort(comm, ch, &ix, new_len, &ExchangeMode::Collective))
+                .collect();
+            (combined, per_field)
+        });
+        for (combined, per_field) in out.results {
+            assert_eq!(combined, per_field);
         }
     }
 

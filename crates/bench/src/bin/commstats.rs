@@ -1,10 +1,15 @@
 //! Summarize observability output into human-readable phase tables.
 //!
-//! Two input modes:
+//! Input modes:
 //!
 //! * `commstats --report results/fig8_report.json` — print each run entry's
 //!   per-phase aggregate table (critical path, mean, imbalance, comm/wait/
-//!   compute split, traffic) and verify the accounting invariants.
+//!   compute split, traffic) and verify the accounting invariants. Several
+//!   reports can be given comma-separated.
+//! * `commstats --check --report <a.json>[,<b.json>…]` — verify only the
+//!   accounting invariant (comm + wait + compute sums match the rank clocks)
+//!   for every run entry, one quiet line per report; exits nonzero on a
+//!   violation. Intended for CI.
 //! * `commstats --trace results/trace_timeline.csv` — aggregate a per-event
 //!   trace CSV by phase and by operation kind (with collective fan-out from
 //!   the `nranks` column). Pre-observability six-column traces (without the
@@ -24,12 +29,39 @@ fn fail(msg: String) -> ! {
     std::process::exit(2);
 }
 
-fn summarize_report(path: &str) {
+fn load_report(path: &str) -> RunReport {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| fail(format!("cannot read {path}: {e}")));
     let value = Json::parse(&text).unwrap_or_else(|e| fail(format!("{path}: invalid JSON: {e}")));
-    let report = RunReport::from_json(&value)
-        .unwrap_or_else(|e| fail(format!("{path}: not a run report: {e}")));
+    RunReport::from_json(&value).unwrap_or_else(|e| fail(format!("{path}: not a run report: {e}")))
+}
+
+/// `--check`: verify the accounting invariant (per-phase comm + wait +
+/// compute sums match the rank clocks) for every run entry of a report,
+/// quietly. Exits nonzero on the first violation.
+fn check_report(path: &str) {
+    let report = load_report(path);
+    let mut max_err: f64 = 0.0;
+    for run in &report.runs {
+        let err = run.decomposition_error();
+        if err > 1e-6 * run.makespan.max(1e-9) {
+            fail(format!(
+                "{path}: run '{label}': comm+wait+compute diverges from the \
+                 rank clocks by {err:.3e} s (makespan {makespan:.3e} s)",
+                label = run.label,
+                makespan = run.makespan
+            ));
+        }
+        max_err = max_err.max(err);
+    }
+    println!(
+        "check {path}: ok ({n} runs, max accounting error {max_err:.1e} s)",
+        n = report.runs.len()
+    );
+}
+
+fn summarize_report(path: &str) {
+    let report = load_report(path);
     println!(
         "report {path}: figure {figure}, machine {machine}, {n} runs",
         figure = report.figure,
@@ -73,7 +105,9 @@ struct Bucket {
     coll_nranks_sum: u64,
 }
 
-const P2P_KINDS: [&str; 2] = ["send", "recv"];
+/// Point-to-point trace kinds: excluded from collective fan-out statistics.
+/// `isend` posts and `wait` completions are p2p by nature, like `send`/`recv`.
+const P2P_KINDS: [&str; 4] = ["send", "recv", "isend", "wait"];
 
 fn summarize_trace(path: &str) {
     let text = std::fs::read_to_string(path)
@@ -167,17 +201,22 @@ fn summarize_trace(path: &str) {
 }
 
 fn main() {
-    let args = Args::parse(&["report", "trace"]);
+    let args = Args::parse(&["report", "trace", "check"]);
     let report: String = args.get("report", String::new());
     let trace: String = args.get("trace", String::new());
+    let check = args.flag("check");
     if report.is_empty() && trace.is_empty() {
         fail(
-            "usage: commstats --report results/<name>_report.json | --trace results/<trace>.csv"
+            "usage: commstats [--check] --report <a.json>[,<b.json>…] | --trace results/<trace>.csv"
                 .to_string(),
         );
     }
-    if !report.is_empty() {
-        summarize_report(&report);
+    for path in report.split(',').filter(|p| !p.is_empty()) {
+        if check {
+            check_report(path);
+        } else {
+            summarize_report(path);
+        }
     }
     if !trace.is_empty() {
         summarize_trace(&trace);

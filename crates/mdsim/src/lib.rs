@@ -221,34 +221,20 @@ pub fn simulate_from(comm: &mut Comm, snapshot: io::Snapshot, cfg: &SimConfig) -
             ..StepRecord::default()
         };
         if out.resorted {
-            // Method B: adopt the solver's order; resort the additional data.
-            // All additional channels go through one fcs_resort call (the
-            // paper resorts velocities and accelerations together).
+            // Method B: adopt the solver's order; all additional channels
+            // ride one combined exchange round (the paper resorts velocities
+            // and accelerations together), with no pack/unpack copies.
             let t_resort = comm.clock();
-            if initial_pos.is_empty() {
-                let packed: Vec<[Vec3; 2]> =
-                    (0..vel.len()).map(|i| [vel[i], accel[i]]).collect();
-                let moved = handle.resort_data(comm, &packed);
-                vel.clear();
-                accel.clear();
-                for [v, a] in moved {
-                    vel.push(v);
-                    accel.push(a);
-                }
-            } else {
-                let packed: Vec<[Vec3; 3]> = (0..vel.len())
-                    .map(|i| [vel[i], accel[i], initial_pos[i]])
-                    .collect();
-                let moved = handle.resort_data(comm, &packed);
-                vel.clear();
-                accel.clear();
-                initial_pos.clear();
-                for [v, a, x0] in moved {
-                    vel.push(v);
-                    accel.push(a);
-                    initial_pos.push(x0);
-                }
+            let mut channels: Vec<&[Vec3]> = vec![vel, accel];
+            if !initial_pos.is_empty() {
+                channels.push(initial_pos);
             }
+            let mut moved = handle.resort_all(comm, &channels);
+            if !initial_pos.is_empty() {
+                *initial_pos = moved.pop().expect("initial position channel");
+            }
+            *accel = moved.pop().expect("acceleration channel");
+            *vel = moved.pop().expect("velocity channel");
             rec.resort += comm.clock() - t_resort;
         }
         *pos = out.pos;

@@ -64,9 +64,14 @@ fn compare_split<T: Copy + Send + 'static>(
         keys.first().copied().unwrap_or(0)
     };
     let (p_key, p_empty) = {
-        let got = comm.sendrecv(partner, vec![(my_probe, keys.is_empty())], partner, TAG_PROBE);
-        debug_assert_eq!(got.len(), 1);
-        got[0]
+        // Post the receive first, then the send; both directions of the probe
+        // are in flight at once and complete in arrival order.
+        let rx = comm.irecv::<(u64, bool)>(partner, TAG_PROBE);
+        let tx = comm.isend(partner, TAG_PROBE, vec![(my_probe, keys.is_empty())]);
+        let mut got = comm.waitall(vec![rx, tx]);
+        let probe = got.swap_remove(0).expect("probe receive yields data");
+        debug_assert_eq!(probe.len(), 1);
+        probe[0]
     };
     let ordered = if i_am_low { my_probe <= p_key } else { p_key <= my_probe };
     if keys.is_empty() || p_empty || ordered {
@@ -74,13 +79,18 @@ fn compare_split<T: Copy + Send + 'static>(
         return false;
     }
 
-    // Full exchange: ship our run, receive the partner's, merge, keep our part.
+    // Full exchange: ship our run, receive the partner's, merge, keep our
+    // part. The receive is posted before we pack so the partner's transfer is
+    // in flight during the pack; the merge below then overlaps with our own
+    // payload draining on the NIC (the send request is waited on last).
     let n_mine = keys.len();
-    let outgoing: Vec<(u64, T)> = keys.iter().copied().zip(values.iter().copied()).collect();
+    let rx = comm.irecv::<(u64, T)>(partner, TAG_DATA);
     report.exchanges += 1;
     report.sent_elems += n_mine as u64;
     comm.compute(Work::ByteCopy, (n_mine * std::mem::size_of::<(u64, T)>()) as f64);
-    let incoming = comm.sendrecv(partner, outgoing, partner, TAG_DATA);
+    let outgoing: Vec<(u64, T)> = keys.iter().copied().zip(values.iter().copied()).collect();
+    let tx = comm.isend(partner, TAG_DATA, outgoing);
+    let incoming = comm.wait(rx).expect("data receive yields data");
 
     // Deterministic stable merge: on equal keys the lower rank's elements come
     // first, so both sides compute the identical union order.
@@ -116,6 +126,9 @@ fn compare_split<T: Copy + Send + 'static>(
         merged_v.extend_from_slice(&hi_v[y..]);
     }
     comm.compute(Work::SortCmp, total as f64);
+    // The local merge above ran while our payload drained; by now the send
+    // has normally departed and this completes without stalling.
+    let _ = comm.wait(tx);
 
     // Keep entry count: low side the first n_mine, high side the last n_mine.
     if i_am_low {

@@ -47,4 +47,4 @@ pub use model::{
 };
 pub use phase::{aggregate_phases, PhaseAgg, PhaseProfile, PhaseSegment, PhaseStats, UNTAGGED};
 pub use trace::{write_trace_csv, Trace, TraceEvent, TraceKind};
-pub use world::{run, run_traced, Comm, RankStats, RunOutput};
+pub use world::{run, run_traced, Comm, RankStats, Request, RunOutput};

@@ -11,6 +11,13 @@ pub enum TraceKind {
     Send,
     /// Point-to-point receive.
     Recv,
+    /// Nonblocking send post (`isend`): covers the CPU-side post overhead;
+    /// the payload drains on the NIC afterwards.
+    Isend,
+    /// Completion of a nonblocking *send* request inside `wait`/`waitall`/
+    /// `waitany`: the time spent draining the request (receive completions
+    /// are recorded as [`TraceKind::Recv`] instead).
+    Wait,
     /// Barrier.
     Barrier,
     /// Broadcast.
@@ -29,6 +36,8 @@ impl TraceKind {
         match self {
             TraceKind::Send => "send",
             TraceKind::Recv => "recv",
+            TraceKind::Isend => "isend",
+            TraceKind::Wait => "wait",
             TraceKind::Barrier => "barrier",
             TraceKind::Bcast => "bcast",
             TraceKind::Reduce => "reduce",

@@ -34,6 +34,32 @@ fn wait<'a, T>(cv: &Condvar, g: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
     cv.wait(g).unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
+/// Greedily match every receive pattern `(slot, src, tag)` against the queue
+/// in FIFO order (the k-th queued message of a `(src, tag)` stream goes to
+/// the k-th request for it). Returns the `(slot, queue position)` pairs, or
+/// `None` if not all patterns can be matched yet.
+fn match_requests(
+    q: &VecDeque<Message>,
+    patterns: &[(usize, usize, u64)],
+) -> Option<Vec<(usize, usize)>> {
+    let mut taken = vec![false; patterns.len()];
+    let mut picks = Vec::with_capacity(patterns.len());
+    for (qpos, m) in q.iter().enumerate() {
+        if let Some(i) = patterns
+            .iter()
+            .enumerate()
+            .position(|(i, &(_, src, tag))| !taken[i] && m.src == src && m.tag == tag)
+        {
+            taken[i] = true;
+            picks.push((patterns[i].0, qpos));
+            if picks.len() == patterns.len() {
+                return Some(picks);
+            }
+        }
+    }
+    None
+}
+
 /// A type-erased in-flight message.
 struct Message {
     src: usize,
@@ -50,6 +76,37 @@ struct Message {
 struct Mailbox {
     queue: Mutex<VecDeque<Message>>,
     cv: Condvar,
+}
+
+/// A handle for an outstanding nonblocking point-to-point operation, created
+/// by [`Comm::isend`] / [`Comm::irecv`] and consumed by [`Comm::wait`],
+/// [`Comm::waitall`] or [`Comm::waitany`].
+///
+/// The type parameter is the element type of the buffer being transferred;
+/// waiting on a receive request yields the matched `Vec<T>`.
+#[must_use = "a request does nothing until waited on"]
+pub struct Request<T> {
+    kind: ReqKind,
+    _payload: std::marker::PhantomData<fn() -> T>,
+}
+
+enum ReqKind {
+    /// The payload was already deposited at post time; the request completes
+    /// when the NIC has drained it (virtual time `depart`).
+    Send { dst: usize, depart: f64 },
+    /// Completes when a matching message has been pulled from the mailbox.
+    Recv { src: usize, tag: u64 },
+}
+
+impl<T> Request<T> {
+    fn new(kind: ReqKind) -> Self {
+        Request { kind, _payload: std::marker::PhantomData }
+    }
+
+    /// Whether this is a receive request (completing it yields data).
+    pub fn is_recv(&self) -> bool {
+        matches!(self.kind, ReqKind::Recv { .. })
+    }
 }
 
 /// One entry deposited into a rank's all-to-all-v bin.
@@ -174,6 +231,9 @@ pub struct Comm {
     shared: Arc<WorldShared>,
     rank: usize,
     clock: f64,
+    /// Virtual time until which this rank's (shared) NIC is busy injecting
+    /// previously posted messages; the next message departs no earlier.
+    nic_free: f64,
     stats: RankStats,
     trace: Option<Trace>,
     /// Open phase spans, innermost last; all accounting goes to the top entry.
@@ -279,6 +339,7 @@ where
                         shared: Arc::clone(&shared),
                         rank,
                         clock: 0.0,
+                        nic_free: 0.0,
                         stats: RankStats::default(),
                         trace: traced.then(Trace::default),
                         phase_stack: Vec::new(),
@@ -550,25 +611,31 @@ impl Comm {
     /// receiving side (the receive cannot complete before the message, sent at
     /// the sender's current clock, has traversed the network).
     pub fn send<T: Send + 'static>(&mut self, dst: usize, tag: u64, data: Vec<T>) {
+        let t0 = self.clock;
+        // A blocking send is an isend whose NIC drain is charged to the CPU:
+        // overhead, then stall until the message has left (LogGP `o` + `g` +
+        // `G*bytes`, serialized behind any still-draining earlier posts).
+        let (depart, bytes) = self.post_send(dst, tag, data);
+        self.advance_comm((depart - self.clock).max(0.0));
+        self.trace_event(TraceKind::Send, t0, bytes, Some(dst));
+    }
+
+    /// Deposit a message for `dst` and return its NIC departure time and size.
+    /// Charges the CPU-side post overhead as communication; the payload drains
+    /// on the NIC timeline ([`Comm::nic_free`]) afterwards.
+    fn post_send<T: Send + 'static>(&mut self, dst: usize, tag: u64, data: Vec<T>) -> (f64, u64) {
         assert!(dst < self.shared.n, "send to invalid rank {dst}");
         self.shared.check_poison();
         let bytes = (data.len() * std::mem::size_of::<T>()) as u64;
-        // CPU overhead plus NIC injection: consecutive sends serialize their
-        // payloads at the link bandwidth (LogGP `o` + `G*bytes`).
-        self.advance_comm(self.shared.model.p2p_overhead + self.shared.model.injection_time(bytes));
+        self.advance_comm(self.shared.model.p2p_overhead);
+        let depart = self.nic_free.max(self.clock) + self.shared.model.nic_occupancy(bytes);
+        self.nic_free = depart;
         self.count_p2p_sent(1, bytes);
-        let msg = Message {
-            src: self.rank,
-            tag,
-            depart: self.clock,
-            bytes,
-            payload: Box::new(data),
-        };
+        let msg = Message { src: self.rank, tag, depart, bytes, payload: Box::new(data) };
         let mb = &self.shared.mailboxes[dst];
         lock(&mb.queue).push_back(msg);
         mb.cv.notify_all();
-        let t0 = self.clock - (self.shared.model.p2p_overhead + self.shared.model.injection_time(bytes));
-        self.trace_event(TraceKind::Send, t0, bytes, Some(dst));
+        (depart, bytes)
     }
 
     /// Blocking receive of a typed buffer from `src` with matching `tag`.
@@ -596,21 +663,7 @@ impl Comm {
             {
                 let msg = q.remove(pos).unwrap();
                 drop(q);
-                let t0 = self.clock;
-                let hops = self.shared.hops(msg.src, self.rank);
-                // Payload time was paid at injection; the wire adds latency.
-                // The receive overhead is communication; any further gap until
-                // the message's arrival is rendezvous wait.
-                let arrival = msg.depart + self.shared.model.wire_latency(hops);
-                self.advance_comm(self.shared.model.p2p_overhead);
-                self.advance_wait((arrival - self.clock).max(0.0));
-                self.count_p2p_recv(1, msg.bytes);
-                self.trace_event(TraceKind::Recv, t0, msg.bytes, Some(msg.src));
-                let data = msg
-                    .payload
-                    .downcast::<Vec<T>>()
-                    .unwrap_or_else(|_| panic!("recv type mismatch (src {:?}, tag {tag})", msg.src));
-                return (msg.src, *data);
+                return self.complete_recv(msg);
             }
             q = wait(&mb.cv, q);
         }
@@ -627,6 +680,255 @@ impl Comm {
     ) -> Vec<T> {
         self.send(dst, tag, send);
         self.recv(src, tag)
+    }
+
+    // ------------------------------------------------- nonblocking requests
+
+    /// Virtual arrival time of a message at this rank: payload time was paid
+    /// at injection, the wire adds latency.
+    fn arrival_of(&self, msg: &Message) -> f64 {
+        let hops = self.shared.hops(msg.src, self.rank);
+        msg.depart + self.shared.model.wire_latency(hops)
+    }
+
+    /// Charge the completion of one matched message (receive overhead as
+    /// communication, the gap to its arrival as rendezvous wait), record it,
+    /// and unbox the payload.
+    fn complete_recv<T: Send + 'static>(&mut self, msg: Message) -> (usize, Vec<T>) {
+        let t0 = self.clock;
+        let arrival = self.arrival_of(&msg);
+        let (comm, wait) = self.shared.model.completion_cost(self.clock, arrival);
+        self.advance_comm(comm);
+        self.advance_wait(wait);
+        self.count_p2p_recv(1, msg.bytes);
+        self.trace_event(TraceKind::Recv, t0, msg.bytes, Some(msg.src));
+        let data = msg.payload.downcast::<Vec<T>>().unwrap_or_else(|_| {
+            panic!("recv type mismatch (src {}, tag {})", msg.src, msg.tag)
+        });
+        (msg.src, *data)
+    }
+
+    /// Charge the completion of a send request: the CPU idles until the NIC
+    /// has drained the message (no further overhead — it was paid at post).
+    fn complete_send(&mut self, dst: usize, depart: f64) {
+        let t0 = self.clock;
+        self.advance_wait((depart - self.clock).max(0.0));
+        self.trace_event(TraceKind::Wait, t0, 0, Some(dst));
+    }
+
+    /// Nonblocking send: deposit the message, pay only the CPU-side post
+    /// overhead, and return a [`Request`] that completes once the NIC has
+    /// drained the payload. Consecutive posts queue on the NIC timeline, so
+    /// their payloads still serialize — but the CPU is free to post more
+    /// work or receive other messages meanwhile.
+    ///
+    /// ```
+    /// use simcomm::{run, MachineModel};
+    /// let out = run(2, MachineModel::juropa_like(), |comm| {
+    ///     let peer = 1 - comm.rank();
+    ///     let recv = comm.irecv::<u64>(peer, 0);
+    ///     let send = comm.isend(peer, 0, vec![comm.rank() as u64]);
+    ///     let got = comm.waitall(vec![recv, send]);
+    ///     got[0].clone().expect("receive request yields data")
+    /// });
+    /// assert_eq!(out.results, vec![vec![1], vec![0]]);
+    /// ```
+    pub fn isend<T: Send + 'static>(&mut self, dst: usize, tag: u64, data: Vec<T>) -> Request<T> {
+        let t0 = self.clock;
+        let (depart, bytes) = self.post_send(dst, tag, data);
+        self.trace_event(TraceKind::Isend, t0, bytes, Some(dst));
+        Request::new(ReqKind::Send { dst, depart })
+    }
+
+    /// Nonblocking receive: returns a [`Request`] that completes when a
+    /// message from `src` with matching `tag` has arrived. Posting costs
+    /// nothing; matching and all time accounting happen at the wait.
+    pub fn irecv<T: Send + 'static>(&mut self, src: usize, tag: u64) -> Request<T> {
+        assert!(src < self.shared.n, "irecv from invalid rank {src}");
+        Request::new(ReqKind::Recv { src, tag })
+    }
+
+    /// Wait for a single request. Returns the received buffer for a receive
+    /// request, `None` for a send request.
+    pub fn wait<T: Send + 'static>(&mut self, request: Request<T>) -> Option<Vec<T>> {
+        self.waitall(vec![request]).pop().expect("one request in, one result out")
+    }
+
+    /// Wait for all requests, completing them in **arrival order** rather
+    /// than post order: the batch's rendezvous wait covers the latest
+    /// outstanding transfer once, not every transfer's latency in sequence
+    /// (see [`MachineModel::overlap_completion`]). Returns one entry per
+    /// request, in *request order*: `Some(buffer)` for receives, `None` for
+    /// sends.
+    ///
+    /// Completion order — and therefore every clock and statistic — is a
+    /// deterministic function of virtual departure/arrival times, independent
+    /// of OS thread scheduling.
+    ///
+    /// ```
+    /// use simcomm::{run, MachineModel};
+    /// let out = run(2, MachineModel::juqueen_like(), |comm| {
+    ///     let peer = 1 - comm.rank();
+    ///     let mut requests = vec![comm.irecv::<u8>(peer, 9)];
+    ///     requests.push(comm.isend(peer, 9, vec![comm.rank() as u8; 3]));
+    ///     let mut results = comm.waitall(requests);
+    ///     (results.remove(0).unwrap(), results.remove(0))
+    /// });
+    /// assert_eq!(out.results[0], (vec![1, 1, 1], None));
+    /// ```
+    pub fn waitall<T: Send + 'static>(&mut self, requests: Vec<Request<T>>) -> Vec<Option<Vec<T>>> {
+        self.shared.check_poison();
+        let patterns: Vec<(usize, usize, u64)> = requests
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, r)| match r.kind {
+                ReqKind::Recv { src, tag } => Some((slot, src, tag)),
+                ReqKind::Send { .. } => None,
+            })
+            .collect();
+        // Block (in real time) until every receive has a matching message,
+        // then pull them all out of the mailbox in one critical section. The
+        // sends were deposited at post time, so symmetric exchanges cannot
+        // deadlock here.
+        let mut msgs: Vec<Option<Message>> = requests.iter().map(|_| None).collect();
+        if !patterns.is_empty() {
+            let mb = &self.shared.mailboxes[self.rank];
+            let mut q = lock(&mb.queue);
+            let mut picks = loop {
+                self.shared.check_poison();
+                if let Some(p) = match_requests(&q, &patterns) {
+                    break p;
+                }
+                q = wait(&mb.cv, q);
+            };
+            // Remove back to front so earlier queue positions stay valid.
+            picks.sort_unstable_by_key(|&(_, qpos)| std::cmp::Reverse(qpos));
+            for (slot, qpos) in picks {
+                msgs[slot] = q.remove(qpos);
+            }
+        }
+        // Complete in ascending ready-time order (ties broken by request
+        // order): this is what makes concurrent transfers cost the max, not
+        // the sum, of their remaining latencies.
+        let mut order: Vec<(f64, usize)> = requests
+            .iter()
+            .enumerate()
+            .map(|(slot, r)| {
+                let ready = match r.kind {
+                    ReqKind::Send { depart, .. } => depart,
+                    ReqKind::Recv { .. } => {
+                        self.arrival_of(msgs[slot].as_ref().expect("matched above"))
+                    }
+                };
+                (ready, slot)
+            })
+            .collect();
+        order.sort_by(|a, b| a.partial_cmp(b).expect("virtual times are finite"));
+        let mut out: Vec<Option<Vec<T>>> = requests.iter().map(|_| None).collect();
+        for (_, slot) in order {
+            match requests[slot].kind {
+                ReqKind::Send { dst, depart } => self.complete_send(dst, depart),
+                ReqKind::Recv { .. } => {
+                    let msg = msgs[slot].take().expect("matched above");
+                    out[slot] = Some(self.complete_recv(msg).1);
+                }
+            }
+        }
+        out
+    }
+
+    /// Wait for **any one** request to complete: the slot completed first in
+    /// virtual time among those currently completable. Returns the slot index
+    /// and, for a receive, the buffer; the slot is set to `None`.
+    ///
+    /// Unlike [`Comm::waitall`], which rendezvouses with every transfer, the
+    /// choice here can depend on which messages have *physically* arrived
+    /// when the call runs — results are deterministic, clocks need not be.
+    ///
+    /// # Panics
+    ///
+    /// Panics if all slots are `None`.
+    pub fn waitany<T: Send + 'static>(
+        &mut self,
+        requests: &mut [Option<Request<T>>],
+    ) -> (usize, Option<Vec<T>>) {
+        self.shared.check_poison();
+        assert!(
+            requests.iter().any(Option::is_some),
+            "waitany needs at least one outstanding request"
+        );
+        let patterns: Vec<(usize, usize, u64)> = requests
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, r)| match r {
+                Some(Request { kind: ReqKind::Recv { src, tag }, .. }) => {
+                    Some((slot, *src, *tag))
+                }
+                _ => None,
+            })
+            .collect();
+        let best_send = requests
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, r)| match r {
+                Some(Request { kind: ReqKind::Send { depart, .. }, .. }) => {
+                    Some((*depart, slot))
+                }
+                _ => None,
+            })
+            .min_by(|a, b| a.partial_cmp(b).expect("virtual times are finite"));
+        let picked: Result<(usize, Message), usize> = {
+            let mb = &self.shared.mailboxes[self.rank];
+            let mut q = lock(&mb.queue);
+            loop {
+                self.shared.check_poison();
+                // Earliest-arriving message currently present that matches a
+                // still-outstanding receive request.
+                let best_recv = q
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, m)| {
+                        patterns.iter().any(|&(_, src, tag)| m.src == src && m.tag == tag)
+                    })
+                    .min_by(|(_, a), (_, b)| {
+                        self.arrival_of(a)
+                            .partial_cmp(&self.arrival_of(b))
+                            .expect("virtual times are finite")
+                    })
+                    .map(|(qpos, m)| (qpos, self.arrival_of(m)));
+                match (best_recv, best_send) {
+                    (Some((_, arrival)), Some((depart, send_slot))) if depart <= arrival => {
+                        break Err(send_slot);
+                    }
+                    (Some((qpos, _)), _) => {
+                        let msg = q.remove(qpos).expect("position just found");
+                        let slot = patterns
+                            .iter()
+                            .find(|&&(_, src, tag)| msg.src == src && msg.tag == tag)
+                            .map(|&(slot, _, _)| slot)
+                            .expect("matched above");
+                        break Ok((slot, msg));
+                    }
+                    (None, Some((_, send_slot))) => break Err(send_slot),
+                    (None, None) => q = wait(&mb.cv, q),
+                }
+            }
+        };
+        match picked {
+            Ok((slot, msg)) => {
+                requests[slot] = None;
+                (slot, Some(self.complete_recv(msg).1))
+            }
+            Err(slot) => {
+                let Some(Request { kind: ReqKind::Send { dst, depart }, .. }) =
+                    requests[slot].take()
+                else {
+                    unreachable!("send slot picked above")
+                };
+                self.complete_send(dst, depart);
+                (slot, None)
+            }
+        }
     }
 
     // ---------------------------------------------------------- collectives
@@ -808,6 +1110,11 @@ impl Comm {
         };
         for (dst, data) in sends {
             assert!(dst < self.shared.n, "alltoallv to invalid rank {dst}");
+            // Sparse fast path: an empty buffer is not a message — no boxed
+            // deposit, no per-message cost, no send/receive statistics.
+            if data.is_empty() {
+                continue;
+            }
             let bytes = (data.len() * std::mem::size_of::<T>()) as u64;
             s_msgs += 1;
             s_bytes += bytes;
@@ -825,20 +1132,11 @@ impl Comm {
         // Synchronize: all deposits are now visible.
         let (_, max_clock) = self.coll_exchange::<(), (), _>((), |_| ());
 
-        // Drain this rank's bin for this round.
-        let mut received = Vec::new();
-        {
-            let mut bin = lock(&self.shared.bins[self.rank]);
-            let mut keep = Vec::with_capacity(bin.len());
-            for e in bin.drain(..) {
-                if e.round == round {
-                    received.push(e);
-                } else {
-                    keep.push(e);
-                }
-            }
-            *bin = keep;
-        }
+        // Drain this rank's bin for this round in place (entries of other
+        // rounds stay queued, without rebuilding the vector).
+        let mut received: Vec<BinEntry> = lock(&self.shared.bins[self.rank])
+            .extract_if(.., |e| e.round == round)
+            .collect();
         received.sort_by_key(|e| e.src);
         let r_msgs = received.len() as u64;
         let r_bytes: u64 = received.iter().map(|e| e.bytes).sum();
@@ -863,24 +1161,30 @@ impl Comm {
             .collect()
     }
 
-    /// Dense all-to-all of exactly one element per rank pair. Convenience
-    /// wrapper over [`Comm::alltoallv`]; intended for small worlds.
-    pub fn alltoall<T: Clone + Send + 'static>(&mut self, data: &[T]) -> Vec<T> {
+    /// Dense all-to-all of exactly one element per rank pair: rank `r` ends
+    /// up with `data[r]` of every rank, ordered by source. Costed like
+    /// [`Comm::alltoallv`] with one single-element message per rank pair, but
+    /// built in one pass over the input slice — no per-element boxing.
+    pub fn alltoall<T: Clone + Send + Sync + 'static>(&mut self, data: &[T]) -> Vec<T> {
         assert_eq!(data.len(), self.shared.n, "alltoall needs one element per rank");
-        let sends = data
-            .iter()
-            .enumerate()
-            .map(|(dst, v)| (dst, vec![v.clone()]))
-            .collect();
-        let recvd = self.alltoallv(sends);
-        let mut out: Vec<Option<T>> = (0..self.shared.n).map(|_| None).collect();
-        for (src, mut v) in recvd {
-            assert_eq!(v.len(), 1);
-            out[src] = Some(v.pop().unwrap());
-        }
-        out.into_iter()
-            .map(|o| o.expect("alltoall missing contribution"))
-            .collect()
+        self.shared.check_poison();
+        let t0 = self.clock;
+        let n = self.shared.n as u64;
+        let bytes = (data.len() * std::mem::size_of::<T>()) as u64;
+        self.count_coll(0, bytes);
+        self.count_p2p_sent(n, bytes);
+        let rank = self.rank;
+        let (agg, max_clock) =
+            self.coll_exchange::<Vec<T>, Vec<Vec<T>>, _>(data.to_vec(), |rows| rows);
+        let out: Vec<T> = agg.iter().map(|row| row[rank].clone()).collect();
+        self.count_p2p_recv(n, bytes);
+        let cost = self
+            .shared
+            .model
+            .alltoallv_time(self.shared.n, n, bytes, n, bytes);
+        self.finish_collective(max_clock, cost);
+        self.trace_event(TraceKind::Alltoallv, t0, bytes, None);
+        out
     }
 
     /// Point-to-point neighbourhood exchange with a known partner set: send
@@ -894,15 +1198,54 @@ impl Comm {
     ///
     /// Both sides must agree on the partner relation (if `a` lists `b`, then
     /// `b` must list `a`).
+    ///
+    /// Implementation: every send and receive is posted nonblocking up front
+    /// and the receives are drained in **arrival order** ([`Comm::waitall`]),
+    /// so one slow partner delays the exchange by its own latency only —
+    /// unlike the blocking reference ([`Comm::neighbor_exchange_blocking`]),
+    /// which stalls on each partner in list order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` does not name exactly the ranks in `partners`, in
+    /// order — a mismatched partner list would deadlock the exchange.
     pub fn neighbor_exchange<T: Send + 'static>(
         &mut self,
         partners: &[usize],
         data: Vec<(usize, Vec<T>)>,
         tag: u64,
     ) -> Vec<(usize, Vec<T>)> {
-        debug_assert_eq!(partners.len(), data.len());
-        for (i, (dst, buf)) in data.into_iter().enumerate() {
-            debug_assert_eq!(partners[i], dst);
+        check_partner_list(partners, &data);
+        let mut requests: Vec<Request<T>> = Vec::with_capacity(2 * partners.len());
+        for &src in partners {
+            requests.push(self.irecv(src, tag));
+        }
+        for (dst, buf) in data {
+            requests.push(self.isend(dst, tag, buf));
+        }
+        let results = self.waitall(requests);
+        let mut out: Vec<(usize, Vec<T>)> = partners
+            .iter()
+            .zip(results)
+            .map(|(&src, buf)| (src, buf.expect("receive request yields data")))
+            .collect();
+        out.sort_by_key(|&(src, _)| src);
+        out
+    }
+
+    /// The blocking reference implementation of [`Comm::neighbor_exchange`]:
+    /// send to every partner in list order, then receive from every partner
+    /// in list order. Kept as the baseline the nonblocking version is
+    /// benchmarked against (`bench/src/bin/redistribution.rs`); same
+    /// arguments, same result, strictly serialized cost.
+    pub fn neighbor_exchange_blocking<T: Send + 'static>(
+        &mut self,
+        partners: &[usize],
+        data: Vec<(usize, Vec<T>)>,
+        tag: u64,
+    ) -> Vec<(usize, Vec<T>)> {
+        check_partner_list(partners, &data);
+        for (dst, buf) in data {
             self.send(dst, tag, buf);
         }
         let mut out: Vec<(usize, Vec<T>)> = partners
@@ -911,6 +1254,27 @@ impl Comm {
             .collect();
         out.sort_by_key(|&(src, _)| src);
         out
+    }
+}
+
+/// Validate a neighbour-exchange partner list against the send buffers: a
+/// mismatch silently deadlocks the exchange, so this is a hard error in
+/// release builds too.
+fn check_partner_list<T>(partners: &[usize], data: &[(usize, Vec<T>)]) {
+    assert_eq!(
+        partners.len(),
+        data.len(),
+        "neighbor_exchange: {} send buffers for {} partners",
+        data.len(),
+        partners.len()
+    );
+    for (i, ((dst, _), &partner)) in data.iter().zip(partners).enumerate() {
+        assert_eq!(
+            *dst, partner,
+            "neighbor_exchange: send buffer {i} targets rank {dst} but the \
+             partner list names rank {partner}; a mismatched partner list \
+             deadlocks the exchange"
+        );
     }
 }
 
@@ -1342,6 +1706,143 @@ mod tests {
             let phases: Vec<&str> = tr.events.iter().map(|e| e.phase).collect();
             assert_eq!(phases, vec!["p", "p", ""]);
         }
+    }
+
+    #[test]
+    fn waitany_completes_out_of_post_order() {
+        let out = run(2, MachineModel::juropa_like(), |comm| {
+            if comm.rank() == 0 {
+                // Tag 1 departs first, then tag 2 (blocking sends serialize).
+                comm.send(1, 1, vec![11u32]);
+                comm.send(1, 2, vec![22u32]);
+                comm.barrier();
+                Vec::new()
+            } else {
+                // Post the request for tag 2 *first*; the tag-1 message still
+                // completes first because it arrives first in virtual time.
+                let mut reqs =
+                    vec![Some(comm.irecv::<u32>(0, 2)), Some(comm.irecv::<u32>(0, 1))];
+                comm.barrier(); // both messages are physically present now
+                let (first, a) = comm.waitany(&mut reqs);
+                let (second, b) = comm.waitany(&mut reqs);
+                assert_eq!((first, second), (1, 0));
+                assert!(reqs.iter().all(Option::is_none));
+                vec![a.unwrap()[0], b.unwrap()[0]]
+            }
+        });
+        assert_eq!(out.results[1], vec![11, 22]);
+    }
+
+    #[test]
+    fn interleaved_isends_match_tags_fifo() {
+        let out = run(2, MachineModel::juqueen_like(), |comm| {
+            if comm.rank() == 0 {
+                let reqs = vec![
+                    comm.isend(1, 1, vec![1u64]),
+                    comm.isend(1, 2, vec![10u64]),
+                    comm.isend(1, 1, vec![2u64]),
+                    comm.isend(1, 2, vec![20u64]),
+                ];
+                let done = comm.waitall(reqs);
+                assert!(done.iter().all(Option::is_none), "sends yield no data");
+                Vec::new()
+            } else {
+                // Receive with the tags in a different order than they were
+                // sent; FIFO within each tag stream must hold regardless.
+                let reqs = vec![
+                    comm.irecv::<u64>(0, 2),
+                    comm.irecv::<u64>(0, 2),
+                    comm.irecv::<u64>(0, 1),
+                    comm.irecv::<u64>(0, 1),
+                ];
+                comm.waitall(reqs)
+                    .into_iter()
+                    .map(|b| b.expect("receive request yields data")[0])
+                    .collect::<Vec<u64>>()
+            }
+        });
+        assert_eq!(out.results[1], vec![10, 20, 1, 2]);
+    }
+
+    #[test]
+    fn request_results_deterministic_across_runs() {
+        // waitany's completion choice may depend on real arrival timing, so
+        // clocks are not pinned — but the *data* every rank assembles must be
+        // identical run to run.
+        let run_once = || {
+            run(8, MachineModel::juqueen_like(), |comm| {
+                let r = comm.rank();
+                comm.compute(Work::ParticleOp, (r * 1000) as f64); // skew ranks
+                let partners: Vec<usize> = (1..4).map(|d| (r + d) % 8).collect();
+                let sources: Vec<usize> = (1..4).map(|d| (r + 8 - d) % 8).collect();
+                let mut recvs: Vec<Option<Request<u64>>> =
+                    sources.iter().map(|&s| Some(comm.irecv(s, 5))).collect();
+                let sends: Vec<Request<u64>> = partners
+                    .iter()
+                    .map(|&p| comm.isend(p, 5, vec![(r * 100 + p) as u64]))
+                    .collect();
+                let mut got: Vec<(usize, u64)> = Vec::new();
+                for _ in 0..sources.len() {
+                    let (slot, data) = comm.waitany(&mut recvs);
+                    got.push((sources[slot], data.expect("recv slot")[0]));
+                }
+                let _ = comm.waitall(sends);
+                got.sort_unstable();
+                got
+            })
+            .results
+        };
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn nonblocking_neighbor_exchange_not_slower_than_blocking() {
+        // The fig9 neighbourhood pattern (26-partner ring, 4 KiB messages):
+        // the nonblocking exchange must be at least as fast as the blocking
+        // baseline on both machine models, and measurably faster.
+        for model in [MachineModel::juropa_like(), MachineModel::juqueen_like()] {
+            let name = model.name.clone();
+            let out = run(64, model, |comm| {
+                let n = comm.size();
+                let mut partners: Vec<usize> = (1..=13)
+                    .flat_map(|d| [(comm.rank() + d) % n, (comm.rank() + n - d) % n])
+                    .filter(|&q| q != comm.rank())
+                    .collect();
+                partners.sort_unstable();
+                partners.dedup();
+                let payloads = |ps: &[usize]| -> Vec<(usize, Vec<u8>)> {
+                    ps.iter().map(|&q| (q, vec![0u8; 4096])).collect()
+                };
+                let t0 = comm.clock();
+                let _ = comm.neighbor_exchange_blocking(&partners, payloads(&partners), 1);
+                let blocking = comm.clock() - t0;
+                comm.barrier();
+                let t1 = comm.clock();
+                let _ = comm.neighbor_exchange(&partners, payloads(&partners), 2);
+                (blocking, comm.clock() - t1)
+            });
+            let blocking = out.results.iter().map(|r| r.0).fold(0.0, f64::max);
+            let nonblocking = out.results.iter().map(|r| r.1).fold(0.0, f64::max);
+            assert!(
+                nonblocking <= blocking * (1.0 + 1e-9),
+                "{name}: nonblocking {nonblocking} must not exceed blocking {blocking}"
+            );
+            assert!(
+                nonblocking < 0.95 * blocking,
+                "{name}: overlap should give a measurable drop: {nonblocking} vs {blocking}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "partner list")]
+    fn mismatched_partner_list_is_rejected() {
+        run(2, MachineModel::ideal(), |comm| {
+            let peer = 1 - comm.rank();
+            // The send buffer names this rank itself instead of the partner:
+            // without the check this would deadlock silently.
+            let _ = comm.neighbor_exchange(&[peer], vec![(comm.rank(), vec![1u8])], 0);
+        });
     }
 
     #[test]
