@@ -127,11 +127,8 @@ pub fn alltoall_specific<T: Send + Copy + 'static>(
     for (&e, &t) in elements.iter().zip(targets) {
         bufs[t].push(e);
     }
-    let groups: Vec<(usize, Vec<T>)> = bufs
-        .into_iter()
-        .enumerate()
-        .filter(|(_, b)| !b.is_empty())
-        .collect();
+    let groups: Vec<(usize, Vec<T>)> =
+        bufs.into_iter().enumerate().filter(|(_, b)| !b.is_empty()).collect();
     let received = exchange_grouped(comm, groups, mode);
     let mut out = Vec::with_capacity(received.iter().map(|(_, b)| b.len()).sum());
     for (_, buf) in received {
@@ -176,11 +173,8 @@ where
     for (t, x) in routed {
         bufs[t].push(x);
     }
-    let groups: Vec<(usize, Vec<T>)> = bufs
-        .into_iter()
-        .enumerate()
-        .filter(|(_, b)| !b.is_empty())
-        .collect();
+    let groups: Vec<(usize, Vec<T>)> =
+        bufs.into_iter().enumerate().filter(|(_, b)| !b.is_empty()).collect();
     let received = exchange_grouped(comm, groups, mode);
     let mut out = Vec::with_capacity(received.iter().map(|(_, b)| b.len()).sum());
     for (_, buf) in received {
@@ -254,64 +248,195 @@ pub fn resort_all<T: Send + Copy + Default + 'static>(
     new_len: usize,
     mode: &ExchangeMode,
 ) -> Vec<Vec<T>> {
-    let k = channels.len();
-    assert!(k > 0, "resort_all needs at least one channel");
-    for (c, ch) in channels.iter().enumerate() {
+    ResortPlan::build(comm, resort_indices, new_len, mode).execute(comm, channels)
+}
+
+/// Deterministic 64-bit fingerprint of a resort-index slice (splitmix64
+/// fold), used for the cheap plan-validity check in [`ResortPlan::matches`].
+fn fingerprint(indices: &[u64]) -> u64 {
+    let mut h: u64 = 0x243f_6a88_85a3_08d3 ^ indices.len() as u64;
+    for &ix in indices {
+        let mut z = h ^ ix.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        h = z ^ (z >> 31);
+    }
+    h
+}
+
+/// A frozen redistribution schedule built from one set of resort indices:
+/// the plan half of the plan/execute split for [`resort`] / [`resort_all`].
+///
+/// [`ResortPlan::build`] decodes the indices **once** — which input elements
+/// are live (non-ghost), which target rank each goes to, the target position
+/// of each, and the stable per-target grouping the exchange needs — and
+/// freezes them as per-target route lists. [`ResortPlan::execute`] then only
+/// packs payload along the frozen routes, exchanges it, and places it; it can
+/// be called once per timestep (and once per channel set) for as long as the
+/// resort indices are unchanged, which is exactly the quiet-timestep common
+/// case of the paper's Method B: particles move, but the *routing* of the
+/// redistribution does not.
+///
+/// Executing a plan on every rank is a collective operation with the same
+/// requirements as [`resort_all`]; ranks may rebuild their plans in different
+/// steps (the exchange contents are identical either way).
+#[derive(Clone, Debug)]
+pub struct ResortPlan {
+    mode: ExchangeMode,
+    new_len: usize,
+    n_input: usize,
+    ix_fingerprint: u64,
+    /// Per-target route lists: `(target rank, [(input index, target
+    /// position)])`, targets ascending, entries in stable input order.
+    routes: Vec<(usize, Vec<(u32, u32)>)>,
+}
+
+impl ResortPlan {
+    /// Decode `resort_indices` into a frozen redistribution schedule (see
+    /// the type-level docs). Purely local; charges the one-time decode and
+    /// grouping cost and records a `plan_build` trace span.
+    pub fn build(
+        comm: &mut Comm,
+        resort_indices: &[u64],
+        new_len: usize,
+        mode: &ExchangeMode,
+    ) -> ResortPlan {
+        let t0 = comm.clock();
+        let p = comm.size();
+        let mut counts = vec![0usize; p];
+        for &ix in resort_indices {
+            if is_ghost(ix) {
+                continue;
+            }
+            let (t, _) = decode_index(ix);
+            assert!(t < p, "target rank {t} out of range");
+            counts[t] += 1;
+        }
+        let mut bins: Vec<Vec<(u32, u32)>> =
+            counts.iter().map(|&c| Vec::with_capacity(c)).collect();
+        for (i, &ix) in resort_indices.iter().enumerate() {
+            if is_ghost(ix) {
+                continue;
+            }
+            let (t, pos) = decode_index(ix);
+            bins[t].push((i as u32, pos as u32));
+        }
+        let routes: Vec<(usize, Vec<(u32, u32)>)> =
+            bins.into_iter().enumerate().filter(|(_, b)| !b.is_empty()).collect();
+        let route_bytes = (std::mem::size_of_val(resort_indices)) as u64;
+        comm.compute(Work::ByteCopy, route_bytes as f64);
+        comm.note_plan_build(t0, route_bytes);
+        ResortPlan {
+            mode: mode.clone(),
+            new_len,
+            n_input: resort_indices.len(),
+            ix_fingerprint: fingerprint(resort_indices),
+            routes,
+        }
+    }
+
+    /// Number of elements this rank owns after the redistribution.
+    pub fn new_len(&self) -> usize {
+        self.new_len
+    }
+
+    /// Number of input elements (including ghosts) the plan was built for.
+    pub fn input_len(&self) -> usize {
+        self.n_input
+    }
+
+    /// The exchange mode the plan was built for.
+    pub fn mode(&self) -> &ExchangeMode {
+        &self.mode
+    }
+
+    /// Is this plan still valid for the given redistribution? True when the
+    /// resort indices, the output length and the exchange mode are the ones
+    /// the plan was built from (index equality via a 64-bit fingerprint).
+    pub fn matches(&self, resort_indices: &[u64], new_len: usize, mode: &ExchangeMode) -> bool {
+        self.n_input == resort_indices.len()
+            && self.new_len == new_len
+            && self.mode == *mode
+            && self.ix_fingerprint == fingerprint(resort_indices)
+    }
+
+    /// Move payload through the frozen schedule: pack `k` records per live
+    /// element — (target position, lane value) for every channel, in channel
+    /// order — along the plan's per-target routes, exchange, and place every
+    /// record at its target position. The exchange preserves per-source
+    /// order and all `k` records of an element share one target, so each
+    /// element's group stays contiguous in transit.
+    ///
+    /// Identical results to [`resort_all`] with the indices the plan was
+    /// built from; only the index decode/grouping work is skipped. Collective.
+    pub fn execute<T: Send + Copy + Default + 'static>(
+        &self,
+        comm: &mut Comm,
+        channels: &[&[T]],
+    ) -> Vec<Vec<T>> {
+        let k = channels.len();
+        assert!(k > 0, "resort plan execution needs at least one channel");
+        for (c, ch) in channels.iter().enumerate() {
+            assert_eq!(
+                ch.len(),
+                self.n_input,
+                "channel {c} length does not match the plan's resort indices"
+            );
+        }
+        let t0 = comm.clock();
+        let new_len = self.new_len;
+        comm.enter_phase("redistribute");
+        let mut routed_bytes = 0u64;
+        let groups: Vec<(usize, Vec<(u32, T)>)> = self
+            .routes
+            .iter()
+            .map(|(t, entries)| {
+                let mut buf: Vec<(u32, T)> = Vec::with_capacity(entries.len() * k);
+                for &(i, pos) in entries {
+                    for ch in channels {
+                        buf.push((pos, ch[i as usize]));
+                    }
+                }
+                routed_bytes += (buf.len() * std::mem::size_of::<(u32, T)>()) as u64;
+                (*t, buf)
+            })
+            .collect();
+        comm.compute(Work::ByteCopy, routed_bytes as f64);
+        let received = exchange_grouped(comm, groups, &self.mode);
+        comm.exit_phase();
+        let n_received: usize = received.iter().map(|(_, b)| b.len()).sum();
         assert_eq!(
-            ch.len(),
-            resort_indices.len(),
-            "channel {c} length does not match the resort indices"
+            n_received,
+            new_len * k,
+            "resort produced {n_received} records, expected {new_len} x {k} channels"
         );
-    }
-    // Pack k records per non-ghost element — (target position, lane value)
-    // for every channel, in channel order. The exchange preserves per-source
-    // order and all k records share one target, so each element's group stays
-    // contiguous in transit.
-    let live = resort_indices.iter().filter(|&&ix| !is_ghost(ix)).count();
-    let mut pairs: Vec<(u32, T)> = Vec::with_capacity(live * k);
-    let mut targets: Vec<usize> = Vec::with_capacity(live * k);
-    for (i, &ix) in resort_indices.iter().enumerate() {
-        if is_ghost(ix) {
-            continue;
-        }
-        let (t, pos) = decode_index(ix);
-        for ch in channels {
-            pairs.push((pos as u32, ch[i]));
-            targets.push(t);
-        }
-    }
-    comm.enter_phase("redistribute");
-    let received = alltoall_specific(comm, &pairs, &targets, mode);
-    comm.exit_phase();
-    assert_eq!(
-        received.len(),
-        new_len * k,
-        "resort produced {} records, expected {new_len} x {k} channels",
-        received.len()
-    );
-    comm.enter_phase("place");
-    let mut out: Vec<Vec<T>> = (0..k).map(|_| vec![T::default(); new_len]).collect();
-    #[cfg(debug_assertions)]
-    let mut hit = vec![false; new_len];
-    for rec in received.chunks_exact(k) {
-        let pos = rec[0].0 as usize;
-        assert!(pos < new_len, "target position {pos} out of range");
-        debug_assert!(
-            rec.iter().all(|r| r.0 == rec[0].0),
-            "record group split in transit"
-        );
+        comm.enter_phase("place");
+        let mut out: Vec<Vec<T>> = (0..k).map(|_| vec![T::default(); new_len]).collect();
         #[cfg(debug_assertions)]
-        {
-            assert!(!hit[pos], "target position {pos} hit twice");
-            hit[pos] = true;
+        let mut hit = vec![false; new_len];
+        for rec in received.iter().flat_map(|(_, b)| b.chunks_exact(k)) {
+            let pos = rec[0].0 as usize;
+            assert!(pos < new_len, "target position {pos} out of range");
+            debug_assert!(rec.iter().all(|r| r.0 == rec[0].0), "record group split in transit");
+            #[cfg(debug_assertions)]
+            {
+                assert!(!hit[pos], "target position {pos} hit twice");
+                hit[pos] = true;
+            }
+            for (lane, &(_, d)) in rec.iter().enumerate() {
+                out[lane][pos] = d;
+            }
         }
-        for (lane, &(_, d)) in rec.iter().enumerate() {
-            out[lane][pos] = d;
+        comm.compute(Work::ByteCopy, (k * new_len * std::mem::size_of::<T>()) as f64);
+        comm.exit_phase();
+        // One `plan_exec` per channel: each channel is one redistribution
+        // served by the frozen routes (the unit the build is amortized over),
+        // even though all k ride a single combined exchange round.
+        for _ in 0..k {
+            comm.note_plan_exec(t0, routed_bytes / k as u64);
         }
+        out
     }
-    comm.compute(Work::ByteCopy, (k * new_len * std::mem::size_of::<T>()) as f64);
-    comm.exit_phase();
-    out
 }
 
 /// Build resort indices by inverting an origin-index permutation.
@@ -426,12 +551,8 @@ mod tests {
             partners.sort_unstable();
             partners.dedup();
             let coll = alltoall_specific(comm, &elements, &targets, &ExchangeMode::Collective);
-            let neigh = alltoall_specific(
-                comm,
-                &elements,
-                &targets,
-                &ExchangeMode::Neighborhood(partners),
-            );
+            let neigh =
+                alltoall_specific(comm, &elements, &targets, &ExchangeMode::Neighborhood(partners));
             (coll, neigh)
         });
         for (coll, neigh) in out.results {
@@ -580,11 +701,8 @@ mod tests {
             let moved = resort(comm, &data, &ix, new_len, &ExchangeMode::Collective);
             // Invert: current origin codes route everything home.
             let home_targets: Vec<usize> = origin.iter().map(|&og| decode_index(og).0).collect();
-            let home_pairs: Vec<(u32, u64)> = moved
-                .iter()
-                .zip(&origin)
-                .map(|(&d, &og)| (decode_index(og).1 as u32, d))
-                .collect();
+            let home_pairs: Vec<(u32, u64)> =
+                moved.iter().zip(&origin).map(|(&d, &og)| (decode_index(og).1 as u32, d)).collect();
             let back_raw =
                 alltoall_specific(comm, &home_pairs, &home_targets, &ExchangeMode::Collective);
             let mut back = vec![0u64; n];
@@ -651,18 +769,16 @@ mod tests {
             // consecutive blocks ordered by source rank, derived from an
             // allgather of the per-(source, target) counts so that every
             // position in 0..new_len is hit exactly once globally.
-            let targets: Vec<usize> = (0..n)
-                .map(|i| (splitmix((me * n + i) as u64 ^ 0xabcd) as usize) % p)
-                .collect();
+            let targets: Vec<usize> =
+                (0..n).map(|i| (splitmix((me * n + i) as u64 ^ 0xabcd) as usize) % p).collect();
             let mut my_counts = vec![0usize; p];
             for &t in &targets {
                 my_counts[t] += 1;
             }
             let all_counts = comm.allgather(my_counts);
             let new_len: usize = (0..p).map(|s| all_counts[s][me]).sum();
-            let mut next_pos: Vec<usize> = (0..p)
-                .map(|t| (0..me).map(|s| all_counts[s][t]).sum())
-                .collect();
+            let mut next_pos: Vec<usize> =
+                (0..p).map(|t| (0..me).map(|s| all_counts[s][t]).sum()).collect();
             let n_ghost = me % 3;
             let mut ix: Vec<u64> = Vec::with_capacity(n + n_ghost);
             for &t in &targets {
@@ -672,13 +788,10 @@ mod tests {
             // Ghost duplicates carry junk payloads and must simply vanish.
             ix.extend(std::iter::repeat_n(GHOST_INDEX, n_ghost));
             let field = |salt: u64| -> Vec<u64> {
-                (0..n + n_ghost)
-                    .map(|i| splitmix((me * 7919 + i) as u64 ^ salt))
-                    .collect()
+                (0..n + n_ghost).map(|i| splitmix((me * 7919 + i) as u64 ^ salt)).collect()
             };
             let (a, b, c) = (field(1), field(2), field(3));
-            let combined =
-                resort_all(comm, &[&a, &b, &c], &ix, new_len, &ExchangeMode::Collective);
+            let combined = resort_all(comm, &[&a, &b, &c], &ix, new_len, &ExchangeMode::Collective);
             let per_field: Vec<Vec<u64>> = [&a, &b, &c]
                 .into_iter()
                 .map(|ch| resort(comm, ch, &ix, new_len, &ExchangeMode::Collective))
@@ -687,6 +800,98 @@ mod tests {
         });
         for (combined, per_field) in out.results {
             assert_eq!(combined, per_field);
+        }
+    }
+
+    #[test]
+    fn resort_plan_reuse_matches_fresh_build() {
+        fn splitmix(mut x: u64) -> u64 {
+            x = x.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+        // Property: as long as the resort indices are unchanged, executing a
+        // *cached* plan with fresh payload is bitwise identical to a fresh
+        // `build()` + `execute()` (i.e. to `resort_all`), over several
+        // "timesteps" of randomized payload, ghosts included.
+        let n = 32usize;
+        let out = run(5, MachineModel::ideal(), move |comm| {
+            let me = comm.rank();
+            let p = comm.size();
+            let targets: Vec<usize> =
+                (0..n).map(|i| (splitmix((me * n + i) as u64 ^ 0x5eed) as usize) % p).collect();
+            let mut my_counts = vec![0usize; p];
+            for &t in &targets {
+                my_counts[t] += 1;
+            }
+            let all_counts = comm.allgather(my_counts);
+            let new_len: usize = (0..p).map(|s| all_counts[s][me]).sum();
+            let mut next_pos: Vec<usize> =
+                (0..p).map(|t| (0..me).map(|s| all_counts[s][t]).sum()).collect();
+            let n_ghost = (me * 2) % 5;
+            let mut ix: Vec<u64> = Vec::with_capacity(n + n_ghost);
+            for &t in &targets {
+                ix.push(encode_index(t, next_pos[t]));
+                next_pos[t] += 1;
+            }
+            ix.extend(std::iter::repeat_n(GHOST_INDEX, n_ghost));
+            let plan = ResortPlan::build(comm, &ix, new_len, &ExchangeMode::Collective);
+            assert!(plan.matches(&ix, new_len, &ExchangeMode::Collective));
+            let mut agree = true;
+            for step in 0..3u64 {
+                let field = |salt: u64| -> Vec<u64> {
+                    (0..n + n_ghost)
+                        .map(|i| splitmix((me * 131 + i) as u64 ^ (salt << 8) ^ step))
+                        .collect()
+                };
+                let (a, b) = (field(1), field(2));
+                let cached = plan.execute(comm, &[&a, &b]);
+                let fresh = resort_all(comm, &[&a, &b], &ix, new_len, &ExchangeMode::Collective);
+                agree &= cached == fresh;
+            }
+            // Any change to the indices must invalidate the plan.
+            let mut changed = ix.clone();
+            if let Some(first) = changed.first_mut() {
+                *first ^= 1 << 32;
+            }
+            let invalidated = !plan.matches(&changed, new_len, &ExchangeMode::Collective)
+                && !plan.matches(&ix[..ix.len() - 1], new_len, &ExchangeMode::Collective)
+                && !plan.matches(&ix, new_len + 1, &ExchangeMode::Collective);
+            (agree, invalidated)
+        });
+        for (agree, invalidated) in out.results {
+            assert!(agree, "cached plan must match fresh plan+execute bitwise");
+            assert!(invalidated, "changed indices must invalidate the plan");
+        }
+    }
+
+    #[test]
+    fn resort_plan_counts_builds_and_execs() {
+        use simcomm::run_traced;
+        let out = run_traced(3, MachineModel::ideal(), |comm| {
+            let me = comm.rank();
+            let dst = (me + 1) % 3;
+            let n = 4usize;
+            let ix: Vec<u64> = (0..n).map(|i| encode_index(dst, i)).collect();
+            let data: Vec<f64> = (0..n).map(|i| (me * 10 + i) as f64).collect();
+            let plan = ResortPlan::build(comm, &ix, n, &ExchangeMode::Collective);
+            for _ in 0..4 {
+                let _ = plan.execute(comm, &[&data]);
+            }
+            // A multi-channel execution counts one plan_exec per channel
+            // served, even though all channels ride one exchange round.
+            let _ = plan.execute(comm, &[&data, &data]);
+            (comm.stats().plan_builds, comm.stats().plan_execs)
+        });
+        for &(builds, execs) in &out.results {
+            assert_eq!((builds, execs), (1, 6));
+        }
+        use simcomm::TraceKind;
+        for t in &out.traces {
+            assert_eq!(t.events.iter().filter(|e| e.kind == TraceKind::PlanBuild).count(), 1);
+            assert_eq!(t.events.iter().filter(|e| e.kind == TraceKind::PlanExec).count(), 6);
         }
     }
 

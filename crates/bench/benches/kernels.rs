@@ -47,11 +47,7 @@ fn bench_zorder() {
     let coords: Vec<(u32, u32, u32)> = (0..4096u64)
         .map(|i| {
             let h = splitmix(i);
-            (
-                (h & 0x1fffff) as u32,
-                ((h >> 21) & 0x1fffff) as u32,
-                ((h >> 42) & 0x1fffff) as u32,
-            )
+            ((h & 0x1fffff) as u32, ((h >> 21) & 0x1fffff) as u32, ((h >> 42) & 0x1fffff) as u32)
         })
         .collect();
     bench_case("zorder", "encode_4096", || {
@@ -61,10 +57,8 @@ fn bench_zorder() {
         }
         acc
     });
-    let keys: Vec<u64> = coords
-        .iter()
-        .map(|&(x, y, z)| particles::zorder::encode(x, y, z))
-        .collect();
+    let keys: Vec<u64> =
+        coords.iter().map(|&(x, y, z)| particles::zorder::encode(x, y, z)).collect();
     bench_case("zorder", "decode_4096", || {
         let mut acc = 0u32;
         for &k in &keys {
@@ -129,12 +123,7 @@ fn bench_expansion_ops() {
         bench_case("fmm_expansion", &format!("p2m/{order}"), || {
             let mut mm = vec![0.0; nc];
             for i in 0..100 {
-                ops.p2m(
-                    &mut mm,
-                    z,
-                    particles::Vec3::new(0.4, 0.5 + i as f64 * 1e-3, 0.5),
-                    1.0,
-                );
+                ops.p2m(&mut mm, z, particles::Vec3::new(0.4, 0.5 + i as f64 * 1e-3, 0.5), 1.0);
             }
             mm[0]
         });

@@ -45,15 +45,16 @@ fn bench_parallel_sorts() {
             let out = simcomm::run(p, MachineModel::ideal(), move |comm| {
                 let me = comm.rank();
                 let n = 2000usize;
-                let keys: Vec<u64> = (0..n)
-                    .map(|i| {
-                        if sorted {
-                            (me * n + i) as u64
-                        } else {
-                            splitmix((me * n + i) as u64)
-                        }
-                    })
-                    .collect();
+                let keys: Vec<u64> =
+                    (0..n)
+                        .map(|i| {
+                            if sorted {
+                                (me * n + i) as u64
+                            } else {
+                                splitmix((me * n + i) as u64)
+                            }
+                        })
+                        .collect();
                 let vals = keys.clone();
                 let (k, _, _) = psort::partition_sort_by_key(comm, keys, vals);
                 k.len()
@@ -64,15 +65,16 @@ fn bench_parallel_sorts() {
             let out = simcomm::run(p, MachineModel::ideal(), move |comm| {
                 let me = comm.rank();
                 let n = 2000usize;
-                let keys: Vec<u64> = (0..n)
-                    .map(|i| {
-                        if sorted {
-                            (me * n + i) as u64
-                        } else {
-                            splitmix((me * n + i) as u64)
-                        }
-                    })
-                    .collect();
+                let keys: Vec<u64> =
+                    (0..n)
+                        .map(|i| {
+                            if sorted {
+                                (me * n + i) as u64
+                            } else {
+                                splitmix((me * n + i) as u64)
+                            }
+                        })
+                        .collect();
                 let vals = keys.clone();
                 let (k, _, _) = psort::merge_exchange_sort_by_key(comm, keys, vals);
                 k.len()

@@ -136,11 +136,7 @@ fn ghost_ablation(report: &mut RunReport) {
                 None,
                 usize::MAX,
             );
-            (
-                solver.last_report.ghosts_received,
-                o.timings.sort,
-                solver.last_report.near_pairs,
-            )
+            (solver.last_report.ghosts_received, o.timings.sort, solver.last_report.near_pairs)
         });
         report.push(format!("ghost/rcut={rcut}"), RunEntry::from_run(&out));
         let ghosts: u64 = out.results.iter().map(|r| r.0).sum();

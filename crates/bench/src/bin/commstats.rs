@@ -30,8 +30,8 @@ fn fail(msg: String) -> ! {
 }
 
 fn load_report(path: &str) -> RunReport {
-    let text = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| fail(format!("cannot read {path}: {e}")));
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(format!("cannot read {path}: {e}")));
     let value = Json::parse(&text).unwrap_or_else(|e| fail(format!("{path}: invalid JSON: {e}")));
     RunReport::from_json(&value).unwrap_or_else(|e| fail(format!("{path}: not a run report: {e}")))
 }
@@ -69,8 +69,7 @@ fn summarize_report(path: &str) {
         n = report.runs.len()
     );
     if !report.params.is_empty() {
-        let params: Vec<String> =
-            report.params.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        let params: Vec<String> = report.params.iter().map(|(k, v)| format!("{k}={v}")).collect();
         println!("params: {}", params.join(", "));
     }
     for run in &report.runs {
@@ -81,6 +80,15 @@ fn summarize_report(path: &str) {
             makespan = fmt_secs(run.makespan)
         );
         print!("{}", format_phase_table(run));
+        let builds: u64 = run.ranks.iter().map(|r| r.plan_builds).sum();
+        let execs: u64 = run.ranks.iter().map(|r| r.plan_execs).sum();
+        if builds + execs > 0 {
+            let reuse = execs as f64 / (builds + execs) as f64;
+            println!(
+                "plan reuse: {builds} builds, {execs} executions ({:.1}% reuse)",
+                100.0 * reuse
+            );
+        }
         let err = run.decomposition_error();
         assert!(
             err <= 1e-6 * run.makespan.max(1e-9),
@@ -106,12 +114,14 @@ struct Bucket {
 }
 
 /// Point-to-point trace kinds: excluded from collective fan-out statistics.
-/// `isend` posts and `wait` completions are p2p by nature, like `send`/`recv`.
-const P2P_KINDS: [&str; 4] = ["send", "recv", "isend", "wait"];
+/// `isend` posts and `wait` completions are p2p by nature, like `send`/`recv`;
+/// `plan_build`/`plan_exec` mark persistent-plan setup and replay and are
+/// likewise per-rank events without a collective fan-out.
+const P2P_KINDS: [&str; 6] = ["send", "recv", "isend", "wait", "plan_build", "plan_exec"];
 
 fn summarize_trace(path: &str) {
-    let text = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| fail(format!("cannot read {path}: {e}")));
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(format!("cannot read {path}: {e}")));
     let mut lines = text.lines();
     let header = lines.next().unwrap_or_else(|| fail(format!("{path}: empty file")));
     let columns: Vec<&str> = header.split(',').collect();
@@ -129,11 +139,7 @@ fn summarize_trace(path: &str) {
             continue;
         }
         let f: Vec<&str> = line.split(',').collect();
-        assert!(
-            f.len() >= 6,
-            "{path}:{}: expected at least 6 columns",
-            lineno + 2
-        );
+        assert!(f.len() >= 6, "{path}:{}: expected at least 6 columns", lineno + 2);
         let parse_f64 = |s: &str| -> f64 { s.parse().expect("bad number in trace") };
         let rank: u64 = f[0].parse().expect("bad rank");
         let kind = f[1];
@@ -148,10 +154,9 @@ fn summarize_trace(path: &str) {
             "(untagged)".to_string()
         };
 
-        for bucket in [
-            by_phase.entry(phase).or_default(),
-            by_kind.entry(kind.to_string()).or_default(),
-        ] {
+        for bucket in
+            [by_phase.entry(phase).or_default(), by_kind.entry(kind.to_string()).or_default()]
+        {
             bucket.events += 1;
             bucket.bytes += bytes;
             bucket.busy_seconds += (t_end - t_start).max(0.0);

@@ -57,13 +57,8 @@ fn main() {
         for (di, dist) in dists.into_iter().enumerate() {
             // One solver execution (steps = 0 -> only the initial
             // interactions, line 5 of the paper's Fig. 3).
-            let cfg = SimConfig {
-                solver,
-                resort: false,
-                steps: 0,
-                tolerance,
-                ..SimConfig::default()
-            };
+            let cfg =
+                SimConfig { solver, resort: false, steps: 0, tolerance, ..SimConfig::default() };
             let (records, _, entry) =
                 bench::run_md_world(MachineModel::juropa_like(), procs, &crystal, dist, &cfg);
             report.push(format!("{solver:?}/{}", dist.label()), entry);
@@ -82,5 +77,7 @@ fn main() {
     let path = write_csv("fig6", "solver,distribution,total,sort,restore", &rows);
     println!("\nwrote {}", path.display());
     report_summary(&report.write("fig6"), &report);
-    println!("(solver: 0 = FMM, 1 = P2NFFT; distribution: 0 = single process, 1 = random, 2 = grid)");
+    println!(
+        "(solver: 0 = FMM, 1 = P2NFFT; distribution: 0 = single process, 1 = random, 2 = grid)"
+    );
 }

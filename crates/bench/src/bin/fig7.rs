@@ -53,14 +53,7 @@ fn main() {
             "step", "sortA", "restoreA", "totalA", "sortB", "resortB", "totalB"
         );
         let run = |resort: bool| {
-            let cfg = SimConfig {
-                solver,
-                resort,
-                steps,
-                tolerance,
-                dt,
-                ..SimConfig::default()
-            };
+            let cfg = SimConfig { solver, resort, steps, tolerance, dt, ..SimConfig::default() };
             let (records, _, entry) = bench::run_md_world(
                 MachineModel::juropa_like(),
                 procs,
@@ -87,7 +80,13 @@ fn main() {
                 fmt_secs(b[s].total)
             );
             rows.push(vec![
-                si as f64, s as f64, a[s].sort, a[s].restore, a[s].total, b[s].sort, b[s].resort,
+                si as f64,
+                s as f64,
+                a[s].sort,
+                a[s].restore,
+                a[s].total,
+                b[s].sort,
+                b[s].resort,
                 b[s].total,
             ]);
         }
@@ -102,11 +101,7 @@ fn main() {
             100.0 * ratio
         );
     }
-    let path = write_csv(
-        "fig7",
-        "solver,step,sortA,restoreA,totalA,sortB,resortB,totalB",
-        &rows,
-    );
+    let path = write_csv("fig7", "solver,step,sortA,restoreA,totalA,sortB,resortB,totalB", &rows);
     println!("\nwrote {}", path.display());
     report_summary(&report.write("fig7"), &report);
 }

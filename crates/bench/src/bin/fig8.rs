@@ -2,7 +2,10 @@
 //! grid* initial distribution (256 processes, JuRoPA-like machine).
 //!
 //! Reproduces, per solver: per-time-step "Sort and restore / Total" (Method
-//! A) and "Sort and resort / Total" (Method B) series.
+//! A) and "Sort and resort / Total" (Method B) series, plus the
+//! movement-exploiting Method B variant (merge-based sorting / neighbourhood
+//! communication, as in Fig. 9's third series) where the persistent
+//! communication-plan cache engages across time steps.
 //!
 //! Expected shape (paper Sect. IV-C): initially both methods are cheap (the
 //! solver decompositions barely differ from the grid distribution). As the
@@ -17,7 +20,8 @@ use particles::{InitialDistribution, IonicCrystal};
 use simcomm::MachineModel;
 
 fn main() {
-    let args = Args::parse(&["cells", "procs", "tolerance", "steps", "seed", "mass", "every", "jitter", "exploit"]);
+    let args =
+        Args::parse(&["cells", "procs", "tolerance", "steps", "seed", "mass", "every", "jitter"]);
     let cells: usize = args.get("cells", 24);
     let procs: usize = args.get("procs", 256);
     let tolerance: f64 = args.get("tolerance", 1e-2);
@@ -49,14 +53,14 @@ fn main() {
     let mut rows = Vec::new();
     for (si, solver) in [SolverKind::Fmm, SolverKind::P2Nfft].into_iter().enumerate() {
         println!("\n--- {} solver ---", format!("{solver:?}").to_uppercase());
-        let run = |resort: bool| {
+        let run = |resort: bool, exploit: bool| {
             let cfg = SimConfig {
                 solver,
                 resort,
-                // --exploit additionally feeds the measured maximum movement
+                // `exploit` additionally feeds the measured maximum movement
                 // to the solver under Method B (merge-based sorting /
                 // neighbourhood communication), as in Fig. 9's third series.
-                exploit_movement: resort && args.flag("exploit"),
+                exploit_movement: exploit,
                 steps,
                 tolerance,
                 mass,
@@ -71,27 +75,32 @@ fn main() {
                 &cfg,
             )
         };
-        let (a, rms_a, entry_a) = run(false);
-        let (b, _, entry_b) = run(true);
+        let (a, rms_a, entry_a) = run(false, false);
+        let (b, _, entry_b) = run(true, false);
+        let (bm, _, entry_bm) = run(true, true);
         report.push(format!("{solver:?}/methodA"), entry_a);
         report.push(format!("{solver:?}/methodB"), entry_b);
+        report.push(format!("{solver:?}/methodB+movement"), entry_bm);
         println!(
-            "{:<8} {:>12} {:>12} | {:>12} {:>12} {:>10}",
-            "step", "redistA", "totalA", "redistB", "totalB", "drift"
+            "{:<8} {:>12} {:>12} | {:>12} {:>12} | {:>12} {:>12} {:>10}",
+            "step", "redistA", "totalA", "redistB", "totalB", "redistBM", "totalBM", "drift"
         );
         for s in (0..=steps).step_by(every) {
             let ra = a[s].sort + a[s].restore;
             let rb = b[s].sort + b[s].resort;
+            let rbm = bm[s].sort + bm[s].resort;
             println!(
-                "{:<8} {:>12} {:>12} | {:>12} {:>12} {:>10.2}",
+                "{:<8} {:>12} {:>12} | {:>12} {:>12} | {:>12} {:>12} {:>10.2}",
                 s,
                 fmt_secs(ra),
                 fmt_secs(a[s].total),
                 fmt_secs(rb),
                 fmt_secs(b[s].total),
+                fmt_secs(rbm),
+                fmt_secs(bm[s].total),
                 a[s].max_move
             );
-            rows.push(vec![si as f64, s as f64, ra, a[s].total, rb, b[s].total]);
+            rows.push(vec![si as f64, s as f64, ra, a[s].total, rb, b[s].total, rbm, bm[s].total]);
         }
         // Paper headline numbers: redistribution share near the end vs start.
         let tail = steps.saturating_sub(steps / 10).max(1);
@@ -102,18 +111,21 @@ fn main() {
         };
         let share_a = share(&a, &|r| r.sort + r.restore);
         let share_b = share(&b, &|r| r.sort + r.resort);
-        let grow_a = (a[steps].sort + a[steps].restore)
-            / (a[1].sort + a[1].restore).max(f64::MIN_POSITIVE);
+        let share_bm = share(&bm, &|r| r.sort + r.resort);
+        let grow_a =
+            (a[steps].sort + a[steps].restore) / (a[1].sort + a[1].restore).max(f64::MIN_POSITIVE);
         println!(
             "=> late-run redistribution share: method A {share_a:.0} % of the step \
-             (paper: ~50 % FMM / ~75 % P2NFFT), method B {share_b:.0} % (paper: ~3 % / ~2 %)"
+             (paper: ~50 % FMM / ~75 % P2NFFT), method B {share_b:.0} % (paper: ~3 % / ~2 %), \
+             method B + movement {share_bm:.0} %"
         );
         println!(
             "=> method A redistribution grew {grow_a:.1}x from step 1 to step {steps} \
              (RMS particle drift {rms_a:.2} box units)"
         );
     }
-    let path = write_csv("fig8", "solver,step,redistA,totalA,redistB,totalB", &rows);
+    let path =
+        write_csv("fig8", "solver,step,redistA,totalA,redistB,totalB,redistBM,totalBM", &rows);
     println!("\nwrote {}", path.display());
     report_summary(&report.write("fig8"), &report);
 }

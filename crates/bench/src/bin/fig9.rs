@@ -24,8 +24,16 @@ use simcomm::MachineModel;
 
 fn main() {
     let args = Args::parse(&[
-        "cells", "steps", "tolerance", "seed", "left-procs", "right-procs", "skip-left",
-        "skip-right", "dist", "pencil",
+        "cells",
+        "steps",
+        "tolerance",
+        "seed",
+        "left-procs",
+        "right-procs",
+        "skip-left",
+        "skip-right",
+        "dist",
+        "pencil",
     ]);
     let cells: usize = args.get("cells", 24);
     let steps: usize = args.get("steps", 10);
@@ -66,12 +74,12 @@ fn main() {
     let mut rows = Vec::new();
     #[allow(clippy::too_many_arguments)]
     let panel = |name: &str,
-                     solver: SolverKind,
-                     model: MachineModel,
-                     procs_list: &[usize],
-                     panel_ix: f64,
-                     rows: &mut Vec<Vec<f64>>,
-                     report: &mut RunReport| {
+                 solver: SolverKind,
+                 model: MachineModel,
+                 procs_list: &[usize],
+                 panel_ix: f64,
+                 rows: &mut Vec<Vec<f64>>,
+                 report: &mut RunReport| {
         println!("\n--- {name} ---");
         println!(
             "{:<8} {:>12} {:>12} {:>16} | {:>11} {:>11} {:>11}",

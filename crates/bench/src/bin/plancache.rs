@@ -1,0 +1,236 @@
+//! Plan-cache benchmark: planned vs unplanned redistribution, as the full
+//! fig8-style MD loop and as the isolated neighbourhood-exchange primitive.
+//!
+//! Two workload families, each run on both machine models:
+//!
+//! * **MD timestep loop** (the fig8 workload at reduced scale): the same
+//!   melting-crystal simulation (P2NFFT solver, Method B resort, movement
+//!   exploitation, process-grid initial distribution) with communication-plan
+//!   caching on (`planned`: ghost routes, sort probe schedules and resort
+//!   schedules persist across timesteps and are re-executed while the
+//!   accumulated movement stays under the plan's validity bound) and off
+//!   (`unplanned`: every step replans from scratch). The physics is bitwise
+//!   identical either way — the contrast is purely replanning cost against
+//!   the skin-inflated ghost volume the cached plan carries.
+//! * **Neighbourhood ghost exchange** (the paper's Fig. 9 stencil): every
+//!   rank ships a fixed boundary payload to its 26 grid neighbours each
+//!   step. `planned` freezes a [`simcomm::CommPlan`] once and re-executes
+//!   it — receives complete in partner order, so the ghost sequence is
+//!   deterministic with no post-processing. `unplanned` re-derives the
+//!   partner list each step and uses the one-shot nonblocking exchange,
+//!   whose receives complete in *arrival* order — restoring the solver's
+//!   ghost order takes the full sort + dedup pass the pre-plan ghost path
+//!   performed every step.
+//!
+//! The MD workload is sized so the tuned short-range cutoff stays below the
+//! domain-cell width (`procs 64`, `cells 16`), giving the ghost-plan cache a
+//! positive skin margin to absorb particle movement.
+//!
+//! Writes `BENCH_plancache.json` (run-report schema 1) at the repository
+//! root next to a `results/plancache_report.json` copy, and fails loudly if
+//! a planned run is slower than its unplanned baseline on either machine
+//! model, or if the planned neighbourhood exchange wins less than 5 % on
+//! the torus (JUQUEEN-like) model.
+
+use bench::{banner, fmt_secs, report_summary, Args, RunReport};
+use fcs::SolverKind;
+use mdsim::SimConfig;
+use particles::{InitialDistribution, IonicCrystal};
+use simcomm::{run, CartGrid, Comm, MachineModel, Work};
+
+/// Short machine label ("juropa-like") for run labels and table rows.
+fn short_name(model: &MachineModel) -> &str {
+    model.name.split_whitespace().next().unwrap_or(&model.name)
+}
+
+const TAG_GHOSTS: u64 = 0x706c_616e;
+
+/// One ghost record: global id plus position/charge payload (40 B, the same
+/// order of magnitude as the solvers' particle records).
+type Ghost = (u64, [f64; 4]);
+
+/// The boundary payload rank `me` ships to partner `q`: `elems` records with
+/// ids unique per (owner, slot) pair.
+fn ghost_payload(me: usize, elems: usize) -> Vec<Ghost> {
+    (0..elems).map(|i| ((me * elems + i) as u64, [me as f64, i as f64, 0.0, 1.0])).collect()
+}
+
+/// Fig. 9-style stencil exchange, `steps` timesteps: planned (persistent
+/// [`simcomm::CommPlan`], partner-order receives) vs unplanned (per-step
+/// partner recomputation, arrival-order receives restored to solver order by
+/// the sort + dedup pass the pre-plan ghost path ran every step). Returns
+/// (planned, unplanned) makespans.
+fn neighborhood_workloads(
+    model: &MachineModel,
+    procs: usize,
+    elems: usize,
+    steps: usize,
+    report: &mut RunReport,
+) -> (f64, f64) {
+    let bytes_out = |n_partners: usize| (n_partners * elems * std::mem::size_of::<Ghost>()) as f64;
+    let planned = run(procs, model.clone(), move |comm: &mut Comm| {
+        let partners = CartGrid::balanced(procs).neighbors26(comm.rank());
+        let mut plan = comm.plan_exchange(partners, TAG_GHOSTS);
+        for _ in 0..steps {
+            let bufs: Vec<Vec<Ghost>> =
+                plan.partners().iter().map(|_| ghost_payload(comm.rank(), elems)).collect();
+            comm.compute(Work::ByteCopy, bytes_out(plan.partners().len()));
+            let received = plan.execute(comm, bufs);
+            // Receives are in frozen partner order: the ghost sequence is
+            // already deterministic, no post-processing.
+            let _ghosts: usize = received.iter().map(Vec::len).sum();
+        }
+    });
+    let unplanned = run(procs, model.clone(), move |comm: &mut Comm| {
+        for _ in 0..steps {
+            let partners = CartGrid::balanced(procs).neighbors26(comm.rank());
+            let data: Vec<(usize, Vec<Ghost>)> =
+                partners.iter().map(|&q| (q, ghost_payload(comm.rank(), elems))).collect();
+            comm.compute(Work::ByteCopy, bytes_out(partners.len()));
+            let received = comm.neighbor_exchange(&partners, data, TAG_GHOSTS);
+            // Without a frozen plan the arrival order is nondeterministic:
+            // restore the solver's ghost order with the full sort + dedup
+            // pass the pre-plan ghost path performed each step.
+            let mut ghosts: Vec<Ghost> = received.into_iter().flat_map(|(_, v)| v).collect();
+            ghosts.sort_by_key(|g| g.0);
+            let g = ghosts.len().max(2) as f64;
+            comm.compute(Work::SortCmp, g * (g.log2() + 1.0));
+            ghosts.dedup_by_key(|g| g.0);
+        }
+    });
+    let name = short_name(model);
+    report.push(format!("{name}/neighborhood/planned"), bench::RunEntry::from_run(&planned));
+    report.push(format!("{name}/neighborhood/unplanned"), bench::RunEntry::from_run(&unplanned));
+    (planned.makespan(), unplanned.makespan())
+}
+
+fn main() {
+    let args = Args::parse(&["cells", "procs", "steps", "tolerance", "seed", "jitter", "elems"]);
+    let cells: usize = args.get("cells", 16);
+    let procs: usize = args.get("procs", 64);
+    let steps: usize = args.get("steps", 30);
+    let tolerance: f64 = args.get("tolerance", 1e-2);
+    let seed: u64 = args.get("seed", 1);
+    let jitter: f64 = args.get("jitter", 0.15);
+    let elems: usize = args.get("elems", 500);
+
+    let mut crystal = IonicCrystal::paper_like(cells, seed);
+    crystal.jitter = jitter * crystal.spacing;
+    let dt = mdsim::suggested_dt(crystal.spacing, 1.0);
+    banner(
+        "Plan cache — persistent communication plans vs per-step replanning",
+        &format!(
+            "MD: {} particles (cells {cells}), {procs} processes, {steps} steps, \
+             P2NFFT + Method B resort, tolerance {tolerance:e}; \
+             neighbourhood: 26 partners x {elems} ghosts/step",
+            crystal.n()
+        ),
+    );
+
+    let mut report = RunReport::new("plancache", "mixed");
+    report.param("cells", cells);
+    report.param("procs", procs);
+    report.param("steps", steps);
+    report.param("tolerance", tolerance);
+    report.param("seed", seed);
+    report.param("jitter", jitter);
+    report.param("elems", elems);
+
+    println!(
+        "{:<14} {:<14} {:>14} {:>14} {:>8} {:>20}",
+        "machine", "workload", "planned", "unplanned", "win", "plan reuse"
+    );
+    for model in [MachineModel::juropa_like(), MachineModel::juqueen_like()] {
+        let name = short_name(&model);
+
+        // --- MD timestep loop ---
+        let run_md = |plan_cache: bool| {
+            let cfg = SimConfig {
+                solver: SolverKind::P2Nfft,
+                resort: true,
+                exploit_movement: true,
+                steps,
+                tolerance,
+                dt,
+                plan_cache,
+                ..SimConfig::default()
+            };
+            bench::run_md_world(model.clone(), procs, &crystal, InitialDistribution::Grid, &cfg)
+        };
+        let (recs_planned, _, entry_planned) = run_md(true);
+        let (recs_unplanned, _, entry_unplanned) = run_md(false);
+
+        // Plan caching must be invisible to the physics: same trajectory,
+        // bit for bit, with and without it.
+        for (a, b) in recs_planned.iter().zip(&recs_unplanned) {
+            assert_eq!(
+                a.energy.to_bits(),
+                b.energy.to_bits(),
+                "{}: step {} energy differs between planned and unplanned runs",
+                model.name,
+                a.step
+            );
+        }
+
+        let planned = entry_planned.makespan;
+        let unplanned = entry_unplanned.makespan;
+        let builds: u64 = entry_planned.ranks.iter().map(|r| r.plan_builds).sum();
+        let execs: u64 = entry_planned.ranks.iter().map(|r| r.plan_execs).sum();
+        let reuse = 100.0 * execs as f64 / ((builds + execs) as f64).max(1.0);
+        let win = 100.0 * (1.0 - planned / unplanned);
+        println!(
+            "{name:<14} {:<14} {:>14} {:>14} {:>7.1}% {:>7} builds {:>5.1}%",
+            "md-loop",
+            fmt_secs(planned),
+            fmt_secs(unplanned),
+            win,
+            builds,
+            reuse
+        );
+        report.push(format!("{name}/md/planned"), entry_planned);
+        report.push(format!("{name}/md/unplanned"), entry_unplanned);
+        assert!(
+            planned <= unplanned * (1.0 + 1e-9),
+            "{}: planned MD run ({planned} s) must not be slower than the \
+             unplanned baseline ({unplanned} s)",
+            model.name
+        );
+        assert!(
+            builds > 0 && execs > 0,
+            "{}: planned MD run recorded no plan builds/executions — the \
+             cache never engaged",
+            model.name
+        );
+
+        // --- Neighbourhood ghost exchange ---
+        let (n_planned, n_unplanned) =
+            neighborhood_workloads(&model, procs, elems, steps, &mut report);
+        let n_win = 100.0 * (1.0 - n_planned / n_unplanned);
+        println!(
+            "{name:<14} {:<14} {:>14} {:>14} {:>7.1}%",
+            "neighborhood",
+            fmt_secs(n_planned),
+            fmt_secs(n_unplanned),
+            n_win
+        );
+        assert!(
+            n_planned <= n_unplanned * (1.0 + 1e-9),
+            "{}: planned neighbourhood exchange ({n_planned} s) must not be \
+             slower than the unplanned baseline ({n_unplanned} s)",
+            model.name
+        );
+        if model.name.starts_with("juqueen") {
+            assert!(
+                n_win >= 5.0,
+                "{}: plan caching won only {n_win:.1} % on the torus \
+                 neighbourhood workload (need >= 5 %)",
+                model.name
+            );
+        }
+    }
+
+    let json = report.to_json().pretty();
+    std::fs::write("BENCH_plancache.json", &json).expect("write BENCH_plancache.json");
+    println!("\nwrote BENCH_plancache.json");
+    report_summary(&report.write("plancache"), &report);
+}

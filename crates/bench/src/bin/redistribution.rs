@@ -34,10 +34,8 @@ fn short_name(model: &MachineModel) -> &str {
 /// distinct partners of a 3×3×3 stencil when `reach` is 13).
 fn ring_partners(comm: &Comm, reach: usize) -> Vec<usize> {
     let (me, p) = (comm.rank(), comm.size());
-    let mut partners: Vec<usize> = (1..=reach)
-        .flat_map(|d| [(me + d) % p, (me + p - d) % p])
-        .filter(|&q| q != me)
-        .collect();
+    let mut partners: Vec<usize> =
+        (1..=reach).flat_map(|d| [(me + d) % p, (me + p - d) % p]).filter(|&q| q != me).collect();
     partners.sort_unstable();
     partners.dedup();
     partners

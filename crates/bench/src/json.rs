@@ -270,9 +270,7 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
                     Some(b'b') => out.push('\u{8}'),
                     Some(b'f') => out.push('\u{c}'),
                     Some(b'u') => {
-                        let hex = b
-                            .get(*pos + 1..*pos + 5)
-                            .ok_or("truncated \\u escape")?;
+                        let hex = b.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
                         let code = u32::from_str_radix(
                             std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
                             16,
@@ -303,9 +301,7 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
 
 fn parse_number(b: &[u8], pos: &mut usize) -> Result<f64, String> {
     let start = *pos;
-    while *pos < b.len()
-        && matches!(b[*pos], b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
-    {
+    while *pos < b.len() && matches!(b[*pos], b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9') {
         *pos += 1;
     }
     std::str::from_utf8(&b[start..*pos])
@@ -326,10 +322,7 @@ mod tests {
             ("ratio", Json::Num(0.125)),
             ("ok", Json::Bool(true)),
             ("none", Json::Null),
-            (
-                "rows",
-                Json::Arr(vec![Json::Num(1.0), Json::Num(2.5), Json::Str("x".into())]),
-            ),
+            ("rows", Json::Arr(vec![Json::Num(1.0), Json::Num(2.5), Json::Str("x".into())])),
             ("empty_arr", Json::Arr(vec![])),
             ("empty_obj", Json::Obj(vec![])),
         ]);

@@ -43,10 +43,7 @@ impl Args {
             let key = a
                 .strip_prefix("--")
                 .unwrap_or_else(|| panic!("unexpected argument '{a}' (allowed: {allowed:?})"));
-            assert!(
-                allowed.contains(&key),
-                "unknown option '--{key}' (allowed: {allowed:?})"
-            );
+            assert!(allowed.contains(&key), "unknown option '--{key}' (allowed: {allowed:?})");
             if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
                 values.insert(key.to_string(), argv[i + 1].clone());
                 i += 2;
@@ -81,10 +78,7 @@ impl Args {
         assert!(self.allowed.contains(&key), "option '{key}' not declared");
         match self.values.get(key) {
             None => default.to_vec(),
-            Some(v) => v
-                .split(',')
-                .map(|x| x.trim().parse().expect("bad list entry"))
-                .collect(),
+            Some(v) => v.split(',').map(|x| x.trim().parse().expect("bad list entry")).collect(),
         }
     }
 }

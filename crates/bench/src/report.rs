@@ -108,6 +108,10 @@ pub struct RankRow {
     pub coll_ops: u64,
     /// Bytes contributed to collective operations.
     pub coll_bytes: u64,
+    /// Persistent communication plans built (or rebuilt) on this rank.
+    pub plan_builds: u64,
+    /// Executions of payload through previously built plans.
+    pub plan_execs: u64,
 }
 
 impl RunEntry {
@@ -158,6 +162,8 @@ impl RunEntry {
                     p2p_recv_bytes: s.p2p_recv_bytes,
                     coll_ops: s.coll_ops,
                     coll_bytes: s.coll_bytes,
+                    plan_builds: s.plan_builds,
+                    plan_execs: s.plan_execs,
                 })
                 .collect(),
         }
@@ -181,11 +187,7 @@ impl RunEntry {
     /// (mean over ranks). E.g. `share_of("sort")` covers `sort`,
     /// `sort:exchange`, ….
     pub fn mean_seconds_of(&self, prefix: &str) -> f64 {
-        self.phases
-            .iter()
-            .filter(|p| p.name.starts_with(prefix))
-            .map(|p| p.mean_seconds)
-            .sum()
+        self.phases.iter().filter(|p| p.name.starts_with(prefix)).map(|p| p.mean_seconds).sum()
     }
 }
 
@@ -226,16 +228,10 @@ impl RunReport {
             (
                 "params",
                 Json::Obj(
-                    self.params
-                        .iter()
-                        .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
-                        .collect(),
+                    self.params.iter().map(|(k, v)| (k.clone(), Json::Str(v.clone()))).collect(),
                 ),
             ),
-            (
-                "runs",
-                Json::Arr(self.runs.iter().map(run_to_json).collect()),
-            ),
+            ("runs", Json::Arr(self.runs.iter().map(run_to_json).collect())),
         ])
     }
 
@@ -328,6 +324,8 @@ fn run_to_json(r: &RunEntry) -> Json {
                             ("p2p_recv_bytes", Json::Num(k.p2p_recv_bytes as f64)),
                             ("coll_ops", Json::Num(k.coll_ops as f64)),
                             ("coll_bytes", Json::Num(k.coll_bytes as f64)),
+                            ("plan_builds", Json::Num(k.plan_builds as f64)),
+                            ("plan_execs", Json::Num(k.plan_execs as f64)),
                         ])
                     })
                     .collect(),
@@ -337,15 +335,11 @@ fn run_to_json(r: &RunEntry) -> Json {
 }
 
 fn field_f64(v: &Json, key: &str) -> Result<f64, String> {
-    v.get(key)
-        .and_then(Json::as_f64)
-        .ok_or_else(|| format!("missing number field '{key}'"))
+    v.get(key).and_then(Json::as_f64).ok_or_else(|| format!("missing number field '{key}'"))
 }
 
 fn field_u64(v: &Json, key: &str) -> Result<u64, String> {
-    v.get(key)
-        .and_then(Json::as_u64)
-        .ok_or_else(|| format!("missing integer field '{key}'"))
+    v.get(key).and_then(Json::as_u64).ok_or_else(|| format!("missing integer field '{key}'"))
 }
 
 fn field_str(v: &Json, key: &str) -> Result<String, String> {
@@ -353,6 +347,12 @@ fn field_str(v: &Json, key: &str) -> Result<String, String> {
         .and_then(Json::as_str)
         .map(str::to_string)
         .ok_or_else(|| format!("missing string field '{key}'"))
+}
+
+/// Integer field that may be absent (fields added after schema 1 reports were
+/// first written; old reports parse as zero).
+fn field_u64_or_zero(v: &Json, key: &str) -> u64 {
+    v.get(key).and_then(Json::as_u64).unwrap_or(0)
 }
 
 fn run_from_json(v: &Json) -> Result<RunEntry, String> {
@@ -401,6 +401,8 @@ fn run_from_json(v: &Json) -> Result<RunEntry, String> {
                     p2p_recv_bytes: field_u64(k, "p2p_recv_bytes")?,
                     coll_ops: field_u64(k, "coll_ops")?,
                     coll_bytes: field_u64(k, "coll_bytes")?,
+                    plan_builds: field_u64_or_zero(k, "plan_builds"),
+                    plan_execs: field_u64_or_zero(k, "plan_execs"),
                 })
             })
             .collect::<Result<_, String>>()?,
@@ -500,6 +502,8 @@ mod tests {
                     p2p_recv_bytes: 2048,
                     coll_ops: 3,
                     coll_bytes: 64,
+                    plan_builds: 1,
+                    plan_execs: 4,
                 },
                 RankRow {
                     rank: 1,

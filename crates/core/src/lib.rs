@@ -84,9 +84,7 @@ impl std::str::FromStr for SolverKind {
             "fmm" => Ok(SolverKind::Fmm),
             "p2nfft" | "pm" | "p3m" => Ok(SolverKind::P2Nfft),
             "ewald" => Ok(SolverKind::Ewald),
-            other => Err(format!(
-                "unknown solver '{other}' (expected 'fmm', 'p2nfft' or 'ewald')"
-            )),
+            other => Err(format!("unknown solver '{other}' (expected 'fmm', 'p2nfft' or 'ewald')")),
         }
     }
 }
@@ -110,11 +108,22 @@ pub struct Fcs {
     soft_core: Option<particles::SoftCore>,
     pencil_fft: bool,
     solver: Option<SolverInstance>,
+    /// Enable cross-timestep communication-plan caching in the solvers and
+    /// for the resort exchanges (on by default).
+    plan_cache: bool,
     // State of the most recent run, for the query/resort functions.
     last_resorted: bool,
     last_resort_indices: Vec<u64>,
     last_new_len: usize,
     last_resort_mode: ExchangeMode,
+    /// Frozen redistribution schedule for the current resort indices, shared
+    /// by all `resort_*` calls and reused across runs while the indices,
+    /// output length and exchange mode are unchanged.
+    resort_plan: Option<atasp::ResortPlan>,
+    /// Resort plans built (including rebuilds) over the handle lifetime.
+    resort_plan_builds: u64,
+    /// Resort calls that reused the cached plan.
+    resort_plan_hits: u64,
 }
 
 impl Fcs {
@@ -132,11 +141,44 @@ impl Fcs {
             soft_core: None,
             pencil_fft: false,
             solver: None,
+            plan_cache: true,
             last_resorted: false,
             last_resort_indices: Vec::new(),
             last_new_len: 0,
             last_resort_mode: ExchangeMode::Collective,
+            resort_plan: None,
+            resort_plan_builds: 0,
+            resort_plan_hits: 0,
         }
+    }
+
+    /// Enable or disable cross-timestep communication-plan caching (on by
+    /// default): the particle-mesh ghost plan, the FMM merge-sort probe
+    /// schedule, and the frozen resort schedules of the `resort_*` family.
+    /// Disabling restores the pre-plan behaviour of rebuilding every schedule
+    /// on every call. Must be set identically on all ranks.
+    pub fn set_plan_cache(&mut self, enabled: bool) {
+        self.plan_cache = enabled;
+        if !enabled {
+            self.resort_plan = None;
+        }
+        match &mut self.solver {
+            Some(SolverInstance::Fmm(s)) => s.set_plan_cache(enabled),
+            Some(SolverInstance::Pm(s)) => s.set_plan_cache(enabled),
+            _ => {}
+        }
+    }
+
+    /// Communication-plan cache statistics as `(builds, hits)`, aggregated
+    /// over the solver's plans (ghost plan or sort plan) and the handle's
+    /// resort plans.
+    pub fn plan_stats(&self) -> (u64, u64) {
+        let (sb, sh) = match &self.solver {
+            Some(SolverInstance::Fmm(s)) => (s.plan_builds, s.plan_hits),
+            Some(SolverInstance::Pm(s)) => (s.plan_builds, s.plan_hits),
+            _ => (0, 0),
+        };
+        (sb + self.resort_plan_builds, sh + self.resort_plan_hits)
     }
 
     /// Which solver method this handle drives.
@@ -271,9 +313,7 @@ impl Fcs {
                 let desired = self.desired_rcut.unwrap_or(2.8 * mean_spacing);
                 let grid = simcomm::CartGrid::balanced(self.nprocs);
                 let dims = grid.dims();
-                let min_width = (0..3)
-                    .map(|d| l[d] / dims[d] as f64)
-                    .fold(f64::INFINITY, f64::min);
+                let min_width = (0..3).map(|d| l[d] / dims[d] as f64).fold(f64::INFINITY, f64::min);
                 let rcut = desired.min(0.49 * lmin).min(min_width);
                 let mut cfg = PmConfig::tuned(&bbox, self.tolerance, rcut);
                 cfg.soft_core = self.soft_core;
@@ -285,6 +325,14 @@ impl Fcs {
                 cfg.soft_core = self.soft_core;
                 self.solver = Some(SolverInstance::Ewald(EwaldSolver::new(bbox, cfg)));
             }
+        }
+        // A fresh solver instance starts with the handle's caching policy; any
+        // previously frozen resort schedule is decomposition-stale.
+        self.resort_plan = None;
+        match &mut self.solver {
+            Some(SolverInstance::Fmm(s)) => s.set_plan_cache(self.plan_cache),
+            Some(SolverInstance::Pm(s)) => s.set_plan_cache(self.plan_cache),
+            _ => {}
         }
     }
 
@@ -303,10 +351,7 @@ impl Fcs {
         id: &[u64],
         max_local: usize,
     ) -> SolverOutput {
-        let solver = self
-            .solver
-            .as_mut()
-            .expect("fcs_tune must be called before fcs_run");
+        let solver = self.solver.as_mut().expect("fcs_tune must be called before fcs_run");
         let method = if self.resort_enabled {
             RedistMethod::UseChanged
         } else {
@@ -322,7 +367,9 @@ impl Fcs {
             SolverInstance::Pm(s) => {
                 let o = s.run(comm, pos, charge, id, method, self.max_move, max_local);
                 self.last_resort_mode = if s.last_report.used_neighborhood {
-                    ExchangeMode::Neighborhood(s.process_grid().neighbors26(comm.rank()))
+                    // The solver holds the prebuilt partner list; clone it
+                    // once here instead of recomputing the 26-neighbourhood.
+                    s.neighborhood_mode().expect("run builds the neighbourhood").clone()
                 } else {
                     ExchangeMode::Collective
                 };
@@ -382,24 +429,24 @@ impl Fcs {
     ///     assert_eq!(mass_new.len(), h.resort_len());
     /// });
     /// ```
-    pub fn resort_floats(&self, comm: &mut Comm, data: &[f64]) -> Vec<f64> {
+    pub fn resort_floats(&mut self, comm: &mut Comm, data: &[f64]) -> Vec<f64> {
         self.resort_data(comm, data)
     }
 
     /// `fcs_resort_ints`: like [`Fcs::resort_floats`] for `i64` data.
-    pub fn resort_ints(&self, comm: &mut Comm, data: &[i64]) -> Vec<i64> {
+    pub fn resort_ints(&mut self, comm: &mut Comm, data: &[i64]) -> Vec<i64> {
         self.resort_data(comm, data)
     }
 
     /// Redistribute additional per-particle 3-vectors (velocities,
     /// accelerations) — the common case in the paper's integration method.
-    pub fn resort_vec3(&self, comm: &mut Comm, data: &[Vec3]) -> Vec<Vec3> {
+    pub fn resort_vec3(&mut self, comm: &mut Comm, data: &[Vec3]) -> Vec<Vec3> {
         self.resort_data(comm, data)
     }
 
     /// Generic resort of additional per-particle data.
     pub fn resort_data<T: Send + Copy + Default + 'static>(
-        &self,
+        &mut self,
         comm: &mut Comm,
         data: &[T],
     ) -> Vec<T> {
@@ -412,13 +459,31 @@ impl Fcs {
             self.last_resort_indices.len(),
             "additional data must match the original particle count"
         );
-        atasp::resort(
-            comm,
-            data,
-            &self.last_resort_indices,
-            self.last_new_len,
-            &self.last_resort_mode,
-        )
+        let plan = self.current_resort_plan(comm);
+        plan.execute(comm, &[data]).pop().expect("one channel in, one channel out")
+    }
+
+    /// The frozen redistribution schedule for the most recent run's resort
+    /// indices: reused while the indices/length/mode are unchanged (also
+    /// *across* runs on quiet steps where the solver reproduces the same
+    /// placement), rebuilt otherwise.
+    fn current_resort_plan(&mut self, comm: &mut Comm) -> &atasp::ResortPlan {
+        let hit = self.plan_cache
+            && self.resort_plan.as_ref().is_some_and(|pl| {
+                pl.matches(&self.last_resort_indices, self.last_new_len, &self.last_resort_mode)
+            });
+        if hit {
+            self.resort_plan_hits += 1;
+        } else {
+            self.resort_plan_builds += 1;
+            self.resort_plan = Some(atasp::ResortPlan::build(
+                comm,
+                &self.last_resort_indices,
+                self.last_new_len,
+                &self.last_resort_mode,
+            ));
+        }
+        self.resort_plan.as_ref().expect("plan built above")
     }
 
     /// Redistribute several additional per-particle data channels at once in
@@ -458,7 +523,7 @@ impl Fcs {
     /// });
     /// ```
     pub fn resort_all<T: Send + Copy + Default + 'static>(
-        &self,
+        &mut self,
         comm: &mut Comm,
         channels: &[&[T]],
     ) -> Vec<Vec<T>> {
@@ -473,13 +538,8 @@ impl Fcs {
                 "additional data channel {c} must match the original particle count"
             );
         }
-        atasp::resort_all(
-            comm,
-            channels,
-            &self.last_resort_indices,
-            self.last_new_len,
-            &self.last_resort_mode,
-        )
+        let plan = self.current_resort_plan(comm);
+        plan.execute(comm, channels)
     }
 
     /// `fcs_destroy`: release the solver instance. (Rust frees resources on
@@ -553,8 +613,7 @@ mod tests {
         for kind in [SolverKind::Fmm, SolverKind::P2Nfft] {
             let c = c.clone();
             run(p, MachineModel::ideal(), move |comm| {
-                let set =
-                    local_set(&c, InitialDistribution::Random, comm.rank(), p, [2, 2, 2]);
+                let set = local_set(&c, InitialDistribution::Random, comm.rank(), p, [2, 2, 2]);
                 let mut h = Fcs::init(kind, p);
                 h.set_common(bbox);
                 h.tune(comm, &set.pos, &set.charge);
@@ -604,14 +663,8 @@ mod tests {
         let e_ewald = energy(SolverKind::Ewald);
         let e_pm = energy(SolverKind::P2Nfft);
         let e_fmm = energy(SolverKind::Fmm);
-        assert!(
-            (e_pm - e_ewald).abs() < 5e-3 * e_ewald.abs(),
-            "pm {e_pm} vs ewald {e_ewald}"
-        );
-        assert!(
-            (e_fmm - e_ewald).abs() < 5e-2 * e_ewald.abs(),
-            "fmm {e_fmm} vs ewald {e_ewald}"
-        );
+        assert!((e_pm - e_ewald).abs() < 5e-3 * e_ewald.abs(), "pm {e_pm} vs ewald {e_ewald}");
+        assert!((e_fmm - e_ewald).abs() < 5e-2 * e_ewald.abs(), "fmm {e_fmm} vs ewald {e_ewald}");
         // The repulsion must actually contribute (jitter 0.2 creates close
         // pairs): energy with core differs from pure Coulomb.
         let pure = {

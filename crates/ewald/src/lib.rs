@@ -90,10 +90,7 @@ impl EwaldSolver {
     pub fn new(bbox: SystemBox, cfg: EwaldConfig) -> Self {
         assert!(bbox.fully_periodic(), "Ewald summation needs a fully periodic box");
         let lmin = bbox.lengths.x().min(bbox.lengths.y()).min(bbox.lengths.z());
-        assert!(
-            cfg.rcut <= 0.5 * lmin + 1e-12,
-            "rcut violates the minimum-image bound"
-        );
+        assert!(cfg.rcut <= 0.5 * lmin + 1e-12, "rcut violates the minimum-image bound");
         EwaldSolver { cfg, bbox, last_report: EwaldRunReport::default() }
     }
 
@@ -134,31 +131,39 @@ impl EwaldSolver {
         let alpha = self.cfg.alpha;
         let rcut2 = self.cfg.rcut * self.cfg.rcut;
         let mut pairs = 0u64;
-        let kernel = |pi: Vec3, pj: Vec3, qj: f64, qi: f64, out_pot: &mut f64, out_field: &mut Vec3| {
-            let d = self.bbox.min_image(pi, pj);
-            let r2 = d.norm2();
-            if r2 == 0.0 || r2 > rcut2 {
-                return false;
-            }
-            let r = r2.sqrt();
-            let e = erfc(alpha * r) / r;
-            let de = e / r2 + alpha * M_2_SQRTPI * (-alpha * alpha * r2).exp() / r2;
-            *out_pot += qj * e;
-            *out_field += d * (qj * de);
-            if let Some(core) = &self.cfg.soft_core {
-                let u = core.energy(r);
-                let fmag = core.force(r);
-                *out_pot += u / qi;
-                *out_field += d * (fmag / (r * qi));
-            }
-            true
-        };
+        let kernel =
+            |pi: Vec3, pj: Vec3, qj: f64, qi: f64, out_pot: &mut f64, out_field: &mut Vec3| {
+                let d = self.bbox.min_image(pi, pj);
+                let r2 = d.norm2();
+                if r2 == 0.0 || r2 > rcut2 {
+                    return false;
+                }
+                let r = r2.sqrt();
+                let e = erfc(alpha * r) / r;
+                let de = e / r2 + alpha * M_2_SQRTPI * (-alpha * alpha * r2).exp() / r2;
+                *out_pot += qj * e;
+                *out_field += d * (qj * de);
+                if let Some(core) = &self.cfg.soft_core {
+                    let u = core.energy(r);
+                    let fmag = core.force(r);
+                    *out_pot += u / qi;
+                    *out_field += d * (fmag / (r * qi));
+                }
+                true
+            };
 
         // Local pairs.
         for i in 0..n {
             for j in 0..n {
                 if i != j
-                    && kernel(pos[i], pos[j], charge[j], charge[i], &mut potential[i], &mut field[i])
+                    && kernel(
+                        pos[i],
+                        pos[j],
+                        charge[j],
+                        charge[i],
+                        &mut potential[i],
+                        &mut field[i],
+                    )
                 {
                     pairs += 1;
                 }
@@ -168,16 +173,20 @@ impl EwaldSolver {
         if p > 1 {
             let right = (me + 1) % p;
             let left = (me + p - 1) % p;
-            let mut travelling: Vec<RingParticle> = pos
-                .iter()
-                .zip(charge)
-                .map(|(&x, &q)| RingParticle { pos: x, charge: q })
-                .collect();
+            let mut travelling: Vec<RingParticle> =
+                pos.iter().zip(charge).map(|(&x, &q)| RingParticle { pos: x, charge: q }).collect();
             for _hop in 0..p - 1 {
                 travelling = comm.sendrecv(right, travelling, left, TAG_RING);
                 for i in 0..n {
                     for t in &travelling {
-                        if kernel(pos[i], t.pos, t.charge, charge[i], &mut potential[i], &mut field[i]) {
+                        if kernel(
+                            pos[i],
+                            t.pos,
+                            t.charge,
+                            charge[i],
+                            &mut potential[i],
+                            &mut field[i],
+                        ) {
                             pairs += 1;
                         }
                     }
@@ -223,9 +232,8 @@ impl EwaldSolver {
             }
         }
         comm.compute(Work::MeshPoint, (n * kvecs.len()) as f64);
-        let global_s = comm.allreduce(local_s, |a, b| {
-            a.iter().zip(&b).map(|(x, y)| x + y).collect::<Vec<f64>>()
-        });
+        let global_s = comm
+            .allreduce(local_s, |a, b| a.iter().zip(&b).map(|(x, y)| x + y).collect::<Vec<f64>>());
         for (ki, k) in kvecs.iter().enumerate() {
             let k2 = k.norm2();
             let ak = 2.0 * 4.0 * std::f64::consts::PI / volume
@@ -254,11 +262,8 @@ impl EwaldSolver {
 
         // ---- Output: the order never changed ----
         let resorted = method == RedistMethod::UseChanged;
-        let resort_indices: Vec<u64> = if resorted {
-            (0..n).map(|i| encode_index(me, i)).collect()
-        } else {
-            Vec::new()
-        };
+        let resort_indices: Vec<u64> =
+            if resorted { (0..n).map(|i| encode_index(me, i)).collect() } else { Vec::new() };
         SolverOutput {
             pos: pos.to_vec(),
             charge: charge.to_vec(),
@@ -330,10 +335,7 @@ mod tests {
             for (ids, pot, field) in &out.results {
                 for ((id, ph), f) in ids.iter().zip(pot).zip(field) {
                     let w = want.potential[*id as usize];
-                    assert!(
-                        (ph - w).abs() < 1e-9 * w.abs().max(1.0),
-                        "p={p} id={id}: {ph} vs {w}"
-                    );
+                    assert!((ph - w).abs() < 1e-9 * w.abs().max(1.0), "p={p} id={id}: {ph} vs {w}");
                     let wf = want.field[*id as usize];
                     assert!((*f - wf).norm() < 1e-9, "field id={id}");
                 }
@@ -362,10 +364,7 @@ mod tests {
         });
         let energy: f64 = out.results.iter().sum();
         let want = madelung_energy_per_ion(1.0) * 64.0;
-        assert!(
-            (energy - want).abs() / want.abs() < 1e-4,
-            "energy {energy} vs {want}"
-        );
+        assert!((energy - want).abs() / want.abs() < 1e-4, "energy {energy} vs {want}");
     }
 
     #[test]
@@ -413,8 +412,7 @@ mod tests {
             let c = c.clone();
             let cfg = cfg.clone();
             let out = run(p, MachineModel::ideal(), move |comm| {
-                let set =
-                    local_set(&c, InitialDistribution::Random, comm.rank(), p, [1, 1, p]);
+                let set = local_set(&c, InitialDistribution::Random, comm.rank(), p, [1, 1, p]);
                 let mut solver = EwaldSolver::new(bbox, cfg.clone());
                 let o = solver.run(
                     comm,

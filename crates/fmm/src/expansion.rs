@@ -70,25 +70,17 @@ impl ExpansionOps {
             let off = (m[0] as usize * dim + m[1] as usize) * dim + m[2] as usize;
             lookup2[off] = ix as u32;
         }
-        let look = |m: [usize; 3]| -> u32 {
-            lookup2[(m[0] * dim + m[1]) * dim + m[2]]
-        };
+        let look = |m: [usize; 3]| -> u32 { lookup2[(m[0] * dim + m[1]) * dim + m[2]] };
         let fact = |n: u8| -> f64 { (1..=n as u64).product::<u64>() as f64 };
-        let inv_fact: Vec<f64> = midx
-            .iter()
-            .map(|m| 1.0 / (fact(m[0]) * fact(m[1]) * fact(m[2])))
-            .collect();
+        let inv_fact: Vec<f64> =
+            midx.iter().map(|m| 1.0 / (fact(m[0]) * fact(m[1]) * fact(m[2]))).collect();
 
         // M2L: L_n += (1/n!) * (-1)^{|k|} M_k T_{n+k}
         let mut m2l_pairs = Vec::new();
         for (ni, n) in midx.iter().enumerate() {
             let inv_nf = inv_fact[ni];
             for (ki, k) in midx.iter().enumerate() {
-                let nk = [
-                    (n[0] + k[0]) as usize,
-                    (n[1] + k[1]) as usize,
-                    (n[2] + k[2]) as usize,
-                ];
+                let nk = [(n[0] + k[0]) as usize, (n[1] + k[1]) as usize, (n[2] + k[2]) as usize];
                 let t = look(nk);
                 debug_assert!(t != u32::MAX);
                 let sign = if (k[0] + k[1] + k[2]) % 2 == 0 { 1.0 } else { -1.0 };
@@ -98,11 +90,8 @@ impl ExpansionOps {
 
         // M2M: M'_k += M_m d^{k-m} / (k-m)!   (m <= k componentwise)
         let mut m2m_pairs = Vec::new();
-        let lookup_p: std::collections::HashMap<[u8; 3], u32> = midx
-            .iter()
-            .enumerate()
-            .map(|(i, m)| (*m, i as u32))
-            .collect();
+        let lookup_p: std::collections::HashMap<[u8; 3], u32> =
+            midx.iter().enumerate().map(|(i, m)| (*m, i as u32)).collect();
         for (ki, k) in midx.iter().enumerate() {
             for (mi, m) in midx.iter().enumerate() {
                 if m[0] <= k[0] && m[1] <= k[1] && m[2] <= k[2] {
@@ -114,9 +103,7 @@ impl ExpansionOps {
         }
 
         // L2L: L'_n += L_m binom(m, n) d^{m-n}   (n <= m componentwise)
-        let binom = |a: u8, b: u8| -> f64 {
-            (fact(a)) / (fact(b) * fact(a - b))
-        };
+        let binom = |a: u8, b: u8| -> f64 { (fact(a)) / (fact(b) * fact(a - b)) };
         let mut l2l_pairs = Vec::new();
         for (ni, n) in midx.iter().enumerate() {
             for (mi, m) in midx.iter().enumerate() {
@@ -129,16 +116,7 @@ impl ExpansionOps {
             }
         }
 
-        ExpansionOps {
-            order: p,
-            midx,
-            midx2,
-            lookup2,
-            inv_fact,
-            m2l_pairs,
-            m2m_pairs,
-            l2l_pairs,
-        }
+        ExpansionOps { order: p, midx, midx2, lookup2, inv_fact, m2l_pairs, m2m_pairs, l2l_pairs }
     }
 
     /// Number of coefficients of an order-`p` expansion.
@@ -294,7 +272,9 @@ impl ExpansionOps {
         let look = |m: [usize; 3]| -> u32 { self.lookup2[(m[0] * dim + m[1]) * dim + m[2]] };
         for (ki, k) in self.midx.iter().enumerate() {
             let sign = if (k[0] + k[1] + k[2]) % 2 == 0 { 1.0 } else { -1.0 };
-            phi += multipole[ki] * sign * t[look([k[0] as usize, k[1] as usize, k[2] as usize]) as usize];
+            phi += multipole[ki]
+                * sign
+                * t[look([k[0] as usize, k[1] as usize, k[2] as usize]) as usize];
             for c in 0..3usize {
                 let mut kc = [k[0] as usize, k[1] as usize, k[2] as usize];
                 kc[c] += 1;
@@ -420,10 +400,7 @@ mod tests {
         let o = ops(8);
         let z = Vec3::new(0.0, 0.0, 0.0);
         let w = Vec3::new(4.0, 0.0, 0.0); // well separated
-        let srcs = [
-            (Vec3::new(0.2, -0.1, 0.3), 1.0),
-            (Vec3::new(-0.3, 0.2, -0.1), -1.5),
-        ];
+        let srcs = [(Vec3::new(0.2, -0.1, 0.3), 1.0), (Vec3::new(-0.3, 0.2, -0.1), -1.5)];
         let mut m = vec![0.0; o.len()];
         for &(x, q) in &srcs {
             o.p2m(&mut m, z, x, q);

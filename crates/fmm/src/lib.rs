@@ -131,7 +131,8 @@ mod tests {
         let want = direct_open(&pos, &charge);
         let mut errs = Vec::new();
         for order in [2usize, 4, 6] {
-            let (pot, _) = run_fmm_restore(&gas, 2, FmmConfig { order, level: 2, soft_core: None }, bbox);
+            let (pot, _) =
+                run_fmm_restore(&gas, 2, FmmConfig { order, level: 2, soft_core: None }, bbox);
             let energy: f64 = 0.5 * pot.iter().zip(&charge).map(|(a, q)| a * q).sum::<f64>();
             errs.push((energy - want.energy).abs() / want.energy.abs());
         }
@@ -155,7 +156,8 @@ mod tests {
             charge.push(q);
         }
         let want = ewald(&pos, &charge, &bbox, EwaldParams::for_cubic_box(8.0));
-        let (pot, _) = run_fmm_restore(&c, 4, FmmConfig { order: 6, level: 3, soft_core: None }, bbox);
+        let (pot, _) =
+            run_fmm_restore(&c, 4, FmmConfig { order: 6, level: 3, soft_core: None }, bbox);
         let energy: f64 = 0.5 * pot.iter().zip(&charge).map(|(a, q)| a * q).sum::<f64>();
         let rel = (energy - want.energy).abs() / want.energy.abs();
         assert!(rel < 2e-2, "energy {energy} vs ewald {w}, rel {rel}", w = want.energy);
@@ -179,16 +181,10 @@ mod tests {
                 charge.push(q);
                 id.push(i as u64);
             }
-            let mut solver = FmmSolver::new(c.system_box(), FmmConfig { order: 2, level: 2, soft_core: None });
-            let o = solver.run(
-                comm,
-                &pos,
-                &charge,
-                &id,
-                RedistMethod::UseChanged,
-                None,
-                usize::MAX,
-            );
+            let mut solver =
+                FmmSolver::new(c.system_box(), FmmConfig { order: 2, level: 2, soft_core: None });
+            let o =
+                solver.run(comm, &pos, &charge, &id, RedistMethod::UseChanged, None, usize::MAX);
             assert!(o.resorted);
             assert_eq!(o.resort_indices.len(), pos.len(), "one index per original particle");
             // Resort the original ids and compare against the changed ids.
@@ -201,11 +197,8 @@ mod tests {
             );
             assert_eq!(moved_ids, o.id, "resort indices must map original to changed order");
             // The changed order must be globally Z-sorted.
-            let keys: Vec<u64> = o
-                .pos
-                .iter()
-                .map(|&x| crate::tree::leaf_key(&c.system_box(), x, 2))
-                .collect();
+            let keys: Vec<u64> =
+                o.pos.iter().map(|&x| crate::tree::leaf_key(&c.system_box(), x, 2)).collect();
             assert!(psort::is_globally_sorted(comm, &keys));
             o.id.len()
         });
@@ -231,7 +224,8 @@ mod tests {
                 charge.push(q);
                 id.push(i as u64);
             }
-            let mut solver = FmmSolver::new(c.system_box(), FmmConfig { order: 2, level: 2, soft_core: None });
+            let mut solver =
+                FmmSolver::new(c.system_box(), FmmConfig { order: 2, level: 2, soft_core: None });
             // Zero capacity forces the fallback everywhere.
             let o = solver.run(comm, &pos, &charge, &id, RedistMethod::UseChanged, None, 0);
             (o.resorted, o.id == id, o.resort_indices.is_empty())
@@ -261,17 +255,11 @@ mod tests {
                 charge.push(q);
                 id.push(i as u64);
             }
-            let mut solver = FmmSolver::new(c.system_box(), FmmConfig { order: 2, level: 2, soft_core: None });
+            let mut solver =
+                FmmSolver::new(c.system_box(), FmmConfig { order: 2, level: 2, soft_core: None });
             // First run establishes the Z-distribution.
-            let o1 = solver.run(
-                comm,
-                &pos,
-                &charge,
-                &id,
-                RedistMethod::UseChanged,
-                None,
-                usize::MAX,
-            );
+            let o1 =
+                solver.run(comm, &pos, &charge, &id, RedistMethod::UseChanged, None, usize::MAX);
             assert!(!solver.last_report.used_merge_sort);
             // Second run with a tiny movement hint: merge path.
             let o2 = solver.run(
@@ -327,7 +315,8 @@ mod tests {
             } else {
                 (Vec::new(), Vec::new(), Vec::new())
             };
-            let mut solver = FmmSolver::new(bbox, FmmConfig { order: 8, level: 2, soft_core: None });
+            let mut solver =
+                FmmSolver::new(bbox, FmmConfig { order: 8, level: 2, soft_core: None });
             let o = solver.run(
                 comm,
                 &pos,

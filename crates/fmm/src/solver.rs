@@ -6,10 +6,8 @@
 use std::collections::{HashMap, HashSet};
 
 use atasp::{alltoall_specific, build_resort_indices, encode_index, ExchangeMode};
-use particles::{
-    MovementHint, RedistMethod, SolverOutput, SolverTimings, SystemBox, Vec3,
-};
-use psort::{merge_exchange_sort_by_key, partition_sort_by_key};
+use particles::{MovementHint, RedistMethod, SolverOutput, SolverTimings, SystemBox, Vec3};
+use psort::{merge_exchange_sort_by_key_planned, partition_sort_by_key, SortPlan};
 use simcomm::{Comm, Work};
 
 use crate::expansion::ExpansionOps;
@@ -90,6 +88,8 @@ pub struct FmmRunReport {
     pub m2l_count: u64,
     /// Particles exchanged by the parallel sort (sent from this rank).
     pub sort_sent: u64,
+    /// Merge-network rounds skipped outright via the cached [`SortPlan`].
+    pub sort_rounds_plan_skipped: u64,
 }
 
 /// The parallel Fast Multipole Method solver.
@@ -103,6 +103,14 @@ pub struct FmmSolver {
     ops: ExpansionOps,
     /// Cache of M2L derivative tensors keyed by (level, relative cell offset).
     tensor_cache: HashMap<(u32, [i64; 3]), Vec<f64>>,
+    /// Enable caching of the merge-sort probe schedule across timesteps.
+    plan_cache: bool,
+    /// Probe schedule recorded by the previous merge-based sort, if clean.
+    sort_plan: Option<SortPlan>,
+    /// Sort plans recorded over the solver lifetime.
+    pub plan_builds: u64,
+    /// Runs that consumed a previously recorded sort plan.
+    pub plan_hits: u64,
     /// Report of the most recent run.
     pub last_report: FmmRunReport,
 }
@@ -123,6 +131,10 @@ impl FmmSolver {
             periodic,
             ops,
             tensor_cache: HashMap::new(),
+            plan_cache: true,
+            sort_plan: None,
+            plan_builds: 0,
+            plan_hits: 0,
             last_report: FmmRunReport::default(),
         }
     }
@@ -130,6 +142,17 @@ impl FmmSolver {
     /// The solver's configuration.
     pub fn config(&self) -> &FmmConfig {
         &self.cfg
+    }
+
+    /// Enable or disable cross-timestep caching of the merge-sort probe
+    /// schedule (on by default). Disabling drops the cached plan, restoring
+    /// the pre-plan behaviour of probing every network round afresh. Must be
+    /// set identically on all ranks (the plan gate is collective).
+    pub fn set_plan_cache(&mut self, enabled: bool) {
+        self.plan_cache = enabled;
+        if !enabled {
+            self.sort_plan = None;
+        }
     }
 
     /// Execute the solver: compute potentials and field values for the given
@@ -185,10 +208,30 @@ impl FmmSolver {
             && movement.is_some_and(|m| m < self.bbox.per_process_cube_side(p));
         self.last_report.used_merge_sort = use_merge;
         let (mut keys, mut recs) = if use_merge {
-            let (k, r, rep) = merge_exchange_sort_by_key(comm, keys, recs);
+            // Consume the probe schedule the previous merge sort recorded (if
+            // caching is on); record this sort's schedule for the next step.
+            // `use_merge` and the plan's presence are globally consistent, so
+            // all ranks pass a plan from the same previous execution.
+            let prior = if self.plan_cache { self.sort_plan.take() } else { None };
+            let had_prior = prior.is_some();
+            let (k, r, rep, next) =
+                merge_exchange_sort_by_key_planned(comm, keys, recs, prior.as_ref());
             self.last_report.sort_sent = rep.sent_elems;
+            self.last_report.sort_rounds_plan_skipped = rep.rounds_plan_skipped;
+            if had_prior {
+                self.plan_hits += 1;
+            } else if next.is_some() {
+                self.plan_builds += 1;
+            }
+            if self.plan_cache {
+                self.sort_plan = next;
+            }
             (k, r)
         } else {
+            // A partition sort rebalances the whole distribution; any recorded
+            // probe schedule is stale afterwards (dropped on every rank —
+            // `use_merge` is a collective decision).
+            self.sort_plan = None;
             let (k, r, rep) = partition_sort_by_key(comm, keys, recs);
             self.last_report.sort_sent = rep.sent_elems;
             (k, r)
@@ -213,8 +256,7 @@ impl FmmSolver {
         match method {
             RedistMethod::RestoreOriginal => {
                 comm.enter_phase("restore");
-                let mut out =
-                    self.restore_original(comm, &recs, &potential, &field, original_len);
+                let mut out = self.restore_original(comm, &recs, &potential, &field, original_len);
                 comm.exit_phase();
                 out.timings = SolverTimings {
                     sort: t_sorted - t_start,
@@ -293,10 +335,7 @@ impl FmmSolver {
                 field: field[i],
             })
             .collect();
-        let targets: Vec<usize> = recs
-            .iter()
-            .map(|r| atasp::decode_index(r.origin).0)
-            .collect();
+        let targets: Vec<usize> = recs.iter().map(|r| atasp::decode_index(r.origin).0).collect();
         let received = alltoall_specific(comm, &results, &targets, &ExchangeMode::Collective);
         assert_eq!(received.len(), original_len);
         let mut out = SolverOutput {
@@ -317,10 +356,7 @@ impl FmmSolver {
             out.potential[pos_ix] = r.potential;
             out.field[pos_ix] = r.field;
         }
-        comm.compute(
-            Work::ByteCopy,
-            (original_len * std::mem::size_of::<ResultParticle>()) as f64,
-        );
+        comm.compute(Work::ByteCopy, (original_len * std::mem::size_of::<ResultParticle>()) as f64);
         out
     }
 
@@ -387,11 +423,8 @@ impl FmmSolver {
         let me = comm.rank();
 
         let leaf_cells = cells_from_sorted(keys);
-        let cell_index: HashMap<u64, usize> = leaf_cells
-            .iter()
-            .enumerate()
-            .map(|(i, (k, _))| (*k, i))
-            .collect();
+        let cell_index: HashMap<u64, usize> =
+            leaf_cells.iter().enumerate().map(|(i, (k, _))| (*k, i)).collect();
 
         // Rank ranges at leaf level for ownership lookups.
         let ranges = comm.allgather((keys.first().copied(), keys.last().copied()));
@@ -416,10 +449,7 @@ impl FmmSolver {
                 }
             }
             for d in dests {
-                ghost_sends
-                    .entry(d)
-                    .or_default()
-                    .extend_from_slice(&recs[range.clone()]);
+                ghost_sends.entry(d).or_default().extend_from_slice(&recs[range.clone()]);
             }
         }
         let sends: Vec<(usize, Vec<FmmParticle>)> = ghost_sends.into_iter().collect();
@@ -446,9 +476,7 @@ impl FmmSolver {
             (0..=leaf_level).map(|_| HashMap::new()).collect();
         for (k, range) in &leaf_cells {
             let z = cell_center(&self.bbox, *k, leaf_level);
-            let m = multipoles[leaf_level as usize]
-                .entry(*k)
-                .or_insert_with(|| vec![0.0; nc]);
+            let m = multipoles[leaf_level as usize].entry(*k).or_insert_with(|| vec![0.0; nc]);
             for r in &recs[range.clone()] {
                 self.ops.p2m(m, z, r.pos, r.charge);
             }
@@ -475,10 +503,8 @@ impl FmmSolver {
         let mut targets: Vec<Vec<u64>> = (0..=leaf_level).map(|_| Vec::new()).collect();
         targets[leaf_level as usize] = leaf_cells.iter().map(|(k, _)| *k).collect();
         for l in (1..=leaf_level).rev() {
-            let mut up: Vec<u64> = targets[l as usize]
-                .iter()
-                .map(|&k| particles::zorder::parent(k))
-                .collect();
+            let mut up: Vec<u64> =
+                targets[l as usize].iter().map(|&k| particles::zorder::parent(k)).collect();
             up.sort_unstable();
             up.dedup();
             targets[l as usize - 1] = up;
@@ -596,10 +622,7 @@ impl FmmSolver {
                 }
                 locals[l as usize].insert(t, acc);
             }
-            comm.compute(
-                Work::ExpansionTerm,
-                (target_keys.len().max(1) * nc * nc / 8) as f64,
-            );
+            comm.compute(Work::ExpansionTerm, (target_keys.len().max(1) * nc * nc / 8) as f64);
         }
         comm.compute(Work::ExpansionTerm, (m2l_count as usize * nc * nc) as f64);
         comm.exit_phase();

@@ -58,11 +58,7 @@ pub fn cell_offset(a: u64, b: u64, level: u32, periodic: bool) -> [i64; 3] {
         }
         d
     };
-    [
-        wrap(bx as i64 - ax as i64),
-        wrap(by as i64 - ay as i64),
-        wrap(bz as i64 - az as i64),
-    ]
+    [wrap(bx as i64 - ax as i64), wrap(by as i64 - ay as i64), wrap(bz as i64 - az as i64)]
 }
 
 /// Neighbour keys (Chebyshev distance 1) of `key` at `level`. With
@@ -235,7 +231,9 @@ mod tests {
     fn check_coverage(levels: u32, periodic: bool) {
         let n = 1u32 << levels;
         let all_leaves: Vec<u64> = (0..n)
-            .flat_map(|x| (0..n).flat_map(move |y| (0..n).map(move |z| particles::zorder::encode(x, y, z))))
+            .flat_map(|x| {
+                (0..n).flat_map(move |y| (0..n).map(move |z| particles::zorder::encode(x, y, z)))
+            })
             .collect();
         for &t in &all_leaves {
             let mut covered: HashSet<u64> = HashSet::new();

@@ -79,10 +79,17 @@ impl Snapshot {
             writeln!(
                 w,
                 "{} {} {} {} {} {} {} {} {} {} {}",
-                self.id[i], self.charge[i],
-                p.x(), p.y(), p.z(),
-                v.x(), v.y(), v.z(),
-                a.x(), a.y(), a.z(),
+                self.id[i],
+                self.charge[i],
+                p.x(),
+                p.y(),
+                p.z(),
+                v.x(),
+                v.y(),
+                v.z(),
+                a.x(),
+                a.y(),
+                a.z(),
             )?;
         }
         Ok(())
@@ -90,8 +97,7 @@ impl Snapshot {
 
     /// Read a snapshot written by [`Snapshot::save`].
     pub fn load(path: &Path) -> std::io::Result<Snapshot> {
-        let bad =
-            |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+        let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
         let f = std::io::BufReader::new(std::fs::File::open(path)?);
         let mut lines = f.lines();
         let head = lines.next().ok_or_else(|| bad("missing header"))??;
@@ -145,11 +151,7 @@ impl Snapshot {
 /// <id> <charge> <x> <y> <z>
 /// ...
 /// ```
-pub fn write_xyzq<W: Write>(
-    mut w: W,
-    bbox: &SystemBox,
-    set: &ParticleSet,
-) -> std::io::Result<()> {
+pub fn write_xyzq<W: Write>(mut w: W, bbox: &SystemBox, set: &ParticleSet) -> std::io::Result<()> {
     writeln!(w, "{}", set.len())?;
     writeln!(
         w,

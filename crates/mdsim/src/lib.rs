@@ -76,6 +76,12 @@ pub struct SimConfig {
     /// resorted every step like the velocities, adding redistribution volume
     /// beyond what the paper's application carries — hence off by default.
     pub track_displacement: bool,
+    /// Cache communication plans (ghost routes, sort probe schedules, resort
+    /// schedules) across timesteps and re-execute them while still valid (see
+    /// `Fcs::set_plan_cache`). Plans never change the physics — only the
+    /// virtual time spent rebuilding schedules. On by default; turned off for
+    /// the unplanned baseline in benchmarks.
+    pub plan_cache: bool,
 }
 
 impl Default for SimConfig {
@@ -93,6 +99,7 @@ impl Default for SimConfig {
             thermal_move_fraction: 0.004,
             pencil_fft: false,
             track_displacement: false,
+            plan_cache: true,
         }
     }
 }
@@ -132,6 +139,11 @@ pub struct SimResult {
     pub rms_displacement: f64,
     /// Final virtual clock of this rank.
     pub final_clock: f64,
+    /// Communication plans built (including rebuilds) across the run — the
+    /// solver's plans plus the resort schedules (see `Fcs::plan_stats`).
+    pub plan_builds: u64,
+    /// Solver executions / resort calls that reused a cached plan.
+    pub plan_hits: u64,
     /// Final local state (positions, velocities, ... ), usable as a
     /// checkpoint via [`io::Snapshot`] and [`simulate_from`].
     pub final_state: io::Snapshot,
@@ -140,12 +152,7 @@ pub struct SimResult {
 /// Run the particle dynamics simulation of the paper's Fig. 3 on the local
 /// particle set. Collective: every rank calls it with its share of the
 /// system. Initial velocities follow [`SimConfig::thermal_move_fraction`].
-pub fn simulate(
-    comm: &mut Comm,
-    bbox: SystemBox,
-    set: ParticleSet,
-    cfg: &SimConfig,
-) -> SimResult {
+pub fn simulate(comm: &mut Comm, bbox: SystemBox, set: ParticleSet, cfg: &SimConfig) -> SimResult {
     let n_total = comm.allreduce(set.len() as u64, |a, b| a + b) as usize;
     let mean_spacing = (bbox.volume() / n_total.max(1) as f64).cbrt();
     let vt = cfg.thermal_move_fraction * mean_spacing / cfg.dt;
@@ -195,6 +202,7 @@ pub fn simulate_from(comm: &mut Comm, snapshot: io::Snapshot, cfg: &SimConfig) -
         handle.set_soft_core(Some(particles::SoftCore::for_spacing(mean_spacing)));
     }
     handle.set_p2nfft_pencil(cfg.pencil_fft);
+    handle.set_plan_cache(cfg.plan_cache);
     handle.tune(comm, &pos, &charge);
 
     let mut records = Vec::with_capacity(cfg.steps + 1);
@@ -203,13 +211,13 @@ pub fn simulate_from(comm: &mut Comm, snapshot: io::Snapshot, cfg: &SimConfig) -
     // One solver execution + application-side data handling; returns the
     // step record (without step index/energy fields filled).
     let run_solver = |comm: &mut Comm,
-                          handle: &mut Fcs,
-                          pos: &mut Vec<Vec3>,
-                          charge: &mut Vec<f64>,
-                          id: &mut Vec<u64>,
-                          vel: &mut Vec<Vec3>,
-                          accel: &mut Vec<Vec3>,
-                          initial_pos: &mut Vec<Vec3>|
+                      handle: &mut Fcs,
+                      pos: &mut Vec<Vec3>,
+                      charge: &mut Vec<f64>,
+                      id: &mut Vec<u64>,
+                      vel: &mut Vec<Vec3>,
+                      accel: &mut Vec<Vec3>,
+                      initial_pos: &mut Vec<Vec3>|
      -> (StepRecord, Vec<f64>) {
         let t0 = comm.clock();
         let out = handle.run(comm, pos, charge, id, max_local);
@@ -242,15 +250,8 @@ pub fn simulate_from(comm: &mut Comm, snapshot: io::Snapshot, cfg: &SimConfig) -
         *id = out.id;
         // Determine accelerations from the calculated field values.
         accel.clear();
-        accel.extend(
-            out.field
-                .iter()
-                .zip(charge.iter())
-                .map(|(e, q)| *e * (q * inv_mass)),
-        );
-        comm.with_phase("integrate", |c| {
-            c.compute(simcomm::Work::ParticleOp, pos.len() as f64)
-        });
+        accel.extend(out.field.iter().zip(charge.iter()).map(|(e, q)| *e * (q * inv_mass)));
+        comm.with_phase("integrate", |c| c.compute(simcomm::Work::ParticleOp, pos.len() as f64));
         rec.total = comm.clock() - t0;
         (rec, out.potential)
     };
@@ -282,11 +283,7 @@ pub fn simulate_from(comm: &mut Comm, snapshot: io::Snapshot, cfg: &SimConfig) -
         }
         comm.compute(simcomm::Work::ParticleOp, pos.len() as f64);
         let max_move = comm.allreduce(max_move2, f64::max).sqrt();
-        handle.set_max_particle_move(if cfg.exploit_movement {
-            Some(max_move)
-        } else {
-            None
-        });
+        handle.set_max_particle_move(if cfg.exploit_movement { Some(max_move) } else { None });
 
         // Old accelerations a_i are needed for Eq. 2; under Method B they are
         // redistributed by run_solver before being combined below, so stash a
@@ -329,11 +326,8 @@ pub fn simulate_from(comm: &mut Comm, snapshot: io::Snapshot, cfg: &SimConfig) -
     // Drift diagnostic: RMS displacement from the initial positions (NaN if
     // the channel was not tracked).
     let rms_displacement = if initial_pos.len() == pos.len() && !pos.is_empty() {
-        let local_sum: f64 = pos
-            .iter()
-            .zip(&initial_pos)
-            .map(|(x, x0)| bbox.min_image(*x, *x0).norm2())
-            .sum();
+        let local_sum: f64 =
+            pos.iter().zip(&initial_pos).map(|(x, x0)| bbox.min_image(*x, *x0).norm2()).sum();
         let global_sum = comm.allreduce(local_sum, |a, b| a + b);
         (global_sum / n_total as f64).sqrt()
     } else {
@@ -341,11 +335,14 @@ pub fn simulate_from(comm: &mut Comm, snapshot: io::Snapshot, cfg: &SimConfig) -
         f64::NAN
     };
 
+    let (plan_builds, plan_hits) = handle.plan_stats();
     SimResult {
         records,
         final_local: pos.len(),
         rms_displacement,
         final_clock: comm.clock(),
+        plan_builds,
+        plan_hits,
         final_state: io::Snapshot {
             bbox,
             step: start_step + cfg.steps,
@@ -588,6 +585,66 @@ mod tests {
             for rec in &r.records[1..] {
                 assert!(rec.max_move > 0.0, "particles must move");
                 assert!(rec.max_move < 0.5, "movement per step must be small");
+            }
+        }
+    }
+
+    #[test]
+    fn plan_cache_is_bitwise_invisible_to_the_physics() {
+        // The tentpole invariant: cached communication plans (ghost epochs,
+        // resort schedules, quiet-step shortcuts) change only virtual time,
+        // never results. Per-step energies must match the plan-off baseline
+        // *exactly* — both in the small-movement regime where cached epochs
+        // are reused for many steps and in the large-movement regime where
+        // they are invalidated and rebuilt under way.
+        let c = IonicCrystal::cubic(8, 1.0, 0.15, 11);
+        let bbox = c.system_box();
+        let p = 8;
+        for thermal in [0.004, 0.2] {
+            let run_sim = |plan_cache: bool| -> (Vec<StepRecord>, u64, u64) {
+                let c = c.clone();
+                let cfg = SimConfig {
+                    solver: SolverKind::P2Nfft,
+                    resort: true,
+                    exploit_movement: true,
+                    steps: 8,
+                    tolerance: 1e-2,
+                    thermal_move_fraction: thermal,
+                    plan_cache,
+                    ..SimConfig::default()
+                };
+                let out = run(p, MachineModel::juropa_like(), move |comm| {
+                    let set = local_set(
+                        &c,
+                        InitialDistribution::Grid,
+                        comm.rank(),
+                        p,
+                        CartGrid::balanced(p).dims(),
+                    );
+                    let r = simulate(comm, bbox, set, &cfg);
+                    (r.records, r.plan_builds, r.plan_hits)
+                });
+                out.results[0].clone()
+            };
+            let (planned, builds, hits) = run_sim(true);
+            let (unplanned, _, base_hits) = run_sim(false);
+            assert_eq!(base_hits, 0, "plan-off baseline must never reuse a plan");
+            for (a, b) in planned.iter().zip(&unplanned) {
+                assert_eq!(
+                    a.energy.to_bits(),
+                    b.energy.to_bits(),
+                    "thermal {thermal} step {}: planned energy {} != unplanned {}",
+                    a.step,
+                    a.energy,
+                    b.energy
+                );
+            }
+            assert!(builds > 0, "planned run must build plans");
+            if thermal == 0.004 {
+                assert!(
+                    hits > 0,
+                    "small movement must reuse cached plans (builds {builds}, hits {hits})"
+                );
             }
         }
     }

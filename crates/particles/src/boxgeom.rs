@@ -23,19 +23,12 @@ impl SystemBox {
     /// A cube of edge `l` at the origin, periodic in all dimensions.
     pub fn cubic(l: f64) -> Self {
         assert!(l > 0.0, "box edge must be positive");
-        SystemBox {
-            offset: Vec3::ZERO,
-            lengths: Vec3::splat(l),
-            periodic: [true; 3],
-        }
+        SystemBox { offset: Vec3::ZERO, lengths: Vec3::splat(l), periodic: [true; 3] }
     }
 
     /// An axis-aligned box with explicit offset, lengths and periodicity.
     pub fn new(offset: Vec3, lengths: Vec3, periodic: [bool; 3]) -> Self {
-        assert!(
-            lengths.0.iter().all(|&l| l > 0.0),
-            "box edges must be positive"
-        );
+        assert!(lengths.0.iter().all(|&l| l > 0.0), "box edges must be positive");
         SystemBox { offset, lengths, periodic }
     }
 
@@ -143,7 +136,9 @@ mod tests {
         let b = SystemBox::cubic(10.0);
         let d = b.min_image(Vec3::new(9.5, 0.0, 0.0), Vec3::new(0.5, 0.0, 0.0));
         assert!((d.x() - -1.0).abs() < 1e-12, "wraps to -1, got {}", d.x());
-        assert!((b.distance(Vec3::new(9.5, 0.0, 0.0), Vec3::new(0.5, 0.0, 0.0)) - 1.0).abs() < 1e-12);
+        assert!(
+            (b.distance(Vec3::new(9.5, 0.0, 0.0), Vec3::new(0.5, 0.0, 0.0)) - 1.0).abs() < 1e-12
+        );
     }
 
     #[test]

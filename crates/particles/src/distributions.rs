@@ -210,7 +210,12 @@ mod tests {
     }
 
     /// Distributions must partition the system: every id exactly once.
-    fn check_partition<S: ParticleSource>(src: &S, dist: InitialDistribution, nprocs: usize, dims: [usize; 3]) {
+    fn check_partition<S: ParticleSource>(
+        src: &S,
+        dist: InitialDistribution,
+        nprocs: usize,
+        dims: [usize; 3],
+    ) {
         let mut seen = vec![false; src.n()];
         for rank in 0..nprocs {
             let s = local_set(src, dist, rank, nprocs, dims);
@@ -328,11 +333,7 @@ mod tests {
 
     #[test]
     fn random_gas_grid_distribution_slow_path() {
-        let g = RandomGas {
-            n: 500,
-            bbox: SystemBox::cubic(10.0),
-            seed: 9,
-        };
+        let g = RandomGas { n: 500, bbox: SystemBox::cubic(10.0), seed: 9 };
         check_partition(&g, InitialDistribution::Grid, 4, [2, 2, 1]);
         check_partition(&g, InitialDistribution::Random, 4, [2, 2, 1]);
     }

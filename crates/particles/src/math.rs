@@ -7,17 +7,16 @@
 pub fn erfc(x: f64) -> f64 {
     let z = x.abs();
     let t = 1.0 / (1.0 + 0.5 * z);
-    let ans = t * (-z * z
-        - 1.26551223
-        + t * (1.00002368
-            + t * (0.37409196
-                + t * (0.09678418
-                    + t * (-0.18628806
-                        + t * (0.27886807
-                            + t * (-1.13520398
-                                + t * (1.48851587
-                                    + t * (-0.82215223 + t * 0.17087277)))))))))
-        .exp();
+    let ans = t
+        * (-z * z - 1.26551223
+            + t * (1.00002368
+                + t * (0.37409196
+                    + t * (0.09678418
+                        + t * (-0.18628806
+                            + t * (0.27886807
+                                + t * (-1.13520398
+                                    + t * (1.48851587 + t * (-0.82215223 + t * 0.17087277)))))))))
+            .exp();
     if x >= 0.0 {
         ans
     } else {
@@ -50,10 +49,7 @@ mod tests {
         ];
         for (x, want) in cases {
             let got = erfc(x);
-            assert!(
-                (got - want).abs() <= 2e-7 * want.max(1e-3),
-                "erfc({x}) = {got}, want {want}"
-            );
+            assert!((got - want).abs() <= 2e-7 * want.max(1e-3), "erfc({x}) = {got}, want {want}");
         }
     }
 

@@ -34,13 +34,8 @@ impl FieldSolution {
     /// RMS magnitude of the reference potentials.
     pub fn potential_rms_error(&self, other: &FieldSolution) -> f64 {
         assert_eq!(self.potential.len(), other.potential.len());
-        let scale = other
-            .potential
-            .iter()
-            .map(|p| p * p)
-            .sum::<f64>()
-            .sqrt()
-            .max(f64::MIN_POSITIVE);
+        let scale =
+            other.potential.iter().map(|p| p * p).sum::<f64>().sqrt().max(f64::MIN_POSITIVE);
         let diff = self
             .potential
             .iter()
@@ -152,8 +147,8 @@ pub fn ewald(pos: &[Vec3], charge: &[f64], bbox: &SystemBox, params: EwaldParams
                     two_pi * kz as f64 / l.z(),
                 );
                 let k2 = k.norm2();
-                let ak = 4.0 * std::f64::consts::PI / volume * (-k2 / (4.0 * alpha * alpha)).exp()
-                    / k2;
+                let ak =
+                    4.0 * std::f64::consts::PI / volume * (-k2 / (4.0 * alpha * alpha)).exp() / k2;
                 // Structure factor S(k) = sum_j q_j exp(i k.r_j)
                 let mut s_re = 0.0;
                 let mut s_im = 0.0;
@@ -219,11 +214,7 @@ mod tests {
     fn direct_field_is_negative_gradient() {
         // Numerical gradient check of the potential at particle 0.
         let charge = [1.0, -2.0, 1.5];
-        let base = [
-            Vec3::new(0.1, 0.2, 0.3),
-            Vec3::new(1.5, 0.1, -0.4),
-            Vec3::new(-0.8, 1.1, 0.9),
-        ];
+        let base = [Vec3::new(0.1, 0.2, 0.3), Vec3::new(1.5, 0.1, -0.4), Vec3::new(-0.8, 1.1, 0.9)];
         let sol = direct_open(&base, &charge);
         let h = 1e-6;
         for axis in 0..3 {
@@ -291,24 +282,11 @@ mod tests {
         let l = bbox.lengths.x();
         // alpha*rcut >= 3.5 keeps the real-space truncation below ~1e-6, and
         // kmax >= alpha*l*3.5/pi does the same for reciprocal space.
-        let a = ewald(
-            &pos,
-            &charge,
-            &bbox,
-            EwaldParams { alpha: 7.2 / l, rcut: 0.49 * l, kmax: 9 },
-        );
-        let b = ewald(
-            &pos,
-            &charge,
-            &bbox,
-            EwaldParams { alpha: 8.5 / l, rcut: 0.49 * l, kmax: 11 },
-        );
-        assert!(
-            a.energy_rel_error(&b) < 1e-5,
-            "alpha-independence: {} vs {}",
-            a.energy,
-            b.energy
-        );
+        let a =
+            ewald(&pos, &charge, &bbox, EwaldParams { alpha: 7.2 / l, rcut: 0.49 * l, kmax: 9 });
+        let b =
+            ewald(&pos, &charge, &bbox, EwaldParams { alpha: 8.5 / l, rcut: 0.49 * l, kmax: 11 });
+        assert!(a.energy_rel_error(&b) < 1e-5, "alpha-independence: {} vs {}", a.energy, b.energy);
     }
 
     #[test]
@@ -343,16 +321,10 @@ mod tests {
 
     #[test]
     fn solution_error_metrics() {
-        let a = FieldSolution {
-            potential: vec![1.0, 2.0],
-            field: vec![Vec3::ZERO; 2],
-            energy: 10.0,
-        };
-        let b = FieldSolution {
-            potential: vec![1.0, 2.0],
-            field: vec![Vec3::ZERO; 2],
-            energy: 10.1,
-        };
+        let a =
+            FieldSolution { potential: vec![1.0, 2.0], field: vec![Vec3::ZERO; 2], energy: 10.0 };
+        let b =
+            FieldSolution { potential: vec![1.0, 2.0], field: vec![Vec3::ZERO; 2], energy: 10.1 };
         assert!((a.energy_rel_error(&b) - 0.1 / 10.1).abs() < 1e-12);
         assert_eq!(a.potential_rms_error(&a), 0.0);
     }

@@ -69,10 +69,7 @@ impl Vec3 {
     /// Maximum absolute component (Chebyshev norm).
     #[inline]
     pub fn max_abs(&self) -> f64 {
-        self.0
-            .iter()
-            .map(|c| c.abs())
-            .fold(0.0, f64::max)
+        self.0.iter().map(|c| c.abs()).fold(0.0, f64::max)
     }
 }
 

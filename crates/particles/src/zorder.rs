@@ -45,11 +45,7 @@ pub fn encode(x: u32, y: u32, z: u32) -> u64 {
 /// Inverse of [`encode`].
 #[inline]
 pub fn decode(key: u64) -> (u32, u32, u32) {
-    (
-        compact(key) as u32,
-        compact(key >> 1) as u32,
-        compact(key >> 2) as u32,
-    )
+    (compact(key) as u32, compact(key >> 1) as u32, compact(key >> 2) as u32)
 }
 
 /// Morton key of a normalized position `t` in `[0,1)^3` on a grid of
@@ -132,13 +128,9 @@ mod tests {
     #[test]
     fn encode_decode_roundtrip_large_values() {
         let max = (1u32 << MAX_BITS) - 1;
-        for &(x, y, z) in &[
-            (max, 0, 0),
-            (0, max, 0),
-            (0, 0, max),
-            (max, max, max),
-            (123456, 654321, 999999),
-        ] {
+        for &(x, y, z) in
+            &[(max, 0, 0), (0, max, 0), (0, 0, max), (max, max, max), (123456, 654321, 999999)]
+        {
             assert_eq!(decode(encode(x, y, z)), (x, y, z));
         }
     }

@@ -88,10 +88,7 @@ mod tests {
                 let u = 3.0 + k as f64 * 0.137;
                 stencil(p, u, &mut w);
                 let sum: f64 = w.iter().sum();
-                assert!(
-                    (sum - 1.0).abs() < 1e-10,
-                    "p={p} u={u}: weights {w:?} sum {sum}"
-                );
+                assert!((sum - 1.0).abs() < 1e-10, "p={p} u={u}: weights {w:?} sum {sum}");
                 assert!(w.iter().all(|&x| x >= -1e-12), "negative weight p={p} u={u}");
             }
         }
@@ -105,11 +102,8 @@ mod tests {
             for k in 0..20 {
                 let u = 5.0 + k as f64 * 0.217;
                 let first = stencil(p, u, &mut w);
-                let mean: f64 = w
-                    .iter()
-                    .enumerate()
-                    .map(|(j, &x)| x * (first + j as i64) as f64)
-                    .sum();
+                let mean: f64 =
+                    w.iter().enumerate().map(|(j, &x)| x * (first + j as i64) as f64).sum();
                 assert!((mean - u).abs() < 1e-10, "p={p} u={u} mean {mean}");
             }
         }

@@ -54,10 +54,7 @@ pub struct FarFieldPlan {
 impl FarFieldPlan {
     /// Index range `[lo, hi)` of grid coordinate `c` along dimension `d`.
     fn dim_range(&self, d: usize, c: usize) -> (usize, usize) {
-        (
-            c * self.mesh / self.dims[d],
-            (c + 1) * self.mesh / self.dims[d],
-        )
+        (c * self.mesh / self.dims[d], (c + 1) * self.mesh / self.dims[d])
     }
 
     /// Grid coordinate owning mesh index `i` along dimension `d`.
@@ -154,7 +151,8 @@ impl FarFieldPlan {
                     let kz = two_pi * az as f64 / l.z();
                     let k2 = kx * kx + ky * ky + kz * kz;
                     if k2 > 0.0 {
-                        let g = 4.0 * std::f64::consts::PI
+                        let g = 4.0
+                            * std::f64::consts::PI
                             * (-k2 / (4.0 * self.alpha * self.alpha)).exp()
                             / (k2 * v);
                         num += w2 * g;
@@ -178,12 +176,7 @@ impl FarFieldPlan {
     /// Compute potentials and fields at the owned particle positions.
     ///
     /// Collective: all ranks must call it with their local particles.
-    pub fn execute(
-        &self,
-        comm: &mut Comm,
-        pos: &[Vec3],
-        charge: &[f64],
-    ) -> (Vec<f64>, Vec<Vec3>) {
+    pub fn execute(&self, comm: &mut Comm, pos: &[Vec3], charge: &[f64]) -> (Vec<f64>, Vec<Vec3>) {
         match self.decomp {
             MeshDecomp::Slab => self.execute_slab(comm, pos, charge),
             MeshDecomp::Pencil => self.execute_pencil(comm, pos, charge),
@@ -309,12 +302,7 @@ impl FarFieldPlan {
     }
 
     /// Slab-decomposed execution (1D decomposition along x).
-    fn execute_slab(
-        &self,
-        comm: &mut Comm,
-        pos: &[Vec3],
-        charge: &[f64],
-    ) -> (Vec<f64>, Vec<Vec3>) {
+    fn execute_slab(&self, comm: &mut Comm, pos: &[Vec3], charge: &[f64]) -> (Vec<f64>, Vec<Vec3>) {
         let p = comm.size();
         let me = comm.rank();
         let m = self.mesh;
@@ -489,9 +477,8 @@ impl FarFieldPlan {
         let (p1, p2) = (grid[0], grid[1]);
         let (a_me, b_me) = (me / p2, me % p2);
         // Floor ranges of the mesh over p1 / p2 along a given axis.
-        let range = |c: usize, parts: usize| -> (usize, usize) {
-            (c * m / parts, (c + 1) * m / parts)
-        };
+        let range =
+            |c: usize, parts: usize| -> (usize, usize) { (c * m / parts, (c + 1) * m / parts) };
         let owner = |i: usize, parts: usize| -> usize {
             let mut c = (i * parts) / m;
             while range(c, parts).1 <= i {
@@ -513,10 +500,7 @@ impl FarFieldPlan {
         let mut by_owner: HashMap<usize, Vec<(u64, f64)>> = HashMap::new();
         for (&idx, &val) in &contrib {
             let (i, j, _) = self.unpack(idx);
-            by_owner
-                .entry(rank_of(owner(i, p1), owner(j, p2)))
-                .or_default()
-                .push((idx, val));
+            by_owner.entry(rank_of(owner(i, p1), owner(j, p2))).or_default().push((idx, val));
         }
         let received = comm.alltoallv(by_owner.into_iter().collect());
         // Layout: zp[((xi * any) + yj) * m + z], z contiguous.
@@ -981,12 +965,7 @@ mod tests {
         let alpha = 7.0 / l;
         // Reference: Ewald with a negligible real-space part is exactly the
         // k-space + self contribution.
-        let want = ewald(
-            &pos,
-            &charge,
-            &bbox,
-            EwaldParams { alpha, rcut: 1e-9, kmax: 14 },
-        );
+        let want = ewald(&pos, &charge, &bbox, EwaldParams { alpha, rcut: 1e-9, kmax: 14 });
         let plan = FarFieldPlan {
             mesh: 64,
             assign_order: 4,
@@ -997,9 +976,8 @@ mod tests {
         };
         let out = run(1, MachineModel::ideal(), |comm| plan.execute(comm, &pos, &charge));
         let (phi, field) = &out.results[0];
-        let scale = (want.potential.iter().map(|x| x * x).sum::<f64>() / n as f64)
-            .sqrt()
-            .max(1e-12);
+        let scale =
+            (want.potential.iter().map(|x| x * x).sum::<f64>() / n as f64).sqrt().max(1e-12);
         for i in 0..n {
             assert!(
                 (phi[i] - want.potential[i]).abs() < 2e-3 * scale.max(want.potential[i].abs()),
@@ -1038,9 +1016,8 @@ mod tests {
             bbox,
             decomp: MeshDecomp::default(),
         };
-        let serial = run(1, MachineModel::ideal(), |comm| {
-            plan1.execute(comm, &pos_all, &charge_all)
-        });
+        let serial =
+            run(1, MachineModel::ideal(), |comm| plan1.execute(comm, &pos_all, &charge_all));
         let (phi_ref, _) = &serial.results[0];
 
         // Parallel: grid distribution over 8 ranks.
@@ -1072,10 +1049,7 @@ mod tests {
         for (ids, phi) in &out.results {
             for (id, ph) in ids.iter().zip(phi) {
                 let want = phi_ref[*id as usize];
-                assert!(
-                    (ph - want).abs() < 1e-9 * want.abs().max(1.0),
-                    "id {id}: {ph} vs {want}"
-                );
+                assert!((ph - want).abs() < 1e-9 * want.abs().max(1.0), "id {id}: {ph} vs {want}");
             }
         }
     }

@@ -77,10 +77,7 @@ impl Mul for Complex {
     type Output = Complex;
     #[inline]
     fn mul(self, o: Complex) -> Complex {
-        Complex {
-            re: self.re * o.re - self.im * o.im,
-            im: self.re * o.im + self.im * o.re,
-        }
+        Complex { re: self.re * o.re - self.im * o.im, im: self.re * o.im + self.im * o.re }
     }
 }
 
@@ -280,10 +277,8 @@ mod tests {
         let n = 8;
         let rows = 3;
         let mut data = test_signal(n * rows, 9);
-        let expect: Vec<Complex> = data
-            .chunks_exact(n)
-            .flat_map(|row| dft_reference(row, Direction::Forward))
-            .collect();
+        let expect: Vec<Complex> =
+            data.chunks_exact(n).flat_map(|row| dft_reference(row, Direction::Forward)).collect();
         fft_rows(&mut data, n, Direction::Forward);
         for (a, b) in data.iter().zip(&expect) {
             assert!((*a - *b).norm2().sqrt() < 1e-9);

@@ -47,15 +47,7 @@ mod tests {
             let dims = CartGrid::balanced(p).dims();
             let set = local_set(&c, InitialDistribution::Grid, comm.rank(), p, dims);
             let mut solver = PmSolver::new(bbox, cfg.clone(), p);
-            let o = solver.run(
-                comm,
-                &set.pos,
-                &set.charge,
-                &set.id,
-                method,
-                None,
-                usize::MAX,
-            );
+            let o = solver.run(comm, &set.pos, &set.charge, &set.id, method, None, usize::MAX);
             0.5 * o.potential.iter().zip(&o.charge).map(|(a, q)| a * q).sum::<f64>()
         });
         out.results.iter().sum()

@@ -47,11 +47,7 @@ pub fn near_field(
     let mut wraps = [false; 3];
     for d in 0..3 {
         wraps[d] = bbox.periodic[d] && (hi[d] - lo[d]) >= l[d] - 1e-9;
-        let span = if wraps[d] {
-            hi[d] - lo[d]
-        } else {
-            (hi[d] - lo[d]) + 2.0 * rcut
-        };
+        let span = if wraps[d] { hi[d] - lo[d] } else { (hi[d] - lo[d]) + 2.0 * rcut };
         ncell[d] = ((span / rcut).floor() as usize).max(1);
         cell_w[d] = span / ncell[d] as f64;
         origin[d] = if wraps[d] { lo[d] } else { lo[d] - rcut };
@@ -222,8 +218,7 @@ mod tests {
         }
         let (op, oq): (Vec<Vec3>, Vec<f64>) = owned.iter().cloned().unzip();
         let (gp, gq): (Vec<Vec3>, Vec<f64>) = ghosts.iter().cloned().unzip();
-        let (pot, field, pairs) =
-            near_field(&bbox, alpha, rcut, None, region, &op, &oq, &gp, &gq);
+        let (pot, field, pairs) = near_field(&bbox, alpha, rcut, None, region, &op, &oq, &gp, &gq);
         let all: Vec<(Vec3, f64)> = owned.iter().chain(&ghosts).cloned().collect();
         let (wpot, wfield) = brute_force(&bbox, alpha, rcut, &owned, &all);
         assert!(pairs > 0);
@@ -259,7 +254,8 @@ mod tests {
         let region = (Vec3::ZERO, Vec3::splat(20.0));
         let pos = vec![Vec3::new(1.0, 1.0, 1.0), Vec3::new(9.0, 9.0, 9.0)];
         let charge = vec![1.0, -1.0];
-        let (pot, field, pairs) = near_field(&bbox, 0.5, 3.0, None, region, &pos, &charge, &[], &[]);
+        let (pot, field, pairs) =
+            near_field(&bbox, 0.5, 3.0, None, region, &pos, &charge, &[], &[]);
         assert_eq!(pairs, 0);
         assert!(pot.iter().all(|&p| p == 0.0));
         assert!(field.iter().all(|f| f.norm() == 0.0));

@@ -4,14 +4,14 @@
 //! two data redistribution paths.
 
 use atasp::{
-    alltoall_specific, alltoall_specific_dup, build_resort_indices_with, decode_index,
-    encode_index, ExchangeMode, GHOST_INDEX,
+    alltoall_specific, build_resort_indices_with, decode_index, encode_index, ExchangeMode,
+    GHOST_INDEX,
 };
 use particles::{
     grid_cell_bounds, grid_rank_of, MovementHint, RedistMethod, SolverOutput, SolverTimings,
     SystemBox, Vec3,
 };
-use simcomm::{CartGrid, Comm, Work};
+use simcomm::{CartGrid, Comm, CommPlan, Work};
 
 use crate::farfield::{FarFieldPlan, MeshDecomp};
 use crate::nearfield::near_field;
@@ -101,6 +101,55 @@ pub struct PmRunReport {
     pub redist_sent: u64,
     /// Near-field pair interactions evaluated.
     pub near_pairs: u64,
+    /// Whether this run re-executed the cached ghost plan (skin-margin ghost
+    /// routes and linked-cell placement) instead of rebuilding it.
+    pub ghost_plan_reused: bool,
+    /// Whether the resort-index exchange was skipped because all ranks
+    /// detected an identity placement (quiet timestep under a valid plan).
+    pub resort_exchange_skipped: bool,
+}
+
+/// Message tag of the persistent ghost-exchange plan.
+const TAG_GHOSTS: u64 = 0x67_686f_7374; // "ghost"
+
+/// Rank-dependent, decomposition-static scaffolding of the ghost plan: the
+/// 26-neighbourhood and everything derivable from it alone. Built once on the
+/// first run (the solver learns its rank then) and kept for the lifetime of
+/// the decomposition — this removes the per-step `neighbors26` recomputation
+/// and the two per-step clones of the partner list the old code paid.
+struct PlanStatics {
+    rank: usize,
+    /// Prebuilt neighbourhood exchange mode, borrowed every step.
+    neighborhood_mode: ExchangeMode,
+    /// Persistent message-layer plan for the ghost exchange (partner slots in
+    /// [`CommPlan::partners`] order).
+    comm_plan: CommPlan,
+    /// Per partner slot: the 26-stencil offsets whose shifted rank aliases to
+    /// that partner (several on tiny grids with periodic wrap). Merging the
+    /// aliases *here* means a particle is emitted at most once per partner,
+    /// so the receiver-side `sort`+`dedup` of the old code is gone entirely.
+    ghost_routes: Vec<Vec<[i64; 3]>>,
+    /// Total stencil offsets across all routes (the per-particle cost of one
+    /// fresh route selection).
+    n_offsets: usize,
+}
+
+/// One ghost-plan epoch: the frozen per-particle routing and placement of a
+/// cached ghost plan, valid while the owned particle sequence is unchanged,
+/// every particle is still in its linked cell, and the movement accumulated
+/// since the epoch was built stays under the skin margin the ghost selection
+/// over-approximated with.
+struct GhostEpoch {
+    /// Owned particle ids in solver (cell-sorted) order at build time.
+    ids: Vec<u64>,
+    /// Linked-cell keys of those particles at build time.
+    keys: Vec<u64>,
+    /// Per partner slot: owned indices (solver order) duplicated there.
+    sends: Vec<Vec<u32>>,
+    /// Selection margin headroom beyond the cutoff.
+    skin: f64,
+    /// Maximum-movement bounds accumulated since the epoch was built.
+    acc_move: f64,
 }
 
 /// The parallel particle-mesh Ewald solver (P2NFFT stand-in).
@@ -111,6 +160,16 @@ pub struct PmSolver {
     cfg: PmConfig,
     bbox: SystemBox,
     grid: CartGrid,
+    /// Enable caching of ghost-plan epochs across timesteps (and the derived
+    /// quiet-step shortcuts). When off, every run rebuilds from scratch — the
+    /// pre-plan behaviour, kept as the benchmark baseline.
+    plan_cache: bool,
+    statics: Option<PlanStatics>,
+    epoch: Option<GhostEpoch>,
+    /// Ghost-plan epochs built (including rebuilds) over the solver lifetime.
+    pub plan_builds: u64,
+    /// Runs that re-executed a cached ghost-plan epoch.
+    pub plan_hits: u64,
     /// Report of the most recent run.
     pub last_report: PmRunReport,
 }
@@ -124,16 +183,25 @@ impl PmSolver {
         assert!(cfg.mesh.is_power_of_two(), "mesh must be a power of two");
         let grid = CartGrid::balanced(nprocs);
         let dims = grid.dims();
-        let min_width = (0..3)
-            .map(|d| bbox.lengths[d] / dims[d] as f64)
-            .fold(f64::INFINITY, f64::min);
+        let min_width =
+            (0..3).map(|d| bbox.lengths[d] / dims[d] as f64).fold(f64::INFINITY, f64::min);
         assert!(
             cfg.rcut <= min_width + 1e-12,
             "cutoff {rcut} exceeds the smallest subdomain width {min_width}; \
              use fewer processes or a smaller cutoff",
             rcut = cfg.rcut
         );
-        PmSolver { cfg, bbox, grid, last_report: PmRunReport::default() }
+        PmSolver {
+            cfg,
+            bbox,
+            grid,
+            plan_cache: true,
+            statics: None,
+            epoch: None,
+            plan_builds: 0,
+            plan_hits: 0,
+            last_report: PmRunReport::default(),
+        }
     }
 
     /// The solver's configuration.
@@ -144,6 +212,84 @@ impl PmSolver {
     /// The process grid used for the domain decomposition.
     pub fn process_grid(&self) -> &CartGrid {
         &self.grid
+    }
+
+    /// Enable or disable cross-timestep ghost-plan caching (on by default).
+    /// Disabling drops any cached epoch and makes every run rebuild its
+    /// communication schedule from scratch, which is the pre-plan behaviour.
+    pub fn set_plan_cache(&mut self, enabled: bool) {
+        self.plan_cache = enabled;
+        if !enabled {
+            self.epoch = None;
+        }
+    }
+
+    /// The prebuilt neighbourhood exchange mode of this rank (available after
+    /// the first run; the partner list is fixed per decomposition).
+    pub fn neighborhood_mode(&self) -> Option<&ExchangeMode> {
+        self.statics.as_ref().map(|s| &s.neighborhood_mode)
+    }
+
+    /// Epoch lifetime the skin margin is sized for, in per-step maximum
+    /// movements: the plan stays valid for about this many steps at the
+    /// build-time drift rate. Larger values rebuild less often but duplicate
+    /// a thicker (more expensive) boundary layer every step.
+    const SKIN_STEPS: f64 = 8.0;
+
+    /// The skin margin a cached ghost plan adds beyond the cutoff: sized for
+    /// [`Self::SKIN_STEPS`] steps of the build-time movement bound, capped by
+    /// the headroom to the smallest subdomain width and by half the cutoff
+    /// (so the extra ghost volume stays bounded). Zero means the plan cannot
+    /// be cached (the cutoff fills the subdomain, or nothing moves).
+    fn ghost_skin(&self, movement: f64) -> f64 {
+        let dims = self.grid.dims();
+        let min_width =
+            (0..3).map(|d| self.bbox.lengths[d] / dims[d] as f64).fold(f64::INFINITY, f64::min);
+        ((min_width - self.cfg.rcut).max(0.0))
+            .min(0.5 * self.cfg.rcut)
+            .min(Self::SKIN_STEPS * movement)
+    }
+
+    /// Build the rank-dependent plan scaffolding (26-neighbourhood, alias
+    /// routes, persistent message plan) on the first run.
+    fn ensure_statics(&mut self, comm: &mut Comm) {
+        let me = comm.rank();
+        if self.statics.as_ref().is_some_and(|s| s.rank == me) {
+            return;
+        }
+        let neighbors = self.grid.neighbors26(me);
+        let comm_plan = comm.plan_exchange(neighbors.clone(), TAG_GHOSTS);
+        let mut ghost_routes: Vec<Vec<[i64; 3]>> =
+            comm_plan.partners().iter().map(|_| Vec::new()).collect();
+        let mut n_offsets = 0usize;
+        for ddx in -1..=1i64 {
+            for ddy in -1..=1i64 {
+                for ddz in -1..=1i64 {
+                    if ddx == 0 && ddy == 0 && ddz == 0 {
+                        continue;
+                    }
+                    let nb = self.grid.shifted_rank(me, [ddx as isize, ddy as isize, ddz as isize]);
+                    if nb == me {
+                        continue;
+                    }
+                    let slot = comm_plan
+                        .partners()
+                        .iter()
+                        .position(|&q| q == nb)
+                        .expect("shifted rank is a 26-neighbour");
+                    ghost_routes[slot].push([ddx, ddy, ddz]);
+                    n_offsets += 1;
+                }
+            }
+        }
+        self.statics = Some(PlanStatics {
+            rank: me,
+            neighborhood_mode: ExchangeMode::Neighborhood(neighbors),
+            comm_plan,
+            ghost_routes,
+            n_offsets,
+        });
+        self.epoch = None;
     }
 
     /// Execute the solver; see [`fmm::FmmSolver::run`](https://docs.rs) for
@@ -169,23 +315,23 @@ impl PmSolver {
         let me = comm.rank();
         assert_eq!(comm.size(), self.grid.size(), "world size must match the process grid");
         self.last_report = PmRunReport::default();
+        self.ensure_statics(comm);
+        let skin_bound =
+            if self.plan_cache { movement.map_or(0.0, |m| self.ghost_skin(m)) } else { 0.0 };
         let t_start = comm.clock();
         let dims = self.grid.dims();
+        let rcut = self.cfg.rcut;
+        let bbox = self.bbox;
 
         // Movement heuristic: limited movement keeps every particle's new
         // owner within the holder's direct grid neighbourhood.
-        let min_width = (0..3)
-            .map(|d| self.bbox.lengths[d] / dims[d] as f64)
-            .fold(f64::INFINITY, f64::min);
+        let min_width =
+            (0..3).map(|d| self.bbox.lengths[d] / dims[d] as f64).fold(f64::INFINITY, f64::min);
         let use_neighborhood =
             method == RedistMethod::UseChanged && movement.is_some_and(|m| m < min_width);
         self.last_report.used_neighborhood = use_neighborhood;
-        let neighbors = self.grid.neighbors26(me);
-        let owner_mode = if use_neighborhood {
-            ExchangeMode::Neighborhood(neighbors.clone())
-        } else {
-            ExchangeMode::Collective
-        };
+        let statics = self.statics.as_mut().expect("statics built above");
+        let collective = ExchangeMode::Collective;
 
         // --- Redistribute particles to their subdomain owners ---
         comm.enter_phase("sort");
@@ -198,85 +344,162 @@ impl PmSolver {
                 id: id[i],
                 origin: encode_index(me, i),
             });
-            targets.push(grid_rank_of(dims, &self.bbox, pos[i]));
+            targets.push(grid_rank_of(dims, &bbox, pos[i]));
         }
         comm.compute(Work::ParticleOp, n_in as f64);
-        self.last_report.redist_sent =
-            targets.iter().filter(|&&t| t != me).count() as u64;
-        let mut owned = alltoall_specific(comm, &records, &targets, &owner_mode);
+        self.last_report.redist_sent = targets.iter().filter(|&&t| t != me).count() as u64;
+        let mut owned = alltoall_specific(
+            comm,
+            &records,
+            &targets,
+            if use_neighborhood { &statics.neighborhood_mode } else { &collective },
+        );
 
         // --- Sort particles into linked-cell boxes (the solver-specific
         // local order; paper: "a reordering of the particles is performed on
         // each process") ---
-        let (lo, hi) = grid_cell_bounds(dims, &self.bbox, me);
+        //
+        // With a cached plan epoch, the placement permutation is part of the
+        // plan: if the owned sequence is unchanged and every particle is
+        // still in its linked cell (and the accumulated movement stays under
+        // the epoch's skin), the data is already in solver order — the sort
+        // and the ghost route selection are both skipped and the frozen
+        // routes re-executed.
+        let (lo, hi) = grid_cell_bounds(dims, &bbox, me);
         let cell_key = |p: Vec3| -> u64 {
             let mut key = 0u64;
             for d in 0..3 {
-                let w = self.cfg.rcut;
-                let c = (((p[d] - lo[d]) / w).floor().max(0.0) as u64).min(255);
+                let c = (((p[d] - lo[d]) / rcut).floor().max(0.0) as u64).min(255);
                 key = key << 8 | c;
             }
             key
         };
-        owned.sort_by_key(|r| cell_key(r.pos));
-        comm.compute(
-            Work::SortCmp,
-            (owned.len().max(2) as f64) * (owned.len().max(2) as f64).log2(),
-        );
+        let keys: Vec<u64> = owned.iter().map(|r| cell_key(r.pos)).collect();
+        comm.compute(Work::ParticleOp, owned.len() as f64);
+        let plan_cache = self.plan_cache;
+        let epoch_hit = match (&mut self.epoch, movement) {
+            (Some(ep), Some(m)) if plan_cache => {
+                let valid = ep.acc_move + m <= ep.skin
+                    && ep.ids.len() == owned.len()
+                    && ep.keys == keys
+                    && ep.ids.iter().zip(&owned).all(|(&eid, r)| eid == r.id);
+                if valid {
+                    ep.acc_move += m;
+                }
+                valid
+            }
+            _ => false,
+        };
+        if !epoch_hit {
+            owned.sort_by_key(|r| cell_key(r.pos));
+            comm.compute(
+                Work::SortCmp,
+                (owned.len().max(2) as f64) * (owned.len().max(2) as f64).log2(),
+            );
+        }
         comm.exit_phase();
 
         // --- Ghost exchange: duplicate boundary particles to neighbours
+        // within the cutoff plus the plan's skin margin (always
+        // point-to-point with the 26 grid neighbours via the persistent
+        // [`CommPlan`]; ghosts are born with an invalid index value).
+        //
+        // The skin over-approximates the selection: every particle within
+        // `rcut + skin` of a boundary is duplicated, so the routes stay a
+        // superset of the needed ghosts while total movement since the epoch
+        // build is below the skin. Beyond-cutoff ghosts contribute nothing to
+        // the near field (pairs are filtered by `rcut` exactly), and the
+        // relative order of contributing ghosts is the frozen emission order
+        // either way — results are bitwise identical to a fresh rebuild.
         comm.enter_phase("ghosts");
-        // within the cutoff (always point-to-point with the 26 grid
-        // neighbours; ghosts are born with an invalid index value) ---
-        let rcut = self.cfg.rcut;
-        let ghost_mode = ExchangeMode::Neighborhood(neighbors.clone());
-        let grid = self.grid.clone();
-        let bbox = self.bbox;
-        let ghosts: Vec<PmParticle> = alltoall_specific_dup(
-            comm,
-            &owned,
-            |_, rec, out| {
-                for ddx in -1..=1i64 {
-                    for ddy in -1..=1i64 {
-                        for ddz in -1..=1i64 {
-                            if ddx == 0 && ddy == 0 && ddz == 0 {
-                                continue;
-                            }
-                            let nb = grid.shifted_rank(me, [ddx as isize, ddy as isize, ddz as isize]);
-                            if nb == me {
-                                continue;
-                            }
-                            // Distance from the particle to the face/edge/
-                            // corner adjoining that neighbour.
-                            let mut dist2 = 0.0;
-                            for (d, dd) in [ddx, ddy, ddz].into_iter().enumerate() {
-                                let g = match dd {
-                                    1 => hi[d] - rec.pos[d],
-                                    -1 => rec.pos[d] - lo[d],
-                                    _ => 0.0,
-                                };
-                                dist2 += g * g;
-                            }
-                            if dist2 <= rcut * rcut {
-                                out.push((
-                                    nb,
-                                    PmParticle { origin: GHOST_INDEX, ..*rec },
-                                ));
-                            }
+        let t_plan = comm.clock();
+        let fresh_sends: Option<Vec<Vec<u32>>> = if epoch_hit {
+            None
+        } else {
+            // Fresh route selection over the merged alias offsets (at most
+            // one emission per particle and partner — the receiver never
+            // needs to deduplicate).
+            let margin = rcut + skin_bound;
+            let mut sends: Vec<Vec<u32>> =
+                statics.ghost_routes.iter().map(|_| Vec::new()).collect();
+            for (j, rec) in owned.iter().enumerate() {
+                for (slot, offsets) in statics.ghost_routes.iter().enumerate() {
+                    let reached = offsets.iter().any(|&[ddx, ddy, ddz]| {
+                        let mut dist2 = 0.0;
+                        for (d, dd) in [ddx, ddy, ddz].into_iter().enumerate() {
+                            let g = match dd {
+                                1 => hi[d] - rec.pos[d],
+                                -1 => rec.pos[d] - lo[d],
+                                _ => 0.0,
+                            };
+                            dist2 += g * g;
                         }
+                        dist2 <= margin * margin
+                    });
+                    if reached {
+                        sends[slot].push(j as u32);
                     }
                 }
-            },
-            &ghost_mode,
-        );
-        // A particle may reach the same neighbour through several offsets on
-        // tiny grids; deduplicate by (id, position).
-        let mut ghosts = ghosts;
-        ghosts.sort_by_key(|a| a.id);
-        ghosts.dedup_by(|a, b| a.id == b.id && a.pos == b.pos);
+            }
+            comm.compute(Work::ParticleOp, (owned.len() * statics.n_offsets) as f64);
+            Some(sends)
+        };
+        match fresh_sends {
+            None => {
+                self.last_report.ghost_plan_reused = true;
+                self.plan_hits += 1;
+            }
+            Some(sends) => {
+                // Snapshot the epoch when caching is possible: the sorted id
+                // sequence and cell keys pin the placement, the skin bounds
+                // the route validity under movement.
+                if plan_cache && movement.is_some() && skin_bound > 0.0 {
+                    self.plan_builds += 1;
+                    // Epoch snapshot (keys recomputed in solver order).
+                    comm.compute(Work::ParticleOp, owned.len() as f64);
+                    let route_bytes: u64 = sends.iter().map(|s| (s.len() * 4 + 8) as u64).sum();
+                    self.epoch = Some(GhostEpoch {
+                        ids: owned.iter().map(|r| r.id).collect(),
+                        keys: owned.iter().map(|r| cell_key(r.pos)).collect(),
+                        sends,
+                        skin: skin_bound,
+                        acc_move: 0.0,
+                    });
+                    comm.note_plan_build(t_plan, route_bytes);
+                } else {
+                    self.epoch = Some(GhostEpoch {
+                        ids: Vec::new(),
+                        keys: Vec::new(),
+                        sends,
+                        skin: -1.0,
+                        acc_move: 0.0,
+                    });
+                }
+            }
+        }
+        let epoch = self.epoch.as_ref().expect("epoch set above");
+        let sends = &epoch.sends;
+        if epoch.skin >= 0.0 {
+            // One route-plan execution per step in cacheable mode (hit or
+            // just rebuilt), pairing the `plan_build` above — the partner
+            // schedule's own execution is counted by `CommPlan::execute`.
+            let route_bytes: u64 = sends.iter().map(|s| (s.len() * 4 + 8) as u64).sum();
+            comm.note_plan_exec(t_plan, route_bytes);
+        }
+        let mut routed_bytes = 0u64;
+        let bufs: Vec<Vec<PmParticle>> = sends
+            .iter()
+            .map(|ix| {
+                routed_bytes += (ix.len() * std::mem::size_of::<PmParticle>()) as u64;
+                ix.iter()
+                    .map(|&j| PmParticle { origin: GHOST_INDEX, ..owned[j as usize] })
+                    .collect()
+            })
+            .collect();
+        comm.compute(Work::ByteCopy, routed_bytes as f64);
+        let received = statics.comm_plan.execute(comm, bufs);
+        let ghosts: Vec<PmParticle> = received.into_iter().flatten().collect();
         self.last_report.ghosts_received = ghosts.len() as u64;
-        let _ = bbox;
         comm.exit_phase();
         let t_sorted = comm.clock();
 
@@ -308,11 +531,7 @@ impl PmSolver {
             alpha: self.cfg.alpha,
             dims,
             bbox: self.bbox,
-            decomp: if self.cfg.pencil {
-                MeshDecomp::Pencil
-            } else {
-                MeshDecomp::Slab
-            },
+            decomp: if self.cfg.pencil { MeshDecomp::Pencil } else { MeshDecomp::Slab },
         };
         let (far_phi, far_field) = plan.execute(comm, &owned_pos, &owned_charge);
         for i in 0..owned.len() {
@@ -343,7 +562,16 @@ impl PmSolver {
             }
             RedistMethod::UseChanged => {
                 let fits = owned.len() <= max_local;
-                let all_fit = comm.allreduce(fits, |a, b| a && b);
+                // Quiet-step detection (piggybacked on the fit allreduce so it
+                // costs no extra collective): if every rank kept exactly its
+                // original particles in their original order, the resort
+                // indices are the identity and the index exchange is skipped.
+                let quiet = self.plan_cache
+                    && owned.len() == n_in
+                    && owned.iter().enumerate().all(|(i, r)| r.origin == encode_index(me, i));
+                comm.compute(Work::ParticleOp, owned.len() as f64);
+                let (all_fit, all_quiet) =
+                    comm.allreduce((fits, quiet), |a, b| (a.0 && b.0, a.1 && b.1));
                 if !all_fit {
                     comm.enter_phase("restore");
                     let mut out = self.restore_original(comm, &owned, &potential, &field, n_in);
@@ -357,10 +585,20 @@ impl PmSolver {
                     };
                     return out;
                 }
-                let origin: Vec<u64> = owned.iter().map(|r| r.origin).collect();
                 comm.enter_phase("resort");
-                let resort_indices =
-                    build_resort_indices_with(comm, &origin, n_in, &owner_mode);
+                let resort_indices: Vec<u64> = if all_quiet {
+                    self.last_report.resort_exchange_skipped = true;
+                    comm.compute(Work::ByteCopy, (n_in * 8) as f64);
+                    (0..n_in).map(|i| encode_index(me, i)).collect()
+                } else {
+                    let origin: Vec<u64> = owned.iter().map(|r| r.origin).collect();
+                    let owner_mode: &ExchangeMode = if use_neighborhood {
+                        &self.statics.as_ref().expect("statics built above").neighborhood_mode
+                    } else {
+                        &collective
+                    };
+                    build_resort_indices_with(comm, &origin, n_in, owner_mode)
+                };
                 comm.exit_phase();
                 let t_resort = comm.clock();
                 SolverOutput {
@@ -425,10 +663,7 @@ impl PmSolver {
             out.potential[pos_ix] = r.potential;
             out.field[pos_ix] = r.field;
         }
-        comm.compute(
-            Work::ByteCopy,
-            (original_len * std::mem::size_of::<ResultParticle>()) as f64,
-        );
+        comm.compute(Work::ByteCopy, (original_len * std::mem::size_of::<ResultParticle>()) as f64);
         out
     }
 }

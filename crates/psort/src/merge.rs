@@ -32,6 +32,55 @@ pub struct MergeSortReport {
     pub sent_elems: u64,
     /// Odd-even transposition cleanup rounds after the network.
     pub cleanup_rounds: u64,
+    /// Network rounds skipped outright (not even probed) because a cached
+    /// [`SortPlan`] proved them quiet on the previous execution.
+    pub rounds_plan_skipped: u64,
+}
+
+/// A cached probe schedule for the merge-exchange network: which of this
+/// rank's comparator rounds ended without a data exchange on the previous
+/// sort. Re-executing with a plan skips those rounds outright — not even the
+/// 16-byte boundary probe is sent — which removes most of the per-round
+/// latency for almost-sorted data.
+///
+/// Safety of the skip rests on two facts. First, both partners of a
+/// comparator compute the *same* probe outcome (ordered iff `low.max <=
+/// high.min` over the identical probe pair), so the recorded quiet set is
+/// symmetric and skipping never leaves a partner waiting. Second, the sort's
+/// cleanup phase re-checks global sortedness collectively, so a stale skip
+/// costs extra cleanup rounds, never correctness — and a sort that *needed*
+/// cleanup returns no plan, forcing the next execution to probe afresh.
+///
+/// All ranks must agree on whether a plan is passed (the caller gates on
+/// globally consistent state, e.g. the movement heuristic); a plan is only
+/// valid for the world size it was recorded on.
+#[derive(Clone, Debug)]
+pub struct SortPlan {
+    /// World size the plan was recorded for.
+    p: usize,
+    /// Per network round: `true` if this rank had no comparator or its
+    /// compare-split ended without an exchange.
+    quiet_rounds: Vec<bool>,
+}
+
+impl SortPlan {
+    /// World size this plan was recorded for.
+    pub fn world_size(&self) -> usize {
+        self.p
+    }
+
+    /// Network rounds this plan would skip on re-execution.
+    pub fn quiet_round_count(&self) -> usize {
+        self.quiet_rounds.iter().filter(|&&q| q).count()
+    }
+}
+
+/// Planning mode of one merge-sort execution (internal).
+enum Planning<'a> {
+    /// No plan recording or consumption (the plain entry point).
+    Off,
+    /// Record a plan; consume the given one first if present and valid.
+    On(Option<&'a SortPlan>),
 }
 
 /// Message tags (distinct from any user tags in the same phase).
@@ -147,11 +196,7 @@ fn compare_split<T: Copy + Send + 'static>(
 /// rank order) globally sorted? Collective.
 pub fn is_globally_sorted(comm: &mut Comm, keys: &[u64]) -> bool {
     let local_ok = is_sorted(keys);
-    let boundary = (
-        local_ok,
-        keys.first().copied(),
-        keys.last().copied(),
-    );
+    let boundary = (local_ok, keys.first().copied(), keys.last().copied());
     let all = comm.allgather(boundary);
     let mut prev_last: Option<u64> = None;
     for (ok, first, last) in all {
@@ -184,6 +229,39 @@ pub fn merge_exchange_sort_by_key<T>(
 where
     T: Copy + Send + 'static,
 {
+    let (k, v, report, _) = merge_sort_impl(comm, keys, values, Planning::Off);
+    (k, v, report)
+}
+
+/// Plan-aware variant of [`merge_exchange_sort_by_key`]: consumes an optional
+/// [`SortPlan`] recorded by a previous execution (skipping the network rounds
+/// it proved quiet) and returns the plan for the *next* execution — or `None`
+/// when this sort needed cleanup rounds, which invalidates the recorded
+/// schedule.
+///
+/// All ranks must pass a plan from the same previous execution (or all pass
+/// `None`); like the sort itself this is a synchronizing collective.
+pub fn merge_exchange_sort_by_key_planned<T>(
+    comm: &mut Comm,
+    keys: Vec<u64>,
+    values: Vec<T>,
+    plan: Option<&SortPlan>,
+) -> (Vec<u64>, Vec<T>, MergeSortReport, Option<SortPlan>)
+where
+    T: Copy + Send + 'static,
+{
+    merge_sort_impl(comm, keys, values, Planning::On(plan))
+}
+
+fn merge_sort_impl<T>(
+    comm: &mut Comm,
+    keys: Vec<u64>,
+    values: Vec<T>,
+    planning: Planning<'_>,
+) -> (Vec<u64>, Vec<T>, MergeSortReport, Option<SortPlan>)
+where
+    T: Copy + Send + 'static,
+{
     assert_eq!(keys.len(), values.len());
     let p = comm.size();
     let mut keys = keys;
@@ -196,22 +274,44 @@ where
     comm.exit_phase();
 
     if p == 1 {
-        return (keys, values, report);
+        return (keys, values, report, None);
     }
 
     // --- Batcher merge-exchange network over ranks ---
     comm.enter_phase("sort:merge-rounds");
     let rounds = merge_exchange_rounds(p);
     let me = comm.rank();
-    for round in &rounds {
+    let (record, prior) = match planning {
+        Planning::Off => (false, None),
+        // A plan for a different world size cannot be consumed (the round
+        // structure differs); `p` is global, so all ranks reject it together.
+        Planning::On(pl) => {
+            (true, pl.filter(|pl| pl.p == p && pl.quiet_rounds.len() == rounds.len()))
+        }
+    };
+    let t_rounds = comm.clock();
+    let mut quiet_rounds = vec![true; rounds.len()];
+    for (ri, round) in rounds.iter().enumerate() {
+        if prior.is_some_and(|pl| pl.quiet_rounds[ri]) {
+            // The previous execution proved this round quiet on both sides of
+            // every comparator touching this rank; skip even the probe.
+            report.rounds_plan_skipped += 1;
+            continue;
+        }
         // At most one comparator involves this rank per round.
         let mine = round.iter().find(|&&(a, b)| a == me || b == me);
         if let Some(&(a, b)) = mine {
             let partner = if a == me { b } else { a };
-            compare_split(comm, partner, &mut keys, &mut values, &mut report);
+            if compare_split(comm, partner, &mut keys, &mut values, &mut report) {
+                quiet_rounds[ri] = false;
+            }
         }
         // Ranks without a comparator this round simply proceed; point-to-point
         // messages are matched by tag, so no global synchronization is needed.
+    }
+    if prior.is_some() {
+        // Probe bytes the plan saved: 16 bytes each way per skipped round.
+        comm.note_plan_exec(t_rounds, report.rounds_plan_skipped * 32);
     }
     comm.exit_phase();
 
@@ -247,7 +347,19 @@ where
     }
     comm.exit_phase();
 
-    (keys, values, report)
+    // A sort that needed cleanup ran comparators outside the recorded network
+    // outcomes — its quiet set is unreliable, so no plan is returned and the
+    // next execution probes every round afresh.
+    let next_plan = if record && report.cleanup_rounds == 0 {
+        if prior.is_none() {
+            comm.note_plan_build(comm.clock(), quiet_rounds.len() as u64);
+        }
+        Some(SortPlan { p, quiet_rounds })
+    } else {
+        None
+    };
+
+    (keys, values, report, next_plan)
 }
 
 #[cfg(test)]
@@ -301,7 +413,9 @@ mod tests {
 
     #[test]
     fn sorts_random_unequal_blocks() {
-        check_global_sort(5, |r| (0..64 + r * 17).map(|i| splitmix((r * 997 + i) as u64)).collect());
+        check_global_sort(5, |r| {
+            (0..64 + r * 17).map(|i| splitmix((r * 997 + i) as u64)).collect()
+        });
     }
 
     #[test]
@@ -394,6 +508,95 @@ mod tests {
         for rep in &out.results {
             assert_eq!(rep.exchanges, 0);
             assert_eq!(rep.cleanup_rounds, 0);
+        }
+    }
+
+    #[test]
+    fn planned_rerun_skips_quiet_rounds_and_matches_fresh_sort() {
+        let p = 16;
+        let per = 64u64;
+        let data = move |me: usize| -> (Vec<u64>, Vec<u64>) {
+            // Almost sorted: one element swapped with the right neighbour.
+            let base = me as u64 * per;
+            let mut keys: Vec<u64> = (base..base + per).collect();
+            if me + 1 < p {
+                keys[per as usize - 1] = base + per;
+            }
+            let values = keys.clone();
+            (keys, values)
+        };
+        let out = run(p, MachineModel::juqueen_like(), move |comm| {
+            let me = comm.rank();
+            let (keys, values) = data(me);
+            let (k1, v1, rep1, plan) = merge_exchange_sort_by_key_planned(comm, keys, values, None);
+            let plan = plan.expect("clean sort must return a plan");
+            assert_eq!(rep1.rounds_plan_skipped, 0);
+            let t_fresh = comm.clock();
+
+            // Same input again, with the plan: the quiet rounds are skipped
+            // outright and the result is identical to the fresh sort.
+            let (keys, values) = data(me);
+            let (k2, v2, rep2, plan2) =
+                merge_exchange_sort_by_key_planned(comm, keys, values, Some(&plan));
+            let t_planned = comm.clock() - t_fresh;
+            assert_eq!(k1, k2);
+            assert_eq!(v1, v2);
+            assert!(plan2.is_some());
+            assert_eq!(
+                rep2.rounds_plan_skipped as usize,
+                plan.quiet_round_count(),
+                "every quiet round must be skipped"
+            );
+            assert_eq!(rep2.cleanup_rounds, 0);
+            (rep1, rep2, t_fresh, t_planned, comm.stats().plan_builds, comm.stats().plan_execs)
+        });
+        for (rep1, rep2, _, _, builds, execs) in &out.results {
+            // Almost-sorted data leaves most comparators quiet, so the plan
+            // must remove most of the probing the fresh sort paid.
+            assert!(rep2.rounds_plan_skipped > 0);
+            assert!(rep2.comparators < rep1.comparators);
+            assert_eq!((*builds, *execs), (1, 1), "one plan build, one planned exec");
+        }
+        // The planned re-execution must not be slower in virtual time.
+        let fresh: f64 = out.results.iter().map(|r| r.2).fold(0.0, f64::max);
+        let planned: f64 = out.results.iter().map(|r| r.3).fold(0.0, f64::max);
+        assert!(planned <= fresh, "planned rerun slower than fresh sort: {planned} vs {fresh}");
+    }
+
+    #[test]
+    fn sort_needing_cleanup_returns_no_plan() {
+        // Unequal block sizes with adversarial keys force cleanup rounds; the
+        // execution must refuse to record a plan.
+        let out = run(5, MachineModel::ideal(), |comm| {
+            let me = comm.rank();
+            let n = 40 + me * 23;
+            let keys: Vec<u64> = (0..n).map(|i| splitmix((me * 7919 + i) as u64)).collect();
+            let values = keys.clone();
+            let (k, _, rep, plan) = merge_exchange_sort_by_key_planned(comm, keys, values, None);
+            assert!(is_sorted(&k));
+            (rep.cleanup_rounds, plan.is_some())
+        });
+        let cleanup = out.results[0].0;
+        for &(rounds, has_plan) in &out.results {
+            assert_eq!(rounds, cleanup, "cleanup rounds are collective");
+            assert_eq!(has_plan, rounds == 0, "plan returned iff no cleanup was needed");
+        }
+    }
+
+    #[test]
+    fn plan_for_wrong_world_size_is_ignored() {
+        let stale = SortPlan { p: 4, quiet_rounds: vec![true; 3] };
+        let out = run(8, MachineModel::ideal(), move |comm| {
+            let me = comm.rank();
+            let keys: Vec<u64> = (0..64).map(|i| splitmix((me * 131 + i) as u64)).collect();
+            let values = keys.clone();
+            let (k, _, rep, _) =
+                merge_exchange_sort_by_key_planned(comm, keys, values, Some(&stale));
+            assert!(is_sorted(&k));
+            rep.rounds_plan_skipped
+        });
+        for &skipped in &out.results {
+            assert_eq!(skipped, 0, "a plan for another world size must not skip anything");
         }
     }
 

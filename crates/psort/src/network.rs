@@ -80,10 +80,7 @@ mod tests {
             for bits in 0..(1u32 << n) {
                 let mut data: Vec<u64> = (0..n).map(|i| ((bits >> i) & 1) as u64).collect();
                 apply_network(n, &mut data);
-                assert!(
-                    data.windows(2).all(|w| w[0] <= w[1]),
-                    "n={n} bits={bits:b} -> {data:?}"
-                );
+                assert!(data.windows(2).all(|w| w[0] <= w[1]), "n={n} bits={bits:b} -> {data:?}");
             }
         }
     }

@@ -68,10 +68,8 @@ where
     let n_local = keys.len() as u64;
     let local_min = keys.first().copied().unwrap_or(u64::MAX);
     let local_max = keys.last().copied().unwrap_or(0);
-    let (n_total, global_min, global_max) = comm.allreduce(
-        (n_local, local_min, local_max),
-        |a, b| (a.0 + b.0, a.1.min(b.1), a.2.max(b.2)),
-    );
+    let (n_total, global_min, global_max) = comm
+        .allreduce((n_local, local_min, local_max), |a, b| (a.0 + b.0, a.1.min(b.1), a.2.max(b.2)));
     if n_total == 0 {
         comm.exit_phase();
         return (keys, values, report);
@@ -120,14 +118,11 @@ where
 
     for _round in 0..MAX_REFINE_ROUNDS {
         // Count keys strictly below each probe, globally.
-        let local_counts: Vec<u64> = probe
-            .iter()
-            .map(|&s| keys.partition_point(|&k| k < s) as u64)
-            .collect();
+        let local_counts: Vec<u64> =
+            probe.iter().map(|&s| keys.partition_point(|&k| k < s) as u64).collect();
         comm.compute(Work::SortCmp, (nsplit as f64) * (keys.len().max(2) as f64).log2());
-        let global_counts = comm.allreduce(local_counts, |a, b| {
-            a.iter().zip(&b).map(|(x, y)| x + y).collect()
-        });
+        let global_counts =
+            comm.allreduce(local_counts, |a, b| a.iter().zip(&b).map(|(x, y)| x + y).collect());
         report.refine_rounds += 1;
 
         let mut all_done = true;
@@ -311,9 +306,8 @@ mod tests {
         let p = 8;
         let per = 512;
         let out = run(p, MachineModel::ideal(), move |comm| {
-            let keys: Vec<u64> = (0..per)
-                .map(|i| splitmix((comm.rank() * per + i) as u64))
-                .collect();
+            let keys: Vec<u64> =
+                (0..per).map(|i| splitmix((comm.rank() * per + i) as u64)).collect();
             let values = keys.clone();
             let (k, _, rep) = partition_sort_by_key(comm, keys, values);
             (k.len(), rep.refine_rounds)
@@ -338,9 +332,8 @@ mod tests {
         let per = 500;
         let out = run(p, MachineModel::ideal(), move |comm| {
             // Keys in 0..512 only, scattered across ranks.
-            let keys: Vec<u64> = (0..per)
-                .map(|i| splitmix((comm.rank() * per + i) as u64) % 512)
-                .collect();
+            let keys: Vec<u64> =
+                (0..per).map(|i| splitmix((comm.rank() * per + i) as u64) % 512).collect();
             let values = keys.clone();
             let (k, _, rep) = partition_sort_by_key(comm, keys, values);
             (k.len(), rep.refine_rounds)

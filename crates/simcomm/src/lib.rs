@@ -38,6 +38,7 @@
 mod cart;
 mod model;
 mod phase;
+mod plan;
 mod trace;
 mod world;
 
@@ -46,5 +47,6 @@ pub use model::{
     balanced_dims, torus_coords, torus_hops, ComputeRates, MachineModel, Topology, Work,
 };
 pub use phase::{aggregate_phases, PhaseAgg, PhaseProfile, PhaseSegment, PhaseStats, UNTAGGED};
+pub use plan::CommPlan;
 pub use trace::{write_trace_csv, Trace, TraceEvent, TraceKind};
 pub use world::{run, run_traced, Comm, RankStats, Request, RunOutput};

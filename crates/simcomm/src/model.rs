@@ -312,10 +312,7 @@ impl MachineModel {
             Topology::Switched => 1.0,
             Topology::Torus { ndims } => {
                 // Expected per-dimension wraparound distance is ~dim/4.
-                balanced_dims(n, *ndims)
-                    .iter()
-                    .map(|&d| d as f64 / 4.0)
-                    .sum()
+                balanced_dims(n, *ndims).iter().map(|&d| d as f64 / 4.0).sum()
             }
         }
     }
@@ -566,9 +563,15 @@ mod tests {
         fn measure(model: MachineModel, n: usize) -> (f64, f64) {
             let out = crate::run(n, model, |comm| {
                 let ring: Vec<usize> = (1..=13usize)
-                    .flat_map(|d| [(comm.rank() + d) % comm.size(), (comm.rank() + comm.size() - d) % comm.size()])
+                    .flat_map(|d| {
+                        [
+                            (comm.rank() + d) % comm.size(),
+                            (comm.rank() + comm.size() - d) % comm.size(),
+                        ]
+                    })
                     .collect();
-                let mut partners: Vec<usize> = ring.into_iter().filter(|&q| q != comm.rank()).collect();
+                let mut partners: Vec<usize> =
+                    ring.into_iter().filter(|&q| q != comm.rank()).collect();
                 partners.sort_unstable();
                 partners.dedup();
                 let payload = vec![0u8; 4096];
@@ -590,18 +593,12 @@ mod tests {
         }
         // Torus at scale: p2p must clearly beat the collective (Fig. 9 right).
         let (coll_t, p2p_t) = measure(MachineModel::juqueen_like(), 1024);
-        assert!(
-            2.0 * p2p_t < coll_t,
-            "torus: p2p {p2p_t} must clearly beat alltoallv {coll_t}"
-        );
+        assert!(2.0 * p2p_t < coll_t, "torus: p2p {p2p_t} must clearly beat alltoallv {coll_t}");
         // Switched fabric at moderate scale: the collective is comparable or
         // better (the paper observed a *small increase* when switching to
         // p2p on JuRoPA).
         let (coll_s, p2p_s) = measure(MachineModel::juropa_like(), 256);
-        assert!(
-            coll_s < 1.15 * p2p_s,
-            "switched: coll {coll_s} must not lose to p2p {p2p_s}"
-        );
+        assert!(coll_s < 1.15 * p2p_s, "switched: coll {coll_s} must not lose to p2p {p2p_s}");
     }
 
     #[test]

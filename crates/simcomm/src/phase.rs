@@ -195,8 +195,7 @@ pub fn aggregate_phases(profiles: &[PhaseProfile], totals: &[RankStats]) -> Vec<
             imbalance: if mean_seconds > 0.0 { max_seconds / mean_seconds } else { 1.0 },
             mean_comm_seconds: per_rank.iter().map(|p| p.comm_seconds).sum::<f64>() / nranks,
             mean_wait_seconds: per_rank.iter().map(|p| p.wait_seconds).sum::<f64>() / nranks,
-            mean_compute_seconds: per_rank.iter().map(|p| p.compute_seconds).sum::<f64>()
-                / nranks,
+            mean_compute_seconds: per_rank.iter().map(|p| p.compute_seconds).sum::<f64>() / nranks,
             p2p_msgs: per_rank.iter().map(|p| p.p2p_sent_msgs).sum(),
             p2p_bytes: per_rank.iter().map(|p| p.p2p_sent_bytes).sum(),
             coll_ops: per_rank.iter().map(|p| p.coll_ops).sum(),
@@ -205,17 +204,12 @@ pub fn aggregate_phases(profiles: &[PhaseProfile], totals: &[RankStats]) -> Vec<
     };
 
     for name in order {
-        let per_rank: Vec<PhaseStats> = profiles
-            .iter()
-            .map(|prof| prof.get(name).copied().unwrap_or_default())
-            .collect();
+        let per_rank: Vec<PhaseStats> =
+            profiles.iter().map(|prof| prof.get(name).copied().unwrap_or_default()).collect();
         make_row(name, per_rank);
     }
-    let untagged: Vec<PhaseStats> = profiles
-        .iter()
-        .zip(totals)
-        .map(|(prof, tot)| prof.untagged(tot))
-        .collect();
+    let untagged: Vec<PhaseStats> =
+        profiles.iter().zip(totals).map(|(prof, tot)| prof.untagged(tot)).collect();
     make_row(UNTAGGED, untagged);
     rows
 }
@@ -258,14 +252,10 @@ mod tests {
 
     #[test]
     fn aggregate_computes_critical_path_and_imbalance() {
-        let p0 = PhaseProfile {
-            phases: vec![stats("sort", 1.0, 0.0, 1.0, 10)],
-            segments: Vec::new(),
-        };
-        let p1 = PhaseProfile {
-            phases: vec![stats("sort", 3.0, 1.0, 2.0, 30)],
-            segments: Vec::new(),
-        };
+        let p0 =
+            PhaseProfile { phases: vec![stats("sort", 1.0, 0.0, 1.0, 10)], segments: Vec::new() };
+        let p1 =
+            PhaseProfile { phases: vec![stats("sort", 3.0, 1.0, 2.0, 30)], segments: Vec::new() };
         let totals = vec![RankStats::default(), RankStats::default()];
         let rows = aggregate_phases(&[p0, p1], &totals);
         assert_eq!(rows.len(), 2); // sort + (untagged)

@@ -1,0 +1,212 @@
+//! Persistent communication plans: the plan/execute split at the message
+//! layer. A [`CommPlan`] freezes the *structure* of a recurring neighbourhood
+//! exchange — the partner ranks, the message tag, and the per-partner receive
+//! envelopes — once, so that every subsequent timestep only moves payload
+//! through the frozen schedule ([`CommPlan::execute`]). This is the simulated
+//! analogue of MPI persistent requests (`MPI_Send_init`/`MPI_Start`): partner
+//! resolution, argument validation and slot bookkeeping are paid at plan
+//! build, not per step.
+//!
+//! Higher redistribution layers (`atasp` resort plans, the particle-mesh
+//! ghost plan, the merge-sort probe plan) build on the same discipline and
+//! report through the same counters ([`Comm::note_plan_build`] /
+//! [`Comm::note_plan_exec`]), so `commstats` can compute a single plan-reuse
+//! rate across all layers.
+
+use crate::world::{Comm, Request};
+use crate::Work;
+
+/// A frozen persistent schedule for a recurring point-to-point neighbourhood
+/// exchange.
+///
+/// Built once per decomposition epoch with [`Comm::plan_exchange`]; executed
+/// every timestep with [`CommPlan::execute`]. The plan owns the sorted
+/// partner list (receive buffers come back in partner order with no per-step
+/// sort), the tag, and the *size envelopes* of the last execution — the
+/// per-partner receive counts, which callers use to pre-size the buffers the
+/// received payload is unpacked into.
+///
+/// Both sides of every partner edge must hold a plan naming each other (the
+/// partner relation is symmetric), exactly like
+/// [`Comm::neighbor_exchange`].
+#[derive(Clone, Debug)]
+pub struct CommPlan {
+    /// Partner ranks, sorted ascending, deduplicated, never the local rank.
+    partners: Vec<usize>,
+    /// Message tag all executions of this plan use.
+    tag: u64,
+    /// Elements received from each partner (same order as `partners`) during
+    /// the most recent execution; all zeros before the first.
+    last_recv_counts: Vec<usize>,
+    /// Number of completed executions.
+    executions: u64,
+}
+
+impl Comm {
+    /// Build a persistent neighbourhood-exchange plan over `partners`.
+    ///
+    /// Resolves and freezes the partner list (sorted, deduplicated, the local
+    /// rank removed) and charges the one-time schedule-construction cost.
+    /// Purely local — no messages are exchanged at build time.
+    pub fn plan_exchange(&mut self, mut partners: Vec<usize>, tag: u64) -> CommPlan {
+        let t0 = self.clock();
+        partners.sort_unstable();
+        partners.dedup();
+        partners.retain(|&q| q != self.rank());
+        for &q in &partners {
+            assert!(q < self.size(), "plan_exchange: partner rank {q} out of range");
+        }
+        let bytes = (partners.len() * std::mem::size_of::<usize>()) as u64;
+        self.compute(Work::ByteCopy, bytes as f64);
+        self.note_plan_build(t0, bytes);
+        let n = partners.len();
+        CommPlan { partners, tag, last_recv_counts: vec![0; n], executions: 0 }
+    }
+}
+
+impl CommPlan {
+    /// The frozen partner ranks, sorted ascending.
+    pub fn partners(&self) -> &[usize] {
+        &self.partners
+    }
+
+    /// The message tag every execution uses.
+    pub fn tag(&self) -> u64 {
+        self.tag
+    }
+
+    /// Completed executions of this plan.
+    pub fn executions(&self) -> u64 {
+        self.executions
+    }
+
+    /// Size envelope of the most recent execution: elements received from
+    /// each partner, in [`CommPlan::partners`] order (all zeros before the
+    /// first execution). Callers use the sum to pre-size unpack buffers.
+    pub fn last_recv_counts(&self) -> &[usize] {
+        &self.last_recv_counts
+    }
+
+    /// Execute the plan with this step's payload: `data[i]` is sent to
+    /// `partners()[i]` (possibly empty), and one buffer per partner is
+    /// received, returned in partner order. All sends and receives are posted
+    /// nonblocking up front and drained in arrival order, like
+    /// [`Comm::neighbor_exchange`] — but the partner resolution, validation
+    /// and output ordering were paid once at plan build.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != partners().len()` — the plan freezes the
+    /// exchange structure, so every execution must supply exactly one buffer
+    /// per partner (empty buffers for partners with nothing to say).
+    pub fn execute<T: Send + 'static>(
+        &mut self,
+        comm: &mut Comm,
+        data: Vec<Vec<T>>,
+    ) -> Vec<Vec<T>> {
+        assert_eq!(
+            data.len(),
+            self.partners.len(),
+            "CommPlan::execute: {} send buffers for {} planned partners",
+            data.len(),
+            self.partners.len()
+        );
+        let t0 = comm.clock();
+        let mut requests: Vec<Request<T>> = Vec::with_capacity(2 * self.partners.len());
+        for &src in &self.partners {
+            requests.push(comm.irecv(src, self.tag));
+        }
+        let mut bytes = 0u64;
+        for (&dst, buf) in self.partners.iter().zip(data) {
+            bytes += (buf.len() * std::mem::size_of::<T>()) as u64;
+            requests.push(comm.isend(dst, self.tag, buf));
+        }
+        let results = comm.waitall(requests);
+        let out: Vec<Vec<T>> = results
+            .into_iter()
+            .take(self.partners.len())
+            .map(|buf| buf.expect("receive request yields data"))
+            .collect();
+        for (slot, buf) in out.iter().enumerate() {
+            self.last_recv_counts[slot] = buf.len();
+        }
+        self.executions += 1;
+        comm.note_plan_exec(t0, bytes);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{run, run_traced, MachineModel, TraceKind};
+
+    /// Ring neighbourhood of one rank on each side.
+    fn ring(me: usize, p: usize) -> Vec<usize> {
+        let mut v = vec![(me + 1) % p, (me + p - 1) % p];
+        v.retain(|&q| q != me);
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    #[test]
+    fn plan_execute_matches_neighbor_exchange() {
+        let out = run(6, MachineModel::juropa_like(), |comm| {
+            let (me, p) = (comm.rank(), comm.size());
+            let partners = ring(me, p);
+            let payload = |q: usize| -> Vec<u64> { vec![(me * 100 + q) as u64; 3] };
+            let adhoc: Vec<(usize, Vec<u64>)> = comm.neighbor_exchange(
+                &partners,
+                partners.iter().map(|&q| (q, payload(q))).collect(),
+                7,
+            );
+            let mut plan = comm.plan_exchange(partners.clone(), 7);
+            let planned = plan.execute(comm, partners.iter().map(|&q| payload(q)).collect());
+            let planned2 = plan.execute(comm, partners.iter().map(|&q| payload(q)).collect());
+            assert_eq!(plan.executions(), 2);
+            let counts: Vec<usize> = planned.iter().map(Vec::len).collect();
+            assert_eq!(plan.last_recv_counts(), &counts[..]);
+            (adhoc, partners, planned, planned2)
+        });
+        for (adhoc, partners, planned, planned2) in out.results {
+            let expect: Vec<Vec<u64>> = adhoc.into_iter().map(|(_, b)| b).collect();
+            assert_eq!(planned, expect, "planned exchange must match ad-hoc exchange");
+            assert_eq!(planned2, expect, "re-execution must be repeatable");
+            assert_eq!(planned.len(), partners.len());
+        }
+    }
+
+    #[test]
+    fn plan_counters_and_trace_kinds() {
+        let out = run_traced(4, MachineModel::ideal(), |comm| {
+            let (me, p) = (comm.rank(), comm.size());
+            let mut plan = comm.plan_exchange(ring(me, p), 1);
+            for _ in 0..5 {
+                let bufs = plan.partners().iter().map(|&q| vec![q as u32]).collect();
+                let _ = plan.execute(comm, bufs);
+            }
+            (comm.stats().plan_builds, comm.stats().plan_execs)
+        });
+        for (r, &(builds, execs)) in out.results.iter().enumerate() {
+            assert_eq!((builds, execs), (1, 5), "rank {r} counters");
+            let t = &out.traces[r];
+            assert_eq!(t.events.iter().filter(|e| e.kind == TraceKind::PlanBuild).count(), 1);
+            assert_eq!(t.events.iter().filter(|e| e.kind == TraceKind::PlanExec).count(), 5);
+            assert_eq!(out.stats[r].plan_builds, 1);
+            assert_eq!(out.stats[r].plan_execs, 5);
+        }
+    }
+
+    #[test]
+    fn plan_normalizes_partner_list() {
+        let out = run(2, MachineModel::ideal(), |comm| {
+            let me = comm.rank();
+            let other = 1 - me;
+            // Unsorted, duplicated, self-including list is normalized at build.
+            let plan = comm.plan_exchange(vec![other, me, other], 3);
+            plan.partners().to_vec()
+        });
+        assert_eq!(out.results[0], vec![1]);
+        assert_eq!(out.results[1], vec![0]);
+    }
+}

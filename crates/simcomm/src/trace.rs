@@ -28,6 +28,14 @@ pub enum TraceKind {
     Gather,
     /// All-to-all-v.
     Alltoallv,
+    /// Construction of a persistent communication plan (partner resolution,
+    /// route/bin layout, placement permutations). Point-to-point-like: no
+    /// collective fan-out.
+    PlanBuild,
+    /// Execution of payload through a previously built plan. Spans the whole
+    /// planned exchange; the individual `isend`/`recv`/`wait` events it is
+    /// composed of are traced separately.
+    PlanExec,
 }
 
 impl TraceKind {
@@ -43,6 +51,8 @@ impl TraceKind {
             TraceKind::Reduce => "reduce",
             TraceKind::Gather => "gather",
             TraceKind::Alltoallv => "alltoallv",
+            TraceKind::PlanBuild => "plan_build",
+            TraceKind::PlanExec => "plan_exec",
         }
     }
 }
@@ -95,11 +105,7 @@ impl Trace {
 
     /// Total virtual time covered by events of a kind.
     pub fn time_in(&self, kind: TraceKind) -> f64 {
-        self.events
-            .iter()
-            .filter(|e| e.kind == kind)
-            .map(|e| e.t_end - e.t_start)
-            .sum()
+        self.events.iter().filter(|e| e.kind == kind).map(|e| e.t_end - e.t_start).sum()
     }
 }
 

@@ -213,6 +213,12 @@ pub struct RankStats {
     /// Virtual seconds spent idle in rendezvous: blocked on a message that had
     /// not arrived yet, or waiting for the last participant of a collective.
     pub wait_seconds: f64,
+    /// Persistent communication plans built (or rebuilt) on this rank
+    /// (see [`Comm::note_plan_build`]).
+    pub plan_builds: u64,
+    /// Executions of payload through previously built plans
+    /// (see [`Comm::note_plan_exec`]).
+    pub plan_execs: u64,
 }
 
 impl RankStats {
@@ -368,7 +374,7 @@ where
                                 .cloned()
                                 .or_else(|| e.downcast_ref::<&str>().map(|s| s.to_string()))
                                 .unwrap_or_else(|| "rank panicked".to_string());
-                            let mut p = lock(&panicked);
+                            let mut p = lock(panicked);
                             if p.is_none() {
                                 *p = Some(format!("rank {rank}: {msg}"));
                             }
@@ -590,6 +596,27 @@ impl Comm {
         }
     }
 
+    /// Account the construction (or rebuild) of a persistent communication
+    /// plan: bumps the plan-build counter and records a `plan_build` trace
+    /// span from `t_start` to the current clock. `bytes` is the size of the
+    /// frozen schedule (route tables, permutations), as a volume hint for
+    /// offline analysis. Plan layers above `simcomm` (resort plans, ghost
+    /// plans, sort plans) call this too, so plan-reuse rates aggregate across
+    /// all redistribution layers.
+    pub fn note_plan_build(&mut self, t_start: f64, bytes: u64) {
+        self.stats.plan_builds += 1;
+        self.trace_event(TraceKind::PlanBuild, t_start, bytes, None);
+    }
+
+    /// Account one execution of payload through a previously built plan:
+    /// bumps the plan-exec counter and records a `plan_exec` trace span from
+    /// `t_start` to the current clock covering the whole planned exchange
+    /// (`bytes` = payload routed through the plan).
+    pub fn note_plan_exec(&mut self, t_start: f64, bytes: u64) {
+        self.stats.plan_execs += 1;
+        self.trace_event(TraceKind::PlanExec, t_start, bytes, None);
+    }
+
     fn count_coll(&mut self, ops: u64, bytes: u64) {
         self.stats.coll_ops += ops;
         self.stats.coll_bytes += bytes;
@@ -657,9 +684,7 @@ impl Comm {
         let mut q = lock(&mb.queue);
         loop {
             self.shared.check_poison();
-            if let Some(pos) = q
-                .iter()
-                .position(|m| m.tag == tag && src.is_none_or(|s| m.src == s))
+            if let Some(pos) = q.iter().position(|m| m.tag == tag && src.is_none_or(|s| m.src == s))
             {
                 let msg = q.remove(pos).unwrap();
                 drop(q);
@@ -702,9 +727,10 @@ impl Comm {
         self.advance_wait(wait);
         self.count_p2p_recv(1, msg.bytes);
         self.trace_event(TraceKind::Recv, t0, msg.bytes, Some(msg.src));
-        let data = msg.payload.downcast::<Vec<T>>().unwrap_or_else(|_| {
-            panic!("recv type mismatch (src {}, tag {})", msg.src, msg.tag)
-        });
+        let data = msg
+            .payload
+            .downcast::<Vec<T>>()
+            .unwrap_or_else(|_| panic!("recv type mismatch (src {}, tag {})", msg.src, msg.tag));
         (msg.src, *data)
     }
 
@@ -861,9 +887,7 @@ impl Comm {
             .iter()
             .enumerate()
             .filter_map(|(slot, r)| match r {
-                Some(Request { kind: ReqKind::Recv { src, tag }, .. }) => {
-                    Some((slot, *src, *tag))
-                }
+                Some(Request { kind: ReqKind::Recv { src, tag }, .. }) => Some((slot, *src, *tag)),
                 _ => None,
             })
             .collect();
@@ -871,9 +895,7 @@ impl Comm {
             .iter()
             .enumerate()
             .filter_map(|(slot, r)| match r {
-                Some(Request { kind: ReqKind::Send { depart, .. }, .. }) => {
-                    Some((*depart, slot))
-                }
+                Some(Request { kind: ReqKind::Send { depart, .. }, .. }) => Some((*depart, slot)),
                 _ => None,
             })
             .min_by(|a, b| a.partial_cmp(b).expect("virtual times are finite"));
@@ -959,7 +981,12 @@ impl Comm {
             let items: Vec<T> = st
                 .deposits
                 .iter_mut()
-                .map(|d| *d.take().expect("missing deposit").downcast::<T>().expect("collective type mismatch"))
+                .map(|d| {
+                    *d.take()
+                        .expect("missing deposit")
+                        .downcast::<T>()
+                        .expect("collective type mismatch")
+                })
                 .collect();
             st.agg = Some(Arc::new(combine(items)));
             st.arrived = 0;
@@ -1005,11 +1032,7 @@ impl Comm {
         let (agg, max_clock) = self.coll_exchange::<Option<T>, T, _>(
             if rank == root { Some(value) } else { None },
             move |items| {
-                items
-                    .into_iter()
-                    .flatten()
-                    .next()
-                    .expect("bcast root contributed no value")
+                items.into_iter().flatten().next().expect("bcast root contributed no value")
             },
         );
         self.finish_collective(max_clock, self.shared.model.tree_coll_time(self.shared.n, bytes));
@@ -1027,10 +1050,7 @@ impl Comm {
         self.count_coll(0, bytes);
         let t0 = self.clock;
         let (agg, max_clock) = self.coll_exchange::<T, T, _>(value, move |items| {
-            items
-                .into_iter()
-                .reduce(&op)
-                .expect("allreduce over empty world")
+            items.into_iter().reduce(&op).expect("allreduce over empty world")
         });
         self.finish_collective(max_clock, self.shared.model.tree_coll_time(self.shared.n, bytes));
         self.trace_event(TraceKind::Reduce, t0, bytes, None);
@@ -1076,10 +1096,8 @@ impl Comm {
         self.count_coll(0, per);
         let t0 = self.clock;
         let (agg, max_clock) = self.coll_exchange::<Vec<T>, (Vec<T>, u64), _>(data, |items| {
-            let total: u64 = items
-                .iter()
-                .map(|v| (v.len() * std::mem::size_of::<T>()) as u64)
-                .sum();
+            let total: u64 =
+                items.iter().map(|v| (v.len() * std::mem::size_of::<T>()) as u64).sum();
             (items.into_iter().flatten().collect(), total)
         });
         let (flat, total) = &*agg;
@@ -1118,12 +1136,7 @@ impl Comm {
             let bytes = (data.len() * std::mem::size_of::<T>()) as u64;
             s_msgs += 1;
             s_bytes += bytes;
-            let entry = BinEntry {
-                round,
-                src: self.rank,
-                bytes,
-                payload: Box::new(data),
-            };
+            let entry = BinEntry { round, src: self.rank, bytes, payload: Box::new(data) };
             lock(&self.shared.bins[dst]).push(entry);
         }
         self.count_coll(0, s_bytes);
@@ -1134,18 +1147,15 @@ impl Comm {
 
         // Drain this rank's bin for this round in place (entries of other
         // rounds stay queued, without rebuilding the vector).
-        let mut received: Vec<BinEntry> = lock(&self.shared.bins[self.rank])
-            .extract_if(.., |e| e.round == round)
-            .collect();
+        let mut received: Vec<BinEntry> =
+            lock(&self.shared.bins[self.rank]).extract_if(.., |e| e.round == round).collect();
         received.sort_by_key(|e| e.src);
         let r_msgs = received.len() as u64;
         let r_bytes: u64 = received.iter().map(|e| e.bytes).sum();
         self.count_p2p_recv(r_msgs, r_bytes);
 
-        let cost = self
-            .shared
-            .model
-            .alltoallv_time(self.shared.n, s_msgs, s_bytes, r_msgs, r_bytes);
+        let cost =
+            self.shared.model.alltoallv_time(self.shared.n, s_msgs, s_bytes, r_msgs, r_bytes);
         self.finish_collective(max_clock, cost);
         self.trace_event(TraceKind::Alltoallv, t0, s_bytes, None);
 
@@ -1170,7 +1180,7 @@ impl Comm {
         self.shared.check_poison();
         let t0 = self.clock;
         let n = self.shared.n as u64;
-        let bytes = (data.len() * std::mem::size_of::<T>()) as u64;
+        let bytes = std::mem::size_of_val(data) as u64;
         self.count_coll(0, bytes);
         self.count_p2p_sent(n, bytes);
         let rank = self.rank;
@@ -1178,10 +1188,7 @@ impl Comm {
             self.coll_exchange::<Vec<T>, Vec<Vec<T>>, _>(data.to_vec(), |rows| rows);
         let out: Vec<T> = agg.iter().map(|row| row[rank].clone()).collect();
         self.count_p2p_recv(n, bytes);
-        let cost = self
-            .shared
-            .model
-            .alltoallv_time(self.shared.n, n, bytes, n, bytes);
+        let cost = self.shared.model.alltoallv_time(self.shared.n, n, bytes, n, bytes);
         self.finish_collective(max_clock, cost);
         self.trace_event(TraceKind::Alltoallv, t0, bytes, None);
         out
@@ -1248,10 +1255,8 @@ impl Comm {
         for (dst, buf) in data {
             self.send(dst, tag, buf);
         }
-        let mut out: Vec<(usize, Vec<T>)> = partners
-            .iter()
-            .map(|&src| (src, self.recv::<T>(src, tag)))
-            .collect();
+        let mut out: Vec<(usize, Vec<T>)> =
+            partners.iter().map(|&src| (src, self.recv::<T>(src, tag))).collect();
         out.sort_by_key(|&(src, _)| src);
         out
     }
@@ -1401,10 +1406,7 @@ mod tests {
         });
         // Rank 0 receives from 1 and 2 only.
         assert_eq!(out.results[0], vec![(1, vec![10]), (2, vec![20])]);
-        assert_eq!(
-            out.results[2],
-            vec![(0, vec![2]), (1, vec![12]), (3, vec![32])]
-        );
+        assert_eq!(out.results[2], vec![(0, vec![2]), (1, vec![12]), (3, vec![32])]);
     }
 
     #[test]
@@ -1608,10 +1610,7 @@ mod tests {
             let tagged = prof.tagged_total();
             let un = prof.untagged(tot);
             // Seconds: tagged + untagged == total clock.
-            assert!(
-                (tagged.seconds() + un.seconds() - out.clocks[r]).abs() <= 1e-9,
-                "rank {r}"
-            );
+            assert!((tagged.seconds() + un.seconds() - out.clocks[r]).abs() <= 1e-9, "rank {r}");
             // Bytes and counters partition the totals.
             assert_eq!(tagged.p2p_sent_bytes + un.p2p_sent_bytes, tot.p2p_sent_bytes);
             assert_eq!(tagged.coll_ops + un.coll_ops, tot.coll_ops);
@@ -1667,10 +1666,7 @@ mod tests {
                 assert!(seg.t_start >= 0.0 && seg.t_end <= out.clocks[r] + 1e-12);
             }
             for w in prof.segments.windows(2) {
-                assert!(
-                    w[1].t_start >= w[0].t_end - 1e-12,
-                    "rank {r}: overlapping segments {w:?}"
-                );
+                assert!(w[1].t_start >= w[0].t_end - 1e-12, "rank {r}: overlapping segments {w:?}");
             }
         }
     }
@@ -1720,8 +1716,7 @@ mod tests {
             } else {
                 // Post the request for tag 2 *first*; the tag-1 message still
                 // completes first because it arrives first in virtual time.
-                let mut reqs =
-                    vec![Some(comm.irecv::<u32>(0, 2)), Some(comm.irecv::<u32>(0, 1))];
+                let mut reqs = vec![Some(comm.irecv::<u32>(0, 2)), Some(comm.irecv::<u32>(0, 1))];
                 comm.barrier(); // both messages are physically present now
                 let (first, a) = comm.waitany(&mut reqs);
                 let (second, b) = comm.waitany(&mut reqs);

@@ -24,7 +24,9 @@ fn main() {
     );
 
     for solver in [SolverKind::Fmm, SolverKind::P2Nfft] {
-        for (label, resort) in [("method A (restore original)", false), ("method B (use changed)", true)] {
+        for (label, resort) in
+            [("method A (restore original)", false), ("method B (use changed)", true)]
+        {
             let crystal = crystal.clone();
             let cfg = SimConfig {
                 solver,
@@ -48,12 +50,7 @@ fn main() {
             // Aggregate: slowest rank per component, per step.
             let r0 = &out.results[0].records;
             let total: f64 = (0..r0.len())
-                .map(|s| {
-                    out.results
-                        .iter()
-                        .map(|r| r.records[s].total)
-                        .fold(0.0, f64::max)
-                })
+                .map(|s| out.results.iter().map(|r| r.records[s].total).fold(0.0, f64::max))
                 .sum();
             let redist: f64 = (0..r0.len())
                 .map(|s| {

@@ -17,15 +17,13 @@ fn measure(model: MachineModel, p: usize, bytes: usize) -> (f64, f64) {
 
         // Collective: a sparse alltoallv carrying only neighbour traffic.
         let t0 = comm.clock();
-        let sends: Vec<(usize, Vec<u8>)> =
-            partners.iter().map(|&q| (q, payload.clone())).collect();
+        let sends: Vec<(usize, Vec<u8>)> = partners.iter().map(|&q| (q, payload.clone())).collect();
         let _ = comm.alltoallv(sends);
         let coll = comm.clock() - t0;
 
         // Point-to-point: the same traffic as pairwise messages.
         let t1 = comm.clock();
-        let data: Vec<(usize, Vec<u8>)> =
-            partners.iter().map(|&q| (q, payload.clone())).collect();
+        let data: Vec<(usize, Vec<u8>)> = partners.iter().map(|&q| (q, payload.clone())).collect();
         let _ = comm.neighbor_exchange(&partners, data, 99);
         let p2p = comm.clock() - t1;
         (coll, p2p)

@@ -28,13 +28,7 @@ fn main() {
         // Each rank generates its local share of the system (uniformly
         // random assignment of particles to processes).
         let dims = CartGrid::balanced(comm.size()).dims();
-        let set = local_set(
-            &crystal,
-            InitialDistribution::Random,
-            comm.rank(),
-            comm.size(),
-            dims,
-        );
+        let set = local_set(&crystal, InitialDistribution::Random, comm.rank(), comm.size(), dims);
 
         // fcs_init + fcs_set_common + fcs_tune: create a solver handle.
         let mut handle = Fcs::init(SolverKind::Fmm, comm.size());

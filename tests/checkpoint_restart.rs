@@ -24,11 +24,9 @@ fn split_run_reproduces_continuous_run() {
     let crystal = IonicCrystal::cubic(6, 1.0, 0.15, 31);
     let bbox = crystal.system_box();
     let p = 4;
-    for (solver, resort) in [
-        (SolverKind::Fmm, false),
-        (SolverKind::Fmm, true),
-        (SolverKind::P2Nfft, true),
-    ] {
+    for (solver, resort) in
+        [(SolverKind::Fmm, false), (SolverKind::Fmm, true), (SolverKind::P2Nfft, true)]
+    {
         let crystal = crystal.clone();
         let out = run(p, MachineModel::ideal(), move |comm| {
             let dims = CartGrid::balanced(p).dims();

@@ -33,12 +33,7 @@ fn energy_invariant_across_methods_distributions_and_world_sizes() {
                         h.tune(comm, &set.pos, &set.charge);
                         h.set_resort(resort);
                         let o = h.run(comm, &set.pos, &set.charge, &set.id, usize::MAX);
-                        0.5 * o
-                            .potential
-                            .iter()
-                            .zip(&o.charge)
-                            .map(|(a, q)| a * q)
-                            .sum::<f64>()
+                        0.5 * o.potential.iter().zip(&o.charge).map(|(a, q)| a * q).sum::<f64>()
                     });
                     let e: f64 = out.results.iter().sum();
                     energies.push((format!("{kind:?}/p{p}/{dist:?}/resort={resort}"), e));
@@ -50,10 +45,7 @@ fn energy_invariant_across_methods_distributions_and_world_sizes() {
         // physics, different data handling).
         let base = kind_energies[0];
         for (label, e) in energies.iter().filter(|(l, _)| l.starts_with(&format!("{kind:?}"))) {
-            assert!(
-                (e - base).abs() < 5e-6 * base.abs(),
-                "{label}: {e} deviates from {base}"
-            );
+            assert!((e - base).abs() < 5e-6 * base.abs(), "{label}: {e} deviates from {base}");
         }
     }
 }
@@ -67,13 +59,8 @@ fn method_a_is_bit_transparent() {
     for kind in [SolverKind::Fmm, SolverKind::P2Nfft] {
         let crystal = crystal.clone();
         run(6, MachineModel::juropa_like(), move |comm| {
-            let set = local_set(
-                &crystal,
-                InitialDistribution::SingleProcess,
-                comm.rank(),
-                6,
-                [3, 2, 1],
-            );
+            let set =
+                local_set(&crystal, InitialDistribution::SingleProcess, comm.rank(), 6, [3, 2, 1]);
             let mut h = Fcs::init(kind, 6);
             h.set_common(bbox);
             h.tune(comm, &set.pos, &set.charge);

@@ -28,9 +28,7 @@ impl Gen {
     /// A complex signal whose length is a random power of two `<= 2^max_log`.
     fn signal(&mut self, max_log: u64) -> Vec<Complex> {
         let n = 1usize << self.below(max_log + 1);
-        (0..n)
-            .map(|_| Complex::new(self.f64(-1.0, 1.0), self.f64(-1.0, 1.0)))
-            .collect()
+        (0..n).map(|_| Complex::new(self.f64(-1.0, 1.0), self.f64(-1.0, 1.0))).collect()
     }
 }
 
@@ -86,14 +84,7 @@ fn fmm_expansion_far_field() {
     for case in 0..32 {
         let nsrc = 1 + g.below(7) as usize;
         let srcs: Vec<(f64, f64, f64, f64)> = (0..nsrc)
-            .map(|_| {
-                (
-                    g.f64(-0.4, 0.4),
-                    g.f64(-0.4, 0.4),
-                    g.f64(-0.4, 0.4),
-                    g.f64(-1.0, 1.0),
-                )
-            })
+            .map(|_| (g.f64(-0.4, 0.4), g.f64(-0.4, 0.4), g.f64(-0.4, 0.4), g.f64(-1.0, 1.0)))
             .collect();
         let dir = (g.f64(0.6, 1.0), g.f64(-1.0, 1.0), g.f64(-1.0, 1.0));
         let z = Vec3::ZERO;

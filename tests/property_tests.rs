@@ -39,11 +39,7 @@ impl Gen {
 fn zorder_roundtrip() {
     let mut g = Gen::new(1);
     for _ in 0..512 {
-        let (x, y, z) = (
-            g.below(1 << 21) as u32,
-            g.below(1 << 21) as u32,
-            g.below(1 << 21) as u32,
-        );
+        let (x, y, z) = (g.below(1 << 21) as u32, g.below(1 << 21) as u32, g.below(1 << 21) as u32);
         let k = particles::zorder::encode(x, y, z);
         assert_eq!(particles::zorder::decode(k), (x, y, z));
     }
@@ -236,9 +232,7 @@ fn alltoall_specific_is_exact() {
         let out = simcomm::run(4, simcomm::MachineModel::ideal(), move |comm| {
             let me = comm.rank();
             let t = &targets2[me];
-            let elements: Vec<u64> = (0..t.len())
-                .map(|i| ((me as u64) << 32) | i as u64)
-                .collect();
+            let elements: Vec<u64> = (0..t.len()).map(|i| ((me as u64) << 32) | i as u64).collect();
             atasp::alltoall_specific(comm, &elements, t, &atasp::ExchangeMode::Collective)
         });
         // Every sent element appears exactly once, at its target.
@@ -291,7 +285,8 @@ fn phase_spans_never_overlap() {
                         // Ring exchange: every rank sends and receives.
                         let right = (comm.rank() + 1) % comm.size();
                         let left = (comm.rank() + comm.size() - 1) % comm.size();
-                        let _ = comm.sendrecv(right, vec![op; 1 + (op % 7) as usize], left, i as u64);
+                        let _ =
+                            comm.sendrecv(right, vec![op; 1 + (op % 7) as usize], left, i as u64);
                     }
                     _ => {
                         let _ = comm.allreduce(op, u64::wrapping_add);
@@ -325,11 +320,8 @@ fn phase_spans_never_overlap() {
             );
             // Segment time of each phase never exceeds its aggregate seconds.
             for ph in &prof.phases {
-                let seg_sum: f64 = segs
-                    .iter()
-                    .filter(|s| s.name == ph.name)
-                    .map(|s| s.t_end - s.t_start)
-                    .sum();
+                let seg_sum: f64 =
+                    segs.iter().filter(|s| s.name == ph.name).map(|s| s.t_end - s.t_start).sum();
                 assert!(
                     (seg_sum - ph.seconds()).abs() < 1e-9 * clock.max(1.0),
                     "case {case} rank {rank} phase {}: segments {seg_sum} vs stats {}",
