@@ -89,6 +89,16 @@ fn summarize_report(path: &str) {
                 100.0 * reuse
             );
         }
+        let faults: u64 = run.ranks.iter().map(|r| r.faults_injected).sum();
+        if faults > 0 {
+            let retries: u64 = run.ranks.iter().map(|r| r.retries).sum();
+            let timeouts: u64 = run.ranks.iter().map(|r| r.timeouts).sum();
+            let stalls: u64 = run.ranks.iter().map(|r| r.stalls).sum();
+            println!(
+                "faults: {faults} injected ({retries} retries, {timeouts} timeout cycles, \
+                 {stalls} stalls)"
+            );
+        }
         let err = run.decomposition_error();
         assert!(
             err <= 1e-6 * run.makespan.max(1e-9),
@@ -115,9 +125,11 @@ struct Bucket {
 
 /// Point-to-point trace kinds: excluded from collective fan-out statistics.
 /// `isend` posts and `wait` completions are p2p by nature, like `send`/`recv`;
-/// `plan_build`/`plan_exec` mark persistent-plan setup and replay and are
-/// likewise per-rank events without a collective fan-out.
-const P2P_KINDS: [&str; 6] = ["send", "recv", "isend", "wait", "plan_build", "plan_exec"];
+/// `plan_build`/`plan_exec` mark persistent-plan setup and replay, and
+/// `fault`/`retry`/`timeout` mark injected faults and their handling — all
+/// per-rank events without a collective fan-out.
+const P2P_KINDS: [&str; 9] =
+    ["send", "recv", "isend", "wait", "plan_build", "plan_exec", "fault", "retry", "timeout"];
 
 fn summarize_trace(path: &str) {
     let text =

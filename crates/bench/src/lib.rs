@@ -108,6 +108,32 @@ pub fn run_md_world(
     (agg, rms, RunEntry::from_run(&out))
 }
 
+/// Faulted variant of [`run_md_world`]: the same MD workload executed under
+/// a [`simcomm::FaultPlan`]. Additionally returns the number of
+/// rollback-and-replay recoveries the driver performed (collective —
+/// identical on every rank).
+pub fn run_md_world_faulted(
+    model: simcomm::MachineModel,
+    p: usize,
+    crystal: &particles::IonicCrystal,
+    dist: particles::InitialDistribution,
+    cfg: &mdsim::SimConfig,
+    fault: simcomm::FaultPlan,
+) -> (Vec<StepRecord>, u64, RunEntry) {
+    let bbox = particles::ParticleSource::system_box(crystal);
+    let crystal = crystal.clone();
+    let cfg = cfg.clone();
+    let out = simcomm::run_faulted(p, model, fault, move |comm| {
+        let dims = simcomm::CartGrid::balanced(p).dims();
+        let set = particles::local_set(&crystal, dist, comm.rank(), p, dims);
+        mdsim::simulate(comm, bbox, set, &cfg)
+    });
+    let per_rank: Vec<Vec<StepRecord>> = out.results.iter().map(|r| r.records.clone()).collect();
+    let agg = aggregate_steps(&per_rank);
+    let recoveries = out.results[0].recoveries;
+    (agg, recoveries, RunEntry::from_run(&out))
+}
+
 /// Print the one-line report summary every harness emits after writing its
 /// JSON report: path, entry count, and the worst accounting error (see
 /// [`RunEntry::decomposition_error`]).

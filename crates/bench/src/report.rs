@@ -112,6 +112,16 @@ pub struct RankRow {
     pub plan_builds: u64,
     /// Executions of payload through previously built plans.
     pub plan_execs: u64,
+    /// Faults injected on this rank (lost sends, latency spikes, straggler
+    /// slowdown, a scheduled stall) — zero unless the run used a
+    /// [`simcomm::FaultPlan`].
+    pub faults_injected: u64,
+    /// Retransmissions of transiently lost sends.
+    pub retries: u64,
+    /// Wait-timeout cycles (waits exceeding the fault plan's threshold).
+    pub timeouts: u64,
+    /// Scheduled stalls that fired on this rank (0 or 1 per run).
+    pub stalls: u64,
 }
 
 impl RunEntry {
@@ -164,6 +174,10 @@ impl RunEntry {
                     coll_bytes: s.coll_bytes,
                     plan_builds: s.plan_builds,
                     plan_execs: s.plan_execs,
+                    faults_injected: s.faults_injected,
+                    retries: s.retries,
+                    timeouts: s.timeouts,
+                    stalls: s.stalls,
                 })
                 .collect(),
         }
@@ -326,6 +340,10 @@ fn run_to_json(r: &RunEntry) -> Json {
                             ("coll_bytes", Json::Num(k.coll_bytes as f64)),
                             ("plan_builds", Json::Num(k.plan_builds as f64)),
                             ("plan_execs", Json::Num(k.plan_execs as f64)),
+                            ("faults_injected", Json::Num(k.faults_injected as f64)),
+                            ("retries", Json::Num(k.retries as f64)),
+                            ("timeouts", Json::Num(k.timeouts as f64)),
+                            ("stalls", Json::Num(k.stalls as f64)),
                         ])
                     })
                     .collect(),
@@ -403,6 +421,10 @@ fn run_from_json(v: &Json) -> Result<RunEntry, String> {
                     coll_bytes: field_u64(k, "coll_bytes")?,
                     plan_builds: field_u64_or_zero(k, "plan_builds"),
                     plan_execs: field_u64_or_zero(k, "plan_execs"),
+                    faults_injected: field_u64_or_zero(k, "faults_injected"),
+                    retries: field_u64_or_zero(k, "retries"),
+                    timeouts: field_u64_or_zero(k, "timeouts"),
+                    stalls: field_u64_or_zero(k, "stalls"),
                 })
             })
             .collect::<Result<_, String>>()?,
@@ -504,6 +526,10 @@ mod tests {
                     coll_bytes: 64,
                     plan_builds: 1,
                     plan_execs: 4,
+                    faults_injected: 2,
+                    retries: 1,
+                    timeouts: 1,
+                    stalls: 0,
                 },
                 RankRow {
                     rank: 1,

@@ -169,6 +169,23 @@ impl Fcs {
         }
     }
 
+    /// Drop every cached communication plan — the solver's sort/ghost plans
+    /// and the handle's frozen resort schedule — without touching tuning
+    /// state. Recovery code that rewinds the particle state to an earlier
+    /// snapshot must call this before replaying: cached plans carry movement
+    /// accounting relative to the state they were built for, and replaying
+    /// against a rewound state would mis-account it. Plans never affect the
+    /// physics, so dropping them is always safe (costs only rebuild time).
+    /// Must be called identically on all ranks.
+    pub fn invalidate_plans(&mut self) {
+        self.resort_plan = None;
+        match &mut self.solver {
+            Some(SolverInstance::Fmm(s)) => s.invalidate_plans(),
+            Some(SolverInstance::Pm(s)) => s.invalidate_plans(),
+            _ => {}
+        }
+    }
+
     /// Communication-plan cache statistics as `(builds, hits)`, aggregated
     /// over the solver's plans (ghost plan or sort plan) and the handle's
     /// resort plans.

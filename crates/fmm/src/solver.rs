@@ -7,7 +7,10 @@ use std::collections::{HashMap, HashSet};
 
 use atasp::{alltoall_specific, build_resort_indices, encode_index, ExchangeMode};
 use particles::{MovementHint, RedistMethod, SolverOutput, SolverTimings, SystemBox, Vec3};
-use psort::{merge_exchange_sort_by_key_planned, partition_sort_by_key, SortPlan};
+use psort::{
+    merge_exchange_sort_by_key_capped, merge_exchange_sort_by_key_planned, partition_sort_by_key,
+    SortPlan,
+};
 use simcomm::{Comm, Work};
 
 use crate::expansion::ExpansionOps;
@@ -90,6 +93,11 @@ pub struct FmmRunReport {
     pub sort_sent: u64,
     /// Merge-network rounds skipped outright via the cached [`SortPlan`].
     pub sort_rounds_plan_skipped: u64,
+    /// Whether the movement-bound guard abandoned a capped merge sort (the
+    /// hint under-reported the real displacement) and fell back to the
+    /// general partition sort this run. Only ever set on fault-injected
+    /// worlds; see [`FmmSolver::run`].
+    pub movement_guard_fallback: bool,
 }
 
 /// The parallel Fast Multipole Method solver.
@@ -105,12 +113,18 @@ pub struct FmmSolver {
     tensor_cache: HashMap<(u32, [i64; 3]), Vec<f64>>,
     /// Enable caching of the merge-sort probe schedule across timesteps.
     plan_cache: bool,
+    /// Override for the movement-bound guard's cleanup-round cap
+    /// (`None` = `2 + ceil(log2 p)` at run time).
+    guard_cleanup_cap: Option<u64>,
     /// Probe schedule recorded by the previous merge-based sort, if clean.
     sort_plan: Option<SortPlan>,
     /// Sort plans recorded over the solver lifetime.
     pub plan_builds: u64,
     /// Runs that consumed a previously recorded sort plan.
     pub plan_hits: u64,
+    /// Movement-bound guard fallbacks over the solver lifetime (capped merge
+    /// sorts abandoned for the general partition sort).
+    pub guard_fallbacks: u64,
     /// Report of the most recent run.
     pub last_report: FmmRunReport,
 }
@@ -132,9 +146,11 @@ impl FmmSolver {
             ops,
             tensor_cache: HashMap::new(),
             plan_cache: true,
+            guard_cleanup_cap: None,
             sort_plan: None,
             plan_builds: 0,
             plan_hits: 0,
+            guard_fallbacks: 0,
             last_report: FmmRunReport::default(),
         }
     }
@@ -153,6 +169,26 @@ impl FmmSolver {
         if !enabled {
             self.sort_plan = None;
         }
+    }
+
+    /// Override the movement-bound guard's cleanup-round cap (`None`, the
+    /// default, uses `2 + ceil(log2 p)`). A tighter cap makes the guard more
+    /// eager to abandon a degenerating merge sort for the general partition
+    /// sort; `Some(0)` falls back on *any* input the merge network leaves
+    /// globally unsorted. Only consulted on fault-injected worlds, and must
+    /// be set identically on every rank (the cap decision is collective).
+    pub fn set_guard_cleanup_cap(&mut self, cap: Option<u64>) {
+        self.guard_cleanup_cap = cap;
+    }
+
+    /// Drop all cached cross-timestep planning state (the recorded merge-sort
+    /// probe schedule). Recovery paths that rewind the simulation call this
+    /// on every rank before replaying: a schedule recorded past the rollback
+    /// point describes executions that are about to be repeated, and plan
+    /// state is bitwise invisible to the physics, so dropping it is always
+    /// safe.
+    pub fn invalidate_plans(&mut self) {
+        self.sort_plan = None;
     }
 
     /// Execute the solver: compute potentials and field values for the given
@@ -214,19 +250,49 @@ impl FmmSolver {
             // all ranks pass a plan from the same previous execution.
             let prior = if self.plan_cache { self.sort_plan.take() } else { None };
             let had_prior = prior.is_some();
-            let (k, r, rep, next) =
-                merge_exchange_sort_by_key_planned(comm, keys, recs, prior.as_ref());
-            self.last_report.sort_sent = rep.sent_elems;
-            self.last_report.sort_rounds_plan_skipped = rep.rounds_plan_skipped;
-            if had_prior {
-                self.plan_hits += 1;
-            } else if next.is_some() {
-                self.plan_builds += 1;
+            // Movement-bound guard (fault-injected worlds only): if the hint
+            // under-reported the real displacement, merge-exchange cleanup can
+            // degenerate into a full O(p)-round transposition. Cap it and keep
+            // a pristine copy of the input so a capped-out sort falls back to
+            // the general partition sort below. `fault_active` and `p` are
+            // global, so the guard engages collectively; inert fault plans
+            // take the uncapped path with no backup — bit-for-bit the
+            // unguarded behaviour.
+            let guarded = comm.fault_active();
+            let backup = guarded.then(|| (keys.clone(), recs.clone()));
+            let (k, r, rep, next) = if guarded {
+                let cap = self.guard_cleanup_cap.unwrap_or(2 + (p as f64).log2().ceil() as u64);
+                merge_exchange_sort_by_key_capped(comm, keys, recs, prior.as_ref(), cap)
+            } else {
+                merge_exchange_sort_by_key_planned(comm, keys, recs, prior.as_ref())
+            };
+            if rep.cleanup_cap_hit {
+                // The movement bound was violated: the data was not almost
+                // sorted and the merge network capped out before reaching
+                // global order. Abandon its result, invalidate the cached
+                // schedule, and run the general sort on the pristine input
+                // (identical input → identical output to a run that chose
+                // the partition sort up front).
+                let (bk, br) = backup.expect("cap can only be hit on guarded runs");
+                self.last_report.movement_guard_fallback = true;
+                self.guard_fallbacks += 1;
+                self.sort_plan = None;
+                let (k, r, rep2) = partition_sort_by_key(comm, bk, br);
+                self.last_report.sort_sent = rep.sent_elems + rep2.sent_elems;
+                (k, r)
+            } else {
+                self.last_report.sort_sent = rep.sent_elems;
+                self.last_report.sort_rounds_plan_skipped = rep.rounds_plan_skipped;
+                if had_prior {
+                    self.plan_hits += 1;
+                } else if next.is_some() {
+                    self.plan_builds += 1;
+                }
+                if self.plan_cache {
+                    self.sort_plan = next;
+                }
+                (k, r)
             }
-            if self.plan_cache {
-                self.sort_plan = next;
-            }
-            (k, r)
         } else {
             // A partition sort rebalances the whole distribution; any recorded
             // probe schedule is stale afterwards (dropped on every rank —

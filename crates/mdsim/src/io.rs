@@ -3,10 +3,75 @@
 //! full-state text snapshots for checkpoint/restart (no extra dependencies;
 //! `f64` values round-trip exactly through Rust's shortest-float formatting).
 
-use std::io::{BufRead, BufWriter, Write};
+use std::io::{BufRead, Write};
 use std::path::Path;
 
 use particles::{ParticleSet, SystemBox, Vec3};
+
+/// Why loading a [`Snapshot`] failed. Snapshots carry a length + checksum
+/// footer, so a truncated or bit-flipped file is detected and reported as a
+/// typed error instead of silently propagating garbage state into a restart.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The underlying file could not be read.
+    Io(std::io::Error),
+    /// The file ends before the expected content (missing lines or a missing
+    /// footer), or the footer's recorded length disagrees with the content.
+    Truncated,
+    /// The footer checksum does not match the content — the file was
+    /// corrupted in place (bit flips, partial overwrite).
+    ChecksumMismatch {
+        /// Checksum recorded in the footer.
+        expected: u64,
+        /// Checksum recomputed from the content.
+        actual: u64,
+    },
+    /// The content is structurally invalid (bad header, short particle line,
+    /// unparsable number).
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot io error: {e}"),
+            SnapshotError::Truncated => write!(f, "snapshot truncated (content or footer missing)"),
+            SnapshotError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "snapshot checksum mismatch (footer {expected:016x}, content {actual:016x})"
+            ),
+            SnapshotError::Malformed(msg) => write!(f, "malformed snapshot: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// Checksum of the snapshot content: a splitmix64 fold over the raw bytes.
+/// Not cryptographic — it exists to catch truncation, bit flips and partial
+/// overwrites, the realistic failure modes of a checkpoint file.
+fn content_checksum(bytes: &[u8]) -> u64 {
+    let mut h = 0x5348_4e50_5348_4f54u64; // "SHNPSHOT"
+    for chunk in bytes.chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        h = particles::systems::splitmix64(h ^ u64::from_le_bytes(word));
+    }
+    h
+}
 
 /// A complete, self-describing simulation snapshot (one rank's share or a
 /// gathered world state).
@@ -60,12 +125,18 @@ impl Snapshot {
     /// box <lx> <ly> <lz> periodic <px> <py> <pz>
     /// <id> <q> <x> <y> <z> <vx> <vy> <vz> <ax> <ay> <az>
     /// ...
+    /// checksum <content-bytes> <splitmix64-fold-hex>
     /// ```
+    ///
+    /// The final line is an integrity footer over everything before it; a
+    /// restart refuses to load a file whose footer is missing or disagrees
+    /// (see [`Snapshot::load`] and [`SnapshotError`]).
     pub fn save(&self, path: &Path) -> std::io::Result<()> {
-        let mut w = BufWriter::new(std::fs::File::create(path)?);
-        writeln!(w, "snapshot {} step {}", self.len(), self.step)?;
-        writeln!(
-            w,
+        use std::fmt::Write as _;
+        let mut content = String::new();
+        let _ = writeln!(content, "snapshot {} step {}", self.len(), self.step);
+        let _ = writeln!(
+            content,
             "box {} {} {} periodic {} {} {}",
             self.bbox.lengths.x(),
             self.bbox.lengths.y(),
@@ -73,11 +144,11 @@ impl Snapshot {
             u8::from(self.bbox.periodic[0]),
             u8::from(self.bbox.periodic[1]),
             u8::from(self.bbox.periodic[2]),
-        )?;
+        );
         for i in 0..self.len() {
             let (p, v, a) = (self.pos[i], self.vel[i], self.accel[i]);
-            writeln!(
-                w,
+            let _ = writeln!(
+                content,
                 "{} {} {} {} {} {} {} {} {} {} {}",
                 self.id[i],
                 self.charge[i],
@@ -90,24 +161,50 @@ impl Snapshot {
                 a.x(),
                 a.y(),
                 a.z(),
-            )?;
+            );
         }
+        let footer =
+            format!("checksum {} {:016x}\n", content.len(), content_checksum(content.as_bytes()));
+        let mut w = std::fs::File::create(path)?;
+        w.write_all(content.as_bytes())?;
+        w.write_all(footer.as_bytes())?;
         Ok(())
     }
 
-    /// Read a snapshot written by [`Snapshot::save`].
-    pub fn load(path: &Path) -> std::io::Result<Snapshot> {
-        let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
-        let f = std::io::BufReader::new(std::fs::File::open(path)?);
-        let mut lines = f.lines();
-        let head = lines.next().ok_or_else(|| bad("missing header"))??;
+    /// Read a snapshot written by [`Snapshot::save`], verifying the length +
+    /// checksum footer first. A file that was truncated, bit-flipped or
+    /// partially overwritten is rejected with the corresponding
+    /// [`SnapshotError`] — garbage state never reaches the restart.
+    pub fn load(path: &Path) -> Result<Snapshot, SnapshotError> {
+        let raw = std::fs::read_to_string(path)?;
+        // Footer: the last non-empty line must be `checksum <len> <hex>`.
+        let body_end = raw.trim_end_matches('\n').rfind('\n').ok_or(SnapshotError::Truncated)?;
+        let (content, footer) = raw.split_at(body_end + 1);
+        let tok: Vec<&str> = footer.split_whitespace().collect();
+        if tok.len() != 3 || tok[0] != "checksum" {
+            return Err(SnapshotError::Truncated);
+        }
+        let len: usize = tok[1].parse().map_err(|_| SnapshotError::Malformed("bad footer len"))?;
+        let expected = u64::from_str_radix(tok[2], 16)
+            .map_err(|_| SnapshotError::Malformed("bad footer checksum"))?;
+        if content.len() != len {
+            return Err(SnapshotError::Truncated);
+        }
+        let actual = content_checksum(content.as_bytes());
+        if actual != expected {
+            return Err(SnapshotError::ChecksumMismatch { expected, actual });
+        }
+
+        let bad = SnapshotError::Malformed;
+        let mut lines = content.lines();
+        let head = lines.next().ok_or(bad("missing header"))?;
         let tok: Vec<&str> = head.split_whitespace().collect();
         if tok.len() != 4 || tok[0] != "snapshot" || tok[2] != "step" {
             return Err(bad("malformed snapshot header"));
         }
         let n: usize = tok[1].parse().map_err(|_| bad("bad count"))?;
         let step: usize = tok[3].parse().map_err(|_| bad("bad step"))?;
-        let boxline = lines.next().ok_or_else(|| bad("missing box line"))??;
+        let boxline = lines.next().ok_or(bad("missing box line"))?;
         let tok: Vec<&str> = boxline.split_whitespace().collect();
         if tok.len() != 8 || tok[0] != "box" || tok[4] != "periodic" {
             return Err(bad("malformed box line"));
@@ -128,7 +225,7 @@ impl Snapshot {
             accel: Vec::with_capacity(n),
         };
         for _ in 0..n {
-            let line = lines.next().ok_or_else(|| bad("truncated snapshot"))??;
+            let line = lines.next().ok_or(SnapshotError::Truncated)?;
             let tok: Vec<&str> = line.split_whitespace().collect();
             if tok.len() != 11 {
                 return Err(bad("malformed snapshot particle line"));
@@ -284,6 +381,73 @@ mod tests {
         snap.save(&path).unwrap();
         let back = Snapshot::load(&path).unwrap();
         assert_eq!(back, snap);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn snapshot_load_rejects_truncated_and_bit_flipped_files() {
+        let (bbox, set) = sample_set();
+        let n = set.len();
+        let snap = Snapshot {
+            bbox,
+            step: 7,
+            pos: set.pos.clone(),
+            charge: set.charge.clone(),
+            id: set.id.clone(),
+            vel: vec![Vec3::new(0.25, -0.5, 0.125); n],
+            accel: vec![Vec3::new(-1.0, 2.0, -3.0); n],
+        };
+        let dir = std::env::temp_dir().join("cpr_snapshot_corruption_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.txt");
+        snap.save(&path).unwrap();
+        let pristine = std::fs::read(&path).unwrap();
+        assert!(Snapshot::load(&path).is_ok(), "pristine file must load");
+
+        // Truncation at various points: a typed error, never garbage. (The
+        // sole cut that may load is one that only trims the trailing
+        // newline — the data must then still be bit-for-bit intact.)
+        for cut in [0, 1, pristine.len() / 3, pristine.len() / 2, pristine.len() - 1] {
+            std::fs::write(&path, &pristine[..cut]).unwrap();
+            match Snapshot::load(&path) {
+                Err(
+                    SnapshotError::Truncated
+                    | SnapshotError::ChecksumMismatch { .. }
+                    | SnapshotError::Malformed(_),
+                ) => {}
+                Err(e) => panic!("cut at {cut}: unexpected error {e}"),
+                Ok(loaded) => {
+                    assert_eq!(loaded, snap, "cut at {cut} loaded altered state")
+                }
+            }
+        }
+
+        // Deterministic bit flips all over the file: every one must surface
+        // as ChecksumMismatch (content flips) or a typed footer error — and
+        // never load successfully, and never panic.
+        let mut seed = 0xb17f_11b5u64;
+        for trial in 0..200 {
+            seed = particles::systems::splitmix64(seed ^ trial);
+            let byte = (seed as usize) % pristine.len();
+            let bit = (seed >> 32) % 8;
+            let mut corrupted = pristine.clone();
+            corrupted[byte] ^= 1 << bit;
+            if corrupted == pristine {
+                continue;
+            }
+            std::fs::write(&path, &corrupted).unwrap();
+            match Snapshot::load(&path) {
+                Err(_) => {}
+                // A flip confined to insignificant bytes (e.g. the trailing
+                // newline turning into other whitespace) may still load —
+                // but then the data must be bit-for-bit intact. Garbage
+                // state must never come back.
+                Ok(loaded) => assert_eq!(
+                    loaded, snap,
+                    "bit flip at byte {byte} bit {bit} loaded altered state"
+                ),
+            }
+        }
         std::fs::remove_file(&path).ok();
     }
 }

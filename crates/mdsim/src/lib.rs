@@ -144,6 +144,10 @@ pub struct SimResult {
     pub plan_builds: u64,
     /// Solver executions / resort calls that reused a cached plan.
     pub plan_hits: u64,
+    /// Rollback-and-replay recoveries performed. Only fault-injected runs
+    /// (see [`simcomm::run_faulted`]) can recover; plain runs report 0.
+    /// Identical on every rank (the trigger is collective).
+    pub recoveries: u64,
     /// Final local state (positions, velocities, ... ), usable as a
     /// checkpoint via [`io::Snapshot`] and [`simulate_from`].
     pub final_state: io::Snapshot,
@@ -271,8 +275,57 @@ pub fn simulate_from(comm: &mut Comm, snapshot: io::Snapshot, cfg: &SimConfig) -
     rec.energy = total_energy(comm, &potential, &charge, &vel, cfg.mass);
     records.push(rec);
 
+    // --- Fault recovery (fault-injected worlds only; see `simcomm::fault`).
+    // An in-memory checkpoint of the local state is kept at step boundaries;
+    // when a step completes with a newly injected rank stall or wait timeout
+    // anywhere in the world (detected collectively from the per-rank fault
+    // counters), the loop rolls back to the checkpoint, drops every cached
+    // communication plan (they carry movement accounting relative to the
+    // state they were built for) and replays. Faults delay — they never
+    // corrupt payloads — so the replayed trajectory is bitwise identical to
+    // an unfaulted run: recovery masks the fault at the cost of redone work.
+    // On clean worlds `recovery_on` is false and this entire block costs
+    // nothing (no extra collectives), keeping plain runs bit-for-bit
+    // identical to the pre-fault-layer behaviour.
+    struct Checkpoint {
+        state: io::Snapshot,
+        initial_pos: Vec<Vec3>,
+        records: usize,
+    }
+    let recovery_on = comm.fault_active();
+    const CHECKPOINT_INTERVAL: usize = 4;
+    const MAX_RECOVERIES: u64 = 2;
+    let mut recoveries = 0u64;
+    let mut fault_mark = comm.stats().timeouts + comm.stats().stalls;
+    let take_checkpoint = |completed: usize,
+                           pos: &Vec<Vec3>,
+                           charge: &Vec<f64>,
+                           id: &Vec<u64>,
+                           vel: &Vec<Vec3>,
+                           accel: &Vec<Vec3>,
+                           initial_pos: &Vec<Vec3>,
+                           records: &Vec<StepRecord>|
+     -> Checkpoint {
+        Checkpoint {
+            state: io::Snapshot {
+                bbox,
+                step: start_step + completed,
+                pos: pos.clone(),
+                charge: charge.clone(),
+                id: id.clone(),
+                vel: vel.clone(),
+                accel: accel.clone(),
+            },
+            initial_pos: initial_pos.clone(),
+            records: records.len(),
+        }
+    };
+    let mut checkpoint = recovery_on
+        .then(|| take_checkpoint(0, &pos, &charge, &id, &vel, &accel, &initial_pos, &records));
+
     // Simulation loop (lines 8-12 of Fig. 3).
-    for step in 1..=cfg.steps {
+    let mut step = 1usize;
+    while step <= cfg.steps {
         // Positions x_{i+1} (Eq. 1), tracking the maximum movement.
         comm.enter_phase("integrate");
         let mut max_move2: f64 = 0.0;
@@ -283,7 +336,19 @@ pub fn simulate_from(comm: &mut Comm, snapshot: io::Snapshot, cfg: &SimConfig) -
         }
         comm.compute(simcomm::Work::ParticleOp, pos.len() as f64);
         let max_move = comm.allreduce(max_move2, f64::max).sqrt();
-        handle.set_max_particle_move(if cfg.exploit_movement { Some(max_move) } else { None });
+        // A fault plan may order the movement hint to lie (under-report the
+        // true movement by a factor) this step — the violation the solvers'
+        // movement-bound guards detect and mask. Drawn from the step number
+        // only, so every rank lies identically.
+        let mut hint = if cfg.exploit_movement { Some(max_move) } else { None };
+        if recovery_on {
+            if let (Some(m), Some(f)) =
+                (hint, comm.fault_plan().hint_lie((start_step + step) as u64))
+            {
+                hint = Some(m * f);
+            }
+        }
+        handle.set_max_particle_move(hint);
 
         // Old accelerations a_i are needed for Eq. 2; under Method B they are
         // redistributed by run_solver before being combined below, so stash a
@@ -321,6 +386,42 @@ pub fn simulate_from(comm: &mut Comm, snapshot: io::Snapshot, cfg: &SimConfig) -
         rec.energy = total_energy(comm, &potential, &charge, &vel, cfg.mass);
         comm.exit_phase();
         records.push(rec);
+
+        if recovery_on {
+            // Collective fault check: did any rank accumulate new stalls or
+            // wait timeouts during this step? The trigger is an allreduce of
+            // the counter deltas, so every rank takes the same decision.
+            let mark = comm.stats().timeouts + comm.stats().stalls;
+            let newly = mark - fault_mark;
+            fault_mark = mark;
+            if comm.allreduce(newly, |a, b| a + b) > 0 && recoveries < MAX_RECOVERIES {
+                recoveries += 1;
+                let cp = checkpoint.as_ref().expect("checkpoint taken before the loop");
+                pos = cp.state.pos.clone();
+                charge = cp.state.charge.clone();
+                id = cp.state.id.clone();
+                vel = cp.state.vel.clone();
+                accel = cp.state.accel.clone();
+                initial_pos = cp.initial_pos.clone();
+                records.truncate(cp.records);
+                handle.invalidate_plans();
+                step = cp.state.step - start_step + 1;
+                continue;
+            }
+            if step.is_multiple_of(CHECKPOINT_INTERVAL) {
+                checkpoint = Some(take_checkpoint(
+                    step,
+                    &pos,
+                    &charge,
+                    &id,
+                    &vel,
+                    &accel,
+                    &initial_pos,
+                    &records,
+                ));
+            }
+        }
+        step += 1;
     }
 
     // Drift diagnostic: RMS displacement from the initial positions (NaN if
@@ -343,6 +444,7 @@ pub fn simulate_from(comm: &mut Comm, snapshot: io::Snapshot, cfg: &SimConfig) -
         final_clock: comm.clock(),
         plan_builds,
         plan_hits,
+        recoveries,
         final_state: io::Snapshot {
             bbox,
             step: start_step + cfg.steps,
@@ -403,7 +505,7 @@ fn total_energy(
 mod tests {
     use super::*;
     use particles::{local_set, InitialDistribution, IonicCrystal};
-    use simcomm::{run, CartGrid, MachineModel};
+    use simcomm::{run, run_faulted, CartGrid, FaultPlan, MachineModel, StallSpec};
 
     fn sim(
         solver: SolverKind,
@@ -646,6 +748,123 @@ mod tests {
                     "small movement must reuse cached plans (builds {builds}, hits {hits})"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn inert_fault_plan_is_bitwise_identical_to_plain_run() {
+        // run_faulted(FaultPlan::none()) must be bit-for-bit the pre-fault
+        // behaviour: identical records (including virtual timings), clocks,
+        // final states and zero recoveries.
+        let c = IonicCrystal::cubic(6, 1.0, 0.2, 42);
+        let bbox = c.system_box();
+        let p = 4;
+        let cfg = SimConfig {
+            solver: SolverKind::P2Nfft,
+            resort: true,
+            exploit_movement: true,
+            steps: 5,
+            ..SimConfig::default()
+        };
+        let go = |faulted: bool| -> Vec<SimResult> {
+            let c = c.clone();
+            let cfg = cfg.clone();
+            let body = move |comm: &mut simcomm::Comm| {
+                let set = local_set(
+                    &c,
+                    InitialDistribution::Grid,
+                    comm.rank(),
+                    p,
+                    CartGrid::balanced(p).dims(),
+                );
+                simulate(comm, bbox, set, &cfg)
+            };
+            if faulted {
+                run_faulted(p, MachineModel::juropa_like(), FaultPlan::none(), body).results
+            } else {
+                run(p, MachineModel::juropa_like(), body).results
+            }
+        };
+        let plain = go(false);
+        let inert = go(true);
+        for (a, b) in plain.iter().zip(&inert) {
+            assert_eq!(a.records, b.records, "records must match bit-for-bit");
+            assert_eq!(a.final_clock.to_bits(), b.final_clock.to_bits(), "clocks must match");
+            assert_eq!(a.final_state, b.final_state);
+            assert_eq!(b.recoveries, 0, "inert plans never trigger recovery");
+        }
+    }
+
+    #[test]
+    fn recovery_masks_injected_stall_and_timeouts_bitwise() {
+        // A scheduled rank stall plus an aggressive wait timeout: the
+        // recovery loop must roll back to the in-memory checkpoint and
+        // replay, and the recovered trajectory must be bitwise identical to
+        // the unfaulted run — energies, movement, final particle state.
+        let c = IonicCrystal::cubic(6, 1.0, 0.2, 42);
+        let bbox = c.system_box();
+        let p = 4;
+        let cfg = SimConfig {
+            solver: SolverKind::Fmm,
+            resort: true,
+            exploit_movement: false,
+            steps: 6,
+            ..SimConfig::default()
+        };
+        let clean = {
+            let c = c.clone();
+            let cfg = cfg.clone();
+            run(p, MachineModel::juropa_like(), move |comm| {
+                let set = local_set(
+                    &c,
+                    InitialDistribution::Grid,
+                    comm.rank(),
+                    p,
+                    CartGrid::balanced(p).dims(),
+                );
+                simulate(comm, bbox, set, &cfg)
+            })
+            .results
+        };
+        let fault = FaultPlan {
+            stall: Some(StallSpec { rank: 1, after_ops: 120, seconds: 0.25 }),
+            wait_timeout_seconds: Some(1e-6),
+            ..FaultPlan::none()
+        };
+        let faulted = {
+            let c = c.clone();
+            let cfg = cfg.clone();
+            run_faulted(p, MachineModel::juropa_like(), fault, move |comm| {
+                let set = local_set(
+                    &c,
+                    InitialDistribution::Grid,
+                    comm.rank(),
+                    p,
+                    CartGrid::balanced(p).dims(),
+                );
+                simulate(comm, bbox, set, &cfg)
+            })
+            .results
+        };
+        let rec0 = faulted[0].recoveries;
+        assert!(rec0 >= 1, "the injected faults must trigger at least one recovery");
+        for (a, b) in clean.iter().zip(&faulted) {
+            assert_eq!(b.recoveries, rec0, "the recovery decision is collective");
+            assert_eq!(a.recoveries, 0);
+            assert_eq!(a.records.len(), b.records.len(), "replay must keep T+1 records");
+            for (ra, rb) in a.records.iter().zip(&b.records) {
+                assert_eq!(ra.step, rb.step);
+                assert_eq!(
+                    ra.energy.to_bits(),
+                    rb.energy.to_bits(),
+                    "step {}: faulted energy {} != clean {}",
+                    ra.step,
+                    rb.energy,
+                    ra.energy
+                );
+                assert_eq!(ra.max_move.to_bits(), rb.max_move.to_bits());
+            }
+            assert_eq!(a.final_state, b.final_state, "recovered state must be bitwise clean");
         }
     }
 

@@ -213,6 +213,89 @@ mod tests {
     }
 
     #[test]
+    fn movement_guard_falls_back_to_collective_on_lying_hint() {
+        use simcomm::{run_faulted, FaultPlan};
+        // A 4x2x2 grid has non-neighbouring rank pairs along x. Shift every
+        // particle by half the box in x (two subdomains), but pass a tiny
+        // movement hint: a lie. On a fault-injected world the guard must
+        // detect the out-of-neighbourhood targets, fall back to the
+        // collective exchange for that step, and produce output identical to
+        // an honest collective run; an honest small-movement step afterwards
+        // must still take the neighbourhood path with no fallback.
+        let c = IonicCrystal::cubic(6, 1.0, 0.05, 13);
+        let bbox = c.system_box();
+        let cfg = PmConfig::tuned(&bbox, 1e-3, 1.5);
+        let p = 16;
+        // Fault-active plan with no comm-level injections: only the guard
+        // engages.
+        let plan = FaultPlan { seed: 3, hint_lie_prob: 1.0, ..FaultPlan::none() };
+        run_faulted(p, MachineModel::ideal(), plan, move |comm| {
+            let dims = CartGrid::balanced(p).dims();
+            assert_eq!(dims, [4, 2, 2]);
+            let set = local_set(&c, InitialDistribution::Grid, comm.rank(), p, dims);
+            let mut solver = PmSolver::new(bbox, cfg.clone(), p);
+            let o1 = solver.run(
+                comm,
+                &set.pos,
+                &set.charge,
+                &set.id,
+                RedistMethod::UseChanged,
+                None,
+                usize::MAX,
+            );
+            let shift = particles::Vec3::new(0.5 * bbox.lengths.x(), 0.0, 0.0);
+            let moved: Vec<particles::Vec3> =
+                o1.pos.iter().map(|&x| bbox.wrap(x + shift)).collect();
+            // Honest collective reference on the shifted data.
+            let o_coll = solver.run(
+                comm,
+                &moved,
+                &o1.charge,
+                &o1.id,
+                RedistMethod::UseChanged,
+                None,
+                usize::MAX,
+            );
+            assert!(!solver.last_report.used_neighborhood);
+            assert_eq!(solver.guard_fallbacks, 0);
+            // The lie: claim almost nothing moved.
+            let o_guard = solver.run(
+                comm,
+                &moved,
+                &o1.charge,
+                &o1.id,
+                RedistMethod::UseChanged,
+                Some(1e-3),
+                usize::MAX,
+            );
+            assert!(
+                solver.last_report.movement_guard_fallback,
+                "the guard must detect out-of-neighbourhood targets"
+            );
+            assert!(!solver.last_report.used_neighborhood);
+            assert_eq!(solver.guard_fallbacks, 1);
+            assert_eq!(o_guard.id, o_coll.id, "fallback must deliver the collective result");
+            assert_eq!(o_guard.pos, o_coll.pos);
+            assert_eq!(o_guard.resort_indices, o_coll.resort_indices);
+            assert_eq!(o_guard.potential, o_coll.potential, "identical exchange, identical bits");
+            // An honest small step keeps the neighbourhood path guard-free.
+            let o_honest = solver.run(
+                comm,
+                &o_guard.pos,
+                &o_guard.charge,
+                &o_guard.id,
+                RedistMethod::UseChanged,
+                Some(1e-3),
+                usize::MAX,
+            );
+            assert!(solver.last_report.used_neighborhood);
+            assert!(!solver.last_report.movement_guard_fallback);
+            assert_eq!(solver.guard_fallbacks, 1, "no new fallback on an honest step");
+            o_honest.id.len()
+        });
+    }
+
+    #[test]
     fn capacity_fallback_restores_original() {
         let c = IonicCrystal::cubic(4, 1.0, 0.1, 9);
         let bbox = c.system_box();

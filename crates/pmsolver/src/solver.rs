@@ -107,6 +107,12 @@ pub struct PmRunReport {
     /// Whether the resort-index exchange was skipped because all ranks
     /// detected an identity placement (quiet timestep under a valid plan).
     pub resort_exchange_skipped: bool,
+    /// Whether the movement-bound guard detected a particle whose new owner
+    /// lies outside the 26-neighbourhood (the movement hint under-reported
+    /// the real displacement) and fell back to the collective all-to-all for
+    /// this step. Only ever set on fault-injected worlds; see
+    /// [`PmSolver::run`].
+    pub movement_guard_fallback: bool,
 }
 
 /// Message tag of the persistent ghost-exchange plan.
@@ -170,6 +176,9 @@ pub struct PmSolver {
     pub plan_builds: u64,
     /// Runs that re-executed a cached ghost-plan epoch.
     pub plan_hits: u64,
+    /// Movement-bound guard fallbacks over the solver lifetime (neighbourhood
+    /// exchanges abandoned for the collective all-to-all).
+    pub guard_fallbacks: u64,
     /// Report of the most recent run.
     pub last_report: PmRunReport,
 }
@@ -200,6 +209,7 @@ impl PmSolver {
             epoch: None,
             plan_builds: 0,
             plan_hits: 0,
+            guard_fallbacks: 0,
             last_report: PmRunReport::default(),
         }
     }
@@ -222,6 +232,16 @@ impl PmSolver {
         if !enabled {
             self.epoch = None;
         }
+    }
+
+    /// Drop all cached cross-timestep planning state (the ghost-plan epoch
+    /// with its accumulated-movement accounting). Recovery paths that rewind
+    /// the simulation call this on every rank before replaying; plan state is
+    /// bitwise invisible to the physics, so dropping it is always safe. The
+    /// decomposition-static scaffolding (26-neighbourhood, persistent
+    /// [`CommPlan`]) carries no movement state and is kept.
+    pub fn invalidate_plans(&mut self) {
+        self.epoch = None;
     }
 
     /// The prebuilt neighbourhood exchange mode of this rank (available after
@@ -348,6 +368,34 @@ impl PmSolver {
         }
         comm.compute(Work::ParticleOp, n_in as f64);
         self.last_report.redist_sent = targets.iter().filter(|&&t| t != me).count() as u64;
+        // Movement-bound guard (fault-injected worlds only): a lying movement
+        // hint can select the neighbourhood exchange while some particle's
+        // new owner lies outside the 26-neighbourhood — the grouped exchange
+        // would panic on the unreachable target. Check the claim against the
+        // actual targets (one pass plus one allreduce, piggybacking the
+        // existing capacity/quiet reduction pattern) and fall back to the
+        // collective all-to-all for this step when any rank sees a
+        // violation, dropping the cached ghost-plan epoch whose
+        // accumulated-movement accounting the lie corrupted. Both exchange
+        // modes deliver identical data (received particles are ordered by
+        // source rank either way), so the fallback changes cost, never
+        // results. Honest hints always pass: movement below the smallest
+        // subdomain width cannot carry a particle past a direct neighbour.
+        let mut use_neighborhood = use_neighborhood;
+        if use_neighborhood && comm.fault_active() {
+            let ExchangeMode::Neighborhood(neighbors) = &statics.neighborhood_mode else {
+                unreachable!("statics always hold a neighbourhood mode")
+            };
+            let ok_local = targets.iter().all(|&t| t == me || neighbors.contains(&t));
+            comm.compute(Work::ParticleOp, n_in as f64);
+            if !comm.allreduce(ok_local, |a, b| a && b) {
+                use_neighborhood = false;
+                self.last_report.used_neighborhood = false;
+                self.last_report.movement_guard_fallback = true;
+                self.guard_fallbacks += 1;
+                self.epoch = None;
+            }
+        }
         let mut owned = alltoall_specific(
             comm,
             &records,

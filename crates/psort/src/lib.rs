@@ -31,8 +31,8 @@ mod partition;
 
 pub use local::{bucket_bounds, is_sorted, kway_merge, radix_sort_by_key};
 pub use merge::{
-    is_globally_sorted, merge_exchange_sort_by_key, merge_exchange_sort_by_key_planned,
-    MergeSortReport, SortPlan,
+    is_globally_sorted, merge_exchange_sort_by_key, merge_exchange_sort_by_key_capped,
+    merge_exchange_sort_by_key_planned, MergeSortReport, SortPlan,
 };
 pub use network::{merge_exchange_comparators, merge_exchange_rounds};
 pub use partition::{partition_sort_by_key, PartitionSortReport};

@@ -35,6 +35,12 @@ pub struct MergeSortReport {
     /// Network rounds skipped outright (not even probed) because a cached
     /// [`SortPlan`] proved them quiet on the previous execution.
     pub rounds_plan_skipped: u64,
+    /// `true` if the sort gave up before reaching global sortedness because
+    /// the caller's cleanup-round cap was hit (see
+    /// [`merge_exchange_sort_by_key_capped`]). The per-rank data is still
+    /// locally sorted with counts preserved, but the *global* order is not
+    /// guaranteed — the caller must fall back to a general sort.
+    pub cleanup_cap_hit: bool,
 }
 
 /// A cached probe schedule for the merge-exchange network: which of this
@@ -139,7 +145,7 @@ fn compare_split<T: Copy + Send + 'static>(
     comm.compute(Work::ByteCopy, (n_mine * std::mem::size_of::<(u64, T)>()) as f64);
     let outgoing: Vec<(u64, T)> = keys.iter().copied().zip(values.iter().copied()).collect();
     let tx = comm.isend(partner, TAG_DATA, outgoing);
-    let incoming = comm.wait(rx).expect("data receive yields data");
+    let incoming = comm.wait_recv(rx);
 
     // Deterministic stable merge: on equal keys the lower rank's elements come
     // first, so both sides compute the identical union order.
@@ -229,7 +235,7 @@ pub fn merge_exchange_sort_by_key<T>(
 where
     T: Copy + Send + 'static,
 {
-    let (k, v, report, _) = merge_sort_impl(comm, keys, values, Planning::Off);
+    let (k, v, report, _) = merge_sort_impl(comm, keys, values, Planning::Off, u64::MAX);
     (k, v, report)
 }
 
@@ -250,7 +256,34 @@ pub fn merge_exchange_sort_by_key_planned<T>(
 where
     T: Copy + Send + 'static,
 {
-    merge_sort_impl(comm, keys, values, Planning::On(plan))
+    merge_sort_impl(comm, keys, values, Planning::On(plan), u64::MAX)
+}
+
+/// Movement-bound-guarded variant of [`merge_exchange_sort_by_key_planned`]:
+/// identical, except the odd-even transposition cleanup phase runs at most
+/// `max_cleanup_rounds` rounds. The merge-exchange network is only cheap when
+/// the data is *almost* sorted; if a movement hint under-reported the real
+/// displacement, cleanup can degenerate into a full O(p)-round transposition
+/// sort. Capping it bounds the damage: when the cap is hit the sort stops with
+/// [`MergeSortReport::cleanup_cap_hit`] set (and no [`SortPlan`]), leaving
+/// each rank's data locally sorted with counts preserved — *not* globally
+/// sorted — so the caller can fall back to a general partition sort.
+///
+/// The cap decision is collective: `cleanup_rounds` advances identically on
+/// every rank (the sortedness check is an allgather), so either all ranks hit
+/// the cap or none do. Passing `u64::MAX` makes this function bit-for-bit
+/// identical to [`merge_exchange_sort_by_key_planned`].
+pub fn merge_exchange_sort_by_key_capped<T>(
+    comm: &mut Comm,
+    keys: Vec<u64>,
+    values: Vec<T>,
+    plan: Option<&SortPlan>,
+    max_cleanup_rounds: u64,
+) -> (Vec<u64>, Vec<T>, MergeSortReport, Option<SortPlan>)
+where
+    T: Copy + Send + 'static,
+{
+    merge_sort_impl(comm, keys, values, Planning::On(plan), max_cleanup_rounds)
 }
 
 fn merge_sort_impl<T>(
@@ -258,6 +291,7 @@ fn merge_sort_impl<T>(
     keys: Vec<u64>,
     values: Vec<T>,
     planning: Planning<'_>,
+    max_cleanup_rounds: u64,
 ) -> (Vec<u64>, Vec<T>, MergeSortReport, Option<SortPlan>)
 where
     T: Copy + Send + 'static,
@@ -328,6 +362,11 @@ where
         if is_globally_sorted(comm, &keys) {
             break;
         }
+        if report.cleanup_rounds >= max_cleanup_rounds {
+            // Collective by construction: every rank counts the same rounds.
+            report.cleanup_cap_hit = true;
+            break;
+        }
         report.cleanup_rounds += 1;
         // One even phase (slot pairs (0,1),(2,3),...) and one odd phase
         // (pairs (1,2),(3,4),...) per cleanup round, over non-empty slots.
@@ -350,7 +389,7 @@ where
     // A sort that needed cleanup ran comparators outside the recorded network
     // outcomes — its quiet set is unreliable, so no plan is returned and the
     // next execution probes every round afresh.
-    let next_plan = if record && report.cleanup_rounds == 0 {
+    let next_plan = if record && report.cleanup_rounds == 0 && !report.cleanup_cap_hit {
         if prior.is_none() {
             comm.note_plan_build(comm.clock(), quiet_rounds.len() as u64);
         }
@@ -597,6 +636,59 @@ mod tests {
         });
         for &skipped in &out.results {
             assert_eq!(skipped, 0, "a plan for another world size must not skip anything");
+        }
+    }
+
+    #[test]
+    fn capped_sort_with_max_cap_matches_planned_exactly() {
+        let out = run(6, MachineModel::juropa_like(), |comm| {
+            let me = comm.rank();
+            let mk = || {
+                let keys: Vec<u64> =
+                    (0..50 + me * 13).map(|i| splitmix((me * 131 + i) as u64)).collect();
+                let values = keys.clone();
+                (keys, values)
+            };
+            let (keys, values) = mk();
+            let (k1, v1, rep1, _) = merge_exchange_sort_by_key_planned(comm, keys, values, None);
+            let t1 = comm.clock();
+            let (keys, values) = mk();
+            let (k2, v2, rep2, _) =
+                merge_exchange_sort_by_key_capped(comm, keys, values, None, u64::MAX);
+            let t2 = comm.clock() - t1;
+            assert_eq!((k1, v1, rep1), (k2, v2, rep2.clone()));
+            assert!(!rep2.cleanup_cap_hit);
+            (t1, t2)
+        });
+        for &(t1, t2) in &out.results {
+            assert!((t1 - t2).abs() < 1e-12, "uncapped cap must not change timing");
+        }
+    }
+
+    #[test]
+    fn capped_sort_gives_up_collectively_and_preserves_counts() {
+        // Adversarial: one rank holds almost everything, in reverse of the
+        // global order, while the others hold single small keys. The Batcher
+        // network's count-preserving compare-splits cannot fix this in one
+        // transposition round (this input needs two), so a cap of 1 must stop
+        // the sort on every rank in the same round, flag it, preserve local
+        // sortedness and counts, and refuse to record a plan.
+        let p = 6;
+        let counts: Vec<usize> = (0..p).map(|r| if r == 0 { 300 } else { 1 }).collect();
+        let out = run(p, MachineModel::ideal(), move |comm| {
+            let me = comm.rank();
+            let keys: Vec<u64> =
+                if me == 0 { (0..300u64).map(|i| u64::MAX - i).collect() } else { vec![me as u64] };
+            let values = keys.clone();
+            let (k, _, rep, plan) = merge_exchange_sort_by_key_capped(comm, keys, values, None, 1);
+            (k, rep, plan.is_some())
+        });
+        for (r, (k, rep, has_plan)) in out.results.iter().enumerate() {
+            assert!(rep.cleanup_cap_hit, "rank {r}: cap must be hit");
+            assert_eq!(rep.cleanup_rounds, 1, "rank {r}: exactly the capped rounds ran");
+            assert!(!has_plan, "rank {r}: a capped-out sort must not record a plan");
+            assert_eq!(k.len(), counts[r], "rank {r}: counts preserved");
+            assert!(is_sorted(k), "rank {r}: local order preserved");
         }
     }
 

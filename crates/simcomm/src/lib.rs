@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 mod cart;
+mod fault;
 mod model;
 mod phase;
 mod plan;
@@ -43,10 +44,13 @@ mod trace;
 mod world;
 
 pub use cart::CartGrid;
+pub use fault::{FaultPlan, StallSpec};
 pub use model::{
     balanced_dims, torus_coords, torus_hops, ComputeRates, MachineModel, Topology, Work,
 };
 pub use phase::{aggregate_phases, PhaseAgg, PhaseProfile, PhaseSegment, PhaseStats, UNTAGGED};
 pub use plan::CommPlan;
 pub use trace::{write_trace_csv, Trace, TraceEvent, TraceKind};
-pub use world::{run, run_traced, Comm, RankStats, Request, RunOutput};
+pub use world::{
+    run, run_faulted, run_faulted_traced, run_traced, Comm, RankStats, Request, RunOutput,
+};

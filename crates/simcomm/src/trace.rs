@@ -36,6 +36,18 @@ pub enum TraceKind {
     /// planned exchange; the individual `isend`/`recv`/`wait` events it is
     /// composed of are traced separately.
     PlanExec,
+    /// An injected fault (transient send loss, latency spike, straggler
+    /// slowdown or scheduled stall) from the world's
+    /// [`crate::FaultPlan`]. The span covers any virtual time the fault
+    /// itself consumed (e.g. a stall); losses and spikes are recorded at the
+    /// moment of injection with a zero-length span.
+    Fault,
+    /// A retransmission of a transiently lost send: the span covers the
+    /// bounded exponential backoff plus the repeated CPU-side post overhead.
+    Retry,
+    /// A wait that exceeded the fault plan's timeout threshold: the span
+    /// covers the extra re-probe overhead charged for the timeout cycles.
+    Timeout,
 }
 
 impl TraceKind {
@@ -53,6 +65,9 @@ impl TraceKind {
             TraceKind::Alltoallv => "alltoallv",
             TraceKind::PlanBuild => "plan_build",
             TraceKind::PlanExec => "plan_exec",
+            TraceKind::Fault => "fault",
+            TraceKind::Retry => "retry",
+            TraceKind::Timeout => "timeout",
         }
     }
 }

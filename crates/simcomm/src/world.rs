@@ -19,6 +19,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
+use crate::fault::FaultPlan;
 use crate::model::{MachineModel, Work};
 use crate::phase::{aggregate_phases, PhaseAgg, PhaseProfile, PhaseSegment, PhaseStats};
 use crate::trace::{Trace, TraceKind};
@@ -84,6 +85,18 @@ struct Mailbox {
 ///
 /// The type parameter is the element type of the buffer being transferred;
 /// waiting on a receive request yields the matched `Vec<T>`.
+///
+/// # Completion contract
+///
+/// Every request, once waited on, **completes with data iff it is a receive**
+/// ([`Request::is_recv`]): waits return `Some(buffer)` for receive requests
+/// and `None` for send requests, deterministically — there is no cancelled or
+/// lost state observable through this API. This holds under an active
+/// [`FaultPlan`] too: a transiently lost send is retransmitted internally
+/// (after a bounded backoff charged to the cost model), a delayed message
+/// still arrives, and a timed-out wait only accrues extra cost. Callers that
+/// know a request's kind statically should use [`Comm::wait_recv`] for
+/// receives instead of unwrapping the `Option`.
 #[must_use = "a request does nothing until waited on"]
 pub struct Request<T> {
     kind: ReqKind,
@@ -142,15 +155,23 @@ pub(crate) struct WorldShared {
     bins: Vec<Mutex<Vec<BinEntry>>>,
     coll: Collective,
     poisoned: AtomicBool,
+    /// The world's fault-injection plan (inert for [`run`] / [`run_traced`]).
+    fault: FaultPlan,
+    /// Cached `fault.is_active()`: the single branch every hot-path fault
+    /// hook takes in clean worlds.
+    fault_active: bool,
 }
 
 impl WorldShared {
-    fn new(n: usize, model: MachineModel) -> Self {
+    fn new(n: usize, model: MachineModel, fault: FaultPlan) -> Self {
         let torus_dims = model.torus_dims(n);
+        let fault_active = fault.is_active();
         WorldShared {
             n,
             model,
             torus_dims,
+            fault,
+            fault_active,
             mailboxes: (0..n).map(|_| Mailbox::default()).collect(),
             bins: (0..n).map(|_| Mutex::new(Vec::new())).collect(),
             coll: Collective {
@@ -219,6 +240,15 @@ pub struct RankStats {
     /// Executions of payload through previously built plans
     /// (see [`Comm::note_plan_exec`]).
     pub plan_execs: u64,
+    /// Faults injected on this rank (lost sends, latency spikes, the
+    /// straggler slowdown, a scheduled stall) — see [`crate::FaultPlan`].
+    pub faults_injected: u64,
+    /// Retransmissions of transiently lost sends.
+    pub retries: u64,
+    /// Wait-timeout cycles (waits exceeding the plan's timeout threshold).
+    pub timeouts: u64,
+    /// Scheduled stalls that fired on this rank (0 or 1 per run).
+    pub stalls: u64,
 }
 
 impl RankStats {
@@ -247,6 +277,16 @@ pub struct Comm {
     /// Virtual time the current attribution segment started.
     seg_start: f64,
     profile: PhaseProfile,
+    /// Monotonic send counter: the per-message fault-draw stream id.
+    fault_send_seq: u64,
+    /// Monotonic communication-operation counter (the stall trigger clock).
+    fault_ops: u64,
+    /// The scheduled stall fired on this rank already (stalls are one-shot).
+    fault_stall_fired: bool,
+    /// This rank is a straggler under the world's fault plan.
+    fault_straggler: bool,
+    /// The straggler slowdown has been counted/traced once already.
+    fault_straggler_noted: bool,
 }
 
 /// Result of running a world: per-rank return values, final clocks and stats.
@@ -306,7 +346,7 @@ where
     R: Send,
     F: Fn(&mut Comm) -> R + Send + Sync,
 {
-    run_with(n, model, false, f)
+    run_with(n, model, FaultPlan::none(), false, f)
 }
 
 /// Like [`run`], additionally recording a communication [`Trace`] per rank
@@ -316,16 +356,47 @@ where
     R: Send,
     F: Fn(&mut Comm) -> R + Send + Sync,
 {
-    run_with(n, model, true, f)
+    run_with(n, model, FaultPlan::none(), true, f)
 }
 
-fn run_with<R, F>(n: usize, model: MachineModel, traced: bool, f: F) -> RunOutput<R>
+/// Like [`run`], but injecting the deterministic faults described by `fault`
+/// (see [`FaultPlan`]). With [`FaultPlan::none`] this is exactly [`run`].
+pub fn run_faulted<R, F>(n: usize, model: MachineModel, fault: FaultPlan, f: F) -> RunOutput<R>
+where
+    R: Send,
+    F: Fn(&mut Comm) -> R + Send + Sync,
+{
+    run_with(n, model, fault, false, f)
+}
+
+/// Like [`run_faulted`], additionally recording a communication [`Trace`]
+/// per rank.
+pub fn run_faulted_traced<R, F>(
+    n: usize,
+    model: MachineModel,
+    fault: FaultPlan,
+    f: F,
+) -> RunOutput<R>
+where
+    R: Send,
+    F: Fn(&mut Comm) -> R + Send + Sync,
+{
+    run_with(n, model, fault, true, f)
+}
+
+fn run_with<R, F>(
+    n: usize,
+    model: MachineModel,
+    fault: FaultPlan,
+    traced: bool,
+    f: F,
+) -> RunOutput<R>
 where
     R: Send,
     F: Fn(&mut Comm) -> R + Send + Sync,
 {
     assert!(n >= 1, "world must have at least one rank");
-    let shared = Arc::new(WorldShared::new(n, model));
+    let shared = Arc::new(WorldShared::new(n, model, fault));
     type Slot<R> = Mutex<Option<(R, f64, RankStats, Trace, PhaseProfile)>>;
     let slots: Vec<Slot<R>> = (0..n).map(|_| Mutex::new(None)).collect();
     let panicked: Mutex<Option<String>> = Mutex::new(None);
@@ -341,6 +412,7 @@ where
                 .name(format!("rank-{rank}"))
                 .stack_size(RANK_STACK_BYTES)
                 .spawn_scoped(scope, move || {
+                    let straggler = shared.fault_active && shared.fault.straggles(rank);
                     let mut comm = Comm {
                         shared: Arc::clone(&shared),
                         rank,
@@ -351,6 +423,11 @@ where
                         phase_stack: Vec::new(),
                         seg_start: 0.0,
                         profile: PhaseProfile::default(),
+                        fault_send_seq: 0,
+                        fault_ops: 0,
+                        fault_stall_fired: false,
+                        fault_straggler: straggler,
+                        fault_straggler_noted: false,
                     };
                     let result = catch_unwind(AssertUnwindSafe(|| f(&mut comm)));
                     match result {
@@ -446,9 +523,23 @@ impl Comm {
     }
 
     /// Advance this rank's clock by `seconds` of (externally measured or
-    /// modelled) computation.
+    /// modelled) computation. On a straggler rank (see
+    /// [`FaultPlan::straggler_ranks`]) the time is inflated by the plan's
+    /// factor.
     pub fn advance(&mut self, seconds: f64) {
         debug_assert!(seconds >= 0.0, "cannot advance time backwards");
+        let seconds = if self.fault_straggler {
+            let t0 = self.clock;
+            let inflated = seconds * self.shared.fault.straggler_factor;
+            if !self.fault_straggler_noted && inflated > seconds {
+                self.fault_straggler_noted = true;
+                self.stats.faults_injected += 1;
+                self.trace_event(TraceKind::Fault, t0, 0, None);
+            }
+            inflated
+        } else {
+            seconds
+        };
         self.clock += seconds;
         self.stats.compute_seconds += seconds;
         if let Some(b) = self.top_bucket() {
@@ -631,6 +722,67 @@ impl Comm {
         self.shared.hops(self.rank, other)
     }
 
+    // -------------------------------------------------------------- faults
+
+    /// Whether this world runs under an active [`FaultPlan`]. Layers above
+    /// `simcomm` gate their defensive machinery (guard collectives, recovery
+    /// snapshots) on this so clean worlds stay bitwise identical to a build
+    /// without those layers.
+    #[inline]
+    pub fn fault_active(&self) -> bool {
+        self.shared.fault_active
+    }
+
+    /// The world's fault plan (inert unless the world was started with
+    /// [`crate::run_faulted`] / [`crate::run_faulted_traced`]).
+    #[inline]
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.shared.fault
+    }
+
+    /// One tick of the communication-operation clock that drives the
+    /// scheduled stall: called on every send post, receive completion and
+    /// collective entry. Fires the plan's one-shot stall when its trigger
+    /// count is reached, charging the stall as rendezvous wait.
+    fn fault_op_tick(&mut self) {
+        if !self.shared.fault_active {
+            return;
+        }
+        self.fault_ops += 1;
+        if self.fault_stall_fired {
+            return;
+        }
+        let Some(stall) = self.shared.fault.stall else { return };
+        if stall.rank == self.rank && self.fault_ops >= stall.after_ops {
+            self.fault_stall_fired = true;
+            let t0 = self.clock;
+            self.advance_wait(stall.seconds.max(0.0));
+            self.stats.faults_injected += 1;
+            self.stats.stalls += 1;
+            self.trace_event(TraceKind::Fault, t0, 0, None);
+        }
+    }
+
+    /// Timeout semantics of a completed wait: a rendezvous wait of
+    /// `wait_secs` that exceeds the plan's threshold charges one re-probe
+    /// overhead per elapsed timeout cycle (bounded by `max_retries`) and
+    /// counts the cycles.
+    fn fault_timeout_check(&mut self, wait_secs: f64, peer: Option<usize>) {
+        if !self.shared.fault_active {
+            return;
+        }
+        let Some(threshold) = self.shared.fault.wait_timeout_seconds else { return };
+        if threshold <= 0.0 || wait_secs <= threshold {
+            return;
+        }
+        let cycles =
+            ((wait_secs / threshold) as u64).min(self.shared.fault.max_retries.max(1) as u64);
+        let t0 = self.clock;
+        self.advance_comm(cycles as f64 * self.shared.model.p2p_overhead);
+        self.stats.timeouts += cycles;
+        self.trace_event(TraceKind::Timeout, t0, 0, peer);
+    }
+
     // ----------------------------------------------------------------- p2p
 
     /// Send a typed buffer to `dst` with a user `tag`. Buffered/eager: the
@@ -655,7 +807,36 @@ impl Comm {
         self.shared.check_poison();
         let bytes = (data.len() * std::mem::size_of::<T>()) as u64;
         self.advance_comm(self.shared.model.p2p_overhead);
-        let depart = self.nic_free.max(self.clock) + self.shared.model.nic_occupancy(bytes);
+        let mut spike = 0.0;
+        if self.shared.fault_active {
+            self.fault_op_tick();
+            self.fault_send_seq += 1;
+            let seq = self.fault_send_seq;
+            // Transient losses: each lost attempt is re-posted after a
+            // bounded exponential backoff. Faults delay, they never drop —
+            // the attempt after the last allowed retry always delivers.
+            let losses = self.shared.fault.send_losses(self.rank, dst, seq);
+            for attempt in 0..losses {
+                let t0 = self.clock;
+                self.stats.faults_injected += 1;
+                self.trace_event(TraceKind::Fault, t0, bytes, Some(dst));
+                let backoff =
+                    self.shared.fault.retry_backoff_seconds * (1u64 << attempt.min(16)) as f64;
+                self.advance_wait(backoff.max(0.0));
+                self.advance_comm(self.shared.model.p2p_overhead);
+                self.stats.retries += 1;
+                self.trace_event(TraceKind::Retry, t0, bytes, Some(dst));
+            }
+            // Latency spike: the delivered copy takes a slow path through
+            // the network; receivers see a late arrival.
+            spike = self.shared.fault.latency_spike(self.rank, dst, seq);
+            if spike > 0.0 {
+                let t0 = self.clock;
+                self.stats.faults_injected += 1;
+                self.trace_event(TraceKind::Fault, t0, bytes, Some(dst));
+            }
+        }
+        let depart = self.nic_free.max(self.clock) + self.shared.model.nic_occupancy(bytes) + spike;
         self.nic_free = depart;
         self.count_p2p_sent(1, bytes);
         let msg = Message { src: self.rank, tag, depart, bytes, payload: Box::new(data) };
@@ -720,6 +901,7 @@ impl Comm {
     /// communication, the gap to its arrival as rendezvous wait), record it,
     /// and unbox the payload.
     fn complete_recv<T: Send + 'static>(&mut self, msg: Message) -> (usize, Vec<T>) {
+        self.fault_op_tick();
         let t0 = self.clock;
         let arrival = self.arrival_of(&msg);
         let (comm, wait) = self.shared.model.completion_cost(self.clock, arrival);
@@ -727,6 +909,7 @@ impl Comm {
         self.advance_wait(wait);
         self.count_p2p_recv(1, msg.bytes);
         self.trace_event(TraceKind::Recv, t0, msg.bytes, Some(msg.src));
+        self.fault_timeout_check(wait, Some(msg.src));
         let data = msg
             .payload
             .downcast::<Vec<T>>()
@@ -738,8 +921,10 @@ impl Comm {
     /// has drained the message (no further overhead — it was paid at post).
     fn complete_send(&mut self, dst: usize, depart: f64) {
         let t0 = self.clock;
-        self.advance_wait((depart - self.clock).max(0.0));
+        let waited = (depart - self.clock).max(0.0);
+        self.advance_wait(waited);
         self.trace_event(TraceKind::Wait, t0, 0, Some(dst));
+        self.fault_timeout_check(waited, Some(dst));
     }
 
     /// Nonblocking send: deposit the message, pay only the CPU-side post
@@ -774,10 +959,25 @@ impl Comm {
         Request::new(ReqKind::Recv { src, tag })
     }
 
-    /// Wait for a single request. Returns the received buffer for a receive
-    /// request, `None` for a send request.
+    /// Wait for a single request. Returns `Some(buffer)` for a receive
+    /// request and `None` for a send request — by kind, never by outcome
+    /// (see the completion contract on [`Request`]).
     pub fn wait<T: Send + 'static>(&mut self, request: Request<T>) -> Option<Vec<T>> {
         self.waitall(vec![request]).pop().expect("one request in, one result out")
+    }
+
+    /// Wait for a receive request and return its buffer directly — the
+    /// uniform way to complete a request that is statically known to be a
+    /// receive, instead of unwrapping [`Comm::wait`]'s `Option` ad hoc.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `request` is a send request ([`Request::is_recv`] is
+    /// `false`); send requests complete without data by contract.
+    #[track_caller]
+    pub fn wait_recv<T: Send + 'static>(&mut self, request: Request<T>) -> Vec<T> {
+        assert!(request.is_recv(), "wait_recv called on a send request");
+        self.wait(request).expect("receive request yields data")
     }
 
     /// Wait for all requests, completing them in **arrival order** rather
@@ -785,7 +985,8 @@ impl Comm {
     /// outstanding transfer once, not every transfer's latency in sequence
     /// (see [`MachineModel::overlap_completion`]). Returns one entry per
     /// request, in *request order*: `Some(buffer)` for receives, `None` for
-    /// sends.
+    /// sends — by kind, never by outcome (see the completion contract on
+    /// [`Request`]).
     ///
     /// Completion order — and therefore every clock and statistic — is a
     /// deterministic function of virtual departure/arrival times, independent
@@ -964,6 +1165,7 @@ impl Comm {
         A: Send + Sync + 'static,
         C: FnOnce(Vec<T>) -> A,
     {
+        self.fault_op_tick();
         self.count_coll(1, 0);
         let coll = &self.shared.coll;
         let mut st = lock(&coll.m);
@@ -1231,6 +1433,8 @@ impl Comm {
             requests.push(self.isend(dst, tag, buf));
         }
         let results = self.waitall(requests);
+        // Receive slots are always `Some` by the completion contract on
+        // `Request`; the tail of `results` holds the send slots.
         let mut out: Vec<(usize, Vec<T>)> = partners
             .iter()
             .zip(results)
@@ -1286,6 +1490,7 @@ fn check_partner_list<T>(partners: &[usize], data: &[(usize, Vec<T>)]) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::StallSpec;
     use crate::model::MachineModel;
 
     #[test]
@@ -1837,6 +2042,163 @@ mod tests {
             // The send buffer names this rank itself instead of the partner:
             // without the check this would deadlock silently.
             let _ = comm.neighbor_exchange(&[peer], vec![(comm.rank(), vec![1u8])], 0);
+        });
+    }
+
+    /// A p2p + collective workload used by the fault-injection tests.
+    fn fault_workload(comm: &mut Comm) -> (Vec<u64>, RankStats) {
+        let r = comm.rank();
+        let n = comm.size();
+        comm.compute(Work::ParticleOp, 200.0 * (r + 1) as f64);
+        let partners: Vec<usize> = vec![(r + 1) % n, (r + n - 1) % n];
+        let mut partners = partners;
+        partners.sort_unstable();
+        partners.dedup();
+        partners.retain(|&q| q != r);
+        let data: Vec<(usize, Vec<u64>)> =
+            partners.iter().map(|&q| (q, vec![(r * 100 + q) as u64; 8])).collect();
+        let got = comm.neighbor_exchange(&partners, data, 3);
+        let mut flat: Vec<u64> = got.into_iter().flat_map(|(_, b)| b).collect();
+        flat.push(comm.allreduce(r as u64, |a, b| a + b));
+        comm.barrier();
+        (flat, comm.stats().clone())
+    }
+
+    #[test]
+    fn faulted_run_is_deterministic_and_fully_accounted() {
+        let plan = || FaultPlan {
+            seed: 42,
+            send_loss_prob: 0.4,
+            max_retries: 3,
+            retry_backoff_seconds: 2e-6,
+            latency_spike_prob: 0.3,
+            latency_spike_seconds: 30e-6,
+            straggler_ranks: vec![1],
+            straggler_factor: 2.0,
+            wait_timeout_seconds: Some(1e-6),
+            ..FaultPlan::none()
+        };
+        let run_once = || run_faulted(6, MachineModel::juropa_like(), plan(), fault_workload);
+        let (a, b) = (run_once(), run_once());
+        assert_eq!(a.clocks, b.clocks, "faulted clocks must be reproducible");
+        for r in 0..6 {
+            assert_eq!(a.results[r].0, b.results[r].0, "rank {r} data");
+            assert_eq!(a.results[r].1, b.results[r].1, "rank {r} stats");
+            // The clock decomposition stays exhaustive under injection: every
+            // fault charge goes through comm or wait accounting.
+            let st = &a.stats[r];
+            assert!(
+                (st.total_seconds() - a.clocks[r]).abs() <= 1e-9 * a.clocks[r].max(1.0),
+                "rank {r}: {} vs clock {}",
+                st.total_seconds(),
+                a.clocks[r]
+            );
+        }
+        let faults: u64 = a.stats.iter().map(|s| s.faults_injected).sum();
+        let retries: u64 = a.stats.iter().map(|s| s.retries).sum();
+        assert!(faults > 0, "p=0.4 loss and p=0.3 spike must inject something");
+        assert!(retries > 0, "lost sends must be retransmitted");
+    }
+
+    #[test]
+    fn faults_never_change_data() {
+        let clean = run(6, MachineModel::juqueen_like(), fault_workload);
+        let plan = FaultPlan {
+            seed: 7,
+            send_loss_prob: 0.5,
+            retry_backoff_seconds: 1e-6,
+            latency_spike_prob: 0.5,
+            latency_spike_seconds: 50e-6,
+            straggler_ranks: vec![0, 3],
+            straggler_factor: 3.0,
+            stall: Some(StallSpec { rank: 2, after_ops: 3, seconds: 1e-3 }),
+            wait_timeout_seconds: Some(1e-6),
+            ..FaultPlan::none()
+        };
+        let faulted = run_faulted(6, MachineModel::juqueen_like(), plan, fault_workload);
+        for r in 0..6 {
+            assert_eq!(clean.results[r].0, faulted.results[r].0, "rank {r} payloads must match");
+        }
+        assert!(faulted.makespan() > clean.makespan(), "faults must cost time");
+    }
+
+    #[test]
+    fn run_faulted_with_inert_plan_matches_run_exactly() {
+        let clean = run(4, MachineModel::juropa_like(), fault_workload);
+        let inert = run_faulted(4, MachineModel::juropa_like(), FaultPlan::none(), fault_workload);
+        assert_eq!(clean.clocks, inert.clocks);
+        for r in 0..4 {
+            assert_eq!(clean.results[r].0, inert.results[r].0);
+            assert_eq!(clean.results[r].1, inert.results[r].1);
+            assert_eq!(clean.stats[r], inert.stats[r]);
+        }
+    }
+
+    #[test]
+    fn stall_fires_once_and_is_charged_as_wait() {
+        let plan = FaultPlan {
+            seed: 1,
+            stall: Some(StallSpec { rank: 1, after_ops: 2, seconds: 0.5 }),
+            ..FaultPlan::none()
+        };
+        let out = run_faulted_traced(3, MachineModel::ideal(), plan, |comm| {
+            for _ in 0..4 {
+                comm.barrier();
+            }
+            comm.stats().clone()
+        });
+        assert_eq!(out.results[1].stalls, 1, "the stall is one-shot");
+        assert_eq!(out.results[0].stalls + out.results[2].stalls, 0);
+        assert!(out.results[1].wait_seconds >= 0.5, "stall charged as wait");
+        let fault_events =
+            out.traces[1].events.iter().filter(|e| e.kind == TraceKind::Fault).count();
+        assert_eq!(fault_events, 1);
+        // Everyone syncs behind the stalled rank at the next barrier.
+        assert!(out.clocks.iter().all(|&c| c >= 0.5));
+    }
+
+    #[test]
+    fn timeouts_are_counted_and_traced() {
+        // Rank 0 delays its send by a long compute; rank 1's wait then blows
+        // through the 1 µs timeout threshold.
+        let plan = FaultPlan { seed: 3, wait_timeout_seconds: Some(1e-6), ..FaultPlan::none() };
+        let out = run_faulted_traced(2, MachineModel::juropa_like(), plan, |comm| {
+            if comm.rank() == 0 {
+                comm.advance(1.0);
+                comm.send(1, 0, vec![9u8]);
+            } else {
+                let _ = comm.recv::<u8>(0, 0);
+            }
+            comm.stats().clone()
+        });
+        assert!(out.results[1].timeouts > 0, "the long wait must count timeout cycles");
+        assert!(out.traces[1].events.iter().any(|e| e.kind == TraceKind::Timeout));
+        let st = &out.results[1];
+        assert!((st.total_seconds() - out.clocks[1]).abs() <= 1e-9 * out.clocks[1].max(1.0));
+    }
+
+    #[test]
+    fn wait_recv_returns_buffer_directly() {
+        let out = run(2, MachineModel::ideal(), |comm| {
+            let peer = 1 - comm.rank();
+            let rx = comm.irecv::<u32>(peer, 0);
+            let tx = comm.isend(peer, 0, vec![comm.rank() as u32 + 10]);
+            let got = comm.wait_recv(rx);
+            let _ = comm.wait(tx);
+            got
+        });
+        assert_eq!(out.results, vec![vec![11], vec![10]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "wait_recv called on a send request")]
+    fn wait_recv_rejects_send_requests() {
+        run(2, MachineModel::ideal(), |comm| {
+            let peer = 1 - comm.rank();
+            let rx = comm.irecv::<u32>(peer, 0);
+            let tx = comm.isend(peer, 0, vec![1u32]);
+            let _ = comm.wait_recv(tx); // wrong kind: must panic
+            let _ = comm.wait(rx);
         });
     }
 
