@@ -12,9 +12,10 @@
 
 use bench::{banner, fmt_secs, report_summary, Args, RunEntry, RunReport};
 use particles::systems::splitmix64;
-use simcomm::{run, CartGrid, MachineModel};
+use simcomm::{CartGrid, Engine, MachineModel, Runner};
 
-fn sort_ablation(per_rank: usize, report: &mut RunReport) {
+fn sort_ablation(per_rank: usize, engine: Engine, report: &mut RunReport) {
+    let runner = Runner::new(engine);
     println!("\n[1] partition-based vs merge-based parallel sort ({per_rank} keys/rank)");
     println!(
         "{:<8} {:<14} {:>14} {:>14} {:>10}",
@@ -23,7 +24,7 @@ fn sort_ablation(per_rank: usize, report: &mut RunReport) {
     for p in [16usize, 64, 256] {
         for sortedness in ["random", "almost-sorted"] {
             let sorted = sortedness == "almost-sorted";
-            let out = run(p, MachineModel::juropa_like(), move |comm| {
+            let out = runner.run(p, MachineModel::juropa_like(), move |comm| {
                 let me = comm.rank();
                 let keys: Vec<u64> = (0..per_rank)
                     .map(|i| {
@@ -65,7 +66,8 @@ fn sort_ablation(per_rank: usize, report: &mut RunReport) {
     println!("(the paper's heuristic picks merge-exchange only for almost-sorted data)");
 }
 
-fn comm_ablation(bytes: usize, report: &mut RunReport) {
+fn comm_ablation(bytes: usize, engine: Engine, report: &mut RunReport) {
+    let runner = Runner::new(engine);
     println!("\n[2] collective vs neighbourhood exchange (26 partners, {bytes} B each)");
     println!(
         "{:<10} {:<22} {:>14} {:>14} {:>10}",
@@ -76,7 +78,7 @@ fn comm_ablation(bytes: usize, report: &mut RunReport) {
             ("juropa-like/switched", MachineModel::juropa_like()),
             ("juqueen-like/torus", MachineModel::juqueen_like()),
         ] {
-            let out = run(p, model, move |comm| {
+            let out = runner.run(p, model, move |comm| {
                 let grid = CartGrid::balanced(comm.size());
                 let partners = grid.neighbors26(comm.rank());
                 let payload = vec![0u8; bytes];
@@ -108,7 +110,8 @@ fn comm_ablation(bytes: usize, report: &mut RunReport) {
     println!("(the torus flips to p2p at scale — the paper's Fig. 9 right crossover)");
 }
 
-fn ghost_ablation(report: &mut RunReport) {
+fn ghost_ablation(engine: Engine, report: &mut RunReport) {
+    let runner = Runner::new(engine);
     println!("\n[3] ghost-layer volume vs cutoff radius (particle-mesh solver)");
     println!("{:<10} {:>12} {:>14} {:>14}", "rcut", "ghosts", "sort time", "near pairs");
     let c = particles::IonicCrystal::cubic(12, 1.0, 0.15, 3);
@@ -116,7 +119,7 @@ fn ghost_ablation(report: &mut RunReport) {
     let p = 8;
     for rcut in [1.0f64, 2.0, 3.0, 4.0] {
         let c = c.clone();
-        let out = run(p, MachineModel::juropa_like(), move |comm| {
+        let out = runner.run(p, MachineModel::juropa_like(), move |comm| {
             let dims = CartGrid::balanced(p).dims();
             let set = particles::local_set(
                 &c,
@@ -148,18 +151,20 @@ fn ghost_ablation(report: &mut RunReport) {
 }
 
 fn main() {
-    let args = Args::parse(&["keys", "bytes"]);
+    let args = Args::parse(&["keys", "bytes", "engine"]);
     let keys: usize = args.get("keys", 2000);
     let bytes: usize = args.get("bytes", 4096);
+    let engine = args.engine(Engine::Threaded);
     banner(
         "Ablations — design choices of the paper's Sect. III",
         "sorting algorithm switch, exchange-mode switch, ghost-layer width",
     );
     let mut report = RunReport::new("ablation", "mixed");
+    report.param("engine", engine.name());
     report.param("keys", keys);
     report.param("bytes", bytes);
-    sort_ablation(keys, &mut report);
-    comm_ablation(bytes, &mut report);
-    ghost_ablation(&mut report);
+    sort_ablation(keys, engine, &mut report);
+    comm_ablation(bytes, engine, &mut report);
+    ghost_ablation(engine, &mut report);
     report_summary(&report.write("ablation"), &report);
 }

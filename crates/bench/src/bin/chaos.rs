@@ -40,13 +40,14 @@ fn short_name(model: &MachineModel) -> &str {
 }
 
 fn main() {
-    let args = Args::parse(&["cells", "procs", "steps", "tolerance", "seed", "jitter"]);
+    let args = Args::parse(&["cells", "procs", "steps", "tolerance", "seed", "jitter", "engine"]);
     let cells: usize = args.get("cells", 6);
     let procs: usize = args.get("procs", 16);
     let steps: usize = args.get("steps", 6);
     let tolerance: f64 = args.get("tolerance", 1e-2);
     let seed: u64 = args.get("seed", 11);
     let jitter: f64 = args.get("jitter", 0.15);
+    let engine = args.engine(simcomm::Engine::Threaded);
     let intensities = [0.0, 0.25, 0.5, 1.0];
 
     let mut crystal = IonicCrystal::cubic(cells, 1.0, 0.0, seed);
@@ -62,6 +63,7 @@ fn main() {
     );
 
     let mut report = RunReport::new("chaos", "mixed");
+    report.param("engine", engine.name());
     report.param("cells", cells);
     report.param("procs", procs);
     report.param("steps", steps);
@@ -96,6 +98,7 @@ fn main() {
         // Clean reference: the trajectory every faulted variant must match.
         let (clean_recs, _, clean_entry) = bench::run_md_world(
             model.clone(),
+            engine,
             procs,
             &crystal,
             InitialDistribution::Grid,
@@ -108,6 +111,7 @@ fn main() {
             let plan = FaultPlan::chaos(seed ^ (intensity * 16.0) as u64, intensity);
             let (guarded_recs, recoveries, guarded_entry) = bench::run_md_world_faulted(
                 model.clone(),
+                engine,
                 procs,
                 &crystal,
                 InitialDistribution::Grid,
@@ -116,6 +120,7 @@ fn main() {
             );
             let (general_recs, _, general_entry) = bench::run_md_world_faulted(
                 model.clone(),
+                engine,
                 procs,
                 &crystal,
                 InitialDistribution::Grid,

@@ -22,11 +22,12 @@ use particles::{InitialDistribution, IonicCrystal};
 use simcomm::MachineModel;
 
 fn main() {
-    let args = Args::parse(&["cells", "procs", "tolerance", "seed"]);
+    let args = Args::parse(&["cells", "procs", "tolerance", "seed", "engine"]);
     let cells: usize = args.get("cells", 44);
     let procs: usize = args.get("procs", 256);
     let tolerance: f64 = args.get("tolerance", 1e-3);
     let seed: u64 = args.get("seed", 1);
+    let engine = args.engine(simcomm::Engine::Threaded);
 
     let crystal = IonicCrystal::paper_like(cells, seed);
     banner(
@@ -48,6 +49,7 @@ fn main() {
         "solver", "distribution", "total", "sort", "restore"
     );
     let mut report = RunReport::new("fig6", "juropa_like");
+    report.param("engine", engine.name());
     report.param("cells", cells);
     report.param("procs", procs);
     report.param("tolerance", tolerance);
@@ -59,8 +61,14 @@ fn main() {
             // interactions, line 5 of the paper's Fig. 3).
             let cfg =
                 SimConfig { solver, resort: false, steps: 0, tolerance, ..SimConfig::default() };
-            let (records, _, entry) =
-                bench::run_md_world(MachineModel::juropa_like(), procs, &crystal, dist, &cfg);
+            let (records, _, entry) = bench::run_md_world(
+                MachineModel::juropa_like(),
+                engine,
+                procs,
+                &crystal,
+                dist,
+                &cfg,
+            );
             report.push(format!("{solver:?}/{}", dist.label()), entry);
             let r = &records[0];
             println!(

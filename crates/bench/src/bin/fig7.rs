@@ -20,12 +20,13 @@ use particles::{InitialDistribution, IonicCrystal};
 use simcomm::MachineModel;
 
 fn main() {
-    let args = Args::parse(&["cells", "procs", "tolerance", "steps", "seed"]);
+    let args = Args::parse(&["cells", "procs", "tolerance", "steps", "seed", "engine"]);
     let cells: usize = args.get("cells", 32);
     let procs: usize = args.get("procs", 256);
     let tolerance: f64 = args.get("tolerance", 1e-2);
     let steps: usize = args.get("steps", 8);
     let seed: u64 = args.get("seed", 1);
+    let engine = args.engine(simcomm::Engine::Threaded);
 
     let crystal = IonicCrystal::paper_like(cells, seed);
     let dt = mdsim::suggested_dt(crystal.spacing, 1.0);
@@ -40,6 +41,7 @@ fn main() {
     let _ = aggregate_steps; // (re-exported for doc discoverability)
 
     let mut report = RunReport::new("fig7", "juropa_like");
+    report.param("engine", engine.name());
     report.param("cells", cells);
     report.param("procs", procs);
     report.param("tolerance", tolerance);
@@ -56,6 +58,7 @@ fn main() {
             let cfg = SimConfig { solver, resort, steps, tolerance, dt, ..SimConfig::default() };
             let (records, _, entry) = bench::run_md_world(
                 MachineModel::juropa_like(),
+                engine,
                 procs,
                 &crystal,
                 InitialDistribution::Random,

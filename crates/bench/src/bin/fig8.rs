@@ -20,8 +20,17 @@ use particles::{InitialDistribution, IonicCrystal};
 use simcomm::MachineModel;
 
 fn main() {
-    let args =
-        Args::parse(&["cells", "procs", "tolerance", "steps", "seed", "mass", "every", "jitter"]);
+    let args = Args::parse(&[
+        "cells",
+        "procs",
+        "tolerance",
+        "steps",
+        "seed",
+        "mass",
+        "every",
+        "jitter",
+        "engine",
+    ]);
     let cells: usize = args.get("cells", 24);
     let procs: usize = args.get("procs", 256);
     let tolerance: f64 = args.get("tolerance", 1e-2);
@@ -31,6 +40,7 @@ fn main() {
     let every: usize = args.get("every", (steps / 20).max(1));
 
     let jitter: f64 = args.get("jitter", 0.15);
+    let engine = args.engine(simcomm::Engine::Threaded);
     let mut crystal = IonicCrystal::paper_like(cells, seed);
     crystal.jitter = jitter * crystal.spacing;
     let dt = mdsim::suggested_dt(crystal.spacing, 1.0);
@@ -44,6 +54,7 @@ fn main() {
     );
 
     let mut report = RunReport::new("fig8", "juropa_like");
+    report.param("engine", engine.name());
     report.param("cells", cells);
     report.param("procs", procs);
     report.param("tolerance", tolerance);
@@ -69,6 +80,7 @@ fn main() {
             };
             bench::run_md_world(
                 MachineModel::juropa_like(),
+                engine,
                 procs,
                 &crystal,
                 InitialDistribution::Grid,

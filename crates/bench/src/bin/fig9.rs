@@ -34,6 +34,7 @@ fn main() {
         "skip-right",
         "dist",
         "pencil",
+        "engine",
     ]);
     let cells: usize = args.get("cells", 24);
     let steps: usize = args.get("steps", 10);
@@ -52,6 +53,10 @@ fn main() {
         "grid" => InitialDistribution::Grid,
         other => panic!("--dist must be 'random' or 'grid', got '{other}'"),
     };
+    // The right panel reaches 16384 ranks — the discrete-event engine
+    // (`--engine discrete`) is the practical choice there; see the `scale`
+    // harness for the dedicated crossover sweep.
+    let engine = args.engine(simcomm::Engine::Threaded);
 
     let crystal = IonicCrystal::paper_like(cells, seed);
     let dt = mdsim::suggested_dt(crystal.spacing, 1.0);
@@ -66,6 +71,7 @@ fn main() {
     );
 
     let mut report = RunReport::new("fig9", "mixed");
+    report.param("engine", engine.name());
     report.param("cells", cells);
     report.param("tolerance", tolerance);
     report.param("steps", steps);
@@ -105,7 +111,7 @@ fn main() {
                     ..SimConfig::default()
                 };
                 let (records, _, entry) =
-                    bench::run_md_world(model.clone(), p, &crystal, dist, &cfg);
+                    bench::run_md_world(model.clone(), engine, p, &crystal, dist, &cfg);
                 report.push(format!("{solver:?}/p={p}/{method}"), entry);
                 // Total simulation runtime: sum of all solver executions
                 // (including application-side resorting), like the paper's

@@ -36,7 +36,7 @@ use bench::{banner, fmt_secs, report_summary, Args, RunReport};
 use fcs::SolverKind;
 use mdsim::SimConfig;
 use particles::{InitialDistribution, IonicCrystal};
-use simcomm::{run, CartGrid, Comm, MachineModel, Work};
+use simcomm::{CartGrid, Comm, MachineModel, Runner, Work};
 
 /// Short machine label ("juropa-like") for run labels and table rows.
 fn short_name(model: &MachineModel) -> &str {
@@ -60,15 +60,18 @@ fn ghost_payload(me: usize, elems: usize) -> Vec<Ghost> {
 /// partner recomputation, arrival-order receives restored to solver order by
 /// the sort + dedup pass the pre-plan ghost path ran every step). Returns
 /// (planned, unplanned) makespans.
+#[allow(clippy::too_many_arguments)]
 fn neighborhood_workloads(
     model: &MachineModel,
+    engine: simcomm::Engine,
     procs: usize,
     elems: usize,
     steps: usize,
     report: &mut RunReport,
 ) -> (f64, f64) {
+    let runner = Runner::new(engine);
     let bytes_out = |n_partners: usize| (n_partners * elems * std::mem::size_of::<Ghost>()) as f64;
-    let planned = run(procs, model.clone(), move |comm: &mut Comm| {
+    let planned = runner.run(procs, model.clone(), move |comm: &mut Comm| {
         let partners = CartGrid::balanced(procs).neighbors26(comm.rank());
         let mut plan = comm.plan_exchange(partners, TAG_GHOSTS);
         for _ in 0..steps {
@@ -81,7 +84,7 @@ fn neighborhood_workloads(
             let _ghosts: usize = received.iter().map(Vec::len).sum();
         }
     });
-    let unplanned = run(procs, model.clone(), move |comm: &mut Comm| {
+    let unplanned = runner.run(procs, model.clone(), move |comm: &mut Comm| {
         for _ in 0..steps {
             let partners = CartGrid::balanced(procs).neighbors26(comm.rank());
             let data: Vec<(usize, Vec<Ghost>)> =
@@ -105,7 +108,8 @@ fn neighborhood_workloads(
 }
 
 fn main() {
-    let args = Args::parse(&["cells", "procs", "steps", "tolerance", "seed", "jitter", "elems"]);
+    let args =
+        Args::parse(&["cells", "procs", "steps", "tolerance", "seed", "jitter", "elems", "engine"]);
     let cells: usize = args.get("cells", 16);
     let procs: usize = args.get("procs", 64);
     let steps: usize = args.get("steps", 30);
@@ -113,6 +117,7 @@ fn main() {
     let seed: u64 = args.get("seed", 1);
     let jitter: f64 = args.get("jitter", 0.15);
     let elems: usize = args.get("elems", 500);
+    let engine = args.engine(simcomm::Engine::Threaded);
 
     let mut crystal = IonicCrystal::paper_like(cells, seed);
     crystal.jitter = jitter * crystal.spacing;
@@ -128,6 +133,7 @@ fn main() {
     );
 
     let mut report = RunReport::new("plancache", "mixed");
+    report.param("engine", engine.name());
     report.param("cells", cells);
     report.param("procs", procs);
     report.param("steps", steps);
@@ -155,7 +161,14 @@ fn main() {
                 plan_cache,
                 ..SimConfig::default()
             };
-            bench::run_md_world(model.clone(), procs, &crystal, InitialDistribution::Grid, &cfg)
+            bench::run_md_world(
+                model.clone(),
+                engine,
+                procs,
+                &crystal,
+                InitialDistribution::Grid,
+                &cfg,
+            )
         };
         let (recs_planned, _, entry_planned) = run_md(true);
         let (recs_unplanned, _, entry_unplanned) = run_md(false);
@@ -204,7 +217,7 @@ fn main() {
 
         // --- Neighbourhood ghost exchange ---
         let (n_planned, n_unplanned) =
-            neighborhood_workloads(&model, procs, elems, steps, &mut report);
+            neighborhood_workloads(&model, engine, procs, elems, steps, &mut report);
         let n_win = 100.0 * (1.0 - n_planned / n_unplanned);
         println!(
             "{name:<14} {:<14} {:>14} {:>14} {:>7.1}%",

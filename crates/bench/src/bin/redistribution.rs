@@ -23,7 +23,7 @@
 
 use atasp::{encode_index, resort, resort_all, ExchangeMode};
 use bench::{banner, fmt_secs, Args, RunEntry, RunReport};
-use simcomm::{run, Comm, MachineModel};
+use simcomm::{Comm, Engine, MachineModel, Runner};
 
 /// Short machine label ("juropa-like") for run labels and table rows.
 fn short_name(model: &MachineModel) -> &str {
@@ -43,22 +43,24 @@ fn ring_partners(comm: &Comm, reach: usize) -> Vec<usize> {
 
 fn exchange_workloads(
     model: &MachineModel,
+    engine: Engine,
     procs: usize,
     bytes: usize,
     report: &mut RunReport,
 ) -> (f64, f64) {
+    let runner = Runner::new(engine);
     let payloads = |partners: &[usize]| -> Vec<(usize, Vec<u8>)> {
         partners.iter().map(|&q| (q, vec![0u8; bytes])).collect()
     };
-    let blocking = run(procs, model.clone(), |comm| {
+    let blocking = runner.run(procs, model.clone(), |comm| {
         let partners = ring_partners(comm, 13);
         let _ = comm.neighbor_exchange_blocking(&partners, payloads(&partners), 1);
     });
-    let nonblocking = run(procs, model.clone(), |comm| {
+    let nonblocking = runner.run(procs, model.clone(), |comm| {
         let partners = ring_partners(comm, 13);
         let _ = comm.neighbor_exchange(&partners, payloads(&partners), 1);
     });
-    let collective = run(procs, model.clone(), |comm| {
+    let collective = runner.run(procs, model.clone(), |comm| {
         let partners = ring_partners(comm, 13);
         let _ = comm.alltoallv(payloads(&partners));
     });
@@ -77,10 +79,12 @@ fn exchange_workloads(
 
 fn resort_workloads(
     model: &MachineModel,
+    engine: Engine,
     procs: usize,
     elems: usize,
     report: &mut RunReport,
 ) -> (f64, f64) {
+    let runner = Runner::new(engine);
     // Rotate every rank's block of elements to the next rank, positions
     // reversed — a valid global permutation exercising the full path.
     let indices = |comm: &Comm| -> Vec<u64> {
@@ -94,14 +98,14 @@ fn resort_workloads(
         let c: Vec<f64> = a.iter().map(|x| x + 0.5).collect();
         [a, b, c]
     };
-    let per_field = run(procs, model.clone(), |comm| {
+    let per_field = runner.run(procs, model.clone(), |comm| {
         let ix = indices(comm);
         let [a, b, c] = fields(comm);
         for ch in [&a, &b, &c] {
             let _ = resort(comm, ch, &ix, elems, &ExchangeMode::Collective);
         }
     });
-    let combined = run(procs, model.clone(), |comm| {
+    let combined = runner.run(procs, model.clone(), |comm| {
         let ix = indices(comm);
         let [a, b, c] = fields(comm);
         let _ = resort_all(comm, &[&a, &b, &c], &ix, elems, &ExchangeMode::Collective);
@@ -118,10 +122,11 @@ fn resort_workloads(
 }
 
 fn main() {
-    let args = Args::parse(&["procs", "bytes", "elems"]);
+    let args = Args::parse(&["procs", "bytes", "elems", "engine"]);
     let procs: usize = args.get("procs", 64);
     let bytes: usize = args.get("bytes", 4096);
     let elems: usize = args.get("elems", 2000);
+    let engine = args.engine(Engine::Threaded);
     banner(
         "Redistribution hot paths — blocking vs nonblocking, per-field vs combined",
         &format!(
@@ -131,19 +136,20 @@ fn main() {
     );
 
     let mut report = RunReport::new("redistribution", "mixed");
+    report.param("engine", engine.name());
     report.param("procs", procs);
     report.param("bytes", bytes);
     report.param("elems", elems);
 
     for model in [MachineModel::juropa_like(), MachineModel::juqueen_like()] {
-        let (blocking, nonblocking) = exchange_workloads(&model, procs, bytes, &mut report);
+        let (blocking, nonblocking) = exchange_workloads(&model, engine, procs, bytes, &mut report);
         assert!(
             nonblocking <= blocking * (1.0 + 1e-9),
             "{}: nonblocking neighbour exchange ({nonblocking} s) must not be \
              slower than the blocking baseline ({blocking} s)",
             model.name
         );
-        resort_workloads(&model, procs, elems, &mut report);
+        resort_workloads(&model, engine, procs, elems, &mut report);
     }
 
     let json = report.to_json().pretty();

@@ -81,6 +81,21 @@ impl Args {
             Some(v) => v.split(',').map(|x| x.trim().parse().expect("bad list entry")).collect(),
         }
     }
+
+    /// The `--engine` selection every harness accepts:
+    /// `threaded` (one OS thread per rank, the historical default) or
+    /// `discrete` (the cooperative discrete-event scheduler for paper-scale
+    /// rank counts). Both produce bitwise-identical results, clocks and
+    /// reports; see `docs/ARCHITECTURE.md`.
+    pub fn engine(&self, default: simcomm::Engine) -> simcomm::Engine {
+        assert!(self.allowed.contains(&"engine"), "option 'engine' not declared");
+        match self.values.get("engine") {
+            None => default,
+            Some(v) => simcomm::Engine::from_name(v).unwrap_or_else(|| {
+                panic!("bad value for --engine: '{v}' (use 'threaded' or 'discrete')")
+            }),
+        }
+    }
 }
 
 /// Run a full MD simulation world and return the per-step records aggregated
@@ -89,6 +104,7 @@ impl Args {
 /// ready to be pushed into a [`RunReport`].
 pub fn run_md_world(
     model: simcomm::MachineModel,
+    engine: simcomm::Engine,
     p: usize,
     crystal: &particles::IonicCrystal,
     dist: particles::InitialDistribution,
@@ -97,7 +113,7 @@ pub fn run_md_world(
     let bbox = particles::ParticleSource::system_box(crystal);
     let crystal = crystal.clone();
     let cfg = cfg.clone();
-    let out = simcomm::run(p, model, move |comm| {
+    let out = simcomm::Runner::new(engine).run(p, model, move |comm| {
         let dims = simcomm::CartGrid::balanced(p).dims();
         let set = particles::local_set(&crystal, dist, comm.rank(), p, dims);
         mdsim::simulate(comm, bbox, set, &cfg)
@@ -114,6 +130,7 @@ pub fn run_md_world(
 /// identical on every rank).
 pub fn run_md_world_faulted(
     model: simcomm::MachineModel,
+    engine: simcomm::Engine,
     p: usize,
     crystal: &particles::IonicCrystal,
     dist: particles::InitialDistribution,
@@ -123,7 +140,7 @@ pub fn run_md_world_faulted(
     let bbox = particles::ParticleSource::system_box(crystal);
     let crystal = crystal.clone();
     let cfg = cfg.clone();
-    let out = simcomm::run_faulted(p, model, fault, move |comm| {
+    let out = simcomm::Runner::new(engine).faulted(fault).run(p, model, move |comm| {
         let dims = simcomm::CartGrid::balanced(p).dims();
         let set = particles::local_set(&crystal, dist, comm.rank(), p, dims);
         mdsim::simulate(comm, bbox, set, &cfg)

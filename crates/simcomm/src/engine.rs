@@ -1,0 +1,384 @@
+//! Execution engines: how the `P` rank tasks of a simulated world are
+//! scheduled onto the local machine.
+//!
+//! Two engines implement the same blocking semantics:
+//!
+//! * [`Engine::Threaded`] — the original runner. Every rank is an OS thread;
+//!   blocked ranks sleep on condition variables and the kernel schedules
+//!   ranks preemptively, in parallel.
+//! * [`Engine::DiscreteEvent`] — a cooperative discrete-event scheduler.
+//!   Every rank is still *backed* by an OS thread (the only way a plain
+//!   `Fn(&mut Comm)` closure can suspend mid-call in safe, dependency-free
+//!   Rust), but exactly **one** rank executes at a time: a rank runs until it
+//!   blocks — on an empty mailbox or a collective rendezvous — then hands the
+//!   baton to the runnable rank with the smallest virtual clock. Wakeups are
+//!   targeted: depositing a message resumes only the addressee, and a
+//!   collective phase change resumes only the ranks parked on the collective
+//!   slot. This removes the condition-variable broadcast storms that make the
+//!   threaded engine collapse at a few thousand ranks (every collective phase
+//!   change there wakes all `P` waiters to recheck one mutex — `O(P²)` lock
+//!   handoffs per collective) and lifts the practical rank ceiling to the
+//!   paper's 4096–16384-process scale.
+//!
+//! Both engines produce bitwise-identical output — results, clocks,
+//! statistics, traces, phase profiles, fault draws — for programs whose
+//! completion order is a function of *virtual* time. That is every `simcomm`
+//! operation except [`crate::Comm::waitany`] and [`crate::Comm::recv_any`],
+//! which are documented as schedule-dependent and are not used by any
+//! committed workload. The argument, and the yield-point model, are spelled
+//! out in `docs/ARCHITECTURE.md`.
+
+use std::collections::BinaryHeap;
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Lock a mutex, ignoring std poisoning (the world has its own poison flag).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Selects how a simulated world executes its ranks.
+///
+/// Both engines are observationally identical — bitwise-equal results,
+/// clocks, statistics, traces and fault draws for every schedule-independent
+/// program (see [`Runner`](crate::Runner) and `docs/ARCHITECTURE.md`) —
+/// they differ in scaling behaviour. `Threaded` exercises real
+/// shared-memory concurrency and is the long-standing default;
+/// `DiscreteEvent` runs ranks cooperatively under a virtual-clock event queue
+/// and is the engine for paper-scale sweeps (≥4096 ranks).
+///
+/// ```
+/// use simcomm::Engine;
+/// assert_eq!(Engine::from_name("discrete"), Some(Engine::DiscreteEvent));
+/// assert_eq!(Engine::from_name("threaded"), Some(Engine::Threaded));
+/// assert_eq!(Engine::default().name(), "threaded");
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Engine {
+    /// One preemptive OS thread per rank (the default).
+    #[default]
+    Threaded,
+    /// Cooperative discrete-event scheduling: one rank at a time, driven by a
+    /// virtual-clock event queue with targeted wakeups.
+    DiscreteEvent,
+}
+
+impl Engine {
+    /// Parse an engine name as accepted by the bench binaries' `engine`
+    /// argument: `"threaded"`/`"thread"` or
+    /// `"discrete"`/`"discrete-event"`/`"event"`. Returns `None` for anything
+    /// else.
+    pub fn from_name(name: &str) -> Option<Engine> {
+        match name {
+            "threaded" | "thread" => Some(Engine::Threaded),
+            "discrete" | "discrete-event" | "event" => Some(Engine::DiscreteEvent),
+            _ => None,
+        }
+    }
+
+    /// Canonical name (`"threaded"` / `"discrete-event"`), accepted back by
+    /// [`Engine::from_name`].
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Threaded => "threaded",
+            Engine::DiscreteEvent => "discrete-event",
+        }
+    }
+}
+
+/// What a blocked task is waiting on. Spurious wakeups are harmless (every
+/// wait site rechecks its predicate), so this only narrows *which* tasks a
+/// signal must resume.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum WaitSite {
+    /// Blocked on the rank's own mailbox (receive / wait / waitall).
+    Mailbox,
+    /// Blocked on the shared collective slot (rendezvous phase change).
+    Collective,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TaskState {
+    /// In the run queue, waiting for the baton.
+    Runnable,
+    /// Holds the baton (exactly one task at any time).
+    Running,
+    /// Parked until a signal on the given site.
+    Blocked(WaitSite),
+    /// Returned or panicked; never scheduled again.
+    Done,
+}
+
+/// Run-queue key: tasks are dispatched in ascending (virtual clock, rank)
+/// order. The epoch detects stale heap entries after a task blocked and was
+/// re-woken (lazy deletion — cheaper than a decrease-key heap).
+struct Key {
+    clock: f64,
+    rank: usize,
+    epoch: u64,
+}
+
+impl PartialEq for Key {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for Key {}
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Key {
+    /// Inverted: `BinaryHeap` is a max-heap, we want the smallest
+    /// (clock, rank) on top.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .clock
+            .total_cmp(&self.clock)
+            .then_with(|| other.rank.cmp(&self.rank))
+            .then_with(|| other.epoch.cmp(&self.epoch))
+    }
+}
+
+struct Task {
+    state: TaskState,
+    /// Virtual clock at the moment the task last blocked (its run-queue
+    /// priority when woken).
+    clock: f64,
+    /// Bumped on every state transition; run-queue entries with an older
+    /// epoch are stale and skipped on pop.
+    epoch: u64,
+}
+
+struct SchedState {
+    tasks: Vec<Task>,
+    queue: BinaryHeap<Key>,
+    done: usize,
+}
+
+/// One rank's baton cell: `go` is set by the scheduler when the rank may run.
+/// A plain boolean under a mutex (not a bare condvar) so a resume that lands
+/// *before* the target parks is never lost.
+struct Baton {
+    go: Mutex<bool>,
+    cv: Condvar,
+}
+
+/// The cooperative discrete-event scheduler backing
+/// [`Engine::DiscreteEvent`]. Owned by the world's shared state; rank threads
+/// call into it at every blocking site (see `WorldShared::wait_mailbox` /
+/// `wait_coll` in `world.rs`).
+pub(crate) struct Scheduler {
+    state: Mutex<SchedState>,
+    batons: Vec<Baton>,
+}
+
+impl Scheduler {
+    /// A scheduler for `n` tasks, all initially runnable at virtual clock 0.
+    pub(crate) fn new(n: usize) -> Scheduler {
+        let tasks =
+            (0..n).map(|_| Task { state: TaskState::Runnable, clock: 0.0, epoch: 0 }).collect();
+        let mut queue = BinaryHeap::with_capacity(n);
+        for rank in 0..n {
+            queue.push(Key { clock: 0.0, rank, epoch: 0 });
+        }
+        Scheduler {
+            state: Mutex::new(SchedState { tasks, queue, done: 0 }),
+            batons: (0..n).map(|_| Baton { go: Mutex::new(false), cv: Condvar::new() }).collect(),
+        }
+    }
+
+    /// Dispatch the first task. Called once by the world after the rank
+    /// threads are spawned (a resume that beats the target's first park is
+    /// held by the baton cell, so the call may also race ahead of spawning).
+    pub(crate) fn start(&self) {
+        self.dispatch_next();
+    }
+
+    /// Park until this task is handed the baton. Every task calls this once
+    /// before running any rank code; `yield_blocked` calls it at every
+    /// suspension.
+    pub(crate) fn wait_for_turn(&self, rank: usize) {
+        let b = &self.batons[rank];
+        let mut go = lock(&b.go);
+        while !*go {
+            go = b.cv.wait(go).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        *go = false;
+    }
+
+    /// Hand the baton to `rank`.
+    fn resume(&self, rank: usize) {
+        let b = &self.batons[rank];
+        *lock(&b.go) = true;
+        b.cv.notify_one();
+    }
+
+    /// Pop the runnable task with the smallest (clock, rank), marking it
+    /// Running. Skips stale heap entries.
+    fn pop_next(st: &mut SchedState) -> Option<usize> {
+        while let Some(key) = st.queue.pop() {
+            let t = &mut st.tasks[key.rank];
+            if t.state == TaskState::Runnable && t.epoch == key.epoch {
+                t.state = TaskState::Running;
+                t.epoch += 1;
+                return Some(key.rank);
+            }
+        }
+        None
+    }
+
+    /// Move a blocked task to the run queue (no-op for any other state:
+    /// runnable tasks are already queued, the running task needs no wakeup,
+    /// done tasks never return).
+    fn make_runnable(st: &mut SchedState, rank: usize) {
+        let t = &mut st.tasks[rank];
+        if let TaskState::Blocked(_) = t.state {
+            t.state = TaskState::Runnable;
+            t.epoch += 1;
+            st.queue.push(Key { clock: t.clock, rank, epoch: t.epoch });
+        }
+    }
+
+    fn dispatch_next(&self) {
+        let next = Self::pop_next(&mut lock(&self.state));
+        if let Some(next) = next {
+            self.resume(next);
+        }
+    }
+
+    /// Suspend the running task `rank` because it cannot progress until
+    /// `site` is signalled: record it as blocked at virtual time `clock`,
+    /// dispatch the best runnable task, and park until re-woken. The caller
+    /// must have released every world lock first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no task is runnable while undone tasks remain — with every
+    /// live rank blocked and only virtual events able to wake them, the world
+    /// can never progress again (a virtual deadlock, e.g. a receive whose
+    /// matching send was never posted). The panic poisons the world through
+    /// the normal rank-failure path, so the remaining ranks fail fast instead
+    /// of hanging the process.
+    pub(crate) fn yield_blocked(&self, rank: usize, site: WaitSite, clock: f64) {
+        let next = {
+            let mut st = lock(&self.state);
+            let t = &mut st.tasks[rank];
+            t.state = TaskState::Blocked(site);
+            t.clock = clock;
+            t.epoch += 1;
+            let next = Self::pop_next(&mut st);
+            if next.is_none() {
+                let live = st.tasks.len() - st.done;
+                panic!(
+                    "virtual deadlock: all {live} live ranks are blocked \
+                     (rank {rank} last, on {site:?} at t={clock:.9}); \
+                     no virtual event can wake any of them"
+                );
+            }
+            next
+        };
+        if let Some(next) = next {
+            self.resume(next);
+        }
+        self.wait_for_turn(rank);
+    }
+
+    /// A message was deposited for `rank`: wake it if it is parked on its
+    /// mailbox.
+    pub(crate) fn wake_mailbox(&self, rank: usize) {
+        let mut st = lock(&self.state);
+        if st.tasks[rank].state == TaskState::Blocked(WaitSite::Mailbox) {
+            Self::make_runnable(&mut st, rank);
+        }
+    }
+
+    /// The collective slot changed phase: wake every task parked on it.
+    pub(crate) fn wake_collective(&self) {
+        let mut st = lock(&self.state);
+        for rank in 0..st.tasks.len() {
+            if st.tasks[rank].state == TaskState::Blocked(WaitSite::Collective) {
+                Self::make_runnable(&mut st, rank);
+            }
+        }
+    }
+
+    /// The world was poisoned: wake every blocked task regardless of site so
+    /// each can observe the poison flag and unwind.
+    pub(crate) fn wake_all(&self) {
+        let mut st = lock(&self.state);
+        for rank in 0..st.tasks.len() {
+            Self::make_runnable(&mut st, rank);
+        }
+    }
+
+    /// The task of `rank` finished (returned or panicked): retire it and hand
+    /// the baton to the next runnable task. Returns `true` if undone tasks
+    /// remain but none is runnable — the survivors are permanently blocked
+    /// and the caller must poison the world and call
+    /// [`Scheduler::kick`] to restart dispatch.
+    pub(crate) fn retire(&self, rank: usize) -> bool {
+        let (next, stuck) = {
+            let mut st = lock(&self.state);
+            st.tasks[rank].state = TaskState::Done;
+            st.tasks[rank].epoch += 1;
+            st.done += 1;
+            let next = Self::pop_next(&mut st);
+            let stuck = next.is_none() && st.done < st.tasks.len();
+            (next, stuck)
+        };
+        if let Some(next) = next {
+            self.resume(next);
+        }
+        stuck
+    }
+
+    /// Restart dispatch after an out-of-band wakeup (poison): resume the best
+    /// runnable task, if any.
+    pub(crate) fn kick(&self) {
+        self.dispatch_next();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_names_round_trip() {
+        for e in [Engine::Threaded, Engine::DiscreteEvent] {
+            assert_eq!(Engine::from_name(e.name()), Some(e));
+        }
+        assert_eq!(Engine::from_name("fibers"), None);
+        assert_eq!(Engine::from_name("event"), Some(Engine::DiscreteEvent));
+    }
+
+    #[test]
+    fn key_orders_by_clock_then_rank() {
+        let mut heap = BinaryHeap::new();
+        heap.push(Key { clock: 2.0, rank: 0, epoch: 0 });
+        heap.push(Key { clock: 1.0, rank: 5, epoch: 0 });
+        heap.push(Key { clock: 1.0, rank: 3, epoch: 0 });
+        let order: Vec<usize> = std::iter::from_fn(|| heap.pop().map(|k| k.rank)).collect();
+        assert_eq!(order, vec![3, 5, 0]);
+    }
+
+    #[test]
+    fn stale_entries_are_skipped() {
+        let s = Scheduler::new(2);
+        {
+            let mut st = lock(&s.state);
+            // Simulate: both queued at epoch 0; task 0 blocks and re-wakes,
+            // leaving a stale epoch-0 entry alongside a fresh one.
+            st.tasks[0].state = TaskState::Blocked(WaitSite::Mailbox);
+            st.tasks[0].epoch = 1;
+            st.tasks[0].clock = 5.0;
+            Scheduler::make_runnable(&mut st, 0);
+            // Fresh entry has clock 5.0 → task 1 (clock 0) dispatches first,
+            // then task 0 exactly once despite two queued entries.
+            assert_eq!(Scheduler::pop_next(&mut st), Some(1));
+            assert_eq!(Scheduler::pop_next(&mut st), Some(0));
+            assert_eq!(Scheduler::pop_next(&mut st), None);
+        }
+    }
+}

@@ -2,11 +2,14 @@
 //!
 //! This crate stands in for MPI on the production clusters the original paper
 //! evaluated on (JuRoPA and the Blue Gene/Q system Juqueen). A *world* of `P`
-//! simulated processes ("ranks") runs as `P` OS threads on the local machine;
-//! ranks exchange **real data** through shared memory using an MPI-like API
-//! (blocking point-to-point, collectives, Cartesian grids), while **time** is
+//! simulated processes ("ranks") runs on the local machine — preemptively as
+//! `P` OS threads, or cooperatively under a discrete-event scheduler for
+//! paper-scale rank counts (see [`Engine`] and [`Runner`]). Ranks exchange
+//! **real data** through shared memory using an MPI-like API (blocking
+//! point-to-point, collectives, Cartesian grids), while **time** is
 //! *virtual*: every operation advances the calling rank's clock according to a
-//! pluggable [`MachineModel`].
+//! pluggable [`MachineModel`]. Both engines produce bitwise-identical clocks,
+//! statistics and traces for every committed workload.
 //!
 //! The combination means an algorithm's communication *volume and structure*
 //! are exactly those of the real program, while the *cost* of that
@@ -36,6 +39,7 @@
 #![warn(missing_docs)]
 
 mod cart;
+mod engine;
 mod fault;
 mod model;
 mod phase;
@@ -44,6 +48,7 @@ mod trace;
 mod world;
 
 pub use cart::CartGrid;
+pub use engine::Engine;
 pub use fault::{FaultPlan, StallSpec};
 pub use model::{
     balanced_dims, torus_coords, torus_hops, ComputeRates, MachineModel, Topology, Work,
@@ -52,5 +57,5 @@ pub use phase::{aggregate_phases, PhaseAgg, PhaseProfile, PhaseSegment, PhaseSta
 pub use plan::CommPlan;
 pub use trace::{write_trace_csv, Trace, TraceEvent, TraceKind};
 pub use world::{
-    run, run_faulted, run_faulted_traced, run_traced, Comm, RankStats, Request, RunOutput,
+    run, run_faulted, run_faulted_traced, run_traced, Comm, RankStats, Request, RunOutput, Runner,
 };

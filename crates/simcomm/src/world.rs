@@ -1,10 +1,13 @@
-//! The simulated world: thread-per-rank execution, mailboxes, collectives,
-//! and per-rank virtual clocks.
+//! The simulated world: rank execution, mailboxes, collectives, and per-rank
+//! virtual clocks.
 //!
-//! [`run`] spawns one OS thread per simulated rank and hands each a [`Comm`].
-//! Rank code is written exactly like an MPI program: blocking point-to-point
-//! `send`/`recv`, collective operations that all ranks of the world enter in
-//! the same order, and a Cartesian-topology helper (see [`crate::cart`]).
+//! [`run`] hands each of `n` simulated ranks a [`Comm`] and executes them
+//! under one of two interchangeable engines (see [`Engine`] and [`Runner`]):
+//! preemptive thread-per-rank, or a cooperative discrete-event scheduler for
+//! paper-scale worlds. Rank code is written exactly like an MPI program:
+//! blocking point-to-point `send`/`recv`, collective operations that all
+//! ranks of the world enter in the same order, and a Cartesian-topology
+//! helper (see [`crate::cart`]).
 //!
 //! Data exchange is real (typed buffers move between threads through shared
 //! memory); *time* is virtual: every operation advances the calling rank's
@@ -19,6 +22,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
+use crate::engine::{Engine, Scheduler, WaitSite};
 use crate::fault::FaultPlan;
 use crate::model::{MachineModel, Work};
 use crate::phase::{aggregate_phases, PhaseAgg, PhaseProfile, PhaseSegment, PhaseStats};
@@ -97,6 +101,23 @@ struct Mailbox {
 /// still arrives, and a timed-out wait only accrues extra cost. Callers that
 /// know a request's kind statically should use [`Comm::wait_recv`] for
 /// receives instead of unwrapping the `Option`.
+///
+/// # Yield semantics under the discrete-event engine
+///
+/// Posting a request never blocks: `isend` deposits its payload in the
+/// destination mailbox immediately and `irecv` merely records the match
+/// pattern, under either engine. The **wait** is the yield point: when a
+/// rank waits on a receive whose message has not arrived yet, the threaded
+/// engine parks the OS thread on a condition variable, while the
+/// discrete-event engine suspends the rank's task and dispatches the
+/// runnable rank with the smallest virtual clock — the wait is where the
+/// scheduler changes hands. Which rank runs *while* another waits cannot be
+/// observed through this API: completion order and every charged cost are
+/// functions of virtual departure/arrival times only, so both engines
+/// produce bit-for-bit identical clocks, statistics and traces (see
+/// [`Runner`]). If every live rank ends up suspended at a wait, the
+/// discrete-event engine reports a virtual deadlock by panicking (the
+/// threaded engine would hang in real time instead).
 #[must_use = "a request does nothing until waited on"]
 pub struct Request<T> {
     kind: ReqKind,
@@ -147,6 +168,15 @@ struct Collective {
     cv: Condvar,
 }
 
+/// The engine-specific half of the blocking machinery: threaded worlds park
+/// ranks on condition variables, discrete-event worlds park them in the
+/// scheduler. Everything else — operation semantics, cost accounting, fault
+/// draws — is shared, which is what makes the two engines bitwise identical.
+enum Exec {
+    Threaded,
+    Discrete(Scheduler),
+}
+
 pub(crate) struct WorldShared {
     pub n: usize,
     pub model: MachineModel,
@@ -160,10 +190,11 @@ pub(crate) struct WorldShared {
     /// Cached `fault.is_active()`: the single branch every hot-path fault
     /// hook takes in clean worlds.
     fault_active: bool,
+    exec: Exec,
 }
 
 impl WorldShared {
-    fn new(n: usize, model: MachineModel, fault: FaultPlan) -> Self {
+    fn new(n: usize, model: MachineModel, fault: FaultPlan, engine: Engine) -> Self {
         let torus_dims = model.torus_dims(n);
         let fault_active = fault.is_active();
         WorldShared {
@@ -185,20 +216,118 @@ impl WorldShared {
                 cv: Condvar::new(),
             },
             poisoned: AtomicBool::new(false),
+            exec: match engine {
+                Engine::Threaded => Exec::Threaded,
+                Engine::DiscreteEvent => Exec::Discrete(Scheduler::new(n)),
+            },
         }
     }
 
     fn poison(&self) {
         self.poisoned.store(true, Ordering::SeqCst);
-        for mb in &self.mailboxes {
-            mb.cv.notify_all();
+        match &self.exec {
+            Exec::Threaded => {
+                for mb in &self.mailboxes {
+                    mb.cv.notify_all();
+                }
+                self.coll.cv.notify_all();
+            }
+            Exec::Discrete(s) => s.wake_all(),
         }
-        self.coll.cv.notify_all();
     }
 
     fn check_poison(&self) {
         if self.poisoned.load(Ordering::SeqCst) {
-            panic!("simcomm world poisoned: another rank panicked");
+            panic!("simcomm world poisoned: another rank failed");
+        }
+    }
+
+    // ------------------------------------------------- engine blocking sites
+    //
+    // The four helpers below are the *only* places where the two engines
+    // diverge. A threaded world parks the calling rank on the relevant
+    // condition variable; a discrete-event world releases the world lock,
+    // yields the baton to the scheduler until the site is signalled, and
+    // relocks. Both return with the guard held and the predicate possibly
+    // still false — every caller loops.
+
+    /// Block `rank` until its mailbox is signalled again (deposit or poison).
+    fn wait_mailbox<'a>(
+        &'a self,
+        rank: usize,
+        clock: f64,
+        guard: MutexGuard<'a, VecDeque<Message>>,
+    ) -> MutexGuard<'a, VecDeque<Message>> {
+        match &self.exec {
+            Exec::Threaded => wait(&self.mailboxes[rank].cv, guard),
+            Exec::Discrete(s) => {
+                drop(guard);
+                s.yield_blocked(rank, WaitSite::Mailbox, clock);
+                lock(&self.mailboxes[rank].queue)
+            }
+        }
+    }
+
+    /// Block `rank` until the collective slot is signalled again (phase
+    /// change or poison).
+    fn wait_coll<'a>(
+        &'a self,
+        rank: usize,
+        clock: f64,
+        guard: MutexGuard<'a, CollState>,
+    ) -> MutexGuard<'a, CollState> {
+        match &self.exec {
+            Exec::Threaded => wait(&self.coll.cv, guard),
+            Exec::Discrete(s) => {
+                drop(guard);
+                s.yield_blocked(rank, WaitSite::Collective, clock);
+                lock(&self.coll.m)
+            }
+        }
+    }
+
+    /// Signal a deposit into `dst`'s mailbox.
+    fn notify_mailbox(&self, dst: usize) {
+        match &self.exec {
+            Exec::Threaded => self.mailboxes[dst].cv.notify_all(),
+            Exec::Discrete(s) => s.wake_mailbox(dst),
+        }
+    }
+
+    /// Signal a collective phase change.
+    fn notify_coll(&self) {
+        match &self.exec {
+            Exec::Threaded => self.coll.cv.notify_all(),
+            Exec::Discrete(s) => s.wake_collective(),
+        }
+    }
+
+    /// Rank-thread prologue: under the discrete-event engine, park until the
+    /// scheduler hands this rank the baton for the first time.
+    fn wait_for_start(&self, rank: usize) {
+        if let Exec::Discrete(s) = &self.exec {
+            s.wait_for_turn(rank);
+        }
+    }
+
+    /// Dispatch the first task once all rank threads exist (discrete-event
+    /// engine only).
+    fn start_engine(&self) {
+        if let Exec::Discrete(s) = &self.exec {
+            s.start();
+        }
+    }
+
+    /// Rank-thread epilogue: under the discrete-event engine, retire the task
+    /// and hand the baton on. If this rank exited while every remaining rank
+    /// is blocked, no virtual event can ever wake them — poison the world and
+    /// restart dispatch so the survivors fail fast instead of hanging.
+    fn retire_rank(&self, rank: usize) {
+        if let Exec::Discrete(s) = &self.exec {
+            if s.retire(rank) {
+                self.poison();
+                s.kick();
+            }
         }
     }
 
@@ -322,11 +451,89 @@ impl<R> RunOutput<R> {
 /// heap, so a small stack lets worlds of many thousands of ranks fit easily.
 const RANK_STACK_BYTES: usize = 1 << 20;
 
-/// Run a simulated world of `n` ranks under the given machine model.
+/// Configures and runs simulated worlds: the builder-style entry point that
+/// composes an execution [`Engine`], optional tracing and an optional
+/// [`FaultPlan`].
 ///
-/// The closure is invoked once per rank (concurrently, one OS thread each)
-/// with that rank's [`Comm`]. Returns per-rank results, final virtual clocks
-/// and statistics.
+/// The free functions [`run`], [`run_traced`], [`run_faulted`] and
+/// [`run_faulted_traced`] are thin wrappers over a `Runner` with the default
+/// (threaded) engine; use a `Runner` directly to select the discrete-event
+/// engine for paper-scale rank counts.
+///
+/// Both engines are observationally identical for every committed workload —
+/// same results, same clocks, same statistics, traces and fault draws, bit
+/// for bit:
+///
+/// ```
+/// use simcomm::{Engine, MachineModel, Runner};
+///
+/// let program = |comm: &mut simcomm::Comm| {
+///     let peer = comm.size() - 1 - comm.rank();
+///     let got = comm.sendrecv(peer, vec![comm.rank() as u64], peer, 7);
+///     comm.allreduce(got[0], |a, b| a + b)
+/// };
+/// let threaded = Runner::new(Engine::Threaded).run(8, MachineModel::juqueen_like(), program);
+/// let discrete = Runner::new(Engine::DiscreteEvent).run(8, MachineModel::juqueen_like(), program);
+/// assert_eq!(threaded.results, discrete.results);
+/// assert_eq!(threaded.clocks, discrete.clocks); // bitwise, not approximately
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Runner {
+    engine: Engine,
+    traced: bool,
+    fault: FaultPlan,
+}
+
+impl Runner {
+    /// A runner for the given engine, with tracing off and the inert fault
+    /// plan.
+    pub fn new(engine: Engine) -> Runner {
+        Runner { engine, traced: false, fault: FaultPlan::none() }
+    }
+
+    /// The engine this runner uses.
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// Enable or disable per-rank communication tracing (see
+    /// [`RunOutput::traces`]).
+    pub fn traced(mut self, traced: bool) -> Runner {
+        self.traced = traced;
+        self
+    }
+
+    /// Inject the deterministic faults described by `fault` (see
+    /// [`FaultPlan`]); [`FaultPlan::none`] restores the clean world.
+    pub fn faulted(mut self, fault: FaultPlan) -> Runner {
+        self.fault = fault;
+        self
+    }
+
+    /// Run a simulated world of `n` ranks under the given machine model,
+    /// invoking the closure once per rank with that rank's [`Comm`].
+    ///
+    /// # Panics
+    ///
+    /// If any rank's closure panics — or, under the discrete-event engine,
+    /// the world reaches a virtual deadlock — the world is poisoned (all
+    /// blocked ranks are woken and panic too) and `run` itself panics with
+    /// the original message.
+    pub fn run<R, F>(&self, n: usize, model: MachineModel, f: F) -> RunOutput<R>
+    where
+        R: Send,
+        F: Fn(&mut Comm) -> R + Send + Sync,
+    {
+        run_with(n, model, self.fault.clone(), self.traced, self.engine, f)
+    }
+}
+
+/// Run a simulated world of `n` ranks under the given machine model, using
+/// the default (threaded) execution engine.
+///
+/// The closure is invoked once per rank (one OS thread each) with that rank's
+/// [`Comm`]. Returns per-rank results, final virtual clocks and statistics.
+/// Use a [`Runner`] to select the engine explicitly.
 ///
 /// # Panics
 ///
@@ -346,7 +553,7 @@ where
     R: Send,
     F: Fn(&mut Comm) -> R + Send + Sync,
 {
-    run_with(n, model, FaultPlan::none(), false, f)
+    run_with(n, model, FaultPlan::none(), false, Engine::Threaded, f)
 }
 
 /// Like [`run`], additionally recording a communication [`Trace`] per rank
@@ -356,7 +563,7 @@ where
     R: Send,
     F: Fn(&mut Comm) -> R + Send + Sync,
 {
-    run_with(n, model, FaultPlan::none(), true, f)
+    run_with(n, model, FaultPlan::none(), true, Engine::Threaded, f)
 }
 
 /// Like [`run`], but injecting the deterministic faults described by `fault`
@@ -366,7 +573,7 @@ where
     R: Send,
     F: Fn(&mut Comm) -> R + Send + Sync,
 {
-    run_with(n, model, fault, false, f)
+    run_with(n, model, fault, false, Engine::Threaded, f)
 }
 
 /// Like [`run_faulted`], additionally recording a communication [`Trace`]
@@ -381,7 +588,7 @@ where
     R: Send,
     F: Fn(&mut Comm) -> R + Send + Sync,
 {
-    run_with(n, model, fault, true, f)
+    run_with(n, model, fault, true, Engine::Threaded, f)
 }
 
 fn run_with<R, F>(
@@ -389,6 +596,7 @@ fn run_with<R, F>(
     model: MachineModel,
     fault: FaultPlan,
     traced: bool,
+    engine: Engine,
     f: F,
 ) -> RunOutput<R>
 where
@@ -396,7 +604,7 @@ where
     F: Fn(&mut Comm) -> R + Send + Sync,
 {
     assert!(n >= 1, "world must have at least one rank");
-    let shared = Arc::new(WorldShared::new(n, model, fault));
+    let shared = Arc::new(WorldShared::new(n, model, fault, engine));
     type Slot<R> = Mutex<Option<(R, f64, RankStats, Trace, PhaseProfile)>>;
     let slots: Vec<Slot<R>> = (0..n).map(|_| Mutex::new(None)).collect();
     let panicked: Mutex<Option<String>> = Mutex::new(None);
@@ -412,6 +620,9 @@ where
                 .name(format!("rank-{rank}"))
                 .stack_size(RANK_STACK_BYTES)
                 .spawn_scoped(scope, move || {
+                    // Under the discrete-event engine, park until the
+                    // scheduler hands this rank the baton for the first time.
+                    shared.wait_for_start(rank);
                     let straggler = shared.fault_active && shared.fault.straggles(rank);
                     let mut comm = Comm {
                         shared: Arc::clone(&shared),
@@ -459,10 +670,12 @@ where
                             shared.poison();
                         }
                     }
+                    shared.retire_rank(rank);
                 })
                 .expect("failed to spawn rank thread");
             handles.push(h);
         }
+        shared.start_engine();
         for h in handles {
             let _ = h.join();
         }
@@ -840,9 +1053,8 @@ impl Comm {
         self.nic_free = depart;
         self.count_p2p_sent(1, bytes);
         let msg = Message { src: self.rank, tag, depart, bytes, payload: Box::new(data) };
-        let mb = &self.shared.mailboxes[dst];
-        lock(&mb.queue).push_back(msg);
-        mb.cv.notify_all();
+        lock(&self.shared.mailboxes[dst].queue).push_back(msg);
+        self.shared.notify_mailbox(dst);
         (depart, bytes)
     }
 
@@ -871,7 +1083,7 @@ impl Comm {
                 drop(q);
                 return self.complete_recv(msg);
             }
-            q = wait(&mb.cv, q);
+            q = self.shared.wait_mailbox(self.rank, self.clock, q);
         }
     }
 
@@ -1026,7 +1238,7 @@ impl Comm {
                 if let Some(p) = match_requests(&q, &patterns) {
                     break p;
                 }
-                q = wait(&mb.cv, q);
+                q = self.shared.wait_mailbox(self.rank, self.clock, q);
             };
             // Remove back to front so earlier queue positions stay valid.
             picks.sort_unstable_by_key(|&(_, qpos)| std::cmp::Reverse(qpos));
@@ -1133,7 +1345,7 @@ impl Comm {
                         break Ok((slot, msg));
                     }
                     (None, Some((_, send_slot))) => break Err(send_slot),
-                    (None, None) => q = wait(&mb.cv, q),
+                    (None, None) => q = self.shared.wait_mailbox(self.rank, self.clock, q),
                 }
             }
         };
@@ -1172,7 +1384,7 @@ impl Comm {
         // Wait for the previous collective's read phase to finish.
         while st.phase % 2 == 1 {
             self.shared.check_poison();
-            st = wait(&coll.cv, st);
+            st = self.shared.wait_coll(self.rank, self.clock, st);
         }
         let my_phase = st.phase;
         st.deposits[self.rank] = Some(Box::new(contrib));
@@ -1193,11 +1405,11 @@ impl Comm {
             st.agg = Some(Arc::new(combine(items)));
             st.arrived = 0;
             st.phase += 1;
-            coll.cv.notify_all();
+            self.shared.notify_coll();
         } else {
             while st.phase == my_phase {
                 self.shared.check_poison();
-                st = wait(&coll.cv, st);
+                st = self.shared.wait_coll(self.rank, self.clock, st);
             }
         }
         // Read phase.
@@ -1209,7 +1421,7 @@ impl Comm {
             st.agg = None;
             st.max_clock = 0.0;
             st.phase += 1;
-            coll.cv.notify_all();
+            self.shared.notify_coll();
         }
         drop(st);
         let agg = agg.downcast::<A>().expect("collective aggregate type mismatch");

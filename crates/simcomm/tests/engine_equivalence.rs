@@ -1,0 +1,180 @@
+//! The discrete-event engine must be observationally identical to the
+//! threaded engine: same results, same clocks (bit for bit), same statistics,
+//! traces and phase profiles — for clean and faulted worlds alike. These
+//! tests drive randomized-but-seeded communication programs through both
+//! engines and diff everything the world reports.
+
+use simcomm::{
+    CartGrid, Engine, FaultPlan, MachineModel, RunOutput, Runner, StallSpec, TraceEvent, Work,
+};
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Assert two run outputs are bitwise identical in every observable
+/// dimension. Clocks are compared through their bit patterns — `assert_eq!`
+/// on `f64` would accept `-0.0 == 0.0` and this contract is stricter.
+fn assert_bitwise_identical<R: PartialEq + std::fmt::Debug>(
+    a: &RunOutput<R>,
+    b: &RunOutput<R>,
+    what: &str,
+) {
+    assert_eq!(a.results, b.results, "{what}: results diverge");
+    let abits: Vec<u64> = a.clocks.iter().map(|c| c.to_bits()).collect();
+    let bbits: Vec<u64> = b.clocks.iter().map(|c| c.to_bits()).collect();
+    assert_eq!(abits, bbits, "{what}: clocks diverge (bitwise)");
+    assert_eq!(a.stats, b.stats, "{what}: stats diverge");
+    for (rank, (ta, tb)) in a.traces.iter().zip(&b.traces).enumerate() {
+        let ea: &[TraceEvent] = &ta.events;
+        let eb: &[TraceEvent] = &tb.events;
+        assert_eq!(ea, eb, "{what}: trace of rank {rank} diverges");
+    }
+    for (rank, (pa, pb)) in a.phases.iter().zip(&b.phases).enumerate() {
+        assert_eq!(pa.phases, pb.phases, "{what}: phase stats of rank {rank} diverge");
+        assert_eq!(pa.segments, pb.segments, "{what}: phase segments of rank {rank} diverge");
+    }
+}
+
+/// A seeded mixed-workload program: per-step neighbour exchanges on a
+/// Cartesian grid, ring sendrecvs, nonblocking batches drained with waitall,
+/// sparse alltoallv, collectives and modelled compute — every yield point the
+/// engines implement, with message sizes drawn from the seed.
+fn mixed_program(seed: u64, steps: usize) -> impl Fn(&mut simcomm::Comm) -> Vec<u64> + Send + Sync {
+    move |comm| {
+        let n = comm.size();
+        let rank = comm.rank();
+        let grid = CartGrid::balanced(n);
+        let partners = grid.neighbors26(rank);
+        let mut acc: Vec<u64> = vec![rank as u64];
+        for step in 0..steps {
+            let r = splitmix64(seed ^ (step as u64) << 16 ^ rank as u64);
+            comm.with_phase("compute", |c| c.compute(Work::ParticleOp, (r % 500) as f64));
+
+            // Ring exchange (blocking send/recv pair).
+            let right = (rank + 1) % n;
+            let left = (rank + n - 1) % n;
+            let got = comm.sendrecv(right, vec![r, step as u64], left, 1);
+            acc.push(got[0]);
+
+            // Nonblocking neighbourhood exchange, drained in arrival order.
+            let data: Vec<(usize, Vec<u64>)> = partners
+                .iter()
+                .map(|&p| {
+                    let len = (splitmix64(r ^ p as u64) % 64) as usize;
+                    (p, vec![r; len])
+                })
+                .collect();
+            let recvd = comm.with_phase("exchange", |c| c.neighbor_exchange(&partners, data, 2));
+            acc.push(recvd.iter().map(|(src, v)| *src as u64 + v.len() as u64).sum());
+
+            // Sparse all-to-all-v: a few random destinations.
+            let sends: Vec<(usize, Vec<u64>)> = (0..3)
+                .map(|k| {
+                    let dst = (splitmix64(r ^ k) % n as u64) as usize;
+                    (dst, vec![rank as u64; (k + 1) as usize])
+                })
+                .collect();
+            let got = comm.alltoallv(sends);
+            acc.push(got.iter().map(|(src, v)| *src as u64 * v.len() as u64).sum());
+
+            // Collectives.
+            let sum = comm.allreduce(r % 97, |a, b| a.wrapping_add(b));
+            let off = comm.exscan(1u64, 0, |a, b| a + b);
+            acc.push(sum + off);
+            if step % 2 == 0 {
+                comm.barrier();
+            }
+        }
+        acc
+    }
+}
+
+fn runner(engine: Engine) -> Runner {
+    Runner::new(engine).traced(true)
+}
+
+#[test]
+fn engines_bitwise_identical_on_mixed_program_juropa() {
+    for seed in [1u64, 2, 3] {
+        let f = mixed_program(seed, 3);
+        let t = runner(Engine::Threaded).run(12, MachineModel::juropa_like(), &f);
+        let d = runner(Engine::DiscreteEvent).run(12, MachineModel::juropa_like(), &f);
+        assert_bitwise_identical(&t, &d, &format!("juropa seed {seed}"));
+    }
+}
+
+#[test]
+fn engines_bitwise_identical_on_mixed_program_juqueen() {
+    for seed in [7u64, 11] {
+        let f = mixed_program(seed, 3);
+        let t = runner(Engine::Threaded).run(16, MachineModel::juqueen_like(), &f);
+        let d = runner(Engine::DiscreteEvent).run(16, MachineModel::juqueen_like(), &f);
+        assert_bitwise_identical(&t, &d, &format!("juqueen seed {seed}"));
+    }
+}
+
+#[test]
+fn engines_bitwise_identical_under_fault_plan() {
+    let fault = FaultPlan {
+        seed: 42,
+        latency_spike_prob: 0.1,
+        latency_spike_seconds: 30e-6,
+        send_loss_prob: 0.1,
+        retry_backoff_seconds: 5e-6,
+        straggler_ranks: vec![1],
+        straggler_factor: 1.5,
+        stall: Some(StallSpec { rank: 2, after_ops: 10, seconds: 1e-3 }),
+        wait_timeout_seconds: Some(1e-4),
+        ..FaultPlan::none()
+    };
+    let f = mixed_program(5, 3);
+    let t =
+        runner(Engine::Threaded).faulted(fault.clone()).run(12, MachineModel::juropa_like(), &f);
+    let d = runner(Engine::DiscreteEvent).faulted(fault).run(12, MachineModel::juropa_like(), &f);
+    assert_bitwise_identical(&t, &d, "faulted world");
+    assert!(t.stats.iter().any(|s| s.faults_injected > 0), "fault plan must actually fire");
+}
+
+#[test]
+fn discrete_engine_handles_large_worlds() {
+    // A smoke check at a rank count the threaded engine only reaches slowly:
+    // collectives + a ring exchange at 4096 ranks under the event scheduler.
+    let out = Runner::new(Engine::DiscreteEvent).run(4096, MachineModel::juqueen_like(), |comm| {
+        let n = comm.size();
+        let right = (comm.rank() + 1) % n;
+        let left = (comm.rank() + n - 1) % n;
+        let got = comm.sendrecv(right, vec![comm.rank() as u64], left, 0);
+        comm.allreduce(got[0], |a, b| a + b)
+    });
+    let expect: u64 = (0..4096u64).sum();
+    assert!(out.results.iter().all(|&s| s == expect));
+    assert!(out.makespan() > 0.0);
+}
+
+#[test]
+fn discrete_engine_panics_on_virtual_deadlock() {
+    // Rank 1 waits for a message nobody sends: the threaded engine would hang
+    // forever; the event engine must detect that no task is runnable and fail
+    // the world with a diagnostic instead.
+    let result = std::panic::catch_unwind(|| {
+        Runner::new(Engine::DiscreteEvent).run(2, MachineModel::ideal(), |comm| {
+            if comm.rank() == 1 {
+                let _: Vec<u8> = comm.recv(0, 99);
+            }
+        })
+    });
+    let err = match result {
+        Ok(_) => panic!("deadlocked world must panic"),
+        Err(e) => e,
+    };
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .expect("panic payload should be the world failure message");
+    assert!(msg.contains("virtual deadlock"), "unexpected panic message: {msg}");
+}

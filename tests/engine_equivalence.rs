@@ -1,0 +1,162 @@
+//! Engine equivalence on the full MD workloads: the discrete-event engine
+//! must reproduce the thread-per-rank engine **bit for bit** on every
+//! figure-style configuration — same per-rank virtual clocks, same traffic
+//! statistics, same step records (physics *and* timing fields), same final
+//! particle state — with and without an injected [`simcomm::FaultPlan`].
+//!
+//! The simcomm crate's own `engine_equivalence` suite checks the primitives
+//! (sends, collectives, traces, payload bytes); this integration suite
+//! closes the loop at the application layer, where the solvers, the resort
+//! paths, the plan cache, and the recovery driver all run on top of the
+//! engine under test.
+
+use fcs::SolverKind;
+use mdsim::{simulate, SimConfig, SimResult, StepRecord};
+use particles::{local_set, InitialDistribution, IonicCrystal};
+use simcomm::{CartGrid, Engine, FaultPlan, MachineModel, RunOutput, Runner};
+
+fn config(solver: SolverKind, resort: bool, exploit: bool, steps: usize) -> SimConfig {
+    SimConfig {
+        solver,
+        resort,
+        exploit_movement: exploit,
+        steps,
+        tolerance: 1e-2,
+        dt: mdsim::suggested_dt(1.0, 1.0),
+        ..SimConfig::default()
+    }
+}
+
+/// Every field of a step record, floats projected to raw bits: "identical"
+/// here means identical timing, not just identical physics.
+#[allow(clippy::type_complexity)]
+fn record_bits(records: &[StepRecord]) -> Vec<(usize, u64, u64, u64, u64, u64, u64, bool)> {
+    records
+        .iter()
+        .map(|r| {
+            (
+                r.step,
+                r.sort.to_bits(),
+                r.restore.to_bits(),
+                r.resort.to_bits(),
+                r.total.to_bits(),
+                r.max_move.to_bits(),
+                r.energy.to_bits(),
+                r.resorted,
+            )
+        })
+        .collect()
+}
+
+/// Assert two MD worlds are bitwise identical: clocks, traffic statistics,
+/// step records, plan-cache counters, recoveries, and final states.
+fn assert_worlds_identical(a: &RunOutput<SimResult>, b: &RunOutput<SimResult>, what: &str) {
+    for (rank, (ca, cb)) in a.clocks.iter().zip(&b.clocks).enumerate() {
+        assert_eq!(ca.to_bits(), cb.to_bits(), "{what}: rank {rank} final clock differs");
+    }
+    assert_eq!(a.stats, b.stats, "{what}: rank statistics differ");
+    for (rank, (ra, rb)) in a.results.iter().zip(&b.results).enumerate() {
+        assert_eq!(
+            record_bits(&ra.records),
+            record_bits(&rb.records),
+            "{what}: rank {rank} step records differ"
+        );
+        assert_eq!(ra.final_local, rb.final_local, "{what}: rank {rank} final count differs");
+        assert_eq!(
+            ra.rms_displacement.to_bits(),
+            rb.rms_displacement.to_bits(),
+            "{what}: rank {rank} drift differs"
+        );
+        assert_eq!(
+            (ra.plan_builds, ra.plan_hits, ra.recoveries),
+            (rb.plan_builds, rb.plan_hits, rb.recoveries),
+            "{what}: rank {rank} plan/recovery counters differ"
+        );
+        assert_eq!(ra.final_state, rb.final_state, "{what}: rank {rank} final state differs");
+    }
+    for (rank, (pa, pb)) in a.phases.iter().zip(&b.phases).enumerate() {
+        assert_eq!(pa.phases, pb.phases, "{what}: rank {rank} phase aggregates differ");
+    }
+}
+
+/// Run one MD configuration under the given runner.
+fn md_world(
+    runner: &Runner,
+    p: usize,
+    model: MachineModel,
+    crystal: &IonicCrystal,
+    dist: InitialDistribution,
+    cfg: &SimConfig,
+) -> RunOutput<SimResult> {
+    let bbox = crystal.system_box();
+    let crystal = crystal.clone();
+    let cfg = cfg.clone();
+    runner.run(p, model, move |comm| {
+        let dims = CartGrid::balanced(p).dims();
+        let set = local_set(&crystal, dist, comm.rank(), p, dims);
+        simulate(comm, bbox, set, &cfg)
+    })
+}
+
+#[test]
+fn md_configs_bitwise_identical_across_engines() {
+    let crystal = IonicCrystal::cubic(5, 1.0, 0.15, 7);
+    let p = 8;
+    // Fig. 6/7-style (random init, Method A vs B) and fig8-style (grid init,
+    // movement-exploiting Method B) configurations, both solvers.
+    let cases = [
+        (SolverKind::Fmm, false, false, InitialDistribution::Random),
+        (SolverKind::Fmm, true, true, InitialDistribution::Grid),
+        (SolverKind::P2Nfft, true, false, InitialDistribution::Random),
+        (SolverKind::P2Nfft, true, true, InitialDistribution::Grid),
+    ];
+    for model in [MachineModel::juropa_like(), MachineModel::juqueen_like()] {
+        for (solver, resort, exploit, dist) in cases {
+            let cfg = config(solver, resort, exploit, 3);
+            let threaded =
+                md_world(&Runner::new(Engine::Threaded), p, model.clone(), &crystal, dist, &cfg);
+            let discrete = md_world(
+                &Runner::new(Engine::DiscreteEvent),
+                p,
+                model.clone(),
+                &crystal,
+                dist,
+                &cfg,
+            );
+            assert_worlds_identical(
+                &threaded,
+                &discrete,
+                &format!("{} {solver:?} resort={resort} exploit={exploit}", model.name),
+            );
+        }
+    }
+}
+
+#[test]
+fn faulted_md_bitwise_identical_across_engines() {
+    // The fault layer draws from seeded per-rank streams keyed by operation
+    // counts — all schedule-independent state — so even under latency
+    // spikes, send losses and a straggler the two engines must agree on
+    // every bit, including the fault counters themselves.
+    let crystal = IonicCrystal::cubic(5, 1.0, 0.15, 19);
+    let p = 8;
+    let cfg = config(SolverKind::P2Nfft, true, true, 3);
+    let plan = FaultPlan {
+        seed: 0xfab,
+        latency_spike_prob: 0.1,
+        latency_spike_seconds: 25e-6,
+        send_loss_prob: 0.08,
+        retry_backoff_seconds: 5e-6,
+        straggler_ranks: vec![1],
+        straggler_factor: 1.4,
+        ..FaultPlan::none()
+    };
+    let threaded = Runner::new(Engine::Threaded).faulted(plan.clone());
+    let discrete = Runner::new(Engine::DiscreteEvent).faulted(plan);
+    let model = MachineModel::juqueen_like();
+    let a = md_world(&threaded, p, model.clone(), &crystal, InitialDistribution::Grid, &cfg);
+    let b = md_world(&discrete, p, model.clone(), &crystal, InitialDistribution::Grid, &cfg);
+    let injected: u64 = a.stats.iter().map(|s| s.faults_injected).sum();
+    assert!(injected > 0, "the fault plan must actually inject faults");
+    assert_worlds_identical(&a, &b, "faulted P2NFFT");
+}
