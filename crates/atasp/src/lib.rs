@@ -18,10 +18,23 @@
 //! messages ([`simcomm::Comm::neighbor_exchange`]), which is the switch the
 //! paper's Method B performs when the maximum particle movement is small
 //! (Sect. III-B).
+//!
+//! ## The byte-plane resort path
+//!
+//! The resort operations move their payload **type-erased**: all registered
+//! planes of a [`particles::PlaneSet`] travel together in one partner-ordered
+//! byte exchange ([`resort_planes`] / [`ResortPlan::execute_planes`]),
+//! regardless of how many fields of how many element types ride along. The
+//! per-`T` entry points ([`resort`], [`resort_all`],
+//! [`ResortPlan::execute`]) are thin wrappers that stage their channels as
+//! planes and delegate. Combined with the message-buffer pool
+//! ([`simcomm::Comm::buf_acquire`]) the steady-state neighbourhood resort
+//! performs zero per-step heap allocation.
 
 #![warn(missing_docs)]
 
-use simcomm::{Comm, Work};
+use particles::{PlaneElem, PlaneSet};
+use simcomm::{Comm, PooledBuf, Work};
 
 /// Encode a (process rank, position) pair into a 64-bit index value:
 /// rank in the upper 32 bits, position in the lower 32 bits.
@@ -195,13 +208,14 @@ where
 /// Sect. III-B): "The implementation uses the fine-grained data
 /// redistribution operation […] followed by a permutation according to the
 /// target positions contained in the resort indices." Collective.
-pub fn resort<T: Send + Copy + Default + 'static>(
+pub fn resort<T: PlaneElem>(
     comm: &mut Comm,
     data: &[T],
     resort_indices: &[u64],
     new_len: usize,
     mode: &ExchangeMode,
 ) -> Vec<T> {
+    #[allow(deprecated)]
     resort_all(comm, &[data], resort_indices, new_len, mode)
         .pop()
         .expect("resort_all returns one vector per channel")
@@ -217,6 +231,16 @@ pub fn resort<T: Send + Copy + Default + 'static>(
 /// all `channels.len()` fields of an element travel in one message. Elements
 /// whose resort index is [`GHOST_INDEX`] are duplicates the solver created
 /// and are dropped rather than routed.
+///
+/// Since the byte-plane rework this function **delegates to the type-erased
+/// byte path**: the channels are staged as planes of a temporary
+/// [`PlaneSet`] and moved by [`ResortPlan::execute_planes`], which is why
+/// the element type must implement [`PlaneElem`] (padding-free, any bit
+/// pattern valid — true for all the float/int/[`particles::Vec3`] channel
+/// types the coupling interface resorts). Callers that redistribute every
+/// step should hold a persistent [`PlaneSet`] and call [`resort_planes`]
+/// directly: it reuses the set's slabs and the rank's message-buffer pool,
+/// while this wrapper pays a staging copy per call.
 ///
 /// Returns one output vector per input channel, each of length `new_len`.
 /// Collective.
@@ -241,14 +265,57 @@ pub fn resort<T: Send + Copy + Default + 'static>(
 /// assert_eq!(out.results[0].0, vec![10.0, 11.0]);
 /// assert_eq!(out.results[1].1, vec![0.5, 1.5]);
 /// ```
-pub fn resort_all<T: Send + Copy + Default + 'static>(
+#[deprecated(
+    since = "0.1.0",
+    note = "use `resort_planes` with a persistent `PlaneSet` — it moves all \
+            registered planes through the same single exchange round without \
+            the per-call staging copy"
+)]
+pub fn resort_all<T: PlaneElem>(
     comm: &mut Comm,
     channels: &[&[T]],
     resort_indices: &[u64],
     new_len: usize,
     mode: &ExchangeMode,
 ) -> Vec<Vec<T>> {
+    #[allow(deprecated)]
     ResortPlan::build(comm, resort_indices, new_len, mode).execute(comm, channels)
+}
+
+/// Redistribute **every registered plane** of `set` according to
+/// `resort_indices` in one partner-ordered byte exchange, reusing `plan`
+/// across timesteps.
+///
+/// This is the primary resort entry point since the byte-plane rework: each
+/// live (non-[`GHOST_INDEX`]) element's record — its `u32` target position
+/// followed by its bytes from every plane in registration order — travels to
+/// its target rank through pool-backed byte buffers, and all planes flip to
+/// the received data atomically via [`PlaneSet::commit`]. Semantics
+/// (placement by target position, ghost dropping, collectivity) are exactly
+/// those of [`resort_all`]; results are bitwise identical to per-field
+/// resorts of the same data.
+///
+/// `plan` is the caller's plan cache: when it already matches
+/// (`ResortPlan::matches`) the indices/`new_len`/`mode` triple, the frozen
+/// routes are reused and no decode work is paid; otherwise the plan is
+/// (re)built in place. On return `set` has `new_len` elements. In
+/// neighbourhood mode the steady-state call performs zero heap allocation
+/// once the plan, the set's slabs and the rank's buffer pool are warm.
+/// Collective — and every rank must register the same planes in the same
+/// order.
+pub fn resort_planes(
+    comm: &mut Comm,
+    set: &mut PlaneSet,
+    resort_indices: &[u64],
+    new_len: usize,
+    mode: &ExchangeMode,
+    plan: &mut Option<ResortPlan>,
+) {
+    let cached = plan.as_ref().is_some_and(|p| p.matches(resort_indices, new_len, mode));
+    if !cached {
+        *plan = Some(ResortPlan::build(comm, resort_indices, new_len, mode));
+    }
+    plan.as_ref().expect("plan just ensured").execute_planes(comm, set);
 }
 
 /// Deterministic 64-bit fingerprint of a resort-index slice (splitmix64
@@ -360,16 +427,177 @@ impl ResortPlan {
             && self.ix_fingerprint == fingerprint(resort_indices)
     }
 
-    /// Move payload through the frozen schedule: pack `k` records per live
-    /// element — (target position, lane value) for every channel, in channel
-    /// order — along the plan's per-target routes, exchange, and place every
-    /// record at its target position. The exchange preserves per-source
-    /// order and all `k` records of an element share one target, so each
-    /// element's group stays contiguous in transit.
+    /// Move typed channels through the frozen schedule. Since the byte-plane
+    /// rework this is a compatibility wrapper: the channels are staged as
+    /// planes of a temporary [`PlaneSet`] and moved by
+    /// [`ResortPlan::execute_planes`] — one combined exchange round, ghosts
+    /// dropped, every record placed at its target position. Callers on the
+    /// per-timestep hot path should hold a persistent `PlaneSet` instead and
+    /// skip the staging copies.
     ///
     /// Identical results to [`resort_all`] with the indices the plan was
     /// built from; only the index decode/grouping work is skipped. Collective.
-    pub fn execute<T: Send + Copy + Default + 'static>(
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `ResortPlan::execute_planes` with a persistent `PlaneSet` \
+                to avoid the per-call staging copy"
+    )]
+    pub fn execute<T: PlaneElem>(&self, comm: &mut Comm, channels: &[&[T]]) -> Vec<Vec<T>> {
+        let k = channels.len();
+        assert!(k > 0, "resort plan execution needs at least one channel");
+        for (c, ch) in channels.iter().enumerate() {
+            assert_eq!(
+                ch.len(),
+                self.n_input,
+                "channel {c} length does not match the plan's resort indices"
+            );
+        }
+        let mut set = PlaneSet::new();
+        let ids: Vec<_> = (0..k).map(|c| set.register::<T>(&format!("ch{c}"))).collect();
+        set.resize(self.n_input);
+        for (ch, &id) in channels.iter().zip(&ids) {
+            set.plane_mut::<T>(id).copy_from_slice(ch);
+        }
+        self.execute_planes(comm, &mut set);
+        ids.iter().map(|&id| set.plane::<T>(id).to_vec()).collect()
+    }
+
+    /// Move **every registered plane** of `set` through the frozen schedule
+    /// in one partner-ordered byte exchange, and commit the set to the
+    /// redistributed data (`set.len()` becomes the plan's `new_len`).
+    ///
+    /// The wire format packs one record per live element along the plan's
+    /// per-target routes: the `u32` target position (little-endian) followed
+    /// by the element's bytes from every plane in registration order —
+    /// `4 + set.element_bytes()` bytes per record. Placement scatters each
+    /// plane's slice of every record into that plane's back slab, then
+    /// [`PlaneSet::commit`] flips all planes at once. Send buffers come from
+    /// (and received buffers return to) the rank's message-buffer pool, so a
+    /// steady-state neighbourhood execution allocates nothing.
+    ///
+    /// All ranks must register the same planes in the same order (the record
+    /// layout is part of the wire contract; mismatches trip the byte-count
+    /// assertions). Collective, with the same cost phases
+    /// (`"redistribute"` / `"place"`) and per-plane `plan_exec` accounting
+    /// as the typed path.
+    pub fn execute_planes(&self, comm: &mut Comm, set: &mut PlaneSet) {
+        let k = set.plane_count();
+        assert!(k > 0, "resort plan execution needs at least one plane");
+        assert_eq!(
+            set.len(),
+            self.n_input,
+            "plane set length does not match the plan's resort indices"
+        );
+        let t0 = comm.clock();
+        let new_len = self.new_len;
+        let rec = 4 + set.element_bytes();
+        let me = comm.rank();
+        comm.enter_phase("redistribute");
+        let (mut sends, mut received) = comm.take_byte_pairs();
+        let mut local: Option<PooledBuf> = None;
+        let mut routed_bytes = 0u64;
+        match &self.mode {
+            ExchangeMode::Collective => {
+                for (t, entries) in &self.routes {
+                    let buf = pack_route(comm, set, entries, *t, rec);
+                    routed_bytes += buf.len() as u64;
+                    sends.push((*t, buf));
+                }
+                comm.compute(Work::ByteCopy, routed_bytes as f64);
+                comm.alltoallv_bytes(&mut sends, &mut received);
+            }
+            ExchangeMode::Neighborhood(partners) => {
+                // One buffer per partner in list order (empty where the plan
+                // routes nothing); locally-addressed records are held aside
+                // rather than self-sent, like the typed exchange.
+                for (t, _) in &self.routes {
+                    assert!(
+                        *t == me || partners.contains(t),
+                        "target {t} outside the neighbourhood"
+                    );
+                }
+                for &q in partners {
+                    let entries = self
+                        .routes
+                        .binary_search_by_key(&q, |(t, _)| *t)
+                        .map_or(&[][..], |ix| &self.routes[ix].1);
+                    let buf = pack_route(comm, set, entries, q, rec);
+                    routed_bytes += buf.len() as u64;
+                    sends.push((q, buf));
+                }
+                if let Ok(ix) = self.routes.binary_search_by_key(&me, |(t, _)| *t) {
+                    let buf = pack_route(comm, set, &self.routes[ix].1, me, rec);
+                    routed_bytes += buf.len() as u64;
+                    local = Some(buf);
+                }
+                comm.compute(Work::ByteCopy, routed_bytes as f64);
+                comm.neighbor_exchange_bytes(partners, &mut sends, TAG_ATASP, &mut received);
+            }
+        }
+        comm.exit_phase();
+        let n_received: usize = received.iter().map(|(_, b)| b.len()).sum::<usize>()
+            + local.as_ref().map_or(0, |b| b.len());
+        assert_eq!(
+            n_received,
+            new_len * rec,
+            "resort produced {n_received} payload bytes, expected {new_len} records x {rec} \
+             bytes ({k} planes; all ranks must register identical planes)"
+        );
+        comm.enter_phase("place");
+        // Per-plane passes: scatter each record's slice for this plane into
+        // the plane's back slab at the record's target position, then flip
+        // all planes at once.
+        let mut off = 4usize;
+        #[cfg(debug_assertions)]
+        let mut hit = vec![false; new_len];
+        for pi in 0..k {
+            let id = set.id_at(pi);
+            let view = set.exchange_view(id, new_len);
+            let s = view.stride;
+            let bufs = local.iter().map(|b| &**b).chain(received.iter().map(|(_, b)| &**b));
+            for buf in bufs {
+                debug_assert_eq!(buf.len() % rec, 0, "received buffer is not whole records");
+                for r in buf.chunks_exact(rec) {
+                    let pos =
+                        u32::from_le_bytes(r[0..4].try_into().expect("4-byte header")) as usize;
+                    assert!(pos < new_len, "target position {pos} out of range");
+                    #[cfg(debug_assertions)]
+                    if pi == 0 {
+                        assert!(!hit[pos], "target position {pos} hit twice");
+                        hit[pos] = true;
+                    }
+                    view.back[pos * s..(pos + 1) * s].copy_from_slice(&r[off..off + s]);
+                }
+            }
+            off += s;
+        }
+        set.commit(new_len);
+        if let Some(buf) = local {
+            comm.buf_release(me, buf);
+        }
+        for (src, buf) in received.drain(..) {
+            comm.buf_release(src, buf);
+        }
+        comm.put_byte_pairs(sends, received);
+        comm.compute(Work::ByteCopy, (new_len * (rec - 4)) as f64);
+        comm.exit_phase();
+        // One `plan_exec` per plane: each plane is one redistribution served
+        // by the frozen routes (the unit the build is amortized over), even
+        // though all k ride a single combined exchange round.
+        for _ in 0..k {
+            comm.note_plan_exec(t0, routed_bytes / k as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+impl ResortPlan {
+    /// The pre-byte-plane typed implementation, kept verbatim as the
+    /// independent reference the property tests compare
+    /// [`ResortPlan::execute_planes`] against bit-for-bit. Packs `(u32
+    /// position, T)` tuple records per channel and places them typed — no
+    /// byte reinterpretation anywhere.
+    fn execute_reference<T: Send + Copy + Default + 'static>(
         &self,
         comm: &mut Comm,
         channels: &[&[T]],
@@ -412,31 +640,43 @@ impl ResortPlan {
         );
         comm.enter_phase("place");
         let mut out: Vec<Vec<T>> = (0..k).map(|_| vec![T::default(); new_len]).collect();
-        #[cfg(debug_assertions)]
-        let mut hit = vec![false; new_len];
         for rec in received.iter().flat_map(|(_, b)| b.chunks_exact(k)) {
             let pos = rec[0].0 as usize;
             assert!(pos < new_len, "target position {pos} out of range");
-            debug_assert!(rec.iter().all(|r| r.0 == rec[0].0), "record group split in transit");
-            #[cfg(debug_assertions)]
-            {
-                assert!(!hit[pos], "target position {pos} hit twice");
-                hit[pos] = true;
-            }
             for (lane, &(_, d)) in rec.iter().enumerate() {
                 out[lane][pos] = d;
             }
         }
         comm.compute(Work::ByteCopy, (k * new_len * std::mem::size_of::<T>()) as f64);
         comm.exit_phase();
-        // One `plan_exec` per channel: each channel is one redistribution
-        // served by the frozen routes (the unit the build is amortized over),
-        // even though all k ride a single combined exchange round.
         for _ in 0..k {
             comm.note_plan_exec(t0, routed_bytes / k as u64);
         }
         out
     }
+}
+
+/// Pack one route's records into a pool-acquired buffer: for each routed
+/// element, the `u32` target position (LE) then the element's bytes from
+/// every plane in registration order.
+fn pack_route(
+    comm: &mut Comm,
+    set: &PlaneSet,
+    entries: &[(u32, u32)],
+    dst: usize,
+    rec: usize,
+) -> PooledBuf {
+    let mut buf = comm.buf_acquire(dst, entries.len() * rec);
+    let planes = set.planes();
+    for &(i, pos) in entries {
+        buf.extend_from_slice(&pos.to_le_bytes());
+        let i = i as usize;
+        for pi in 0..planes.count() {
+            let s = planes.stride(pi);
+            buf.extend_from_slice(&planes.bytes(pi)[i * s..(i + 1) * s]);
+        }
+    }
+    buf
 }
 
 /// Build resort indices by inverting an origin-index permutation.
@@ -493,9 +733,54 @@ pub fn build_resort_indices_with(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the per-`T` wrappers stay under test as references
 mod tests {
     use super::*;
+    use particles::Vec3;
     use simcomm::{run, CartGrid, MachineModel};
+
+    /// splitmix64 — the deterministic generator all property tests share.
+    fn sm64(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Non-NaN `f64` with a fully random mantissa (bitwise-comparable).
+    fn f64_of(bits: u64) -> f64 {
+        f64::from_bits((bits & 0x000f_ffff_ffff_ffff) | 0x3ff0_0000_0000_0000)
+    }
+
+    /// Non-NaN `f32` with a fully random mantissa (bitwise-comparable).
+    fn f32_of(bits: u64) -> f32 {
+        f32::from_bits((bits as u32 & 0x007f_ffff) | 0x3f80_0000)
+    }
+
+    /// Random valid resort indices: every position in `0..new_len` hit
+    /// exactly once globally, plus `n_ghost` trailing ghost rows locally.
+    fn valid_indices(comm: &mut Comm, n: usize, seed: u64, n_ghost: usize) -> (Vec<u64>, usize) {
+        let me = comm.rank();
+        let p = comm.size();
+        let targets: Vec<usize> =
+            (0..n).map(|i| (sm64((me * n + i) as u64 ^ seed) as usize) % p).collect();
+        let mut my_counts = vec![0usize; p];
+        for &t in &targets {
+            my_counts[t] += 1;
+        }
+        let all_counts = comm.allgather(my_counts);
+        let new_len: usize = (0..p).map(|s| all_counts[s][me]).sum();
+        let mut next_pos: Vec<usize> =
+            (0..p).map(|t| (0..me).map(|s| all_counts[s][t]).sum()).collect();
+        let mut ix: Vec<u64> = Vec::with_capacity(n + n_ghost);
+        for &t in &targets {
+            ix.push(encode_index(t, next_pos[t]));
+            next_pos[t] += 1;
+        }
+        ix.extend(std::iter::repeat_n(GHOST_INDEX, n_ghost));
+        (ix, new_len)
+    }
 
     #[test]
     fn index_encoding_roundtrip() {
@@ -892,6 +1177,169 @@ mod tests {
         for t in &out.traces {
             assert_eq!(t.events.iter().filter(|e| e.kind == TraceKind::PlanBuild).count(), 1);
             assert_eq!(t.events.iter().filter(|e| e.kind == TraceKind::PlanExec).count(), 6);
+        }
+    }
+
+    /// Bitwise property: `resort_planes` over mixed-stride planes (f32 /
+    /// Vec3 / u64 / f64, with ghost rows) is identical to both the typed
+    /// pre-byte-plane reference and per-field `resort_all`, across repeated
+    /// plan-cache reuse steps with fresh payload.
+    #[test]
+    fn resort_planes_bitwise_matches_typed_reference_mixed_strides() {
+        let n = 48usize;
+        let out = run(6, MachineModel::ideal(), move |comm| {
+            let me = comm.rank();
+            let n_ghost = me % 4;
+            let (ix, new_len) = valid_indices(comm, n, 0xfeed, n_ghost);
+            let reference_plan = ResortPlan::build(comm, &ix, new_len, &ExchangeMode::Collective);
+            let mut plan: Option<ResortPlan> = None;
+            let mut agree = true;
+            for step in 0..3u64 {
+                let bits = |i: usize, salt: u64| sm64((me * 4099 + i) as u64 ^ (salt << 40) ^ step);
+                let m = n + n_ghost;
+                let a: Vec<f32> = (0..m).map(|i| f32_of(bits(i, 1))).collect();
+                let b: Vec<Vec3> = (0..m)
+                    .map(|i| Vec3::new(f64_of(bits(i, 2)), f64_of(bits(i, 3)), f64_of(bits(i, 4))))
+                    .collect();
+                let c: Vec<u64> = (0..m).map(|i| bits(i, 5)).collect();
+                let d: Vec<f64> = (0..m).map(|i| f64_of(bits(i, 6))).collect();
+                let mut set = PlaneSet::new();
+                let pa = set.register::<f32>("a");
+                let pb = set.register::<Vec3>("b");
+                let pc = set.register::<u64>("c");
+                let pd = set.register::<f64>("d");
+                set.resize(m);
+                set.plane_mut::<f32>(pa).copy_from_slice(&a);
+                set.plane_mut::<Vec3>(pb).copy_from_slice(&b);
+                set.plane_mut::<u64>(pc).copy_from_slice(&c);
+                set.plane_mut::<f64>(pd).copy_from_slice(&d);
+                resort_planes(comm, &mut set, &ix, new_len, &ExchangeMode::Collective, &mut plan);
+                assert_eq!(set.len(), new_len);
+                // Typed pre-rework reference, one call per field.
+                let ra = reference_plan.execute_reference(comm, &[&a]).pop().unwrap();
+                let rb = reference_plan.execute_reference(comm, &[&b]).pop().unwrap();
+                let rc = reference_plan.execute_reference(comm, &[&c]).pop().unwrap();
+                let rd = reference_plan.execute_reference(comm, &[&d]).pop().unwrap();
+                // Current per-field wrapper (rides the byte path itself).
+                let wa = resort(comm, &a, &ix, new_len, &ExchangeMode::Collective);
+                let bits_f32 = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                let bits_f64 = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                let bits_v3 = |v: &[Vec3]| {
+                    v.iter().flat_map(|x| x.0.iter().map(|c| c.to_bits())).collect::<Vec<_>>()
+                };
+                agree &= bits_f32(set.plane::<f32>(pa)) == bits_f32(&ra);
+                agree &= bits_v3(set.plane::<Vec3>(pb)) == bits_v3(&rb);
+                agree &= set.plane::<u64>(pc) == &rc[..];
+                agree &= bits_f64(set.plane::<f64>(pd)) == bits_f64(&rd);
+                agree &= bits_f32(&wa) == bits_f32(&ra);
+            }
+            agree
+        });
+        for (r, agree) in out.results.iter().enumerate() {
+            assert!(agree, "rank {r}: byte-plane resort deviates from the typed reference");
+        }
+    }
+
+    /// `resort_planes` must move all registered planes (four heterogeneous
+    /// strides here) in ONE exchange round, where per-field typed resorts of
+    /// the same data pay one round per field — verified from the trace.
+    #[test]
+    fn resort_planes_uses_one_exchange_round_for_heterogeneous_planes() {
+        use simcomm::{run_traced, TraceKind};
+        let rounds = |combined: bool| {
+            let out = run_traced(4, MachineModel::ideal(), move |comm| {
+                let me = comm.rank();
+                let dst = (me + 1) % 4;
+                let n = 5usize;
+                let a: Vec<f32> = (0..n).map(|i| (me * 100 + i) as f32).collect();
+                let b: Vec<Vec3> = (0..n).map(|i| Vec3::splat((me * 10 + i) as f64)).collect();
+                let c: Vec<u64> = (0..n).map(|i| (me * 1000 + i) as u64).collect();
+                let ix: Vec<u64> = (0..n).map(|i| encode_index(dst, i)).collect();
+                if combined {
+                    let mut set = PlaneSet::new();
+                    let pa = set.register::<f32>("a");
+                    let pb = set.register::<Vec3>("b");
+                    let pc = set.register::<u64>("c");
+                    set.resize(n);
+                    set.plane_mut::<f32>(pa).copy_from_slice(&a);
+                    set.plane_mut::<Vec3>(pb).copy_from_slice(&b);
+                    set.plane_mut::<u64>(pc).copy_from_slice(&c);
+                    let mut plan = None;
+                    resort_planes(comm, &mut set, &ix, n, &ExchangeMode::Collective, &mut plan);
+                } else {
+                    let _ = resort(comm, &a, &ix, n, &ExchangeMode::Collective);
+                    let _ = resort(comm, &b, &ix, n, &ExchangeMode::Collective);
+                    let _ = resort(comm, &c, &ix, n, &ExchangeMode::Collective);
+                }
+            });
+            out.traces
+                .iter()
+                .map(|t| {
+                    t.events
+                        .iter()
+                        .filter(|e| e.kind == TraceKind::Alltoallv && e.phase == "redistribute")
+                        .count()
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(rounds(true), vec![1; 4], "all planes must ride one exchange round");
+        assert_eq!(rounds(false), vec![3; 4]);
+    }
+
+    /// Neighbourhood-mode `resort_planes` equals collective mode, and the
+    /// steady state reuses pooled buffers (bytes_reused grows, bytes_grown
+    /// stops) — ghosts included.
+    #[test]
+    fn resort_planes_neighborhood_matches_collective_and_reuses_buffers() {
+        let g = CartGrid::new([2, 2, 2]);
+        let out = run(8, MachineModel::juqueen_like(), move |comm| {
+            let me = comm.rank();
+            let partners = g.neighbors26(me);
+            let n = 6usize;
+            let n_ghost = me % 3;
+            let m = n + n_ghost;
+            let dst = g.shifted_rank(me, [1, 0, 0]);
+            let mut ix: Vec<u64> = (0..n).map(|i| encode_index(dst, n - 1 - i)).collect();
+            ix.extend(std::iter::repeat_n(GHOST_INDEX, n_ghost));
+            let build = |comm: &Comm, salt: u64| -> (Vec<u64>, Vec<f64>) {
+                let me = comm.rank();
+                let c: Vec<u64> = (0..m).map(|i| sm64((me * 31 + i) as u64 ^ salt)).collect();
+                let d: Vec<f64> = c.iter().map(|&x| f64_of(x ^ salt)).collect();
+                (c, d)
+            };
+            let mode_n = ExchangeMode::Neighborhood(partners);
+            let mut grown_settled = true;
+            let mut modes_agree = true;
+            let mut plan_n = None;
+            let mut plan_c = None;
+            for step in 0..4u64 {
+                let (c, d) = build(comm, step);
+                let mut set_n = PlaneSet::new();
+                let (pc, pd) = (set_n.register::<u64>("c"), set_n.register::<f64>("d"));
+                set_n.resize(m);
+                set_n.plane_mut::<u64>(pc).copy_from_slice(&c);
+                set_n.plane_mut::<f64>(pd).copy_from_slice(&d);
+                let mut set_c = set_n.clone();
+                let grown_before = comm.stats().bytes_grown;
+                resort_planes(comm, &mut set_n, &ix, n, &mode_n, &mut plan_n);
+                if step >= 2 {
+                    // Steady state: all buffers come from the pool.
+                    grown_settled &= comm.stats().bytes_grown == grown_before;
+                }
+                resort_planes(comm, &mut set_c, &ix, n, &ExchangeMode::Collective, &mut plan_c);
+                modes_agree &= set_n.plane::<u64>(pc) == set_c.plane::<u64>(pc);
+                modes_agree &= set_n
+                    .plane::<f64>(pd)
+                    .iter()
+                    .map(|x| x.to_bits())
+                    .eq(set_c.plane::<f64>(pd).iter().map(|x| x.to_bits()));
+            }
+            (modes_agree, grown_settled, comm.stats().bytes_reused > 0)
+        });
+        for (r, &(agree, settled, reused)) in out.results.iter().enumerate() {
+            assert!(agree, "rank {r}: neighbourhood and collective modes disagree");
+            assert!(settled, "rank {r}: steady-state resort still grows buffers");
+            assert!(reused, "rank {r}: pool never reused a buffer");
         }
     }
 

@@ -102,9 +102,9 @@ fn bench_solver_execution() {
                 let mut h = fcs::Fcs::init(kind, 4);
                 h.set_common(bbox);
                 h.set_tolerance(1e-2);
-                h.tune(comm, &set.pos, &set.charge);
+                h.tune(comm, set.pos(), set.charge());
                 h.set_resort(true);
-                let o = h.run(comm, &set.pos, &set.charge, &set.id, usize::MAX);
+                let o = h.run(comm, set.pos(), set.charge(), set.id(), usize::MAX);
                 o.potential.len()
             });
             out.results[0]

@@ -132,9 +132,9 @@ fn ghost_ablation(engine: Engine, report: &mut RunReport) {
             let mut solver = pmsolver::PmSolver::new(bbox, cfg, p);
             let o = solver.run(
                 comm,
-                &set.pos,
-                &set.charge,
-                &set.id,
+                set.pos(),
+                set.charge(),
+                set.id(),
                 particles::RedistMethod::RestoreOriginal,
                 None,
                 usize::MAX,

@@ -9,7 +9,11 @@
 //! * `commstats --check --report <a.json>[,<b.json>…]` — verify only the
 //!   accounting invariant (comm + wait + compute sums match the rank clocks)
 //!   for every run entry, one quiet line per report; exits nonzero on a
-//!   violation. Intended for CI.
+//!   violation. Intended for CI. Add `--alloc-budget <name>=<count>[,…]` to
+//!   additionally threshold `harness_selftime` rows: the named row's heap
+//!   allocation count (divided by its `steps` when per-step) must not exceed
+//!   `count` — the perf-smoke guard against per-step allocation regressions
+//!   on the steady-state redistribution path.
 //! * `commstats --trace results/trace_timeline.csv` — aggregate a per-event
 //!   trace CSV by phase and by operation kind (with collective fan-out from
 //!   the `nranks` column). Pre-observability six-column traces (without the
@@ -36,10 +40,36 @@ fn load_report(path: &str) -> RunReport {
     RunReport::from_json(&value).unwrap_or_else(|e| fail(format!("{path}: not a run report: {e}")))
 }
 
+/// One `--alloc-budget` entry: the named `harness_selftime` row's allocation
+/// count (per step, when the row covers steps) must not exceed the budget.
+struct AllocBudget {
+    name: String,
+    max_allocs: f64,
+}
+
+/// Parse `--alloc-budget name=count[,name=count…]`.
+fn parse_budgets(spec: &str) -> Vec<AllocBudget> {
+    spec.split(',')
+        .filter(|s| !s.is_empty())
+        .map(|pair| {
+            let (name, count) = pair.split_once('=').unwrap_or_else(|| {
+                fail(format!("bad --alloc-budget entry '{pair}' (want name=count)"))
+            });
+            AllocBudget {
+                name: name.to_string(),
+                max_allocs: count
+                    .parse()
+                    .unwrap_or_else(|e| fail(format!("bad --alloc-budget count '{count}': {e}"))),
+            }
+        })
+        .collect()
+}
+
 /// `--check`: verify the accounting invariant (per-phase comm + wait +
 /// compute sums match the rank clocks) for every run entry of a report,
-/// quietly. Exits nonzero on the first violation.
-fn check_report(path: &str) {
+/// quietly, plus any `--alloc-budget` thresholds against the report's
+/// `harness_selftime` rows. Exits nonzero on the first violation.
+fn check_report(path: &str, budgets: &[AllocBudget]) {
     let report = load_report(path);
     let mut max_err: f64 = 0.0;
     for run in &report.runs {
@@ -53,6 +83,28 @@ fn check_report(path: &str) {
             ));
         }
         max_err = max_err.max(err);
+    }
+    for budget in budgets {
+        let row = report.selftime.iter().find(|r| r.name == budget.name).unwrap_or_else(|| {
+            fail(format!(
+                "{path}: no harness_selftime row named '{}' to hold \
+                     --alloc-budget against",
+                budget.name
+            ))
+        });
+        let per_step = row.allocs as f64 / row.steps.max(1) as f64;
+        if per_step > budget.max_allocs {
+            fail(format!(
+                "{path}: selftime row '{}' performed {:.1} heap allocations per \
+                 step (budget {}) — the zero-allocation redistribution path \
+                 regressed",
+                budget.name, per_step, budget.max_allocs
+            ));
+        }
+        println!(
+            "check {path}: selftime '{}' within budget ({:.1} <= {} allocs/step)",
+            budget.name, per_step, budget.max_allocs
+        );
     }
     println!(
         "check {path}: ok ({n} runs, max accounting error {max_err:.1e} s)",
@@ -89,6 +141,15 @@ fn summarize_report(path: &str) {
                 100.0 * reuse
             );
         }
+        let reused: u64 = run.ranks.iter().map(|r| r.bytes_reused).sum();
+        let grown: u64 = run.ranks.iter().map(|r| r.bytes_grown).sum();
+        if reused + grown > 0 {
+            println!(
+                "buffer pool: {reused} B served from arenas, {grown} B grown \
+                 ({:.1}% reuse)",
+                100.0 * reused as f64 / (reused + grown) as f64
+            );
+        }
         let faults: u64 = run.ranks.iter().map(|r| r.faults_injected).sum();
         if faults > 0 {
             let retries: u64 = run.ranks.iter().map(|r| r.retries).sum();
@@ -104,6 +165,19 @@ fn summarize_report(path: &str) {
             err <= 1e-6 * run.makespan.max(1e-9),
             "accounting violated: phase/rank times diverge from clocks by {err} s"
         );
+    }
+    if !report.selftime.is_empty() {
+        println!("\nharness selftime (real wall-clock, process-wide heap allocations):");
+        for row in &report.selftime {
+            println!(
+                "  {:<28} {:>10} wall  {:>12} allocs  {:>14} B{}",
+                row.name,
+                fmt_secs(row.wall_seconds),
+                row.allocs,
+                row.alloc_bytes,
+                if row.steps > 0 { format!("  ({} steps)", row.steps) } else { String::new() }
+            );
+        }
     }
     println!(
         "\naccounting check passed: phase times sum to rank clocks within {:.1e} s",
@@ -218,19 +292,21 @@ fn summarize_trace(path: &str) {
 }
 
 fn main() {
-    let args = Args::parse(&["report", "trace", "check"]);
+    let args = Args::parse(&["report", "trace", "check", "alloc-budget"]);
     let report: String = args.get("report", String::new());
     let trace: String = args.get("trace", String::new());
     let check = args.flag("check");
+    let budgets = parse_budgets(&args.get("alloc-budget", String::new()));
     if report.is_empty() && trace.is_empty() {
         fail(
-            "usage: commstats [--check] --report <a.json>[,<b.json>…] | --trace results/<trace>.csv"
+            "usage: commstats [--check [--alloc-budget name=count,…]] \
+             --report <a.json>[,<b.json>…] | --trace results/<trace>.csv"
                 .to_string(),
         );
     }
     for path in report.split(',').filter(|p| !p.is_empty()) {
         if check {
-            check_report(path);
+            check_report(path, &budgets);
         } else {
             summarize_report(path);
         }

@@ -13,7 +13,7 @@
 //! the paper's 1000 steps it is ~50 % of the FMM step time and up to ~75 % of
 //! the P2NFFT step time — while Method B stays flat (~3 % / ~2 %).
 
-use bench::{banner, fmt_secs, report_summary, sum_from, write_csv, Args, RunReport};
+use bench::{banner, fmt_secs, report_summary, sum_from, write_csv, Args, RunReport, Selftime};
 use fcs::SolverKind;
 use mdsim::SimConfig;
 use particles::{InitialDistribution, IonicCrystal};
@@ -53,6 +53,7 @@ fn main() {
         ),
     );
 
+    let mut selftime = Selftime::start();
     let mut report = RunReport::new("fig8", "juropa_like");
     report.param("engine", engine.name());
     report.param("cells", cells);
@@ -88,8 +89,11 @@ fn main() {
             )
         };
         let (a, rms_a, entry_a) = run(false, false);
+        selftime.lap_steps(&format!("run:{solver:?}/methodA"), steps as u64);
         let (b, _, entry_b) = run(true, false);
+        selftime.lap_steps(&format!("run:{solver:?}/methodB"), steps as u64);
         let (bm, _, entry_bm) = run(true, true);
+        selftime.lap_steps(&format!("run:{solver:?}/methodB+movement"), steps as u64);
         report.push(format!("{solver:?}/methodA"), entry_a);
         report.push(format!("{solver:?}/methodB"), entry_b);
         report.push(format!("{solver:?}/methodB+movement"), entry_bm);
@@ -134,6 +138,18 @@ fn main() {
         println!(
             "=> method A redistribution grew {grow_a:.1}x from step 1 to step {steps} \
              (RMS particle drift {rms_a:.2} box units)"
+        );
+    }
+    report.selftime = selftime.rows();
+    println!("\nharness selftime (real wall-clock, process-wide heap allocations):");
+    for row in &report.selftime {
+        println!(
+            "  {:<28} {:>10} wall  {:>12} allocs  {:>14} B  ({} steps)",
+            row.name,
+            fmt_secs(row.wall_seconds),
+            row.allocs,
+            row.alloc_bytes,
+            row.steps
         );
     }
     let path =

@@ -35,6 +35,7 @@ fn main() {
         "dist",
         "pencil",
         "engine",
+        "tag",
     ]);
     let cells: usize = args.get("cells", 24);
     let steps: usize = args.get("steps", 10);
@@ -161,7 +162,15 @@ fn main() {
         );
     }
 
-    let name = if args.flag("pencil") { "fig9_pencil" } else { "fig9" };
+    // `--tag <suffix>` writes to fig9_<suffix>.csv / fig9_<suffix>_report.json
+    // so special runs (e.g. the committed 16384-rank right panel) don't
+    // clobber the default outputs.
+    let tag: String = args.get("tag", String::new());
+    let mut name = if args.flag("pencil") { "fig9_pencil".to_string() } else { "fig9".to_string() };
+    if !tag.is_empty() {
+        name = format!("{name}_{tag}");
+    }
+    let name = name.as_str();
     let path = write_csv(
         name,
         "panel,procs,methodA,methodB,methodB_move,redistA,redistB,redistB_move",

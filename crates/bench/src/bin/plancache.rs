@@ -32,10 +32,10 @@
 //! model, or if the planned neighbourhood exchange wins less than 5 % on
 //! the torus (JUQUEEN-like) model.
 
-use bench::{banner, fmt_secs, report_summary, Args, RunReport};
+use bench::{banner, fmt_secs, report_summary, Args, RunReport, Selftime, SelftimeRow};
 use fcs::SolverKind;
 use mdsim::SimConfig;
-use particles::{InitialDistribution, IonicCrystal};
+use particles::{InitialDistribution, IonicCrystal, PlaneSet, Vec3};
 use simcomm::{CartGrid, Comm, MachineModel, Runner, Work};
 
 /// Short machine label ("juropa-like") for run labels and table rows.
@@ -132,6 +132,7 @@ fn main() {
         ),
     );
 
+    let mut selftime = Selftime::start();
     let mut report = RunReport::new("plancache", "mixed");
     report.param("engine", engine.name());
     report.param("cells", cells);
@@ -171,7 +172,9 @@ fn main() {
             )
         };
         let (recs_planned, _, entry_planned) = run_md(true);
+        selftime.lap_steps(&format!("run:{name}/md/planned"), steps as u64);
         let (recs_unplanned, _, entry_unplanned) = run_md(false);
+        selftime.lap_steps(&format!("run:{name}/md/unplanned"), steps as u64);
 
         // Plan caching must be invisible to the physics: same trajectory,
         // bit for bit, with and without it.
@@ -218,6 +221,7 @@ fn main() {
         // --- Neighbourhood ghost exchange ---
         let (n_planned, n_unplanned) =
             neighborhood_workloads(&model, engine, procs, elems, steps, &mut report);
+        selftime.lap_steps(&format!("run:{name}/neighborhood"), steps as u64);
         let n_win = 100.0 * (1.0 - n_planned / n_unplanned);
         println!(
             "{name:<14} {:<14} {:>14} {:>14} {:>7.1}%",
@@ -241,6 +245,73 @@ fn main() {
             );
         }
     }
+
+    // --- Steady-state allocation probe ---
+    // The zero-per-step-allocation claim of the byte-plane resort path,
+    // measured directly: one rank, a frozen `ResortPlan` over an all-local
+    // permutation, three heterogeneous planes. After warm-up (plan built,
+    // slabs and pooled buffers at their high-water sizes) the probe loop
+    // must not touch the allocator at all — `commstats --check
+    // --alloc-budget steady-resort=0` holds the line in CI.
+    let probe_steps = 64u64;
+    let probe = Runner::new(simcomm::Engine::Threaded).run(1, MachineModel::ideal(), move |comm| {
+        let n = 2048usize;
+        let mut set = PlaneSet::new();
+        let vel = set.register::<Vec3>("vel");
+        let charge = set.register::<f64>("charge");
+        let tag = set.register::<u64>("tag");
+        set.resize(n);
+        for i in 0..n {
+            set.plane_mut::<Vec3>(vel)[i] = Vec3::splat(i as f64);
+            set.plane_mut::<f64>(charge)[i] = i as f64 * 0.5;
+            set.plane_mut::<u64>(tag)[i] = i as u64;
+        }
+        // A fixed permutation (1031 is odd, so coprime with 2048): every
+        // element moves every step, all of it rank-local.
+        let ix: Vec<u64> = (0..n).map(|i| atasp::encode_index(0, (i * 1031) % n)).collect();
+        let mode = atasp::ExchangeMode::Neighborhood(Vec::new());
+        let mut plan = None;
+        for _ in 0..4 {
+            atasp::resort_planes(comm, &mut set, &ix, n, &mode, &mut plan);
+        }
+        let t0 = std::time::Instant::now();
+        let (a0, b0) = bench::alloc_counters();
+        for _ in 0..probe_steps {
+            atasp::resort_planes(comm, &mut set, &ix, n, &mode, &mut plan);
+        }
+        let (a1, b1) = bench::alloc_counters();
+        (a1 - a0, b1 - b0, t0.elapsed().as_secs_f64())
+    });
+    let (probe_allocs, probe_bytes, probe_wall) = probe.results[0];
+    selftime.lap("probe:setup+warmup");
+    let mut selftime = selftime.rows();
+    selftime.push(SelftimeRow {
+        name: "steady-resort".into(),
+        wall_seconds: probe_wall,
+        allocs: probe_allocs,
+        alloc_bytes: probe_bytes,
+        steps: probe_steps,
+    });
+    println!("\nharness selftime (real wall-clock, process-wide heap allocations):");
+    for row in &selftime {
+        println!(
+            "  {:<28} {:>10} wall  {:>12} allocs  {:>14} B{}",
+            row.name,
+            fmt_secs(row.wall_seconds),
+            row.allocs,
+            row.alloc_bytes,
+            if row.steps > 0 { format!("  ({} steps)", row.steps) } else { String::new() }
+        );
+    }
+    // In release builds the steady-state resort path must be allocation-free
+    // (debug builds carry a diagnostic duplicate-position bitmap).
+    if !cfg!(debug_assertions) {
+        assert_eq!(
+            probe_allocs, 0,
+            "steady-state resort allocated {probe_allocs} times over {probe_steps} steps"
+        );
+    }
+    report.selftime = selftime;
 
     let json = report.to_json().pretty();
     std::fs::write("BENCH_plancache.json", &json).expect("write BENCH_plancache.json");

@@ -13,16 +13,17 @@
 //! * **Multi-field resort** (the `fcs_resort_*` path): route three
 //!   per-particle fields through the redistribution either as three
 //!   sequential single-field resorts (`per-field`, the previous call
-//!   pattern) or in one combined exchange round (`combined`,
-//!   [`atasp::resort_all`]).
+//!   pattern) or in one combined byte exchange round (`combined`,
+//!   [`atasp::resort_planes`] over a three-plane [`particles::PlaneSet`]).
 //!
 //! Writes `BENCH_redistribution.json` (run-report schema 1) at the
 //! repository root next to a `results/redistribution_report.json` copy, and
 //! fails loudly if the nonblocking exchange is slower than the blocking one
 //! on either machine model.
 
-use atasp::{encode_index, resort, resort_all, ExchangeMode};
+use atasp::{encode_index, resort, resort_planes, ExchangeMode};
 use bench::{banner, fmt_secs, Args, RunEntry, RunReport};
+use particles::PlaneSet;
 use simcomm::{Comm, Engine, MachineModel, Runner};
 
 /// Short machine label ("juropa-like") for run labels and table rows.
@@ -108,7 +109,14 @@ fn resort_workloads(
     let combined = runner.run(procs, model.clone(), |comm| {
         let ix = indices(comm);
         let [a, b, c] = fields(comm);
-        let _ = resort_all(comm, &[&a, &b, &c], &ix, elems, &ExchangeMode::Collective);
+        let mut set = PlaneSet::new();
+        for (name, data) in [("a", &a), ("b", &b), ("c", &c)] {
+            let id = set.register::<f64>(name);
+            set.resize(data.len());
+            set.plane_mut::<f64>(id).copy_from_slice(data);
+        }
+        let mut plan = None;
+        resort_planes(comm, &mut set, &ix, elems, &ExchangeMode::Collective, &mut plan);
     });
     let name = short_name(model);
     report.push(format!("{name}/resort/per-field"), RunEntry::from_run(&per_field));

@@ -16,12 +16,20 @@
 pub mod json;
 pub mod microbench;
 pub mod report;
+pub mod selftime;
 
 use std::collections::HashMap;
 use std::io::Write;
 
 use mdsim::StepRecord;
-pub use report::{format_phase_table, PhaseRow, RankRow, RunEntry, RunReport};
+pub use report::{format_phase_table, PhaseRow, RankRow, RunEntry, RunReport, SelftimeRow};
+pub use selftime::{alloc_counters, CountingAlloc, Selftime};
+
+/// Every binary of this crate counts its heap allocations (see
+/// [`selftime`]): the `harness_selftime` report section is how the CI
+/// perf-smoke job catches per-step allocation regressions.
+#[global_allocator]
+static GLOBAL_ALLOC: CountingAlloc = CountingAlloc;
 
 /// A tiny command-line flag parser: `--key value` pairs plus `--flag`
 /// booleans. Unknown keys panic with a usage hint.

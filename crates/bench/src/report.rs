@@ -31,6 +31,29 @@ pub struct RunReport {
     pub params: Vec<(String, String)>,
     /// One entry per simulated world, in execution order.
     pub runs: Vec<RunEntry>,
+    /// Harness self-timing: **real** wall-clock and heap-allocation deltas
+    /// per harness phase (everything above is virtual machine-model time).
+    /// Serialized as `"harness_selftime"`; absent in older reports, which
+    /// parse as an empty list. See [`crate::Selftime`].
+    pub selftime: Vec<SelftimeRow>,
+}
+
+/// One harness self-timing lap: real elapsed time and process-wide heap
+/// allocation deltas over one phase of the benchmark binary itself.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SelftimeRow {
+    /// Phase label (`"run:md/planned"`, `"steady-resort-probe"`, …).
+    pub name: String,
+    /// Real elapsed wall-clock seconds of the phase.
+    pub wall_seconds: f64,
+    /// Heap allocations performed by the whole process during the phase.
+    pub allocs: u64,
+    /// Bytes of heap newly allocated during the phase.
+    pub alloc_bytes: u64,
+    /// Steady-state repetitions the phase covered (0 = not a per-step
+    /// phase). `commstats --check --alloc-budget` divides `allocs` by this
+    /// before comparing against the budget.
+    pub steps: u64,
 }
 
 /// Aggregates of one simulated world execution.
@@ -122,6 +145,12 @@ pub struct RankRow {
     pub timeouts: u64,
     /// Scheduled stalls that fired on this rank (0 or 1 per run).
     pub stalls: u64,
+    /// Message-buffer bytes served from the rank's arena pool instead of the
+    /// allocator (see [`simcomm::RankStats::bytes_reused`]).
+    pub bytes_reused: u64,
+    /// Message-buffer capacity the allocator had to grow pooled buffers by
+    /// (see [`simcomm::RankStats::bytes_grown`]).
+    pub bytes_grown: u64,
 }
 
 impl RunEntry {
@@ -178,6 +207,8 @@ impl RunEntry {
                     retries: s.retries,
                     timeouts: s.timeouts,
                     stalls: s.stalls,
+                    bytes_reused: s.bytes_reused,
+                    bytes_grown: s.bytes_grown,
                 })
                 .collect(),
         }
@@ -214,6 +245,7 @@ impl RunReport {
             machine: machine.to_string(),
             params: Vec::new(),
             runs: Vec::new(),
+            selftime: Vec::new(),
         }
     }
 
@@ -235,7 +267,7 @@ impl RunReport {
 
     /// Serialize to the JSON document structure.
     pub fn to_json(&self) -> Json {
-        Json::obj(vec![
+        let mut fields = vec![
             ("schema", Json::Num(self.schema as f64)),
             ("figure", Json::Str(self.figure.clone())),
             ("machine", Json::Str(self.machine.clone())),
@@ -246,7 +278,27 @@ impl RunReport {
                 ),
             ),
             ("runs", Json::Arr(self.runs.iter().map(run_to_json).collect())),
-        ])
+        ];
+        if !self.selftime.is_empty() {
+            fields.push((
+                "harness_selftime",
+                Json::Arr(
+                    self.selftime
+                        .iter()
+                        .map(|s| {
+                            Json::obj(vec![
+                                ("name", Json::Str(s.name.clone())),
+                                ("wall_seconds", Json::Num(s.wall_seconds)),
+                                ("allocs", Json::Num(s.allocs as f64)),
+                                ("alloc_bytes", Json::Num(s.alloc_bytes as f64)),
+                                ("steps", Json::Num(s.steps as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        Json::obj(fields)
     }
 
     /// Parse a report back from JSON (inverse of [`RunReport::to_json`]).
@@ -277,6 +329,21 @@ impl RunReport {
                 .iter()
                 .map(run_from_json)
                 .collect::<Result<_, _>>()?,
+            selftime: match v.get("harness_selftime").and_then(Json::as_arr) {
+                None => Vec::new(),
+                Some(rows) => rows
+                    .iter()
+                    .map(|s| {
+                        Ok(SelftimeRow {
+                            name: field_str(s, "name")?,
+                            wall_seconds: field_f64(s, "wall_seconds")?,
+                            allocs: field_u64(s, "allocs")?,
+                            alloc_bytes: field_u64(s, "alloc_bytes")?,
+                            steps: field_u64_or_zero(s, "steps"),
+                        })
+                    })
+                    .collect::<Result<_, String>>()?,
+            },
         })
     }
 
@@ -344,6 +411,8 @@ fn run_to_json(r: &RunEntry) -> Json {
                             ("retries", Json::Num(k.retries as f64)),
                             ("timeouts", Json::Num(k.timeouts as f64)),
                             ("stalls", Json::Num(k.stalls as f64)),
+                            ("bytes_reused", Json::Num(k.bytes_reused as f64)),
+                            ("bytes_grown", Json::Num(k.bytes_grown as f64)),
                         ])
                     })
                     .collect(),
@@ -425,6 +494,8 @@ fn run_from_json(v: &Json) -> Result<RunEntry, String> {
                     retries: field_u64_or_zero(k, "retries"),
                     timeouts: field_u64_or_zero(k, "timeouts"),
                     stalls: field_u64_or_zero(k, "stalls"),
+                    bytes_reused: field_u64_or_zero(k, "bytes_reused"),
+                    bytes_grown: field_u64_or_zero(k, "bytes_grown"),
                 })
             })
             .collect::<Result<_, String>>()?,
@@ -530,6 +601,8 @@ mod tests {
                     retries: 1,
                     timeouts: 1,
                     stalls: 0,
+                    bytes_reused: 512,
+                    bytes_grown: 2048,
                 },
                 RankRow {
                     rank: 1,
@@ -542,6 +615,13 @@ mod tests {
             ],
         };
         report.push("methodA", entry);
+        report.selftime.push(SelftimeRow {
+            name: "run:methodA".into(),
+            wall_seconds: 0.125,
+            allocs: 4321,
+            alloc_bytes: 1 << 20,
+            steps: 30,
+        });
         report
     }
 

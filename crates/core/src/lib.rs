@@ -55,7 +55,7 @@
 use atasp::ExchangeMode;
 use ewald::{EwaldConfig, EwaldSolver};
 use fmm::{FmmConfig, FmmSolver};
-use particles::{MovementHint, RedistMethod, SolverOutput, SystemBox, Vec3};
+use particles::{MovementHint, PlaneElem, PlaneSet, RedistMethod, SolverOutput, SystemBox, Vec3};
 use pmsolver::{PmConfig, PmSolver};
 use simcomm::Comm;
 
@@ -462,11 +462,14 @@ impl Fcs {
     }
 
     /// Generic resort of additional per-particle data.
-    pub fn resort_data<T: Send + Copy + Default + 'static>(
-        &mut self,
-        comm: &mut Comm,
-        data: &[T],
-    ) -> Vec<T> {
+    ///
+    /// Convenience wrapper over the byte-plane path: the data is staged
+    /// into a single-plane [`PlaneSet`] and moved with one byte exchange.
+    /// Callers that keep their additional data in a persistent `PlaneSet`
+    /// should use [`Fcs::resort_planes`] instead, which moves every
+    /// registered plane in one round without the staging copies.
+    #[allow(deprecated)] // staging wrapper over the per-`T` plan entry point
+    pub fn resort_data<T: PlaneElem + Send>(&mut self, comm: &mut Comm, data: &[T]) -> Vec<T> {
         assert!(
             self.last_resorted,
             "resort functions require a successful Method B run (check resorted())"
@@ -504,13 +507,18 @@ impl Fcs {
     }
 
     /// Redistribute several additional per-particle data channels at once in
-    /// a **single** combined exchange round (see [`atasp::resort_all`]).
+    /// a **single** combined exchange round.
     ///
     /// An integrator that carries velocities, accelerations and old positions
     /// through a Method B run pays one redistribution round instead of one
     /// per field. Returns one output vector per input channel, each of length
     /// [`Fcs::resort_len`]. Must only be called when [`Fcs::resorted`] is
     /// true. Collective.
+    ///
+    /// Deprecated: all channels share one element type `T` and each call
+    /// allocates fresh output vectors. [`Fcs::resort_planes`] moves
+    /// heterogeneously-typed planes of a persistent [`PlaneSet`] through the
+    /// same combined exchange with no per-call allocation in steady state.
     ///
     /// ```
     /// use fcs::{Fcs, SolverKind};
@@ -539,7 +547,14 @@ impl Fcs {
     ///     assert_eq!(acc_new.len(), h.resort_len());
     /// });
     /// ```
-    pub fn resort_all<T: Send + Copy + Default + 'static>(
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Fcs::resort_planes` with a persistent `PlaneSet` — it moves \
+                heterogeneously-typed planes in the same single exchange round \
+                without allocating output vectors"
+    )]
+    #[allow(deprecated)] // staging wrapper over the per-`T` plan entry point
+    pub fn resort_all<T: PlaneElem + Send>(
         &mut self,
         comm: &mut Comm,
         channels: &[&[T]],
@@ -557,6 +572,65 @@ impl Fcs {
         }
         let plan = self.current_resort_plan(comm);
         plan.execute(comm, channels)
+    }
+
+    /// Redistribute every registered plane of `set` — the application's
+    /// additional per-particle data in structure-of-arrays form — into the
+    /// changed order of the most recent `run`, in a **single** combined byte
+    /// exchange round (see [`atasp::resort_planes`]).
+    ///
+    /// This is the preferred multi-channel resort: planes of different
+    /// element types (velocities as `Vec3`, a tag as `u64`, ...) ride one
+    /// exchange, received elements land in the set's back slabs, and the
+    /// commit is a pointer swap — the steady-state path allocates nothing
+    /// once slabs and pooled message buffers have reached their high-water
+    /// sizes. On return `set.len()` equals [`Fcs::resort_len`]. Must only be
+    /// called when [`Fcs::resorted`] is true. Collective.
+    ///
+    /// The frozen schedule is shared with the per-`T` entry points and
+    /// cached across runs (see [`Fcs::plan_stats`]).
+    ///
+    /// ```
+    /// use fcs::{Fcs, SolverKind};
+    /// use particles::{PlaneSet, SystemBox, Vec3};
+    ///
+    /// simcomm::run(2, simcomm::MachineModel::ideal(), |comm| {
+    ///     let r = comm.rank() as f64;
+    ///     let pos = vec![Vec3::new(1.0 + r, 1.0, 1.0), Vec3::new(1.0 + r, 2.5, 2.0)];
+    ///     let charge = vec![1.0, -1.0];
+    ///     let id = vec![2 * comm.rank() as u64, 2 * comm.rank() as u64 + 1];
+    ///
+    ///     let mut h = Fcs::init(SolverKind::Fmm, comm.size());
+    ///     h.set_common(SystemBox::cubic(4.0));
+    ///     h.tune(comm, &pos, &charge);
+    ///     h.set_resort(true);
+    ///     h.run(comm, &pos, &charge, &id, usize::MAX);
+    ///     assert!(h.resorted());
+    ///
+    ///     // Velocities and a per-particle tag follow the particles
+    ///     // together, riding a single byte exchange.
+    ///     let mut aux = PlaneSet::new();
+    ///     let vel = aux.register::<Vec3>("vel");
+    ///     let tag = aux.register::<u64>("tag");
+    ///     aux.resize(2);
+    ///     aux.plane_mut::<Vec3>(vel).fill(Vec3::new(r, 0.0, 0.0));
+    ///     aux.plane_mut::<u64>(tag).copy_from_slice(&id);
+    ///     h.resort_planes(comm, &mut aux);
+    ///     assert_eq!(aux.len(), h.resort_len());
+    /// });
+    /// ```
+    pub fn resort_planes(&mut self, comm: &mut Comm, set: &mut PlaneSet) {
+        assert!(
+            self.last_resorted,
+            "resort functions require a successful Method B run (check resorted())"
+        );
+        assert_eq!(
+            set.len(),
+            self.last_resort_indices.len(),
+            "plane set must match the original particle count"
+        );
+        let plan = self.current_resort_plan(comm);
+        plan.execute_planes(comm, set);
     }
 
     /// `fcs_destroy`: release the solver instance. (Rust frees resources on
@@ -584,9 +658,9 @@ mod tests {
             let mut h = Fcs::init(kind, p);
             h.set_common(bbox);
             h.set_tolerance(1e-3);
-            h.tune(comm, &set.pos, &set.charge);
+            h.tune(comm, set.pos(), set.charge());
             h.set_resort(resort);
-            let o = h.run(comm, &set.pos, &set.charge, &set.id, usize::MAX);
+            let o = h.run(comm, set.pos(), set.charge(), set.id(), usize::MAX);
             let e = 0.5 * o.potential.iter().zip(&o.charge).map(|(a, q)| a * q).sum::<f64>();
             (e, h.resorted())
         });
@@ -633,18 +707,18 @@ mod tests {
                 let set = local_set(&c, InitialDistribution::Random, comm.rank(), p, [2, 2, 2]);
                 let mut h = Fcs::init(kind, p);
                 h.set_common(bbox);
-                h.tune(comm, &set.pos, &set.charge);
+                h.tune(comm, set.pos(), set.charge());
                 h.set_resort(true);
-                let o = h.run(comm, &set.pos, &set.charge, &set.id, usize::MAX);
+                let o = h.run(comm, set.pos(), set.charge(), set.id(), usize::MAX);
                 assert!(h.resorted());
-                let tags: Vec<f64> = set.id.iter().map(|&i| i as f64).collect();
+                let tags: Vec<f64> = set.id().iter().map(|&i| i as f64).collect();
                 let moved = h.resort_floats(comm, &tags);
                 assert_eq!(moved.len(), o.id.len());
                 for (tag, id) in moved.iter().zip(&o.id) {
                     assert_eq!(*tag, *id as f64, "{kind:?}: tag must follow its particle");
                 }
                 // Vec3 resorting too.
-                let vtags: Vec<Vec3> = set.id.iter().map(|&i| Vec3::splat(i as f64)).collect();
+                let vtags: Vec<Vec3> = set.id().iter().map(|&i| Vec3::splat(i as f64)).collect();
                 let vmoved = h.resort_vec3(comm, &vtags);
                 for (tag, id) in vmoved.iter().zip(&o.id) {
                     assert_eq!(tag.x(), *id as f64);
@@ -671,8 +745,8 @@ mod tests {
                 h.set_common(bbox);
                 h.set_tolerance(1e-3);
                 h.set_soft_core(Some(particles::SoftCore::for_spacing(1.0)));
-                h.tune(comm, &set.pos, &set.charge);
-                let o = h.run(comm, &set.pos, &set.charge, &set.id, usize::MAX);
+                h.tune(comm, set.pos(), set.charge());
+                let o = h.run(comm, set.pos(), set.charge(), set.id(), usize::MAX);
                 0.5 * o.potential.iter().zip(&o.charge).map(|(a, q)| a * q).sum::<f64>()
             });
             out.results.iter().sum()
@@ -692,8 +766,8 @@ mod tests {
                 let mut h = Fcs::init(SolverKind::Ewald, p);
                 h.set_common(bbox);
                 h.set_tolerance(1e-3);
-                h.tune(comm, &set.pos, &set.charge);
-                let o = h.run(comm, &set.pos, &set.charge, &set.id, usize::MAX);
+                h.tune(comm, set.pos(), set.charge());
+                let o = h.run(comm, set.pos(), set.charge(), set.id(), usize::MAX);
                 0.5 * o.potential.iter().zip(&o.charge).map(|(a, q)| a * q).sum::<f64>()
             });
             out.results.iter().sum::<f64>()
@@ -714,8 +788,8 @@ mod tests {
                 let mut h = Fcs::init(SolverKind::P2Nfft, p);
                 h.set_common(bbox);
                 h.set_p2nfft_pencil(pencil);
-                h.tune(comm, &set.pos, &set.charge);
-                let o = h.run(comm, &set.pos, &set.charge, &set.id, usize::MAX);
+                h.tune(comm, set.pos(), set.charge());
+                let o = h.run(comm, set.pos(), set.charge(), set.id(), usize::MAX);
                 0.5 * o.potential.iter().zip(&o.charge).map(|(a, q)| a * q).sum::<f64>()
             });
             out.results.iter().sum()
@@ -737,11 +811,11 @@ mod tests {
             let set = local_set(&c, InitialDistribution::Random, comm.rank(), p, [2, 2, 1]);
             let mut h = Fcs::init(SolverKind::Fmm, p);
             h.set_common(bbox);
-            h.tune(comm, &set.pos, &set.charge);
+            h.tune(comm, set.pos(), set.charge());
             h.set_resort(true);
-            let o = h.run(comm, &set.pos, &set.charge, &set.id, 0);
+            let o = h.run(comm, set.pos(), set.charge(), set.id(), 0);
             assert!(!h.resorted(), "capacity 0 must force the fallback");
-            assert_eq!(o.id, set.id, "fallback restores the original order");
+            assert_eq!(o.id, set.id(), "fallback restores the original order");
         });
     }
 
@@ -772,8 +846,8 @@ mod tests {
             let set = local_set(&c, InitialDistribution::SingleProcess, 0, 1, [1, 1, 1]);
             let mut h = Fcs::init(SolverKind::Fmm, 1);
             h.set_common(c.system_box());
-            h.tune(comm, &set.pos, &set.charge);
-            let _ = h.run(comm, &set.pos, &set.charge, &set.id, usize::MAX);
+            h.tune(comm, set.pos(), set.charge());
+            let _ = h.run(comm, set.pos(), set.charge(), set.id(), usize::MAX);
             let _ = h.resort_floats(comm, &[0.0; 8]);
         });
     }
@@ -788,9 +862,9 @@ mod tests {
             let set = local_set(&c, InitialDistribution::Grid, comm.rank(), p, dims);
             let mut h = Fcs::init(SolverKind::P2Nfft, p);
             h.set_common(bbox);
-            h.tune(comm, &set.pos, &set.charge);
+            h.tune(comm, set.pos(), set.charge());
             h.set_resort(true);
-            let o1 = h.run(comm, &set.pos, &set.charge, &set.id, usize::MAX);
+            let o1 = h.run(comm, set.pos(), set.charge(), set.id(), usize::MAX);
             // Re-run from the solver distribution with a tiny movement hint.
             h.set_max_particle_move(Some(1e-6));
             let o2 = h.run(comm, &o1.pos, &o1.charge, &o1.id, usize::MAX);

@@ -323,14 +323,14 @@ mod tests {
                 let mut solver = EwaldSolver::new(bbox, cfg.clone());
                 let o = solver.run(
                     comm,
-                    &set.pos,
-                    &set.charge,
-                    &set.id,
+                    set.pos(),
+                    set.charge(),
+                    set.id(),
                     RedistMethod::RestoreOriginal,
                     None,
                     usize::MAX,
                 );
-                (set.id, o.potential, o.field)
+                (set.id().to_vec(), o.potential, o.field)
             });
             for (ids, pot, field) in &out.results {
                 for ((id, ph), f) in ids.iter().zip(pot).zip(field) {
@@ -353,9 +353,9 @@ mod tests {
             let mut solver = EwaldSolver::new(bbox, cfg.clone());
             let o = solver.run(
                 comm,
-                &set.pos,
-                &set.charge,
-                &set.id,
+                set.pos(),
+                set.charge(),
+                set.id(),
                 RedistMethod::RestoreOriginal,
                 None,
                 usize::MAX,
@@ -377,20 +377,20 @@ mod tests {
             let mut solver = EwaldSolver::new(bbox, cfg.clone());
             let o = solver.run(
                 comm,
-                &set.pos,
-                &set.charge,
-                &set.id,
+                set.pos(),
+                set.charge(),
+                set.id(),
                 RedistMethod::UseChanged,
                 None,
                 usize::MAX,
             );
             assert!(o.resorted);
-            assert_eq!(o.id, set.id, "order unchanged");
+            assert_eq!(o.id, set.id(), "order unchanged");
             for (i, &ix) in o.resort_indices.iter().enumerate() {
                 assert_eq!(atasp::decode_index(ix), (comm.rank(), i), "identity index");
             }
             // Resorting through the indices must be a no-op.
-            let data: Vec<f64> = set.id.iter().map(|&x| x as f64).collect();
+            let data: Vec<f64> = set.id().iter().map(|&x| x as f64).collect();
             let moved = atasp::resort(
                 comm,
                 &data,
@@ -416,9 +416,9 @@ mod tests {
                 let mut solver = EwaldSolver::new(bbox, cfg.clone());
                 let o = solver.run(
                     comm,
-                    &set.pos,
-                    &set.charge,
-                    &set.id,
+                    set.pos(),
+                    set.charge(),
+                    set.id(),
                     RedistMethod::RestoreOriginal,
                     None,
                     usize::MAX,

@@ -264,11 +264,11 @@ pub fn write_xyzq<W: Write>(mut w: W, bbox: &SystemBox, set: &ParticleSet) -> st
         writeln!(
             w,
             "{} {} {} {} {}",
-            set.id[i],
-            set.charge[i],
-            set.pos[i].x(),
-            set.pos[i].y(),
-            set.pos[i].z()
+            set.id()[i],
+            set.charge()[i],
+            set.pos()[i].x(),
+            set.pos()[i].y(),
+            set.pos()[i].z()
         )?;
     }
     Ok(())
@@ -336,9 +336,9 @@ mod tests {
         assert_eq!(bbox2.periodic, bbox.periodic);
         assert_eq!(set2.len(), set.len());
         for i in 0..set.len() {
-            assert_eq!(set2.id[i], set.id[i]);
-            assert_eq!(set2.charge[i], set.charge[i]);
-            assert!((set2.pos[i] - set.pos[i]).norm() < 1e-12);
+            assert_eq!(set2.id()[i], set.id()[i]);
+            assert_eq!(set2.charge()[i], set.charge()[i]);
+            assert!((set2.pos()[i] - set.pos()[i]).norm() < 1e-12);
         }
     }
 
@@ -369,9 +369,9 @@ mod tests {
         let snap = Snapshot {
             bbox,
             step: 42,
-            pos: set.pos.clone(),
-            charge: set.charge.clone(),
-            id: set.id.clone(),
+            pos: set.pos().to_vec(),
+            charge: set.charge().to_vec(),
+            id: set.id().to_vec(),
             vel: vec![Vec3::new(0.1, -0.2, 0.3); n],
             accel: vec![Vec3::ZERO; n],
         };
@@ -391,9 +391,9 @@ mod tests {
         let snap = Snapshot {
             bbox,
             step: 7,
-            pos: set.pos.clone(),
-            charge: set.charge.clone(),
-            id: set.id.clone(),
+            pos: set.pos().to_vec(),
+            charge: set.charge().to_vec(),
+            id: set.id().to_vec(),
             vel: vec![Vec3::new(0.25, -0.5, 0.125); n],
             accel: vec![Vec3::new(-1.0, 2.0, -3.0); n],
         };

@@ -160,17 +160,10 @@ pub fn simulate(comm: &mut Comm, bbox: SystemBox, set: ParticleSet, cfg: &SimCon
     let n_total = comm.allreduce(set.len() as u64, |a, b| a + b) as usize;
     let mean_spacing = (bbox.volume() / n_total.max(1) as f64).cbrt();
     let vt = cfg.thermal_move_fraction * mean_spacing / cfg.dt;
-    let vel: Vec<Vec3> = set.id.iter().map(|&i| thermal_velocity(i, vt)).collect();
+    let vel: Vec<Vec3> = set.id().iter().map(|&i| thermal_velocity(i, vt)).collect();
     let n = set.len();
-    let snapshot = io::Snapshot {
-        bbox,
-        step: 0,
-        pos: set.pos,
-        charge: set.charge,
-        id: set.id,
-        vel,
-        accel: vec![Vec3::ZERO; n],
-    };
+    let (pos, charge, id) = set.into_parts();
+    let snapshot = io::Snapshot { bbox, step: 0, pos, charge, id, vel, accel: vec![Vec3::ZERO; n] };
     simulate_from(comm, snapshot, cfg)
 }
 
@@ -185,17 +178,28 @@ pub fn simulate_from(comm: &mut Comm, snapshot: io::Snapshot, cfg: &SimConfig) -
     let max_local = ((cfg.capacity_factor * n_total as f64 / p as f64) as usize).max(64);
     let mean_spacing = (bbox.volume() / n_total.max(1) as f64).cbrt();
 
-    // Application state.
+    // Application state. Positions/charges/ids flow through the solver; all
+    // *additional* per-particle channels live in one structure-of-arrays
+    // `PlaneSet`, so under Method B they ride a single combined byte
+    // exchange ([`Fcs::resort_planes`]) with no pack/unpack copies and no
+    // steady-state allocation.
     let mut pos = snapshot.pos;
     let mut charge = snapshot.charge;
     let mut id = snapshot.id;
-    let mut vel = snapshot.vel;
-    let mut accel = snapshot.accel;
+    let mut aux = particles::PlaneSet::new();
+    let vel_id = aux.register::<Vec3>("vel");
+    let accel_id = aux.register::<Vec3>("accel");
     // Optional diagnostic channel: each particle's initial position. Like
     // velocities, it must be resorted under Method B — so it is only carried
     // when requested (free under Method A, where the order never changes).
     let track = cfg.track_displacement || !cfg.resort;
-    let mut initial_pos: Vec<Vec3> = if track { pos.clone() } else { Vec::new() };
+    let ipos_id = track.then(|| aux.register::<Vec3>("initial_pos"));
+    aux.resize(pos.len());
+    aux.plane_mut::<Vec3>(vel_id).copy_from_slice(&snapshot.vel);
+    aux.plane_mut::<Vec3>(accel_id).copy_from_slice(&snapshot.accel);
+    if let Some(ip) = ipos_id {
+        aux.plane_mut::<Vec3>(ip).copy_from_slice(&pos);
+    }
 
     // fcs_init / fcs_set_common / fcs_tune.
     let mut handle = Fcs::init(cfg.solver, p);
@@ -219,9 +223,7 @@ pub fn simulate_from(comm: &mut Comm, snapshot: io::Snapshot, cfg: &SimConfig) -
                       pos: &mut Vec<Vec3>,
                       charge: &mut Vec<f64>,
                       id: &mut Vec<u64>,
-                      vel: &mut Vec<Vec3>,
-                      accel: &mut Vec<Vec3>,
-                      initial_pos: &mut Vec<Vec3>|
+                      aux: &mut particles::PlaneSet|
      -> (StepRecord, Vec<f64>) {
         let t0 = comm.clock();
         let out = handle.run(comm, pos, charge, id, max_local);
@@ -233,46 +235,32 @@ pub fn simulate_from(comm: &mut Comm, snapshot: io::Snapshot, cfg: &SimConfig) -
             ..StepRecord::default()
         };
         if out.resorted {
-            // Method B: adopt the solver's order; all additional channels
-            // ride one combined exchange round (the paper resorts velocities
-            // and accelerations together), with no pack/unpack copies.
+            // Method B: adopt the solver's order; every registered plane
+            // (velocities, accelerations, tracked initial positions) rides
+            // one combined byte exchange round (the paper resorts velocities
+            // and accelerations together), landing in the set's back slabs.
             let t_resort = comm.clock();
-            let mut channels: Vec<&[Vec3]> = vec![vel, accel];
-            if !initial_pos.is_empty() {
-                channels.push(initial_pos);
-            }
-            let mut moved = handle.resort_all(comm, &channels);
-            if !initial_pos.is_empty() {
-                *initial_pos = moved.pop().expect("initial position channel");
-            }
-            *accel = moved.pop().expect("acceleration channel");
-            *vel = moved.pop().expect("velocity channel");
+            handle.resort_planes(comm, aux);
             rec.resort += comm.clock() - t_resort;
         }
         *pos = out.pos;
         *charge = out.charge;
         *id = out.id;
         // Determine accelerations from the calculated field values.
-        accel.clear();
-        accel.extend(out.field.iter().zip(charge.iter()).map(|(e, q)| *e * (q * inv_mass)));
+        let accel = aux.plane_mut::<Vec3>(accel_id);
+        for (a, (e, q)) in accel.iter_mut().zip(out.field.iter().zip(charge.iter())) {
+            *a = *e * (q * inv_mass);
+        }
         comm.with_phase("integrate", |c| c.compute(simcomm::Work::ParticleOp, pos.len() as f64));
         rec.total = comm.clock() - t0;
         (rec, out.potential)
     };
 
     // Initial interactions (line 5 of Fig. 3).
-    let (mut rec, potential) = run_solver(
-        comm,
-        &mut handle,
-        &mut pos,
-        &mut charge,
-        &mut id,
-        &mut vel,
-        &mut accel,
-        &mut initial_pos,
-    );
+    let (mut rec, potential) =
+        run_solver(comm, &mut handle, &mut pos, &mut charge, &mut id, &mut aux);
     rec.step = start_step;
-    rec.energy = total_energy(comm, &potential, &charge, &vel, cfg.mass);
+    rec.energy = total_energy(comm, &potential, &charge, aux.plane::<Vec3>(vel_id), cfg.mass);
     records.push(rec);
 
     // --- Fault recovery (fault-injected worlds only; see `simcomm::fault`).
@@ -289,7 +277,7 @@ pub fn simulate_from(comm: &mut Comm, snapshot: io::Snapshot, cfg: &SimConfig) -
     // identical to the pre-fault-layer behaviour.
     struct Checkpoint {
         state: io::Snapshot,
-        initial_pos: Vec<Vec3>,
+        aux: particles::PlaneSet,
         records: usize,
     }
     let recovery_on = comm.fault_active();
@@ -301,9 +289,7 @@ pub fn simulate_from(comm: &mut Comm, snapshot: io::Snapshot, cfg: &SimConfig) -
                            pos: &Vec<Vec3>,
                            charge: &Vec<f64>,
                            id: &Vec<u64>,
-                           vel: &Vec<Vec3>,
-                           accel: &Vec<Vec3>,
-                           initial_pos: &Vec<Vec3>,
+                           aux: &particles::PlaneSet,
                            records: &Vec<StepRecord>|
      -> Checkpoint {
         Checkpoint {
@@ -313,15 +299,15 @@ pub fn simulate_from(comm: &mut Comm, snapshot: io::Snapshot, cfg: &SimConfig) -
                 pos: pos.clone(),
                 charge: charge.clone(),
                 id: id.clone(),
-                vel: vel.clone(),
-                accel: accel.clone(),
+                vel: aux.plane::<Vec3>(vel_id).to_vec(),
+                accel: aux.plane::<Vec3>(accel_id).to_vec(),
             },
-            initial_pos: initial_pos.clone(),
+            aux: aux.clone(),
             records: records.len(),
         }
     };
-    let mut checkpoint = recovery_on
-        .then(|| take_checkpoint(0, &pos, &charge, &id, &vel, &accel, &initial_pos, &records));
+    let mut checkpoint =
+        recovery_on.then(|| take_checkpoint(0, &pos, &charge, &id, &aux, &records));
 
     // Simulation loop (lines 8-12 of Fig. 3).
     let mut step = 1usize;
@@ -329,10 +315,14 @@ pub fn simulate_from(comm: &mut Comm, snapshot: io::Snapshot, cfg: &SimConfig) -
         // Positions x_{i+1} (Eq. 1), tracking the maximum movement.
         comm.enter_phase("integrate");
         let mut max_move2: f64 = 0.0;
-        for i in 0..pos.len() {
-            let delta = vel[i] * cfg.dt + accel[i] * (0.5 * cfg.dt * cfg.dt);
-            max_move2 = max_move2.max(delta.norm2());
-            pos[i] = bbox.wrap(pos[i] + delta);
+        {
+            let vel = aux.plane::<Vec3>(vel_id);
+            let accel = aux.plane::<Vec3>(accel_id);
+            for i in 0..pos.len() {
+                let delta = vel[i] * cfg.dt + accel[i] * (0.5 * cfg.dt * cfg.dt);
+                max_move2 = max_move2.max(delta.norm2());
+                pos[i] = bbox.wrap(pos[i] + delta);
+            }
         }
         comm.compute(simcomm::Work::ParticleOp, pos.len() as f64);
         let max_move = comm.allreduce(max_move2, f64::max).sqrt();
@@ -356,34 +346,32 @@ pub fn simulate_from(comm: &mut Comm, snapshot: io::Snapshot, cfg: &SimConfig) -
         // Standard kick-drift-kick equivalent: v += a_i dt/2 before the
         // solver, v += a_{i+1} dt/2 after — algebraically identical to Eq. 2
         // and free of old-acceleration bookkeeping across redistribution.
-        for (v, a) in vel.iter_mut().zip(&accel) {
-            *v += *a * (0.5 * cfg.dt);
+        {
+            let (vel, accel) = aux.plane_pair_mut::<Vec3, Vec3>(vel_id, accel_id);
+            for (v, a) in vel.iter_mut().zip(accel) {
+                *v += *a * (0.5 * cfg.dt);
+            }
         }
         comm.compute(simcomm::Work::ParticleOp, pos.len() as f64);
         comm.exit_phase();
 
         // fcs_run + data handling (line 10).
-        let (mut rec, potential) = run_solver(
-            comm,
-            &mut handle,
-            &mut pos,
-            &mut charge,
-            &mut id,
-            &mut vel,
-            &mut accel,
-            &mut initial_pos,
-        );
+        let (mut rec, potential) =
+            run_solver(comm, &mut handle, &mut pos, &mut charge, &mut id, &mut aux);
 
         // Velocities v_{i+1} (Eq. 2, second half-kick).
         comm.enter_phase("integrate");
-        for (v, a) in vel.iter_mut().zip(accel.iter()) {
-            *v += *a * (0.5 * cfg.dt);
+        {
+            let (vel, accel) = aux.plane_pair_mut::<Vec3, Vec3>(vel_id, accel_id);
+            for (v, a) in vel.iter_mut().zip(accel) {
+                *v += *a * (0.5 * cfg.dt);
+            }
         }
         comm.compute(simcomm::Work::ParticleOp, pos.len() as f64);
 
         rec.step = start_step + step;
         rec.max_move = max_move;
-        rec.energy = total_energy(comm, &potential, &charge, &vel, cfg.mass);
+        rec.energy = total_energy(comm, &potential, &charge, aux.plane::<Vec3>(vel_id), cfg.mass);
         comm.exit_phase();
         records.push(rec);
 
@@ -400,25 +388,14 @@ pub fn simulate_from(comm: &mut Comm, snapshot: io::Snapshot, cfg: &SimConfig) -
                 pos = cp.state.pos.clone();
                 charge = cp.state.charge.clone();
                 id = cp.state.id.clone();
-                vel = cp.state.vel.clone();
-                accel = cp.state.accel.clone();
-                initial_pos = cp.initial_pos.clone();
+                aux = cp.aux.clone();
                 records.truncate(cp.records);
                 handle.invalidate_plans();
                 step = cp.state.step - start_step + 1;
                 continue;
             }
             if step.is_multiple_of(CHECKPOINT_INTERVAL) {
-                checkpoint = Some(take_checkpoint(
-                    step,
-                    &pos,
-                    &charge,
-                    &id,
-                    &vel,
-                    &accel,
-                    &initial_pos,
-                    &records,
-                ));
+                checkpoint = Some(take_checkpoint(step, &pos, &charge, &id, &aux, &records));
             }
         }
         step += 1;
@@ -426,9 +403,10 @@ pub fn simulate_from(comm: &mut Comm, snapshot: io::Snapshot, cfg: &SimConfig) -
 
     // Drift diagnostic: RMS displacement from the initial positions (NaN if
     // the channel was not tracked).
-    let rms_displacement = if initial_pos.len() == pos.len() && !pos.is_empty() {
+    let rms_displacement = if let Some(ip) = ipos_id.filter(|_| !pos.is_empty()) {
+        let initial_pos = aux.plane::<Vec3>(ip);
         let local_sum: f64 =
-            pos.iter().zip(&initial_pos).map(|(x, x0)| bbox.min_image(*x, *x0).norm2()).sum();
+            pos.iter().zip(initial_pos).map(|(x, x0)| bbox.min_image(*x, *x0).norm2()).sum();
         let global_sum = comm.allreduce(local_sum, |a, b| a + b);
         (global_sum / n_total as f64).sqrt()
     } else {
@@ -451,8 +429,8 @@ pub fn simulate_from(comm: &mut Comm, snapshot: io::Snapshot, cfg: &SimConfig) -
             pos,
             charge,
             id,
-            vel,
-            accel,
+            vel: aux.plane::<Vec3>(vel_id).to_vec(),
+            accel: aux.plane::<Vec3>(accel_id).to_vec(),
         },
     }
 }

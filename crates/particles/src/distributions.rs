@@ -219,7 +219,7 @@ mod tests {
         let mut seen = vec![false; src.n()];
         for rank in 0..nprocs {
             let s = local_set(src, dist, rank, nprocs, dims);
-            for &id in &s.id {
+            for &id in s.id() {
                 assert!(!seen[id as usize], "id {id} assigned twice ({dist:?})");
                 seen[id as usize] = true;
             }
@@ -262,7 +262,7 @@ mod tests {
         for rank in 0..8 {
             let s = local_set(&c, InitialDistribution::Grid, rank, 8, dims);
             assert!(!s.is_empty());
-            for &p in &s.pos {
+            for &p in s.pos() {
                 assert_eq!(grid_rank_of(dims, &bbox, p), rank);
             }
         }
@@ -286,13 +286,13 @@ mod tests {
             // Compare as sets ordered by id.
             let order_f = {
                 let mut idx: Vec<usize> = (0..fast.len()).collect();
-                idx.sort_by_key(|&i| fast.id[i]);
+                idx.sort_by_key(|&i| fast.id()[i]);
                 idx
             };
             fast.gather_permute(&order_f);
             let order_s = {
                 let mut idx: Vec<usize> = (0..slow.len()).collect();
-                idx.sort_by_key(|&i| slow.id[i]);
+                idx.sort_by_key(|&i| slow.id()[i]);
                 idx
             };
             slow.gather_permute(&order_s);

@@ -13,6 +13,7 @@ mod boxgeom;
 pub mod coupling;
 pub mod distributions;
 pub mod math;
+pub mod planes;
 pub mod reference;
 mod set;
 pub mod systems;
@@ -24,6 +25,7 @@ pub use coupling::{MovementHint, RedistMethod, SoftCore, SolverOutput, SolverTim
 pub use distributions::{
     grid_cell_bounds, grid_rank_of, local_set, InitialDistribution, ParticleSource,
 };
+pub use planes::{PlaneElem, PlaneId, PlaneMut, PlaneSet, Planes};
 pub use set::{gather, invert_permutation, scatter, ParticleSet};
 pub use systems::{IonicCrystal, RandomGas, MADELUNG_NACL};
 pub use vec3::Vec3;

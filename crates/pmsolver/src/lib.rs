@@ -27,7 +27,7 @@ mod nearfield;
 mod solver;
 
 pub use bspline::{bspline, bspline_hat, stencil};
-pub use farfield::{FarFieldPlan, MeshDecomp};
+pub use farfield::{FarFieldCache, FarFieldPlan, MeshDecomp};
 pub use fft::{dft_reference, fft_in_place, fft_rows, Complex, Direction};
 pub use nearfield::near_field;
 pub use solver::{PmConfig, PmParticle, PmRunReport, PmSolver};
@@ -47,7 +47,7 @@ mod tests {
             let dims = CartGrid::balanced(p).dims();
             let set = local_set(&c, InitialDistribution::Grid, comm.rank(), p, dims);
             let mut solver = PmSolver::new(bbox, cfg.clone(), p);
-            let o = solver.run(comm, &set.pos, &set.charge, &set.id, method, None, usize::MAX);
+            let o = solver.run(comm, set.pos(), set.charge(), set.id(), method, None, usize::MAX);
             0.5 * o.potential.iter().zip(&o.charge).map(|(a, q)| a * q).sum::<f64>()
         });
         out.results.iter().sum()
@@ -87,17 +87,17 @@ mod tests {
             let mut solver = PmSolver::new(bbox, cfg.clone(), p);
             let o = solver.run(
                 comm,
-                &set.pos,
-                &set.charge,
-                &set.id,
+                set.pos(),
+                set.charge(),
+                set.id(),
                 RedistMethod::RestoreOriginal,
                 None,
                 usize::MAX,
             );
             assert!(!o.resorted);
-            assert_eq!(o.pos, set.pos);
-            assert_eq!(o.charge, set.charge);
-            assert_eq!(o.id, set.id);
+            assert_eq!(o.pos, set.pos());
+            assert_eq!(o.charge, set.charge());
+            assert_eq!(o.id, set.id());
         });
     }
 
@@ -112,9 +112,9 @@ mod tests {
             let mut solver = PmSolver::new(bbox, cfg.clone(), p);
             let o = solver.run(
                 comm,
-                &set.pos,
-                &set.charge,
-                &set.id,
+                set.pos(),
+                set.charge(),
+                set.id(),
                 RedistMethod::UseChanged,
                 None,
                 usize::MAX,
@@ -125,7 +125,7 @@ mod tests {
             // particular, ghosts are not part of the returned particles).
             let moved_ids = atasp::resort(
                 comm,
-                &set.id,
+                set.id(),
                 &o.resort_indices,
                 o.id.len(),
                 &atasp::ExchangeMode::Collective,
@@ -157,9 +157,9 @@ mod tests {
             let mut solver = PmSolver::new(bbox, cfg.clone(), p);
             let o1 = solver.run(
                 comm,
-                &set.pos,
-                &set.charge,
-                &set.id,
+                set.pos(),
+                set.charge(),
+                set.id(),
                 RedistMethod::UseChanged,
                 None,
                 usize::MAX,
@@ -236,9 +236,9 @@ mod tests {
             let mut solver = PmSolver::new(bbox, cfg.clone(), p);
             let o1 = solver.run(
                 comm,
-                &set.pos,
-                &set.charge,
-                &set.id,
+                set.pos(),
+                set.charge(),
+                set.id(),
                 RedistMethod::UseChanged,
                 None,
                 usize::MAX,
@@ -306,15 +306,15 @@ mod tests {
             let mut solver = PmSolver::new(bbox, cfg.clone(), p);
             let o = solver.run(
                 comm,
-                &set.pos,
-                &set.charge,
-                &set.id,
+                set.pos(),
+                set.charge(),
+                set.id(),
                 RedistMethod::UseChanged,
                 None,
                 0, // force fallback
             );
             assert!(!o.resorted);
-            assert_eq!(o.id, set.id);
+            assert_eq!(o.id, set.id());
             assert!(o.resort_indices.is_empty());
         });
     }

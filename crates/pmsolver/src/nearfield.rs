@@ -67,28 +67,77 @@ pub fn near_field(
         (c[0] * ncell[1] + c[1]) * ncell[2] + c[2]
     };
 
-    // Head/next linked lists over the combined particle set.
+    // Head/next linked lists over the combined particle set. Positions and
+    // charges are concatenated up front so the hot pair loop indexes flat
+    // slices instead of branching between the owned and ghost halves.
     let total_cells = ncell[0] * ncell[1] * ncell[2];
     let mut head = vec![usize::MAX; total_cells];
     let mut next = vec![usize::MAX; n_all];
-    let pos_of = |i: usize| -> Vec3 {
-        if i < n_owned {
-            owned_pos[i]
-        } else {
-            ghost_pos[i - n_owned]
-        }
-    };
-    let charge_of = |i: usize| -> f64 {
-        if i < n_owned {
-            owned_charge[i]
-        } else {
-            ghost_charge[i - n_owned]
-        }
-    };
+    let mut all_pos = Vec::with_capacity(n_all);
+    all_pos.extend_from_slice(owned_pos);
+    all_pos.extend_from_slice(ghost_pos);
+    let mut all_charge = Vec::with_capacity(n_all);
+    all_charge.extend_from_slice(owned_charge);
+    all_charge.extend_from_slice(ghost_charge);
+    // Cell of every owned particle, remembered from the list build so the
+    // interaction loop does not recompute `cell_coords` (a min-image call).
+    let mut owned_cell = vec![0usize; n_owned];
     for (i, nx) in next.iter_mut().enumerate() {
-        let c = cell_of(pos_of(i));
+        let c = cell_of(all_pos[i]);
+        if i < n_owned {
+            owned_cell[i] = c;
+        }
         *nx = head[c];
         head[c] = i;
+    }
+
+    // Neighbour stencil per *cell*, not per particle: every particle in a
+    // cell visits the same distinct neighbouring cells (wrapped dimensions
+    // may alias several offsets onto the same cell on tiny grids), so the
+    // sorted, deduplicated visit lists are built once for each cell. Flat
+    // arena + offsets; `visits[c]` is `arena[offs[c]..offs[c + 1]]`.
+    let mut visit_arena: Vec<usize> = Vec::with_capacity(total_cells * 27);
+    let mut visit_offs: Vec<usize> = Vec::with_capacity(total_cells + 1);
+    visit_offs.push(0);
+    for c0 in 0..ncell[0] {
+        for c1 in 0..ncell[1] {
+            for c2 in 0..ncell[2] {
+                let ci = [c0, c1, c2];
+                let start = visit_arena.len();
+                for dx in -1..=1i64 {
+                    for dy in -1..=1i64 {
+                        for dz in -1..=1i64 {
+                            let mut c = [0usize; 3];
+                            let mut ok = true;
+                            for (d, dd) in [dx, dy, dz].into_iter().enumerate() {
+                                let raw = ci[d] as i64 + dd;
+                                if wraps[d] {
+                                    c[d] = raw.rem_euclid(ncell[d] as i64) as usize;
+                                } else if raw < 0 || raw >= ncell[d] as i64 {
+                                    ok = false;
+                                    break;
+                                } else {
+                                    c[d] = raw as usize;
+                                }
+                            }
+                            if ok {
+                                visit_arena.push((c[0] * ncell[1] + c[1]) * ncell[2] + c[2]);
+                            }
+                        }
+                    }
+                }
+                visit_arena[start..].sort_unstable();
+                let mut w = start;
+                for r in start..visit_arena.len() {
+                    if r == start || visit_arena[r] != visit_arena[w - 1] {
+                        visit_arena[w] = visit_arena[r];
+                        w += 1;
+                    }
+                }
+                visit_arena.truncate(w);
+                visit_offs.push(w);
+            }
+        }
     }
 
     let rcut2 = rcut * rcut;
@@ -97,56 +146,34 @@ pub fn near_field(
     let mut pairs = 0u64;
     for i in 0..n_owned {
         let pi = owned_pos[i];
-        let ci = cell_coords(pi);
-        // Collect the distinct neighbouring cells (wrapped dimensions may
-        // alias several offsets onto the same cell on tiny grids).
-        let mut visit: Vec<usize> = Vec::with_capacity(27);
-        for dx in -1..=1i64 {
-            for dy in -1..=1i64 {
-                for dz in -1..=1i64 {
-                    let mut c = [0usize; 3];
-                    let mut ok = true;
-                    for (d, dd) in [dx, dy, dz].into_iter().enumerate() {
-                        let raw = ci[d] as i64 + dd;
-                        if wraps[d] {
-                            c[d] = raw.rem_euclid(ncell[d] as i64) as usize;
-                        } else if raw < 0 || raw >= ncell[d] as i64 {
-                            ok = false;
-                            break;
-                        } else {
-                            c[d] = raw as usize;
-                        }
-                    }
-                    if ok {
-                        visit.push((c[0] * ncell[1] + c[1]) * ncell[2] + c[2]);
-                    }
-                }
-            }
-        }
-        visit.sort_unstable();
-        visit.dedup();
-        for cell in visit {
+        let ci = owned_cell[i];
+        // One reciprocal per receiver instead of two divides per pair in the
+        // soft-core branch below.
+        let inv_qi = soft_core.as_ref().map(|core| (core.epsilon / owned_charge[i], core.sigma));
+        for &cell in &visit_arena[visit_offs[ci]..visit_offs[ci + 1]] {
             let mut j = head[cell];
             while j != usize::MAX {
                 if j != i {
-                    let d = bbox.min_image(pi, pos_of(j));
+                    let d = bbox.min_image(pi, all_pos[j]);
                     let r2 = d.norm2();
                     if r2 <= rcut2 && r2 > 0.0 {
                         let r = r2.sqrt();
-                        let qj = charge_of(j);
-                        let e = erfc(alpha * r) / r;
-                        let de = e / r2 + alpha * M_2_SQRTPI * (-alpha * alpha * r2).exp() / r2;
+                        let inv_r = 1.0 / r;
+                        let inv_r2 = inv_r * inv_r;
+                        let qj = all_charge[j];
+                        let e = erfc(alpha * r) * inv_r;
+                        let de = (e + alpha * M_2_SQRTPI * (-alpha * alpha * r2).exp()) * inv_r2;
                         potential[i] += qj * e;
                         field[i] += d * (qj * de);
-                        if let Some(core) = &soft_core {
+                        if let Some((eps_qi, sigma)) = inv_qi {
                             // Pair repulsion folded into the potential/field
                             // channels (divided by the receiving charge so
                             // 0.5*q*phi and q*E give pair energy and force).
-                            let qi = owned_charge[i];
-                            let u = core.energy(r);
-                            let fmag = core.force(r);
-                            potential[i] += u / qi;
-                            field[i] += d * (fmag / (r * qi));
+                            let s2 = (sigma * inv_r) * (sigma * inv_r);
+                            let s6 = s2 * s2 * s2;
+                            let u = eps_qi * s6 * s6;
+                            potential[i] += u;
+                            field[i] += d * (12.0 * u * inv_r2);
                         }
                         pairs += 1;
                     }

@@ -13,8 +13,10 @@ use particles::{
 };
 use simcomm::{CartGrid, Comm, CommPlan, Work};
 
-use crate::farfield::{FarFieldPlan, MeshDecomp};
+use crate::farfield::{FarFieldCache, FarFieldPlan, MeshDecomp};
 use crate::nearfield::near_field;
+
+// TEMP instrumentation
 
 /// One particle as transported by the particle-mesh solver. `origin` is the
 /// 64-bit index value of the paper (source rank in the upper 32 bits, source
@@ -172,6 +174,10 @@ pub struct PmSolver {
     plan_cache: bool,
     statics: Option<PlanStatics>,
     epoch: Option<GhostEpoch>,
+    /// Cross-timestep spectral tables of the far field (influence function
+    /// and wave vectors per local mesh point); host-side only, bitwise
+    /// invisible to results and virtual clocks.
+    far_cache: Option<FarFieldCache>,
     /// Ghost-plan epochs built (including rebuilds) over the solver lifetime.
     pub plan_builds: u64,
     /// Runs that re-executed a cached ghost-plan epoch.
@@ -207,6 +213,7 @@ impl PmSolver {
             plan_cache: true,
             statics: None,
             epoch: None,
+            far_cache: None,
             plan_builds: 0,
             plan_hits: 0,
             guard_fallbacks: 0,
@@ -352,7 +359,6 @@ impl PmSolver {
         self.last_report.used_neighborhood = use_neighborhood;
         let statics = self.statics.as_mut().expect("statics built above");
         let collective = ExchangeMode::Collective;
-
         // --- Redistribute particles to their subdomain owners ---
         comm.enter_phase("sort");
         let mut records: Vec<PmParticle> = Vec::with_capacity(n_in);
@@ -581,7 +587,8 @@ impl PmSolver {
             bbox: self.bbox,
             decomp: if self.cfg.pencil { MeshDecomp::Pencil } else { MeshDecomp::Slab },
         };
-        let (far_phi, far_field) = plan.execute(comm, &owned_pos, &owned_charge);
+        let (far_phi, far_field) =
+            plan.execute_cached(comm, &owned_pos, &owned_charge, &mut self.far_cache);
         for i in 0..owned.len() {
             potential[i] += far_phi[i];
             field[i] += far_field[i];

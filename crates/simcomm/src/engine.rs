@@ -9,9 +9,11 @@
 //! * [`Engine::DiscreteEvent`] — a cooperative discrete-event scheduler.
 //!   Every rank is still *backed* by an OS thread (the only way a plain
 //!   `Fn(&mut Comm)` closure can suspend mid-call in safe, dependency-free
-//!   Rust), but exactly **one** rank executes at a time: a rank runs until it
-//!   blocks — on an empty mailbox or a collective rendezvous — then hands the
-//!   baton to the runnable rank with the smallest virtual clock. Wakeups are
+//!   Rust), but at most a host-core-count **batch** of ranks executes at a
+//!   time: a rank runs until it blocks — on an empty mailbox or a collective
+//!   rendezvous — then its baton passes to the runnable rank with the
+//!   smallest virtual clock, so independent compute between communication
+//!   events overlaps in real time while waits stay cooperative. Wakeups are
 //!   targeted: depositing a message resumes only the addressee, and a
 //!   collective phase change resumes only the ranks parked on the collective
 //!   slot. This removes the condition-variable broadcast storms that make the
@@ -57,8 +59,9 @@ pub enum Engine {
     /// One preemptive OS thread per rank (the default).
     #[default]
     Threaded,
-    /// Cooperative discrete-event scheduling: one rank at a time, driven by a
-    /// virtual-clock event queue with targeted wakeups.
+    /// Cooperative discrete-event scheduling: a host-core-count batch of
+    /// ranks at a time, driven by a virtual-clock event queue with targeted
+    /// wakeups.
     DiscreteEvent,
 }
 
@@ -154,6 +157,8 @@ struct SchedState {
     tasks: Vec<Task>,
     queue: BinaryHeap<Key>,
     done: usize,
+    /// Tasks currently holding a baton (at most `Scheduler::cap`).
+    running: usize,
 }
 
 /// One rank's baton cell: `go` is set by the scheduler when the rank may run.
@@ -171,6 +176,16 @@ struct Baton {
 pub(crate) struct Scheduler {
     state: Mutex<SchedState>,
     batons: Vec<Baton>,
+    /// Maximum number of tasks running host-parallel at once. Between two
+    /// communication events, rank compute is independent — so instead of one
+    /// baton, the scheduler hands out up to `cap` (the host's core count):
+    /// ranks still block, wake and account in virtual-time order, but their
+    /// compute overlaps in real time. `cap = 1` degenerates to strict
+    /// one-at-a-time dispatch. Output is bitwise identical at any cap: the
+    /// threaded engine already proves *fully* concurrent execution yields
+    /// identical clocks/traces, and any `cap`-bounded schedule is a subset of
+    /// that interleaving freedom.
+    cap: usize,
 }
 
 impl Scheduler {
@@ -182,17 +197,36 @@ impl Scheduler {
         for rank in 0..n {
             queue.push(Key { clock: 0.0, rank, epoch: 0 });
         }
+        let cap = std::thread::available_parallelism().map_or(1, |p| p.get());
         Scheduler {
-            state: Mutex::new(SchedState { tasks, queue, done: 0 }),
+            state: Mutex::new(SchedState { tasks, queue, done: 0, running: 0 }),
             batons: (0..n).map(|_| Baton { go: Mutex::new(false), cv: Condvar::new() }).collect(),
+            cap,
         }
     }
 
-    /// Dispatch the first task. Called once by the world after the rank
-    /// threads are spawned (a resume that beats the target's first park is
-    /// held by the baton cell, so the call may also race ahead of spawning).
+    /// Dispatch the first batch of tasks. Called once by the world after the
+    /// rank threads are spawned (a resume that beats the target's first park
+    /// is held by the baton cell, so the call may also race ahead of
+    /// spawning).
     pub(crate) fn start(&self) {
-        self.dispatch_next();
+        self.fill(&mut lock(&self.state));
+    }
+
+    /// Hand batons to runnable tasks until `cap` are running or the queue is
+    /// empty — the single dispatch primitive every scheduling event funnels
+    /// through. Resuming under the state lock is safe: baton cells are leaf
+    /// mutexes (no path locks the state while holding one).
+    fn fill(&self, st: &mut SchedState) {
+        while st.running < self.cap {
+            match Self::pop_next(st) {
+                Some(rank) => {
+                    st.running += 1;
+                    self.resume(rank);
+                }
+                None => break,
+            }
+        }
     }
 
     /// Park until this task is handed the baton. Every task calls this once
@@ -240,35 +274,29 @@ impl Scheduler {
         }
     }
 
-    fn dispatch_next(&self) {
-        let next = Self::pop_next(&mut lock(&self.state));
-        if let Some(next) = next {
-            self.resume(next);
-        }
-    }
-
     /// Suspend the running task `rank` because it cannot progress until
     /// `site` is signalled: record it as blocked at virtual time `clock`,
-    /// dispatch the best runnable task, and park until re-woken. The caller
+    /// dispatch the best runnable tasks, and park until re-woken. The caller
     /// must have released every world lock first.
     ///
     /// # Panics
     ///
-    /// Panics if no task is runnable while undone tasks remain — with every
-    /// live rank blocked and only virtual events able to wake them, the world
-    /// can never progress again (a virtual deadlock, e.g. a receive whose
-    /// matching send was never posted). The panic poisons the world through
-    /// the normal rank-failure path, so the remaining ranks fail fast instead
-    /// of hanging the process.
+    /// Panics if, with this task blocked, no task is running or runnable
+    /// while undone tasks remain — with every live rank blocked and only
+    /// virtual events able to wake them, the world can never progress again
+    /// (a virtual deadlock, e.g. a receive whose matching send was never
+    /// posted). The panic poisons the world through the normal rank-failure
+    /// path, so the remaining ranks fail fast instead of hanging the process.
     pub(crate) fn yield_blocked(&self, rank: usize, site: WaitSite, clock: f64) {
-        let next = {
+        {
             let mut st = lock(&self.state);
             let t = &mut st.tasks[rank];
             t.state = TaskState::Blocked(site);
             t.clock = clock;
             t.epoch += 1;
-            let next = Self::pop_next(&mut st);
-            if next.is_none() {
+            st.running -= 1;
+            self.fill(&mut st);
+            if st.running == 0 && st.done < st.tasks.len() {
                 let live = st.tasks.len() - st.done;
                 panic!(
                     "virtual deadlock: all {live} live ranks are blocked \
@@ -276,20 +304,17 @@ impl Scheduler {
                      no virtual event can wake any of them"
                 );
             }
-            next
-        };
-        if let Some(next) = next {
-            self.resume(next);
         }
         self.wait_for_turn(rank);
     }
 
     /// A message was deposited for `rank`: wake it if it is parked on its
-    /// mailbox.
+    /// mailbox, and start it immediately if a baton is free.
     pub(crate) fn wake_mailbox(&self, rank: usize) {
         let mut st = lock(&self.state);
         if st.tasks[rank].state == TaskState::Blocked(WaitSite::Mailbox) {
             Self::make_runnable(&mut st, rank);
+            self.fill(&mut st);
         }
     }
 
@@ -301,6 +326,7 @@ impl Scheduler {
                 Self::make_runnable(&mut st, rank);
             }
         }
+        self.fill(&mut st);
     }
 
     /// The world was poisoned: wake every blocked task regardless of site so
@@ -310,33 +336,39 @@ impl Scheduler {
         for rank in 0..st.tasks.len() {
             Self::make_runnable(&mut st, rank);
         }
+        self.fill(&mut st);
     }
 
     /// The task of `rank` finished (returned or panicked): retire it and hand
-    /// the baton to the next runnable task. Returns `true` if undone tasks
-    /// remain but none is runnable — the survivors are permanently blocked
-    /// and the caller must poison the world and call
+    /// its baton to the next runnable task. Returns `true` if undone tasks
+    /// remain but none is running or runnable — the survivors are permanently
+    /// blocked and the caller must poison the world and call
     /// [`Scheduler::kick`] to restart dispatch.
     pub(crate) fn retire(&self, rank: usize) -> bool {
-        let (next, stuck) = {
-            let mut st = lock(&self.state);
-            st.tasks[rank].state = TaskState::Done;
-            st.tasks[rank].epoch += 1;
-            st.done += 1;
-            let next = Self::pop_next(&mut st);
-            let stuck = next.is_none() && st.done < st.tasks.len();
-            (next, stuck)
-        };
-        if let Some(next) = next {
-            self.resume(next);
-        }
-        stuck
+        let mut st = lock(&self.state);
+        st.tasks[rank].state = TaskState::Done;
+        st.tasks[rank].epoch += 1;
+        st.done += 1;
+        st.running -= 1;
+        self.fill(&mut st);
+        st.running == 0 && st.done < st.tasks.len()
     }
 
     /// Restart dispatch after an out-of-band wakeup (poison): resume the best
-    /// runnable task, if any.
+    /// runnable tasks, if any.
     pub(crate) fn kick(&self) {
-        self.dispatch_next();
+        self.fill(&mut lock(&self.state));
+    }
+
+    /// Mark a task whose host thread never existed (its spawn failed) as
+    /// done, so dispatch never hands it a baton: the initial queue entry is
+    /// invalidated by the epoch bump and the completion count stays exact.
+    /// `running` is untouched — the task was never dispatched.
+    pub(crate) fn abandon(&self, rank: usize) {
+        let mut st = lock(&self.state);
+        st.tasks[rank].state = TaskState::Done;
+        st.tasks[rank].epoch += 1;
+        st.done += 1;
     }
 }
 

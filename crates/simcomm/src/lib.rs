@@ -44,6 +44,7 @@ mod fault;
 mod model;
 mod phase;
 mod plan;
+mod pool;
 mod trace;
 mod world;
 
@@ -55,6 +56,7 @@ pub use model::{
 };
 pub use phase::{aggregate_phases, PhaseAgg, PhaseProfile, PhaseSegment, PhaseStats, UNTAGGED};
 pub use plan::CommPlan;
+pub use pool::PooledBuf;
 pub use trace::{write_trace_csv, Trace, TraceEvent, TraceKind};
 pub use world::{
     run, run_faulted, run_faulted_traced, run_traced, Comm, RankStats, Request, RunOutput, Runner,

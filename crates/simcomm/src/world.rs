@@ -26,6 +26,7 @@ use crate::engine::{Engine, Scheduler, WaitSite};
 use crate::fault::FaultPlan;
 use crate::model::{MachineModel, Work};
 use crate::phase::{aggregate_phases, PhaseAgg, PhaseProfile, PhaseSegment, PhaseStats};
+use crate::pool::{BufferPool, PooledBuf};
 use crate::trace::{Trace, TraceKind};
 
 /// Lock a mutex, ignoring std poisoning: cross-rank failure propagation is
@@ -41,14 +42,19 @@ fn wait<'a, T>(cv: &Condvar, g: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
 
 /// Greedily match every receive pattern `(slot, src, tag)` against the queue
 /// in FIFO order (the k-th queued message of a `(src, tag)` stream goes to
-/// the k-th request for it). Returns the `(slot, queue position)` pairs, or
-/// `None` if not all patterns can be matched yet.
+/// the k-th request for it). Fills `picks` with the `(slot, queue position)`
+/// pairs and returns `true`, or returns `false` if not all patterns can be
+/// matched yet. `taken` and `picks` are caller-provided scratch so the hot
+/// matching loop performs no allocation.
 fn match_requests(
     q: &VecDeque<Message>,
     patterns: &[(usize, usize, u64)],
-) -> Option<Vec<(usize, usize)>> {
-    let mut taken = vec![false; patterns.len()];
-    let mut picks = Vec::with_capacity(patterns.len());
+    taken: &mut Vec<bool>,
+    picks: &mut Vec<(usize, usize)>,
+) -> bool {
+    taken.clear();
+    taken.resize(patterns.len(), false);
+    picks.clear();
     for (qpos, m) in q.iter().enumerate() {
         if let Some(i) = patterns
             .iter()
@@ -58,11 +64,11 @@ fn match_requests(
             taken[i] = true;
             picks.push((patterns[i].0, qpos));
             if picks.len() == patterns.len() {
-                return Some(picks);
+                return true;
             }
         }
     }
-    None
+    false
 }
 
 /// A type-erased in-flight message.
@@ -124,12 +130,33 @@ pub struct Request<T> {
     _payload: std::marker::PhantomData<fn() -> T>,
 }
 
+#[derive(Clone, Copy)]
 enum ReqKind {
     /// The payload was already deposited at post time; the request completes
     /// when the NIC has drained it (virtual time `depart`).
     Send { dst: usize, depart: f64 },
     /// Completes when a matching message has been pulled from the mailbox.
     Recv { src: usize, tag: u64 },
+}
+
+/// Reusable scratch for the `waitall` family, held per rank on the [`Comm`]:
+/// cleared before each use, never shrunk, so steady-state exchanges perform
+/// no heap allocation here after warm-up.
+#[derive(Default)]
+struct WaitScratch {
+    /// Request kinds of the batch currently being waited on.
+    kinds: Vec<ReqKind>,
+    /// `(slot, src, tag)` patterns of the batch's receive requests.
+    patterns: Vec<(usize, usize, u64)>,
+    /// Per-pattern "already matched" flags for [`match_requests`].
+    taken: Vec<bool>,
+    /// `(slot, queue position)` picks from [`match_requests`].
+    picks: Vec<(usize, usize)>,
+    /// Matched messages by request slot (`None` at send slots); after
+    /// [`Comm::waitall_core`] these are accounted and await unboxing.
+    msgs: Vec<Option<Message>>,
+    /// `(ready time, slot)` completion schedule.
+    order: Vec<(f64, usize)>,
 }
 
 impl<T> Request<T> {
@@ -378,6 +405,14 @@ pub struct RankStats {
     pub timeouts: u64,
     /// Scheduled stalls that fired on this rank (0 or 1 per run).
     pub stalls: u64,
+    /// Bytes of message-buffer capacity served from this rank's buffer
+    /// arena instead of the allocator (see [`Comm::buf_acquire`]).
+    /// Pure memory accounting — never affects virtual time.
+    pub bytes_reused: u64,
+    /// Bytes of message-buffer capacity newly allocated (or grown) because
+    /// the pool could not cover an acquisition. Steady-state exchanges drive
+    /// this to zero after warm-up.
+    pub bytes_grown: u64,
 }
 
 impl RankStats {
@@ -416,6 +451,17 @@ pub struct Comm {
     fault_straggler: bool,
     /// The straggler slowdown has been counted/traced once already.
     fault_straggler_noted: bool,
+    /// Per-partner arena of reusable message buffers (see [`crate::pool`]).
+    pool: BufferPool,
+    /// Reusable scratch for the `waitall` family.
+    wait_scratch: WaitScratch,
+    /// Reusable request/result scratch for the byte-path exchanges.
+    byte_reqs: Vec<Request<u8>>,
+    byte_results: Vec<Option<PooledBuf>>,
+    /// Reusable `(partner, buffer)` pair scratch, loaned to higher layers
+    /// (e.g. `atasp::resort_planes`) so their exchanges stay allocation-free.
+    byte_pairs_a: Vec<(usize, PooledBuf)>,
+    byte_pairs_b: Vec<(usize, PooledBuf)>,
 }
 
 /// Result of running a world: per-rank return values, final clocks and stats.
@@ -477,18 +523,25 @@ const RANK_STACK_BYTES: usize = 1 << 20;
 /// assert_eq!(threaded.results, discrete.results);
 /// assert_eq!(threaded.clocks, discrete.clocks); // bitwise, not approximately
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct Runner {
     engine: Engine,
     traced: bool,
     fault: FaultPlan,
+    pooled: bool,
+}
+
+impl Default for Runner {
+    fn default() -> Runner {
+        Runner::new(Engine::default())
+    }
 }
 
 impl Runner {
-    /// A runner for the given engine, with tracing off and the inert fault
-    /// plan.
+    /// A runner for the given engine, with tracing off, the inert fault
+    /// plan, and message-buffer pooling enabled.
     pub fn new(engine: Engine) -> Runner {
-        Runner { engine, traced: false, fault: FaultPlan::none() }
+        Runner { engine, traced: false, fault: FaultPlan::none(), pooled: true }
     }
 
     /// The engine this runner uses.
@@ -510,6 +563,18 @@ impl Runner {
         self
     }
 
+    /// Enable or disable per-rank message-buffer pooling (default: enabled).
+    ///
+    /// Pooling is pure memory management: clocks, statistics (other than
+    /// [`RankStats::bytes_reused`] / [`RankStats::bytes_grown`]), traces and
+    /// results are bitwise identical either way. Disabling it restores
+    /// allocate-per-exchange behaviour, the reference mode the pool's
+    /// identity tests diff against.
+    pub fn pooled(mut self, pooled: bool) -> Runner {
+        self.pooled = pooled;
+        self
+    }
+
     /// Run a simulated world of `n` ranks under the given machine model,
     /// invoking the closure once per rank with that rank's [`Comm`].
     ///
@@ -524,7 +589,7 @@ impl Runner {
         R: Send,
         F: Fn(&mut Comm) -> R + Send + Sync,
     {
-        run_with(n, model, self.fault.clone(), self.traced, self.engine, f)
+        run_with(n, model, self.fault.clone(), self.traced, self.engine, self.pooled, f)
     }
 }
 
@@ -553,7 +618,7 @@ where
     R: Send,
     F: Fn(&mut Comm) -> R + Send + Sync,
 {
-    run_with(n, model, FaultPlan::none(), false, Engine::Threaded, f)
+    run_with(n, model, FaultPlan::none(), false, Engine::Threaded, true, f)
 }
 
 /// Like [`run`], additionally recording a communication [`Trace`] per rank
@@ -563,7 +628,7 @@ where
     R: Send,
     F: Fn(&mut Comm) -> R + Send + Sync,
 {
-    run_with(n, model, FaultPlan::none(), true, Engine::Threaded, f)
+    run_with(n, model, FaultPlan::none(), true, Engine::Threaded, true, f)
 }
 
 /// Like [`run`], but injecting the deterministic faults described by `fault`
@@ -573,7 +638,7 @@ where
     R: Send,
     F: Fn(&mut Comm) -> R + Send + Sync,
 {
-    run_with(n, model, fault, false, Engine::Threaded, f)
+    run_with(n, model, fault, false, Engine::Threaded, true, f)
 }
 
 /// Like [`run_faulted`], additionally recording a communication [`Trace`]
@@ -588,7 +653,7 @@ where
     R: Send,
     F: Fn(&mut Comm) -> R + Send + Sync,
 {
-    run_with(n, model, fault, true, Engine::Threaded, f)
+    run_with(n, model, fault, true, Engine::Threaded, true, f)
 }
 
 fn run_with<R, F>(
@@ -597,6 +662,7 @@ fn run_with<R, F>(
     fault: FaultPlan,
     traced: bool,
     engine: Engine,
+    pooled: bool,
     f: F,
 ) -> RunOutput<R>
 where
@@ -612,14 +678,12 @@ where
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(n);
         for rank in 0..n {
-            let shared = Arc::clone(&shared);
             let f = &f;
             let slots = &slots;
             let panicked = &panicked;
-            let h = std::thread::Builder::new()
-                .name(format!("rank-{rank}"))
-                .stack_size(RANK_STACK_BYTES)
-                .spawn_scoped(scope, move || {
+            let task = {
+                let shared = Arc::clone(&shared);
+                move || {
                     // Under the discrete-event engine, park until the
                     // scheduler hands this rank the baton for the first time.
                     shared.wait_for_start(rank);
@@ -639,6 +703,12 @@ where
                         fault_stall_fired: false,
                         fault_straggler: straggler,
                         fault_straggler_noted: false,
+                        pool: BufferPool::new(pooled),
+                        wait_scratch: WaitScratch::default(),
+                        byte_reqs: Vec::new(),
+                        byte_results: Vec::new(),
+                        byte_pairs_a: Vec::new(),
+                        byte_pairs_b: Vec::new(),
                     };
                     let result = catch_unwind(AssertUnwindSafe(|| f(&mut comm)));
                     match result {
@@ -671,9 +741,40 @@ where
                         }
                     }
                     shared.retire_rank(rank);
-                })
-                .expect("failed to spawn rank thread");
-            handles.push(h);
+                }
+            };
+            let spawned = std::thread::Builder::new()
+                .name(format!("rank-{rank}"))
+                .stack_size(RANK_STACK_BYTES)
+                .spawn_scoped(scope, task);
+            match spawned {
+                Ok(h) => handles.push(h),
+                Err(e) => {
+                    // The host refused another thread (e.g. `vm.max_map_count`
+                    // or a pid limit caps OS threads below the rank count).
+                    // Unwinding here would deadlock: the scope join would wait
+                    // on already-spawned ranks that are parked waiting for the
+                    // engine start or for peers that will never exist. Fail
+                    // the world instead: abandon the unspawnable tasks so the
+                    // scheduler never dispatches them, poison the spawned
+                    // ranks, and let the normal failure path report it.
+                    let mut p = lock(panicked);
+                    if p.is_none() {
+                        *p = Some(format!(
+                            "could not spawn the host thread of rank {rank} \
+                             (world of {n} ranks): {e}"
+                        ));
+                    }
+                    drop(p);
+                    if let Exec::Discrete(s) = &shared.exec {
+                        for r in rank..n {
+                            s.abandon(r);
+                        }
+                    }
+                    shared.poison();
+                    break;
+                }
+            }
         }
         shared.start_engine();
         for h in handles {
@@ -996,6 +1097,78 @@ impl Comm {
         self.trace_event(TraceKind::Timeout, t0, 0, peer);
     }
 
+    // ---------------------------------------------------------- buffer pool
+
+    /// Acquire a reusable send/receive byte buffer for `partner` with
+    /// capacity for `bytes` (length 0). Capacity served from the pool is
+    /// counted in [`RankStats::bytes_reused`]; capacity the allocator had to
+    /// provide in [`RankStats::bytes_grown`]. Pooling never affects virtual
+    /// time (see [`Runner::pooled`]).
+    pub fn buf_acquire(&mut self, partner: usize, bytes: usize) -> PooledBuf {
+        let (buf, reused, grown) = self.pool.acquire(partner, bytes);
+        self.stats.bytes_reused += reused;
+        self.stats.bytes_grown += grown;
+        buf
+    }
+
+    /// Return a buffer to `partner`'s pool slot — typically a buffer that
+    /// just arrived *from* `partner`, which closes the reuse loop of a
+    /// symmetric exchange: every buffer shipped out is replaced by one
+    /// shipped in.
+    pub fn buf_release(&mut self, partner: usize, buf: PooledBuf) {
+        self.pool.release(partner, buf);
+    }
+
+    /// Retained pool capacity for `partner`, in bytes (diagnostic hook for
+    /// the high-water-mark retention tests).
+    pub fn buf_retained(&self, partner: usize) -> usize {
+        self.pool.retained_bytes(partner)
+    }
+
+    // Crate-internal loans of the byte-path scratch vectors, so sibling
+    // modules (`plan`) can run allocation-free exchanges through the same
+    // reusable storage. Loans come back cleared; put them back when done.
+    pub(crate) fn take_byte_reqs(&mut self) -> Vec<Request<u8>> {
+        let mut v = std::mem::take(&mut self.byte_reqs);
+        v.clear();
+        v
+    }
+
+    pub(crate) fn put_byte_reqs(&mut self, v: Vec<Request<u8>>) {
+        self.byte_reqs = v;
+    }
+
+    pub(crate) fn take_byte_results(&mut self) -> Vec<Option<PooledBuf>> {
+        let mut v = std::mem::take(&mut self.byte_results);
+        v.clear();
+        v
+    }
+
+    pub(crate) fn put_byte_results(&mut self, v: Vec<Option<PooledBuf>>) {
+        self.byte_results = v;
+    }
+
+    /// Borrow the rank's two reusable `(partner, buffer)` scratch vectors,
+    /// cleared. Higher layers (e.g. `atasp`'s byte-plane resort) stage their
+    /// per-partner send and receive buffers in these so a steady-state
+    /// exchange performs no heap allocation. Return them with
+    /// [`Comm::put_byte_pairs`] when the exchange is done (contents are
+    /// dropped, so release any buffers to the pool first).
+    #[allow(clippy::type_complexity)]
+    pub fn take_byte_pairs(&mut self) -> (Vec<(usize, PooledBuf)>, Vec<(usize, PooledBuf)>) {
+        let mut a = std::mem::take(&mut self.byte_pairs_a);
+        let mut b = std::mem::take(&mut self.byte_pairs_b);
+        a.clear();
+        b.clear();
+        (a, b)
+    }
+
+    /// Return the pair scratch vectors taken with [`Comm::take_byte_pairs`].
+    pub fn put_byte_pairs(&mut self, a: Vec<(usize, PooledBuf)>, b: Vec<(usize, PooledBuf)>) {
+        self.byte_pairs_a = a;
+        self.byte_pairs_b = b;
+    }
+
     // ----------------------------------------------------------------- p2p
 
     /// Send a typed buffer to `dst` with a user `tag`. Buffered/eager: the
@@ -1016,9 +1189,23 @@ impl Comm {
     /// Charges the CPU-side post overhead as communication; the payload drains
     /// on the NIC timeline ([`Comm::nic_free`]) afterwards.
     fn post_send<T: Send + 'static>(&mut self, dst: usize, tag: u64, data: Vec<T>) -> (f64, u64) {
+        let bytes = (data.len() * std::mem::size_of::<T>()) as u64;
+        let depart = self.post_send_payload(dst, tag, Box::new(data), bytes);
+        (depart, bytes)
+    }
+
+    /// [`Comm::post_send`] over an already-boxed payload: the byte path hands
+    /// a recycled [`PooledBuf`] envelope straight through here, so posting a
+    /// pooled message performs no allocation at all.
+    fn post_send_payload(
+        &mut self,
+        dst: usize,
+        tag: u64,
+        payload: Box<dyn Any + Send>,
+        bytes: u64,
+    ) -> f64 {
         assert!(dst < self.shared.n, "send to invalid rank {dst}");
         self.shared.check_poison();
-        let bytes = (data.len() * std::mem::size_of::<T>()) as u64;
         self.advance_comm(self.shared.model.p2p_overhead);
         let mut spike = 0.0;
         if self.shared.fault_active {
@@ -1052,10 +1239,10 @@ impl Comm {
         let depart = self.nic_free.max(self.clock) + self.shared.model.nic_occupancy(bytes) + spike;
         self.nic_free = depart;
         self.count_p2p_sent(1, bytes);
-        let msg = Message { src: self.rank, tag, depart, bytes, payload: Box::new(data) };
+        let msg = Message { src: self.rank, tag, depart, bytes, payload };
         lock(&self.shared.mailboxes[dst].queue).push_back(msg);
         self.shared.notify_mailbox(dst);
-        (depart, bytes)
+        depart
     }
 
     /// Blocking receive of a typed buffer from `src` with matching `tag`.
@@ -1109,24 +1296,34 @@ impl Comm {
         msg.depart + self.shared.model.wire_latency(hops)
     }
 
-    /// Charge the completion of one matched message (receive overhead as
-    /// communication, the gap to its arrival as rendezvous wait), record it,
-    /// and unbox the payload.
-    fn complete_recv<T: Send + 'static>(&mut self, msg: Message) -> (usize, Vec<T>) {
+    /// Charge the completion of one matched message: receive overhead as
+    /// communication, the gap to its arrival as rendezvous wait. Pure
+    /// accounting — the payload stays boxed for the caller to unwrap.
+    fn account_recv(&mut self, msg: &Message) {
         self.fault_op_tick();
         let t0 = self.clock;
-        let arrival = self.arrival_of(&msg);
+        let arrival = self.arrival_of(msg);
         let (comm, wait) = self.shared.model.completion_cost(self.clock, arrival);
         self.advance_comm(comm);
         self.advance_wait(wait);
         self.count_p2p_recv(1, msg.bytes);
         self.trace_event(TraceKind::Recv, t0, msg.bytes, Some(msg.src));
         self.fault_timeout_check(wait, Some(msg.src));
-        let data = msg
-            .payload
+    }
+
+    /// Unbox a received payload as `Vec<T>`, with the uniform mismatch panic.
+    fn unbox_payload<T: Send + 'static>(&self, msg: Message) -> Vec<T> {
+        *msg.payload
             .downcast::<Vec<T>>()
-            .unwrap_or_else(|_| panic!("recv type mismatch (src {}, tag {})", msg.src, msg.tag));
-        (msg.src, *data)
+            .unwrap_or_else(|_| panic!("recv type mismatch (src {}, tag {})", msg.src, msg.tag))
+    }
+
+    /// Charge the completion of one matched message ([`Comm::account_recv`])
+    /// and unbox the payload.
+    fn complete_recv<T: Send + 'static>(&mut self, msg: Message) -> (usize, Vec<T>) {
+        self.account_recv(&msg);
+        let src = msg.src;
+        (src, self.unbox_payload(msg))
     }
 
     /// Charge the completion of a send request: the CPU idles until the NIC
@@ -1159,6 +1356,18 @@ impl Comm {
     pub fn isend<T: Send + 'static>(&mut self, dst: usize, tag: u64, data: Vec<T>) -> Request<T> {
         let t0 = self.clock;
         let (depart, bytes) = self.post_send(dst, tag, data);
+        self.trace_event(TraceKind::Isend, t0, bytes, Some(dst));
+        Request::new(ReqKind::Send { dst, depart })
+    }
+
+    /// Nonblocking send of a pooled byte buffer: exactly [`Comm::isend`] in
+    /// cost and semantics, but the buffer's existing allocation travels as
+    /// the message payload — no boxing, no copy, no allocation. Complete
+    /// with [`Comm::waitall_bytes`] (or any `waitall` over `Request<u8>`).
+    pub fn isend_bytes(&mut self, dst: usize, tag: u64, buf: PooledBuf) -> Request<u8> {
+        let t0 = self.clock;
+        let bytes = buf.len() as u64;
+        let depart = self.post_send_payload(dst, tag, buf.into_box(), bytes);
         self.trace_event(TraceKind::Isend, t0, bytes, Some(dst));
         Request::new(ReqKind::Send { dst, depart })
     }
@@ -1216,64 +1425,125 @@ impl Comm {
     /// assert_eq!(out.results[0], (vec![1, 1, 1], None));
     /// ```
     pub fn waitall<T: Send + 'static>(&mut self, requests: Vec<Request<T>>) -> Vec<Option<Vec<T>>> {
-        self.shared.check_poison();
-        let patterns: Vec<(usize, usize, u64)> = requests
+        let mut kinds = std::mem::take(&mut self.wait_scratch.kinds);
+        kinds.clear();
+        kinds.extend(requests.iter().map(|r| r.kind));
+        self.waitall_core(&kinds);
+        let mut msgs = std::mem::take(&mut self.wait_scratch.msgs);
+        let out = requests
             .iter()
             .enumerate()
-            .filter_map(|(slot, r)| match r.kind {
-                ReqKind::Recv { src, tag } => Some((slot, src, tag)),
+            .map(|(slot, r)| match r.kind {
+                ReqKind::Recv { .. } => {
+                    let msg = msgs[slot].take().expect("matched in waitall_core");
+                    Some(self.unbox_payload::<T>(msg))
+                }
                 ReqKind::Send { .. } => None,
             })
             .collect();
+        self.wait_scratch.msgs = msgs;
+        self.wait_scratch.kinds = kinds;
+        out
+    }
+
+    /// Shared engine of [`Comm::waitall`] / [`Comm::waitall_bytes`]: match
+    /// every receive, then complete all requests in ascending ready-time
+    /// order, charging costs exactly as `waitall` always has. Matched
+    /// messages are left — accounted, still boxed — in `wait_scratch.msgs`
+    /// for the caller to unbox; every scratch vector lives on the `Comm`, so
+    /// steady-state waits allocate nothing.
+    fn waitall_core(&mut self, kinds: &[ReqKind]) {
+        self.shared.check_poison();
+        let mut sc = std::mem::take(&mut self.wait_scratch);
+        sc.patterns.clear();
+        for (slot, kind) in kinds.iter().enumerate() {
+            if let ReqKind::Recv { src, tag } = *kind {
+                sc.patterns.push((slot, src, tag));
+            }
+        }
         // Block (in real time) until every receive has a matching message,
         // then pull them all out of the mailbox in one critical section. The
         // sends were deposited at post time, so symmetric exchanges cannot
         // deadlock here.
-        let mut msgs: Vec<Option<Message>> = requests.iter().map(|_| None).collect();
-        if !patterns.is_empty() {
+        sc.msgs.clear();
+        sc.msgs.resize_with(kinds.len(), || None);
+        if !sc.patterns.is_empty() {
             let mb = &self.shared.mailboxes[self.rank];
             let mut q = lock(&mb.queue);
-            let mut picks = loop {
+            loop {
                 self.shared.check_poison();
-                if let Some(p) = match_requests(&q, &patterns) {
-                    break p;
+                if match_requests(&q, &sc.patterns, &mut sc.taken, &mut sc.picks) {
+                    break;
                 }
                 q = self.shared.wait_mailbox(self.rank, self.clock, q);
-            };
+            }
             // Remove back to front so earlier queue positions stay valid.
-            picks.sort_unstable_by_key(|&(_, qpos)| std::cmp::Reverse(qpos));
-            for (slot, qpos) in picks {
-                msgs[slot] = q.remove(qpos);
+            sc.picks.sort_unstable_by_key(|&(_, qpos)| std::cmp::Reverse(qpos));
+            for &(slot, qpos) in &sc.picks {
+                sc.msgs[slot] = q.remove(qpos);
             }
         }
         // Complete in ascending ready-time order (ties broken by request
         // order): this is what makes concurrent transfers cost the max, not
         // the sum, of their remaining latencies.
-        let mut order: Vec<(f64, usize)> = requests
-            .iter()
-            .enumerate()
-            .map(|(slot, r)| {
-                let ready = match r.kind {
-                    ReqKind::Send { depart, .. } => depart,
-                    ReqKind::Recv { .. } => {
-                        self.arrival_of(msgs[slot].as_ref().expect("matched above"))
-                    }
-                };
-                (ready, slot)
-            })
-            .collect();
-        order.sort_by(|a, b| a.partial_cmp(b).expect("virtual times are finite"));
-        let mut out: Vec<Option<Vec<T>>> = requests.iter().map(|_| None).collect();
-        for (_, slot) in order {
-            match requests[slot].kind {
+        sc.order.clear();
+        for (slot, kind) in kinds.iter().enumerate() {
+            let ready = match *kind {
+                ReqKind::Send { depart, .. } => depart,
+                ReqKind::Recv { .. } => {
+                    self.arrival_of(sc.msgs[slot].as_ref().expect("matched above"))
+                }
+            };
+            sc.order.push((ready, slot));
+        }
+        sc.order.sort_by(|a, b| a.partial_cmp(b).expect("virtual times are finite"));
+        for i in 0..sc.order.len() {
+            let (_, slot) = sc.order[i];
+            match kinds[slot] {
                 ReqKind::Send { dst, depart } => self.complete_send(dst, depart),
                 ReqKind::Recv { .. } => {
-                    let msg = msgs[slot].take().expect("matched above");
-                    out[slot] = Some(self.complete_recv(msg).1);
+                    let msg = sc.msgs[slot].as_ref().expect("matched above");
+                    self.account_recv(msg);
                 }
             }
         }
-        out
+        self.wait_scratch = sc;
+    }
+
+    /// Byte-path [`Comm::waitall`] for batches of [`Comm::irecv`] /
+    /// [`Comm::isend_bytes`] requests: identical matching, completion order
+    /// and cost accounting, but received payloads come back as
+    /// [`PooledBuf`]s — the message envelope itself, re-wrapped without
+    /// copying — and all scratch is reused, so the steady-state path performs
+    /// no heap allocation. `requests` is drained; `out` is cleared and
+    /// refilled with one entry per request in request order (`Some` at
+    /// receive slots, `None` at send slots).
+    pub fn waitall_bytes(
+        &mut self,
+        requests: &mut Vec<Request<u8>>,
+        out: &mut Vec<Option<PooledBuf>>,
+    ) {
+        let mut kinds = std::mem::take(&mut self.wait_scratch.kinds);
+        kinds.clear();
+        kinds.extend(requests.iter().map(|r| r.kind));
+        requests.clear();
+        self.waitall_core(&kinds);
+        let mut msgs = std::mem::take(&mut self.wait_scratch.msgs);
+        out.clear();
+        for (slot, kind) in kinds.iter().enumerate() {
+            match kind {
+                ReqKind::Recv { .. } => {
+                    let msg = msgs[slot].take().expect("matched in waitall_core");
+                    let buf = msg.payload.downcast::<Vec<u8>>().unwrap_or_else(|_| {
+                        panic!("waitall_bytes: payload from rank {} is not a byte buffer", msg.src)
+                    });
+                    out.push(Some(PooledBuf::from_box(buf)));
+                }
+                ReqKind::Send { .. } => out.push(None),
+            }
+        }
+        self.wait_scratch.msgs = msgs;
+        self.wait_scratch.kinds = kinds;
     }
 
     /// Wait for **any one** request to complete: the slot completed first in
@@ -1585,6 +1855,67 @@ impl Comm {
             .collect()
     }
 
+    /// Byte-path [`Comm::alltoallv`] over pooled buffers: same collective
+    /// semantics, costs, statistics and trace events, but payload buffers are
+    /// moved — not copied — and `sends` / `received` are caller-owned scratch
+    /// reused across steps. Zero-length send buffers are released straight
+    /// back to the pool without ever becoming messages, so the sparse fast
+    /// path neither sends nor allocates for empty partners.
+    pub fn alltoallv_bytes(
+        &mut self,
+        sends: &mut Vec<(usize, PooledBuf)>,
+        received: &mut Vec<(usize, PooledBuf)>,
+    ) {
+        self.shared.check_poison();
+        let t0 = self.clock;
+        let mut s_msgs = 0u64;
+        let mut s_bytes = 0u64;
+        // Determine the round from the collective phase counter (two phase
+        // increments per collective → round = phase / 2 at deposit time).
+        let round = {
+            let st = lock(&self.shared.coll.m);
+            (st.phase + st.phase % 2) / 2
+        };
+        for (dst, buf) in sends.drain(..) {
+            assert!(dst < self.shared.n, "alltoallv to invalid rank {dst}");
+            if buf.is_empty() {
+                self.pool.release(dst, buf);
+                continue;
+            }
+            let bytes = buf.len() as u64;
+            s_msgs += 1;
+            s_bytes += bytes;
+            let entry = BinEntry { round, src: self.rank, bytes, payload: buf.into_box() };
+            lock(&self.shared.bins[dst]).push(entry);
+        }
+        self.count_coll(0, s_bytes);
+        self.count_p2p_sent(s_msgs, s_bytes);
+
+        // Synchronize: all deposits are now visible.
+        let (_, max_clock) = self.coll_exchange::<(), (), _>((), |_| ());
+
+        // Drain this rank's bin for this round straight into the caller's
+        // buffer (entries of other rounds stay queued).
+        received.clear();
+        let mut r_msgs = 0u64;
+        let mut r_bytes = 0u64;
+        for e in lock(&self.shared.bins[self.rank]).extract_if(.., |e| e.round == round) {
+            r_msgs += 1;
+            r_bytes += e.bytes;
+            let buf = e.payload.downcast::<Vec<u8>>().unwrap_or_else(|_| {
+                panic!("alltoallv_bytes: payload from rank {} is not a byte buffer", e.src)
+            });
+            received.push((e.src, PooledBuf::from_box(buf)));
+        }
+        received.sort_by_key(|&(src, _)| src);
+        self.count_p2p_recv(r_msgs, r_bytes);
+
+        let cost =
+            self.shared.model.alltoallv_time(self.shared.n, s_msgs, s_bytes, r_msgs, r_bytes);
+        self.finish_collective(max_clock, cost);
+        self.trace_event(TraceKind::Alltoallv, t0, s_bytes, None);
+    }
+
     /// Dense all-to-all of exactly one element per rank pair: rank `r` ends
     /// up with `data[r]` of every rank, ordered by source. Costed like
     /// [`Comm::alltoallv`] with one single-element message per rank pair, but
@@ -1656,6 +1987,41 @@ impl Comm {
         out
     }
 
+    /// Byte-path [`Comm::neighbor_exchange`] over pooled buffers: identical
+    /// posting order, completion order and costs, with all request/result
+    /// scratch held on the `Comm` — a steady-state symmetric exchange
+    /// performs zero heap allocations end to end. `sends` is drained (one
+    /// buffer per partner, in partner order); `out` is cleared and refilled
+    /// with one `(src, buffer)` pair per partner, sorted by source.
+    pub fn neighbor_exchange_bytes(
+        &mut self,
+        partners: &[usize],
+        sends: &mut Vec<(usize, PooledBuf)>,
+        tag: u64,
+        out: &mut Vec<(usize, PooledBuf)>,
+    ) {
+        check_partner_list(partners, sends);
+        let mut requests = self.take_byte_reqs();
+        let mut results = self.take_byte_results();
+        for &src in partners {
+            requests.push(self.irecv::<u8>(src, tag));
+        }
+        for (dst, buf) in sends.drain(..) {
+            let req = self.isend_bytes(dst, tag, buf);
+            requests.push(req);
+        }
+        self.waitall_bytes(&mut requests, &mut results);
+        // Receive slots (the head of `results`) are always `Some` by the
+        // completion contract on `Request`.
+        out.clear();
+        for (&src, buf) in partners.iter().zip(results.drain(..)) {
+            out.push((src, buf.expect("receive request yields data")));
+        }
+        out.sort_by_key(|&(src, _)| src);
+        self.put_byte_reqs(requests);
+        self.put_byte_results(results);
+    }
+
     /// The blocking reference implementation of [`Comm::neighbor_exchange`]:
     /// send to every partner in list order, then receive from every partner
     /// in list order. Kept as the baseline the nonblocking version is
@@ -1681,7 +2047,7 @@ impl Comm {
 /// Validate a neighbour-exchange partner list against the send buffers: a
 /// mismatch silently deadlocks the exchange, so this is a hard error in
 /// release builds too.
-fn check_partner_list<T>(partners: &[usize], data: &[(usize, Vec<T>)]) {
+fn check_partner_list<B>(partners: &[usize], data: &[(usize, B)]) {
     assert_eq!(
         partners.len(),
         data.len(),

@@ -5,7 +5,8 @@
 //! engines and diff everything the world reports.
 
 use simcomm::{
-    CartGrid, Engine, FaultPlan, MachineModel, RunOutput, Runner, StallSpec, TraceEvent, Work,
+    CartGrid, Engine, FaultPlan, MachineModel, PooledBuf, RunOutput, Runner, StallSpec, TraceEvent,
+    TraceKind, Work,
 };
 
 fn splitmix64(mut x: u64) -> u64 {
@@ -154,6 +155,144 @@ fn discrete_engine_handles_large_worlds() {
     let expect: u64 = (0..4096u64).sum();
     assert!(out.results.iter().all(|&s| s == expect));
     assert!(out.makespan() > 0.0);
+}
+
+/// A seeded byte-path program: pooled-buffer neighbourhood exchanges and
+/// sparse byte all-to-alls, the operations whose buffers actually flow
+/// through the [`simcomm::PooledBuf`] arena. Used to check that pooling is
+/// pure memory management — invisible in every virtual-time observable.
+fn byte_path_program(
+    seed: u64,
+    steps: usize,
+) -> impl Fn(&mut simcomm::Comm) -> Vec<u64> + Send + Sync {
+    move |comm| {
+        let n = comm.size();
+        let rank = comm.rank();
+        let grid = CartGrid::balanced(n);
+        let partners = grid.neighbors26(rank);
+        let mut acc: Vec<u64> = vec![rank as u64];
+        let mut sends: Vec<(usize, PooledBuf)> = Vec::new();
+        let mut recvd: Vec<(usize, PooledBuf)> = Vec::new();
+        for step in 0..steps {
+            let r = splitmix64(seed ^ (step as u64) << 16 ^ rank as u64);
+            comm.with_phase("compute", |c| c.compute(Work::ParticleOp, (r % 300) as f64));
+
+            // Pooled neighbourhood exchange; received buffers go back to the
+            // pool keyed by their source, closing the reuse loop.
+            for &p in &partners {
+                let len = (splitmix64(r ^ p as u64) % 256) as usize;
+                let mut buf = comm.buf_acquire(p, len);
+                buf.resize(len, (r % 251) as u8);
+                sends.push((p, buf));
+            }
+            comm.neighbor_exchange_bytes(&partners, &mut sends, 7, &mut recvd);
+            acc.push(recvd.iter().map(|(src, b)| *src as u64 + b.len() as u64).sum());
+            for (src, buf) in recvd.drain(..) {
+                comm.buf_release(src, buf);
+            }
+
+            // Sparse byte all-to-all-v with a few random destinations —
+            // including the occasional empty buffer, exercising the
+            // release-without-send fast path.
+            for k in 0..3u64 {
+                let dst = (splitmix64(r ^ k) % n as u64) as usize;
+                let len = (splitmix64(r ^ k ^ 0xabcd) % 97) as usize;
+                let mut buf = comm.buf_acquire(dst, len);
+                buf.resize(len, k as u8);
+                sends.push((dst, buf));
+            }
+            comm.alltoallv_bytes(&mut sends, &mut recvd);
+            acc.push(recvd.iter().map(|(src, b)| *src as u64 * b.len() as u64).sum());
+            for (src, buf) in recvd.drain(..) {
+                comm.buf_release(src, buf);
+            }
+        }
+        acc
+    }
+}
+
+#[test]
+fn pooling_is_bitwise_invisible_on_both_engines() {
+    // `Runner::pooled` documents that pooling is pure memory management:
+    // clocks, statistics (other than bytes_reused / bytes_grown), traces and
+    // results must be bitwise identical with the pool on or off — on both
+    // engines. Diff a byte-path workload across all four combinations.
+    let f = byte_path_program(17, 3);
+    for engine in [Engine::Threaded, Engine::DiscreteEvent] {
+        let mut on = runner(engine).pooled(true).run(12, MachineModel::juropa_like(), &f);
+        let mut off = runner(engine).pooled(false).run(12, MachineModel::juropa_like(), &f);
+        let what = format!("pooled vs unpooled ({})", engine.name());
+
+        // The pool must actually have engaged (otherwise this test is
+        // vacuous) and the reference mode must never touch the counters.
+        assert!(
+            on.stats.iter().any(|s| s.bytes_reused > 0),
+            "{what}: pooled run never reused a buffer"
+        );
+        assert!(
+            off.stats.iter().all(|s| s.bytes_reused == 0 && s.bytes_grown == 0),
+            "{what}: unpooled run must leave the pool counters untouched"
+        );
+
+        // Everything else is compared bitwise, with the two memory-accounting
+        // counters normalized away.
+        for s in on.stats.iter_mut().chain(off.stats.iter_mut()) {
+            s.bytes_reused = 0;
+            s.bytes_grown = 0;
+        }
+        assert_bitwise_identical(&on, &off, &what);
+    }
+
+    // And pooling must not perturb cross-engine equivalence either.
+    let t = runner(Engine::Threaded).pooled(true).run(12, MachineModel::juropa_like(), &f);
+    let d = runner(Engine::DiscreteEvent).pooled(true).run(12, MachineModel::juropa_like(), &f);
+    assert_bitwise_identical(&t, &d, "pooled byte path across engines");
+}
+
+#[test]
+fn alltoallv_empty_partner_buffers_are_not_messages() {
+    // The sparse fast path: a zero-length partner buffer in `alltoallv` must
+    // be observationally identical to omitting that partner entirely — no
+    // message, no bytes, no statistics, no trace deposit. Run the same
+    // exchange once with explicit empty buffers for every non-partner and
+    // once with only the real partners, and diff everything.
+    let n = 8;
+    let program = |padded: bool| {
+        move |comm: &mut simcomm::Comm| {
+            let rank = comm.rank();
+            let n = comm.size();
+            let mut sends: Vec<(usize, Vec<u64>)> = Vec::new();
+            for dst in 0..n {
+                let real = dst == (rank + 1) % n || dst == (rank + 3) % n;
+                if real {
+                    sends.push((dst, vec![rank as u64; 5]));
+                } else if padded {
+                    sends.push((dst, Vec::new()));
+                }
+            }
+            let got = comm.alltoallv(sends);
+            got.iter().map(|(src, v)| *src as u64 + v.iter().sum::<u64>()).collect::<Vec<u64>>()
+        }
+    };
+    for engine in [Engine::Threaded, Engine::DiscreteEvent] {
+        let padded = runner(engine).run(n, MachineModel::juqueen_like(), program(true));
+        let sparse = runner(engine).run(n, MachineModel::juqueen_like(), program(false));
+        let what = format!("padded vs sparse alltoallv ({})", engine.name());
+        assert_bitwise_identical(&padded, &sparse, &what);
+
+        // Direct accounting: exactly the two real partners became messages,
+        // and the trace records only their bytes.
+        for (rank, s) in padded.stats.iter().enumerate() {
+            assert_eq!(s.p2p_sent_msgs, 2, "{what}: rank {rank} sent wrong message count");
+            assert_eq!(s.p2p_sent_bytes, 2 * 5 * 8, "{what}: rank {rank} sent wrong bytes");
+        }
+        for (rank, trace) in padded.traces.iter().enumerate() {
+            let a2a: Vec<&TraceEvent> =
+                trace.events.iter().filter(|e| e.kind == TraceKind::Alltoallv).collect();
+            assert_eq!(a2a.len(), 1, "{what}: rank {rank} should trace one alltoallv");
+            assert_eq!(a2a[0].bytes, 2 * 5 * 8, "{what}: rank {rank} traced empty-buffer bytes");
+        }
+    }
 }
 
 #[test]

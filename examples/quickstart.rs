@@ -34,19 +34,19 @@ fn main() {
         let mut handle = Fcs::init(SolverKind::Fmm, comm.size());
         handle.set_common(bbox);
         handle.set_tolerance(1e-3);
-        handle.tune(comm, &set.pos, &set.charge);
+        handle.tune(comm, set.pos(), set.charge());
 
         // --- Method A: results come back in the submitted order. ---
-        let a = handle.run(comm, &set.pos, &set.charge, &set.id, usize::MAX);
+        let a = handle.run(comm, set.pos(), set.charge(), set.id(), usize::MAX);
         assert!(!handle.resorted());
-        assert_eq!(a.pos, set.pos, "method A restores the original order");
+        assert_eq!(a.pos, set.pos(), "method A restores the original order");
 
         // --- Method B: results come back in the solver's Z-order; use the
         // resort indices to bring additional per-particle data along. ---
         handle.set_resort(true);
-        let b = handle.run(comm, &set.pos, &set.charge, &set.id, usize::MAX);
+        let b = handle.run(comm, set.pos(), set.charge(), set.id(), usize::MAX);
         assert!(handle.resorted());
-        let tags: Vec<f64> = set.id.iter().map(|&i| i as f64).collect();
+        let tags: Vec<f64> = set.id().iter().map(|&i| i as f64).collect();
         let moved_tags = handle.resort_floats(comm, &tags);
         for (tag, id) in moved_tags.iter().zip(&b.id) {
             assert_eq!(*tag, *id as f64, "resorted data follows its particle");

@@ -50,8 +50,14 @@ fn main() {
 
         // --- Fig. 5: create resort indices by inverting the numbering. ---
         let resort_ix = build_resort_indices(comm, &sorted_origin, names.len());
-        // Apply them to some additional per-particle data (its name here).
-        let moved = resort(comm, &names, &resort_ix, sorted_names.len(), &ExchangeMode::Collective);
+        // Apply them to some additional per-particle data (its name here,
+        // shipped as the code point — resortable data is plain old bytes).
+        let codes: Vec<u32> = names.iter().map(|&c| c as u32).collect();
+        let moved: Vec<char> =
+            resort(comm, &codes, &resort_ix, sorted_names.len(), &ExchangeMode::Collective)
+                .into_iter()
+                .map(|c| char::from_u32(c).expect("round-tripped code point"))
+                .collect();
 
         (names, keys, sorted_names, sorted_keys, restored, resort_ix, moved)
     });

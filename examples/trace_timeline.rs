@@ -24,9 +24,9 @@ fn main() {
         let mut h = Fcs::init(SolverKind::P2Nfft, comm.size());
         h.set_common(bbox);
         h.set_tolerance(1e-2);
-        h.tune(comm, &set.pos, &set.charge);
+        h.tune(comm, set.pos(), set.charge());
         h.set_resort(true);
-        let o = h.run(comm, &set.pos, &set.charge, &set.id, usize::MAX);
+        let o = h.run(comm, set.pos(), set.charge(), set.id(), usize::MAX);
         o.timings.total
     });
 

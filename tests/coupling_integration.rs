@@ -30,9 +30,9 @@ fn energy_invariant_across_methods_distributions_and_world_sizes() {
                         let mut h = Fcs::init(kind, p);
                         h.set_common(bbox);
                         h.set_tolerance(1e-3);
-                        h.tune(comm, &set.pos, &set.charge);
+                        h.tune(comm, set.pos(), set.charge());
                         h.set_resort(resort);
-                        let o = h.run(comm, &set.pos, &set.charge, &set.id, usize::MAX);
+                        let o = h.run(comm, set.pos(), set.charge(), set.id(), usize::MAX);
                         0.5 * o.potential.iter().zip(&o.charge).map(|(a, q)| a * q).sum::<f64>()
                     });
                     let e: f64 = out.results.iter().sum();
@@ -63,11 +63,11 @@ fn method_a_is_bit_transparent() {
                 local_set(&crystal, InitialDistribution::SingleProcess, comm.rank(), 6, [3, 2, 1]);
             let mut h = Fcs::init(kind, 6);
             h.set_common(bbox);
-            h.tune(comm, &set.pos, &set.charge);
-            let o = h.run(comm, &set.pos, &set.charge, &set.id, usize::MAX);
-            assert_eq!(o.pos, set.pos);
-            assert_eq!(o.charge, set.charge);
-            assert_eq!(o.id, set.id);
+            h.tune(comm, set.pos(), set.charge());
+            let o = h.run(comm, set.pos(), set.charge(), set.id(), usize::MAX);
+            assert_eq!(o.pos, set.pos());
+            assert_eq!(o.charge, set.charge());
+            assert_eq!(o.id, set.id());
             assert_eq!(o.potential.len(), set.len());
             assert!(o.resort_indices.is_empty());
         });
@@ -88,12 +88,12 @@ fn method_b_full_roundtrip() {
             let set = local_set(&crystal, InitialDistribution::Random, comm.rank(), p, dims);
             let mut h = Fcs::init(kind, p);
             h.set_common(bbox);
-            h.tune(comm, &set.pos, &set.charge);
+            h.tune(comm, set.pos(), set.charge());
             h.set_resort(true);
-            let o = h.run(comm, &set.pos, &set.charge, &set.id, usize::MAX);
+            let o = h.run(comm, set.pos(), set.charge(), set.id(), usize::MAX);
             assert!(h.resorted());
             // Forward: a payload tagged by global id follows its particle.
-            let payload: Vec<f64> = set.id.iter().map(|&i| (i as f64).sqrt()).collect();
+            let payload: Vec<f64> = set.id().iter().map(|&i| (i as f64).sqrt()).collect();
             let moved = h.resort_floats(comm, &payload);
             for (v, id) in moved.iter().zip(&o.id) {
                 assert_eq!(*v, (*id as f64).sqrt());
@@ -120,9 +120,9 @@ fn repeated_method_b_conserves_particles() {
         let set = local_set(&crystal, InitialDistribution::Grid, comm.rank(), p, dims);
         let mut h = Fcs::init(SolverKind::P2Nfft, p);
         h.set_common(bbox);
-        h.tune(comm, &set.pos, &set.charge);
+        h.tune(comm, set.pos(), set.charge());
         h.set_resort(true);
-        let (mut pos, mut charge, mut id) = (set.pos, set.charge, set.id);
+        let (mut pos, mut charge, mut id) = set.into_parts();
         for step in 0..5 {
             // Drift all particles deterministically by id.
             for (x, pid) in pos.iter_mut().zip(&id) {
@@ -164,9 +164,9 @@ fn movement_exploitation_identical_results() {
             let set = local_set(&crystal, InitialDistribution::Grid, comm.rank(), p, dims);
             let mut h = Fcs::init(kind, p);
             h.set_common(bbox);
-            h.tune(comm, &set.pos, &set.charge);
+            h.tune(comm, set.pos(), set.charge());
             h.set_resort(true);
-            let o1 = h.run(comm, &set.pos, &set.charge, &set.id, usize::MAX);
+            let o1 = h.run(comm, set.pos(), set.charge(), set.id(), usize::MAX);
             // Re-run from the solver distribution, with and without the hint.
             let plain = h.run(comm, &o1.pos, &o1.charge, &o1.id, usize::MAX);
             h.set_max_particle_move(Some(1e-9));
@@ -198,8 +198,8 @@ fn virtual_time_reproducible_end_to_end() {
             );
             let mut h = Fcs::init(SolverKind::Fmm, 4);
             h.set_common(bbox);
-            h.tune(comm, &set.pos, &set.charge);
-            let _ = h.run(comm, &set.pos, &set.charge, &set.id, usize::MAX);
+            h.tune(comm, set.pos(), set.charge());
+            let _ = h.run(comm, set.pos(), set.charge(), set.id(), usize::MAX);
             comm.clock()
         });
         out.clocks
