@@ -10,12 +10,18 @@
 //!
 //! Prints one table per study; virtual seconds.
 
-use bench::{banner, fmt_secs, report_summary, Args, RunEntry, RunReport};
+use bench::{banner, fmt_secs, record_run, report_summary, Args, RunReport, TimelineSink};
 use particles::systems::splitmix64;
 use simcomm::{CartGrid, Engine, MachineModel, Runner};
 
-fn sort_ablation(per_rank: usize, engine: Engine, report: &mut RunReport) {
-    let runner = Runner::new(engine);
+fn sort_ablation(
+    per_rank: usize,
+    engine: Engine,
+    analyze: bool,
+    report: &mut RunReport,
+    timeline: &mut TimelineSink,
+) {
+    let runner = Runner::new(engine).traced(analyze);
     println!("\n[1] partition-based vs merge-based parallel sort ({per_rank} keys/rank)");
     println!(
         "{:<8} {:<14} {:>14} {:>14} {:>10}",
@@ -50,9 +56,9 @@ fn sort_ablation(per_rank: usize, engine: Engine, report: &mut RunReport) {
                 let t_merge = comm.clock() - t1;
                 (t_part, t_merge)
             });
-            report.push(format!("sort/p={p}/{sortedness}"), RunEntry::from_run(&out));
             let part = out.results.iter().map(|r| r.0).fold(0.0, f64::max);
             let merge = out.results.iter().map(|r| r.1).fold(0.0, f64::max);
+            record_run(format!("sort/p={p}/{sortedness}"), out, report, timeline);
             println!(
                 "{:<8} {:<14} {:>14} {:>14} {:>10}",
                 p,
@@ -66,8 +72,14 @@ fn sort_ablation(per_rank: usize, engine: Engine, report: &mut RunReport) {
     println!("(the paper's heuristic picks merge-exchange only for almost-sorted data)");
 }
 
-fn comm_ablation(bytes: usize, engine: Engine, report: &mut RunReport) {
-    let runner = Runner::new(engine);
+fn comm_ablation(
+    bytes: usize,
+    engine: Engine,
+    analyze: bool,
+    report: &mut RunReport,
+    timeline: &mut TimelineSink,
+) {
+    let runner = Runner::new(engine).traced(analyze);
     println!("\n[2] collective vs neighbourhood exchange (26 partners, {bytes} B each)");
     println!(
         "{:<10} {:<22} {:>14} {:>14} {:>10}",
@@ -94,9 +106,9 @@ fn comm_ablation(bytes: usize, engine: Engine, report: &mut RunReport) {
                 let p2p = comm.clock() - t1;
                 (coll, p2p)
             });
-            report.push(format!("exchange/p={p}/{name}"), RunEntry::from_run(&out));
             let coll = out.results.iter().map(|r| r.0).fold(0.0, f64::max);
             let p2p = out.results.iter().map(|r| r.1).fold(0.0, f64::max);
+            record_run(format!("exchange/p={p}/{name}"), out, report, timeline);
             println!(
                 "{:<10} {:<22} {:>14} {:>14} {:>10}",
                 p,
@@ -110,8 +122,13 @@ fn comm_ablation(bytes: usize, engine: Engine, report: &mut RunReport) {
     println!("(the torus flips to p2p at scale — the paper's Fig. 9 right crossover)");
 }
 
-fn ghost_ablation(engine: Engine, report: &mut RunReport) {
-    let runner = Runner::new(engine);
+fn ghost_ablation(
+    engine: Engine,
+    analyze: bool,
+    report: &mut RunReport,
+    timeline: &mut TimelineSink,
+) {
+    let runner = Runner::new(engine).traced(analyze);
     println!("\n[3] ghost-layer volume vs cutoff radius (particle-mesh solver)");
     println!("{:<10} {:>12} {:>14} {:>14}", "rcut", "ghosts", "sort time", "near pairs");
     let c = particles::IonicCrystal::cubic(12, 1.0, 0.15, 3);
@@ -141,20 +158,22 @@ fn ghost_ablation(engine: Engine, report: &mut RunReport) {
             );
             (solver.last_report.ghosts_received, o.timings.sort, solver.last_report.near_pairs)
         });
-        report.push(format!("ghost/rcut={rcut}"), RunEntry::from_run(&out));
         let ghosts: u64 = out.results.iter().map(|r| r.0).sum();
         let sort = out.results.iter().map(|r| r.1).fold(0.0, f64::max);
         let pairs: u64 = out.results.iter().map(|r| r.2).sum();
+        record_run(format!("ghost/rcut={rcut}"), out, report, timeline);
         println!("{:<10} {:>12} {:>14} {:>14}", rcut, ghosts, fmt_secs(sort), pairs);
     }
     println!("(a wider ghost layer trades redistribution volume for near-field work)");
 }
 
 fn main() {
-    let args = Args::parse(&["keys", "bytes", "engine"]);
+    let args = Args::parse(&["keys", "bytes", "engine", "analyze", "perfetto"]);
     let keys: usize = args.get("keys", 2000);
     let bytes: usize = args.get("bytes", 4096);
     let engine = args.engine(Engine::Threaded);
+    let mut timeline = TimelineSink::from_args(&args);
+    let analyze = args.flag("analyze") || timeline.active();
     banner(
         "Ablations — design choices of the paper's Sect. III",
         "sorting algorithm switch, exchange-mode switch, ghost-layer width",
@@ -163,8 +182,9 @@ fn main() {
     report.param("engine", engine.name());
     report.param("keys", keys);
     report.param("bytes", bytes);
-    sort_ablation(keys, engine, &mut report);
-    comm_ablation(bytes, engine, &mut report);
-    ghost_ablation(engine, &mut report);
+    sort_ablation(keys, engine, analyze, &mut report, &mut timeline);
+    comm_ablation(bytes, engine, analyze, &mut report, &mut timeline);
+    ghost_ablation(engine, analyze, &mut report, &mut timeline);
+    timeline.finish();
     report_summary(&report.write("ablation"), &report);
 }

@@ -25,10 +25,10 @@
 //! intensity (the fallback's worst case: guard collectives plus an occasional
 //! double redistribution, never a corrupted or hung run).
 //!
-//! Writes `BENCH_chaos.json` (run-report schema 1, including the per-rank
+//! Writes `BENCH_chaos.json` (the run-report schema, including the per-rank
 //! fault counters) next to a `results/chaos_report.json` copy.
 
-use bench::{banner, fmt_secs, report_summary, Args, RunReport};
+use bench::{banner, fmt_secs, report_summary, Args, RunReport, TimelineSink};
 use fcs::SolverKind;
 use mdsim::SimConfig;
 use particles::{InitialDistribution, IonicCrystal};
@@ -40,7 +40,17 @@ fn short_name(model: &MachineModel) -> &str {
 }
 
 fn main() {
-    let args = Args::parse(&["cells", "procs", "steps", "tolerance", "seed", "jitter", "engine"]);
+    let args = Args::parse(&[
+        "cells",
+        "procs",
+        "steps",
+        "tolerance",
+        "seed",
+        "jitter",
+        "engine",
+        "analyze",
+        "perfetto",
+    ]);
     let cells: usize = args.get("cells", 6);
     let procs: usize = args.get("procs", 16);
     let steps: usize = args.get("steps", 6);
@@ -48,6 +58,8 @@ fn main() {
     let seed: u64 = args.get("seed", 11);
     let jitter: f64 = args.get("jitter", 0.15);
     let engine = args.engine(simcomm::Engine::Threaded);
+    let mut timeline = TimelineSink::from_args(&args);
+    let analyze = args.flag("analyze") || timeline.active();
     let intensities = [0.0, 0.25, 0.5, 1.0];
 
     let mut crystal = IonicCrystal::cubic(cells, 1.0, 0.0, seed);
@@ -96,37 +108,45 @@ fn main() {
         let name = short_name(&model);
 
         // Clean reference: the trajectory every faulted variant must match.
-        let (clean_recs, _, clean_entry) = bench::run_md_world(
+        let (clean_recs, _, clean_entry, clean_traces) = bench::run_md_world_analyzed(
             model.clone(),
             engine,
             procs,
             &crystal,
             InitialDistribution::Grid,
             &cfg(true),
+            analyze,
         );
         let clean_makespan = clean_entry.makespan;
+        timeline.push(format!("{name}/clean"), clean_traces);
         report.push(format!("{name}/clean"), clean_entry);
 
         for &intensity in &intensities {
             let plan = FaultPlan::chaos(seed ^ (intensity * 16.0) as u64, intensity);
-            let (guarded_recs, recoveries, guarded_entry) = bench::run_md_world_faulted(
-                model.clone(),
-                engine,
-                procs,
-                &crystal,
-                InitialDistribution::Grid,
-                &cfg(true),
-                plan.clone(),
-            );
-            let (general_recs, _, general_entry) = bench::run_md_world_faulted(
-                model.clone(),
-                engine,
-                procs,
-                &crystal,
-                InitialDistribution::Grid,
-                &cfg(false),
-                plan,
-            );
+            let (guarded_recs, recoveries, guarded_entry, guarded_traces) =
+                bench::run_md_world_faulted_analyzed(
+                    model.clone(),
+                    engine,
+                    procs,
+                    &crystal,
+                    InitialDistribution::Grid,
+                    &cfg(true),
+                    plan.clone(),
+                    analyze,
+                );
+            let (general_recs, _, general_entry, general_traces) =
+                bench::run_md_world_faulted_analyzed(
+                    model.clone(),
+                    engine,
+                    procs,
+                    &crystal,
+                    InitialDistribution::Grid,
+                    &cfg(false),
+                    plan,
+                    analyze,
+                );
+            timeline.push(format!("{name}/i{intensity}/guarded"), guarded_traces);
+            timeline.push(format!("{name}/i{intensity}/general"), general_traces);
 
             // Zero correctness deviations: the guards and the recovery loop
             // fully mask the faults — both faulted trajectories reproduce
@@ -177,5 +197,6 @@ fn main() {
     let json = report.to_json().pretty();
     std::fs::write("BENCH_chaos.json", &json).expect("write BENCH_chaos.json");
     println!("\nwrote BENCH_chaos.json");
+    timeline.finish();
     report_summary(&report.write("chaos"), &report);
 }

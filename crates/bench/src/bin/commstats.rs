@@ -18,14 +18,53 @@
 //!   trace CSV by phase and by operation kind (with collective fan-out from
 //!   the `nranks` column). Pre-observability six-column traces (without the
 //!   `nranks`/`phase` columns) are accepted; their events count as untagged.
+//! * `commstats --baseline <dir> --report <a.json>[,…]` — the bench
+//!   regression gate: diff each fresh report against the baseline of the
+//!   same file name under `<dir>`, comparing per-run makespan and (when
+//!   present on both sides) the critical path's comm/wait components. A
+//!   machine-readable diff is written to `--gate-out` (default
+//!   `results/gate_diff.json`); exits 1 on any regression beyond
+//!   `--tolerance` (default 0.05 relative).
 //!
 //! All times are virtual seconds of the simulated machine model; sizes are
 //! bytes. See `docs/OBSERVABILITY.md` for the schema reference.
 
 use std::collections::BTreeMap;
+use std::path::Path;
 
+use bench::gate;
 use bench::json::Json;
 use bench::{fmt_secs, format_phase_table, Args, RunReport};
+
+/// The `--help` text (also printed under usage errors).
+const USAGE: &str = "\
+commstats — inspect and verify benchmark reports and traces
+
+USAGE:
+  commstats --report <a.json>[,<b.json>...]
+      Print each run entry's per-phase table, critical-path split and
+      wait-blame rows; verify the accounting invariants.
+
+  commstats --check --report <paths> [--alloc-budget name=count[,...]]
+      Quiet CI mode: verify the accounting and critical-path invariants
+      (comm+wait+compute must partition the clocks/makespan exactly) and
+      any selftime allocation budgets. Exits nonzero on a violation.
+
+  commstats --baseline <dir> --report <paths> [--tolerance 0.05]
+            [--gate-out results/gate_diff.json]
+      Regression gate: diff each report against <dir>/<same file name>,
+      comparing per-run makespan and critical-path comm/wait. Writes a
+      JSON diff artifact; exits 1 when any metric regresses beyond the
+      relative tolerance.
+
+  commstats --trace results/<trace>.csv
+      Aggregate a trace CSV by phase and by event kind.
+
+  commstats --help
+      Print this text.
+
+All times are virtual seconds of the simulated machine model. See
+docs/OBSERVABILITY.md for the report and trace schema reference.";
 
 /// Report a usage/input error without a panic backtrace.
 fn fail(msg: String) -> ! {
@@ -83,7 +122,31 @@ fn check_report(path: &str, budgets: &[AllocBudget]) {
             ));
         }
         max_err = max_err.max(err);
+        if let Some(cp) = &run.critpath {
+            // The serialized compute component must be the *exact* f64
+            // remainder of the makespan — the identity survives the JSON
+            // round trip bit-for-bit, so anything nonzero means the file was
+            // edited or the analysis is broken.
+            let remainder = run.makespan - (cp.comm_seconds + cp.wait_seconds);
+            if cp.compute_seconds != remainder {
+                fail(format!(
+                    "{path}: run '{label}': critical-path segments do not sum to the \
+                     makespan (compute {got:e} s, expected exact remainder {remainder:e} s)",
+                    label = run.label,
+                    got = cp.compute_seconds
+                ));
+            }
+            let range_err = cp.partition_error(run.makespan);
+            if range_err > 1e-9 * run.makespan.max(1e-9) {
+                fail(format!(
+                    "{path}: run '{label}': critical-path component outside \
+                     [0, makespan] by {range_err:.3e} s",
+                    label = run.label
+                ));
+            }
+        }
     }
+    let with_critpath = report.runs.iter().filter(|r| r.critpath.is_some()).count();
     for budget in budgets {
         let row = report.selftime.iter().find(|r| r.name == budget.name).unwrap_or_else(|| {
             fail(format!(
@@ -107,7 +170,8 @@ fn check_report(path: &str, budgets: &[AllocBudget]) {
         );
     }
     println!(
-        "check {path}: ok ({n} runs, max accounting error {max_err:.1e} s)",
+        "check {path}: ok ({n} runs, {with_critpath} with exact critical paths, \
+         max accounting error {max_err:.1e} s)",
         n = report.runs.len()
     );
 }
@@ -159,6 +223,24 @@ fn summarize_report(path: &str) {
                 "faults: {faults} injected ({retries} retries, {timeouts} timeout cycles, \
                  {stalls} stalls)"
             );
+        }
+        if let Some(cp) = &run.critpath {
+            println!(
+                "critical path: {comm} comm + {wait} wait + {compute} compute \
+                 = makespan ({segs} segments)",
+                comm = fmt_secs(cp.comm_seconds),
+                wait = fmt_secs(cp.wait_seconds),
+                compute = fmt_secs(cp.compute_seconds),
+                segs = cp.segments
+            );
+            for b in &cp.blame {
+                println!(
+                    "  blame: rank {waiter} waited {secs} on rank {blamed}",
+                    waiter = b.waiter,
+                    secs = fmt_secs(b.seconds),
+                    blamed = b.blamed
+                );
+            }
         }
         let err = run.decomposition_error();
         assert!(
@@ -291,24 +373,109 @@ fn summarize_trace(path: &str) {
     print_table("kind", &by_kind);
 }
 
+/// `--baseline`: the bench regression gate. Each report is diffed against
+/// `<baseline_dir>/<same file name>`; the combined diff is written to
+/// `gate_out` and any regression beyond `tolerance` exits 1.
+fn run_gate(baseline_dir: &str, reports: &[&str], tolerance: f64, gate_out: &str) {
+    let mut diffs: Vec<(String, gate::GateDiff)> = Vec::new();
+    for path in reports {
+        let current = load_report(path);
+        let file_name = Path::new(path)
+            .file_name()
+            .unwrap_or_else(|| fail(format!("bad report path '{path}'")));
+        let base_path = Path::new(baseline_dir).join(file_name);
+        let base_path = base_path.to_str().expect("utf-8 path");
+        let baseline = load_report(base_path);
+        let diff = gate::diff_reports(&baseline, &current, tolerance);
+        for row in &diff.rows {
+            println!(
+                "gate {path}: {label} {metric}: {base} -> {cur} {verdict}",
+                label = row.label,
+                metric = row.metric,
+                base = fmt_secs(row.baseline),
+                cur = fmt_secs(row.current),
+                verdict = if row.regressed {
+                    "REGRESSED"
+                } else if row.current <= row.baseline {
+                    "ok"
+                } else {
+                    "ok (within tolerance)"
+                }
+            );
+        }
+        for label in &diff.missing {
+            println!("gate {path}: run '{label}' present in baseline only (not compared)");
+        }
+        for label in &diff.added {
+            println!("gate {path}: run '{label}' is new (no baseline)");
+        }
+        diffs.push((path.to_string(), diff));
+    }
+    if let Some(dir) = Path::new(gate_out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)
+                .unwrap_or_else(|e| fail(format!("cannot create {}: {e}", dir.display())));
+        }
+    }
+    let json = gate::diffs_to_json(tolerance, &diffs).pretty();
+    std::fs::write(gate_out, json)
+        .unwrap_or_else(|e| fail(format!("cannot write {gate_out}: {e}")));
+    let regressions: usize = diffs.iter().map(|(_, d)| d.regressions().count()).sum();
+    let rows: usize = diffs.iter().map(|(_, d)| d.rows.len()).sum();
+    println!("gate: {rows} metrics compared, {regressions} regressed (diff in {gate_out})");
+    if regressions > 0 {
+        eprintln!(
+            "commstats: regression gate failed ({regressions} metrics beyond \
+             tolerance {tolerance})"
+        );
+        std::process::exit(1);
+    }
+}
+
 fn main() {
-    let args = Args::parse(&["report", "trace", "check", "alloc-budget"]);
+    let args = Args::try_parse(&[
+        "report",
+        "trace",
+        "check",
+        "alloc-budget",
+        "baseline",
+        "tolerance",
+        "gate-out",
+        "help",
+    ])
+    .unwrap_or_else(|e| {
+        eprintln!("commstats: {e}");
+        eprintln!("\n{USAGE}");
+        std::process::exit(2);
+    });
+    if args.flag("help") {
+        println!("{USAGE}");
+        return;
+    }
     let report: String = args.get("report", String::new());
     let trace: String = args.get("trace", String::new());
     let check = args.flag("check");
+    let baseline: String = args.get("baseline", String::new());
+    let tolerance: f64 = args.get("tolerance", gate::DEFAULT_TOLERANCE);
+    let gate_out: String = args.get("gate-out", "results/gate_diff.json".to_string());
     let budgets = parse_budgets(&args.get("alloc-budget", String::new()));
     if report.is_empty() && trace.is_empty() {
-        fail(
-            "usage: commstats [--check [--alloc-budget name=count,…]] \
-             --report <a.json>[,<b.json>…] | --trace results/<trace>.csv"
-                .to_string(),
-        );
+        eprintln!("commstats: nothing to do (give --report and/or --trace)\n\n{USAGE}");
+        std::process::exit(2);
     }
-    for path in report.split(',').filter(|p| !p.is_empty()) {
-        if check {
-            check_report(path, &budgets);
-        } else {
-            summarize_report(path);
+    let report_paths: Vec<&str> = report.split(',').filter(|p| !p.is_empty()).collect();
+    if !baseline.is_empty() {
+        if report_paths.is_empty() {
+            fail("--baseline needs --report <paths> to compare".to_string());
+        }
+        run_gate(&baseline, &report_paths, tolerance, &gate_out);
+    } else {
+        for path in &report_paths {
+            if check {
+                check_report(path, &budgets);
+            } else {
+                summarize_report(path);
+            }
         }
     }
     if !trace.is_empty() {

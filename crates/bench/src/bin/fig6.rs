@@ -15,19 +15,22 @@
 //! magnitude, and for the P2NFFT solver (which uses the same grid
 //! decomposition) the remaining redistribution cost is mainly ghost creation.
 
-use bench::{banner, fmt_secs, report_summary, write_csv, Args, RunReport};
+use bench::{banner, fmt_secs, report_summary, write_csv, Args, RunReport, TimelineSink};
 use fcs::SolverKind;
 use mdsim::SimConfig;
 use particles::{InitialDistribution, IonicCrystal};
 use simcomm::MachineModel;
 
 fn main() {
-    let args = Args::parse(&["cells", "procs", "tolerance", "seed", "engine"]);
+    let args =
+        Args::parse(&["cells", "procs", "tolerance", "seed", "engine", "analyze", "perfetto"]);
     let cells: usize = args.get("cells", 44);
     let procs: usize = args.get("procs", 256);
     let tolerance: f64 = args.get("tolerance", 1e-3);
     let seed: u64 = args.get("seed", 1);
     let engine = args.engine(simcomm::Engine::Threaded);
+    let mut timeline = TimelineSink::from_args(&args);
+    let analyze = args.flag("analyze") || timeline.active();
 
     let crystal = IonicCrystal::paper_like(cells, seed);
     banner(
@@ -61,14 +64,16 @@ fn main() {
             // interactions, line 5 of the paper's Fig. 3).
             let cfg =
                 SimConfig { solver, resort: false, steps: 0, tolerance, ..SimConfig::default() };
-            let (records, _, entry) = bench::run_md_world(
+            let (records, _, entry, traces) = bench::run_md_world_analyzed(
                 MachineModel::juropa_like(),
                 engine,
                 procs,
                 &crystal,
                 dist,
                 &cfg,
+                analyze,
             );
+            timeline.push(format!("{solver:?}/{}", dist.label()), traces);
             report.push(format!("{solver:?}/{}", dist.label()), entry);
             let r = &records[0];
             println!(
@@ -84,6 +89,7 @@ fn main() {
     }
     let path = write_csv("fig6", "solver,distribution,total,sort,restore", &rows);
     println!("\nwrote {}", path.display());
+    timeline.finish();
     report_summary(&report.write("fig6"), &report);
     println!(
         "(solver: 0 = FMM, 1 = P2NFFT; distribution: 0 = single process, 1 = random, 2 = grid)"

@@ -13,20 +13,33 @@
 //! fraction of Method A's (the paper reports ~45 % for the FMM and ~20 % for
 //! the P2NFFT solver).
 
-use bench::{aggregate_steps, banner, fmt_secs, report_summary, write_csv, Args, RunReport};
+use bench::{
+    aggregate_steps, banner, fmt_secs, report_summary, write_csv, Args, RunReport, TimelineSink,
+};
 use fcs::SolverKind;
 use mdsim::SimConfig;
 use particles::{InitialDistribution, IonicCrystal};
 use simcomm::MachineModel;
 
 fn main() {
-    let args = Args::parse(&["cells", "procs", "tolerance", "steps", "seed", "engine"]);
+    let args = Args::parse(&[
+        "cells",
+        "procs",
+        "tolerance",
+        "steps",
+        "seed",
+        "engine",
+        "analyze",
+        "perfetto",
+    ]);
     let cells: usize = args.get("cells", 32);
     let procs: usize = args.get("procs", 256);
     let tolerance: f64 = args.get("tolerance", 1e-2);
     let steps: usize = args.get("steps", 8);
     let seed: u64 = args.get("seed", 1);
     let engine = args.engine(simcomm::Engine::Threaded);
+    let mut timeline = TimelineSink::from_args(&args);
+    let analyze = args.flag("analyze") || timeline.active();
 
     let crystal = IonicCrystal::paper_like(cells, seed);
     let dt = mdsim::suggested_dt(crystal.spacing, 1.0);
@@ -56,18 +69,21 @@ fn main() {
         );
         let run = |resort: bool| {
             let cfg = SimConfig { solver, resort, steps, tolerance, dt, ..SimConfig::default() };
-            let (records, _, entry) = bench::run_md_world(
+            let (records, _, entry, traces) = bench::run_md_world_analyzed(
                 MachineModel::juropa_like(),
                 engine,
                 procs,
                 &crystal,
                 InitialDistribution::Random,
                 &cfg,
+                analyze,
             );
-            (records, entry)
+            (records, entry, traces)
         };
-        let (a, entry_a) = run(false);
-        let (b, entry_b) = run(true);
+        let (a, entry_a, traces_a) = run(false);
+        let (b, entry_b, traces_b) = run(true);
+        timeline.push(format!("{solver:?}/methodA"), traces_a);
+        timeline.push(format!("{solver:?}/methodB"), traces_b);
         report.push(format!("{solver:?}/methodA"), entry_a);
         report.push(format!("{solver:?}/methodB"), entry_b);
         for s in 0..=steps {
@@ -106,5 +122,6 @@ fn main() {
     }
     let path = write_csv("fig7", "solver,step,sortA,restoreA,totalA,sortB,resortB,totalB", &rows);
     println!("\nwrote {}", path.display());
+    timeline.finish();
     report_summary(&report.write("fig7"), &report);
 }

@@ -13,7 +13,9 @@
 //! the paper's 1000 steps it is ~50 % of the FMM step time and up to ~75 % of
 //! the P2NFFT step time — while Method B stays flat (~3 % / ~2 %).
 
-use bench::{banner, fmt_secs, report_summary, sum_from, write_csv, Args, RunReport, Selftime};
+use bench::{
+    banner, fmt_secs, report_summary, sum_from, write_csv, Args, RunReport, Selftime, TimelineSink,
+};
 use fcs::SolverKind;
 use mdsim::SimConfig;
 use particles::{InitialDistribution, IonicCrystal};
@@ -30,6 +32,8 @@ fn main() {
         "every",
         "jitter",
         "engine",
+        "analyze",
+        "perfetto",
     ]);
     let cells: usize = args.get("cells", 24);
     let procs: usize = args.get("procs", 256);
@@ -41,6 +45,8 @@ fn main() {
 
     let jitter: f64 = args.get("jitter", 0.15);
     let engine = args.engine(simcomm::Engine::Threaded);
+    let mut timeline = TimelineSink::from_args(&args);
+    let analyze = args.flag("analyze") || timeline.active();
     let mut crystal = IonicCrystal::paper_like(cells, seed);
     crystal.jitter = jitter * crystal.spacing;
     let dt = mdsim::suggested_dt(crystal.spacing, 1.0);
@@ -79,21 +85,25 @@ fn main() {
                 dt,
                 ..SimConfig::default()
             };
-            bench::run_md_world(
+            bench::run_md_world_analyzed(
                 MachineModel::juropa_like(),
                 engine,
                 procs,
                 &crystal,
                 InitialDistribution::Grid,
                 &cfg,
+                analyze,
             )
         };
-        let (a, rms_a, entry_a) = run(false, false);
+        let (a, rms_a, entry_a, traces_a) = run(false, false);
         selftime.lap_steps(&format!("run:{solver:?}/methodA"), steps as u64);
-        let (b, _, entry_b) = run(true, false);
+        let (b, _, entry_b, traces_b) = run(true, false);
         selftime.lap_steps(&format!("run:{solver:?}/methodB"), steps as u64);
-        let (bm, _, entry_bm) = run(true, true);
+        let (bm, _, entry_bm, traces_bm) = run(true, true);
         selftime.lap_steps(&format!("run:{solver:?}/methodB+movement"), steps as u64);
+        timeline.push(format!("{solver:?}/methodA"), traces_a);
+        timeline.push(format!("{solver:?}/methodB"), traces_b);
+        timeline.push(format!("{solver:?}/methodB+movement"), traces_bm);
         report.push(format!("{solver:?}/methodA"), entry_a);
         report.push(format!("{solver:?}/methodB"), entry_b);
         report.push(format!("{solver:?}/methodB+movement"), entry_bm);
@@ -155,5 +165,6 @@ fn main() {
     let path =
         write_csv("fig8", "solver,step,redistA,totalA,redistB,totalB,redistBM,totalBM", &rows);
     println!("\nwrote {}", path.display());
+    timeline.finish();
     report_summary(&report.write("fig8"), &report);
 }

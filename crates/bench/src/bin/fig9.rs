@@ -16,7 +16,7 @@
 //!   with maximum movement keeps scaling and ends ~40 % below Method A at the
 //!   largest machine.
 
-use bench::{banner, fmt_secs, report_summary, sum_from, write_csv, Args, RunReport};
+use bench::{banner, fmt_secs, report_summary, sum_from, write_csv, Args, RunReport, TimelineSink};
 use fcs::SolverKind;
 use mdsim::SimConfig;
 use particles::{InitialDistribution, IonicCrystal};
@@ -36,6 +36,8 @@ fn main() {
         "pencil",
         "engine",
         "tag",
+        "analyze",
+        "perfetto",
     ]);
     let cells: usize = args.get("cells", 24);
     let steps: usize = args.get("steps", 10);
@@ -58,6 +60,8 @@ fn main() {
     // (`--engine discrete`) is the practical choice there; see the `scale`
     // harness for the dedicated crossover sweep.
     let engine = args.engine(simcomm::Engine::Threaded);
+    let mut timeline = TimelineSink::from_args(&args);
+    let analyze = args.flag("analyze") || timeline.active();
 
     let crystal = IonicCrystal::paper_like(cells, seed);
     let dt = mdsim::suggested_dt(crystal.spacing, 1.0);
@@ -86,7 +90,8 @@ fn main() {
                  procs_list: &[usize],
                  panel_ix: f64,
                  rows: &mut Vec<Vec<f64>>,
-                 report: &mut RunReport| {
+                 report: &mut RunReport,
+                 timeline: &mut TimelineSink| {
         println!("\n--- {name} ---");
         println!(
             "{:<8} {:>12} {:>12} {:>16} | {:>11} {:>11} {:>11}",
@@ -111,8 +116,16 @@ fn main() {
                     pencil_fft: args.flag("pencil"),
                     ..SimConfig::default()
                 };
-                let (records, _, entry) =
-                    bench::run_md_world(model.clone(), engine, p, &crystal, dist, &cfg);
+                let (records, _, entry, traces) = bench::run_md_world_analyzed(
+                    model.clone(),
+                    engine,
+                    p,
+                    &crystal,
+                    dist,
+                    &cfg,
+                    analyze,
+                );
+                timeline.push(format!("{solver:?}/p={p}/{method}"), traces);
                 report.push(format!("{solver:?}/p={p}/{method}"), entry);
                 // Total simulation runtime: sum of all solver executions
                 // (including application-side resorting), like the paper's
@@ -148,6 +161,7 @@ fn main() {
             0.0,
             &mut rows,
             &mut report,
+            &mut timeline,
         );
     }
     if !args.flag("skip-right") {
@@ -159,6 +173,7 @@ fn main() {
             1.0,
             &mut rows,
             &mut report,
+            &mut timeline,
         );
     }
 
@@ -177,6 +192,7 @@ fn main() {
         &rows,
     );
     println!("\nwrote {}", path.display());
+    timeline.finish();
     report_summary(&report.write(name), &report);
     println!("(panel: 0 = FMM/juropa-like, 1 = P2NFFT/juqueen-like)");
 }

@@ -26,13 +26,16 @@
 //! domain-cell width (`procs 64`, `cells 16`), giving the ghost-plan cache a
 //! positive skin margin to absorb particle movement.
 //!
-//! Writes `BENCH_plancache.json` (run-report schema 1) at the repository
+//! Writes `BENCH_plancache.json` (the run-report schema) at the repository
 //! root next to a `results/plancache_report.json` copy, and fails loudly if
 //! a planned run is slower than its unplanned baseline on either machine
 //! model, or if the planned neighbourhood exchange wins less than 5 % on
 //! the torus (JUQUEEN-like) model.
 
-use bench::{banner, fmt_secs, report_summary, Args, RunReport, Selftime, SelftimeRow};
+use bench::{
+    banner, fmt_secs, record_run, report_summary, Args, RunReport, Selftime, SelftimeRow,
+    TimelineSink,
+};
 use fcs::SolverKind;
 use mdsim::SimConfig;
 use particles::{InitialDistribution, IonicCrystal, PlaneSet, Vec3};
@@ -67,9 +70,11 @@ fn neighborhood_workloads(
     procs: usize,
     elems: usize,
     steps: usize,
+    analyze: bool,
     report: &mut RunReport,
+    timeline: &mut TimelineSink,
 ) -> (f64, f64) {
-    let runner = Runner::new(engine);
+    let runner = Runner::new(engine).traced(analyze);
     let bytes_out = |n_partners: usize| (n_partners * elems * std::mem::size_of::<Ghost>()) as f64;
     let planned = runner.run(procs, model.clone(), move |comm: &mut Comm| {
         let partners = CartGrid::balanced(procs).neighbors26(comm.rank());
@@ -102,14 +107,25 @@ fn neighborhood_workloads(
         }
     });
     let name = short_name(model);
-    report.push(format!("{name}/neighborhood/planned"), bench::RunEntry::from_run(&planned));
-    report.push(format!("{name}/neighborhood/unplanned"), bench::RunEntry::from_run(&unplanned));
-    (planned.makespan(), unplanned.makespan())
+    let spans = (planned.makespan(), unplanned.makespan());
+    record_run(format!("{name}/neighborhood/planned"), planned, report, timeline);
+    record_run(format!("{name}/neighborhood/unplanned"), unplanned, report, timeline);
+    spans
 }
 
 fn main() {
-    let args =
-        Args::parse(&["cells", "procs", "steps", "tolerance", "seed", "jitter", "elems", "engine"]);
+    let args = Args::parse(&[
+        "cells",
+        "procs",
+        "steps",
+        "tolerance",
+        "seed",
+        "jitter",
+        "elems",
+        "engine",
+        "analyze",
+        "perfetto",
+    ]);
     let cells: usize = args.get("cells", 16);
     let procs: usize = args.get("procs", 64);
     let steps: usize = args.get("steps", 30);
@@ -118,6 +134,8 @@ fn main() {
     let jitter: f64 = args.get("jitter", 0.15);
     let elems: usize = args.get("elems", 500);
     let engine = args.engine(simcomm::Engine::Threaded);
+    let mut timeline = TimelineSink::from_args(&args);
+    let analyze = args.flag("analyze") || timeline.active();
 
     let mut crystal = IonicCrystal::paper_like(cells, seed);
     crystal.jitter = jitter * crystal.spacing;
@@ -162,19 +180,22 @@ fn main() {
                 plan_cache,
                 ..SimConfig::default()
             };
-            bench::run_md_world(
+            bench::run_md_world_analyzed(
                 model.clone(),
                 engine,
                 procs,
                 &crystal,
                 InitialDistribution::Grid,
                 &cfg,
+                analyze,
             )
         };
-        let (recs_planned, _, entry_planned) = run_md(true);
+        let (recs_planned, _, entry_planned, traces_planned) = run_md(true);
         selftime.lap_steps(&format!("run:{name}/md/planned"), steps as u64);
-        let (recs_unplanned, _, entry_unplanned) = run_md(false);
+        let (recs_unplanned, _, entry_unplanned, traces_unplanned) = run_md(false);
         selftime.lap_steps(&format!("run:{name}/md/unplanned"), steps as u64);
+        timeline.push(format!("{name}/md/planned"), traces_planned);
+        timeline.push(format!("{name}/md/unplanned"), traces_unplanned);
 
         // Plan caching must be invisible to the physics: same trajectory,
         // bit for bit, with and without it.
@@ -219,8 +240,16 @@ fn main() {
         );
 
         // --- Neighbourhood ghost exchange ---
-        let (n_planned, n_unplanned) =
-            neighborhood_workloads(&model, engine, procs, elems, steps, &mut report);
+        let (n_planned, n_unplanned) = neighborhood_workloads(
+            &model,
+            engine,
+            procs,
+            elems,
+            steps,
+            analyze,
+            &mut report,
+            &mut timeline,
+        );
         selftime.lap_steps(&format!("run:{name}/neighborhood"), steps as u64);
         let n_win = 100.0 * (1.0 - n_planned / n_unplanned);
         println!(
@@ -313,6 +342,7 @@ fn main() {
     }
     report.selftime = selftime;
 
+    timeline.finish();
     let json = report.to_json().pretty();
     std::fs::write("BENCH_plancache.json", &json).expect("write BENCH_plancache.json");
     println!("\nwrote BENCH_plancache.json");

@@ -16,13 +16,13 @@
 //!   pattern) or in one combined byte exchange round (`combined`,
 //!   [`atasp::resort_planes`] over a three-plane [`particles::PlaneSet`]).
 //!
-//! Writes `BENCH_redistribution.json` (run-report schema 1) at the
+//! Writes `BENCH_redistribution.json` (the run-report schema) at the
 //! repository root next to a `results/redistribution_report.json` copy, and
 //! fails loudly if the nonblocking exchange is slower than the blocking one
 //! on either machine model.
 
 use atasp::{encode_index, resort, resort_planes, ExchangeMode};
-use bench::{banner, fmt_secs, Args, RunEntry, RunReport};
+use bench::{banner, fmt_secs, record_run, Args, RunReport, TimelineSink};
 use particles::PlaneSet;
 use simcomm::{Comm, Engine, MachineModel, Runner};
 
@@ -42,14 +42,17 @@ fn ring_partners(comm: &Comm, reach: usize) -> Vec<usize> {
     partners
 }
 
+#[allow(clippy::too_many_arguments)]
 fn exchange_workloads(
     model: &MachineModel,
     engine: Engine,
     procs: usize,
     bytes: usize,
+    analyze: bool,
     report: &mut RunReport,
+    timeline: &mut TimelineSink,
 ) -> (f64, f64) {
-    let runner = Runner::new(engine);
+    let runner = Runner::new(engine).traced(analyze);
     let payloads = |partners: &[usize]| -> Vec<(usize, Vec<u8>)> {
         partners.iter().map(|&q| (q, vec![0u8; bytes])).collect()
     };
@@ -66,26 +69,30 @@ fn exchange_workloads(
         let _ = comm.alltoallv(payloads(&partners));
     });
     let name = short_name(model);
-    report.push(format!("{name}/exchange/blocking"), RunEntry::from_run(&blocking));
-    report.push(format!("{name}/exchange/nonblocking"), RunEntry::from_run(&nonblocking));
-    report.push(format!("{name}/exchange/alltoallv"), RunEntry::from_run(&collective));
     println!(
         "{name:<14} exchange   blocking {:>12}  nonblocking {:>12}  alltoallv {:>12}",
         fmt_secs(blocking.makespan()),
         fmt_secs(nonblocking.makespan()),
         fmt_secs(collective.makespan())
     );
-    (blocking.makespan(), nonblocking.makespan())
+    let spans = (blocking.makespan(), nonblocking.makespan());
+    record_run(format!("{name}/exchange/blocking"), blocking, report, timeline);
+    record_run(format!("{name}/exchange/nonblocking"), nonblocking, report, timeline);
+    record_run(format!("{name}/exchange/alltoallv"), collective, report, timeline);
+    spans
 }
 
+#[allow(clippy::too_many_arguments)]
 fn resort_workloads(
     model: &MachineModel,
     engine: Engine,
     procs: usize,
     elems: usize,
+    analyze: bool,
     report: &mut RunReport,
+    timeline: &mut TimelineSink,
 ) -> (f64, f64) {
-    let runner = Runner::new(engine);
+    let runner = Runner::new(engine).traced(analyze);
     // Rotate every rank's block of elements to the next rank, positions
     // reversed — a valid global permutation exercising the full path.
     let indices = |comm: &Comm| -> Vec<u64> {
@@ -119,22 +126,25 @@ fn resort_workloads(
         resort_planes(comm, &mut set, &ix, elems, &ExchangeMode::Collective, &mut plan);
     });
     let name = short_name(model);
-    report.push(format!("{name}/resort/per-field"), RunEntry::from_run(&per_field));
-    report.push(format!("{name}/resort/combined"), RunEntry::from_run(&combined));
     println!(
         "{name:<14} resort     per-field {:>11}  combined {:>15}",
         fmt_secs(per_field.makespan()),
         fmt_secs(combined.makespan())
     );
-    (per_field.makespan(), combined.makespan())
+    let spans = (per_field.makespan(), combined.makespan());
+    record_run(format!("{name}/resort/per-field"), per_field, report, timeline);
+    record_run(format!("{name}/resort/combined"), combined, report, timeline);
+    spans
 }
 
 fn main() {
-    let args = Args::parse(&["procs", "bytes", "elems", "engine"]);
+    let args = Args::parse(&["procs", "bytes", "elems", "engine", "analyze", "perfetto"]);
     let procs: usize = args.get("procs", 64);
     let bytes: usize = args.get("bytes", 4096);
     let elems: usize = args.get("elems", 2000);
     let engine = args.engine(Engine::Threaded);
+    let mut timeline = TimelineSink::from_args(&args);
+    let analyze = args.flag("analyze") || timeline.active();
     banner(
         "Redistribution hot paths — blocking vs nonblocking, per-field vs combined",
         &format!(
@@ -150,16 +160,18 @@ fn main() {
     report.param("elems", elems);
 
     for model in [MachineModel::juropa_like(), MachineModel::juqueen_like()] {
-        let (blocking, nonblocking) = exchange_workloads(&model, engine, procs, bytes, &mut report);
+        let (blocking, nonblocking) =
+            exchange_workloads(&model, engine, procs, bytes, analyze, &mut report, &mut timeline);
         assert!(
             nonblocking <= blocking * (1.0 + 1e-9),
             "{}: nonblocking neighbour exchange ({nonblocking} s) must not be \
              slower than the blocking baseline ({blocking} s)",
             model.name
         );
-        resort_workloads(&model, engine, procs, elems, &mut report);
+        resort_workloads(&model, engine, procs, elems, analyze, &mut report, &mut timeline);
     }
 
+    timeline.finish();
     let json = report.to_json().pretty();
     std::fs::write("BENCH_redistribution.json", &json).expect("write BENCH_redistribution.json");
     let path = report.write("redistribution");

@@ -23,12 +23,12 @@
 //! traffic statistics are identical, so CI exercises the equivalence
 //! contract on every committed configuration.
 //!
-//! Writes `BENCH_scale.json` (run-report schema 1) at the repository root
+//! Writes `BENCH_scale.json` (the run-report schema) at the repository root
 //! next to a `results/scale_report.json` copy and a `results/scale.csv`
 //! table, and fails loudly if the torus crossover is absent at the largest
 //! process count or if any engine-equivalence check trips.
 
-use bench::{banner, fmt_secs, report_summary, write_csv, Args, RunEntry, RunReport};
+use bench::{banner, fmt_secs, report_summary, write_csv, Args, RunEntry, RunReport, TimelineSink};
 use simcomm::{CartGrid, Comm, Engine, MachineModel, RunOutput, Runner, Work};
 
 /// Short machine label ("juropa-like") for run labels and table rows.
@@ -52,6 +52,7 @@ enum Series {
 
 /// One fig9-style stencil run: `steps` rounds of a 26-neighbour boundary
 /// exchange of `bytes`-sized payloads, through the chosen primitive.
+#[allow(clippy::too_many_arguments)]
 fn stencil(
     engine: Engine,
     series: Series,
@@ -59,8 +60,9 @@ fn stencil(
     bytes: usize,
     steps: usize,
     model: &MachineModel,
+    traced: bool,
 ) -> RunOutput<u64> {
-    Runner::new(engine).run(procs, model.clone(), move |comm: &mut Comm| {
+    Runner::new(engine).traced(traced).run(procs, model.clone(), move |comm: &mut Comm| {
         let partners = CartGrid::balanced(procs).neighbors26(comm.rank());
         let mut received = 0u64;
         for _ in 0..steps {
@@ -96,7 +98,8 @@ fn assert_engines_agree(threaded: &RunOutput<u64>, discrete: &RunOutput<u64>, wh
 }
 
 fn main() {
-    let args = Args::parse(&["procs", "bytes", "steps", "eq-procs", "engine"]);
+    let args =
+        Args::parse(&["procs", "bytes", "steps", "eq-procs", "engine", "analyze", "perfetto"]);
     let procs_list = args.list("procs", &[64, 256, 1024, 4096]);
     let bytes: usize = args.get("bytes", 4096);
     let steps: usize = args.get("steps", 4);
@@ -104,6 +107,8 @@ fn main() {
     // two engines' outputs are compared bit for bit.
     let eq_procs: usize = args.get("eq-procs", 64);
     let engine = args.engine(Engine::DiscreteEvent);
+    let mut timeline = TimelineSink::from_args(&args);
+    let analyze = args.flag("analyze") || timeline.active();
 
     banner(
         "Scale sweep — alltoallv vs neighbourhood p2p crossover at paper scale",
@@ -135,17 +140,20 @@ fn main() {
             let mut makespans = [0.0f64; 2];
             let checked = p <= eq_procs;
             for (si, series) in [Series::Alltoallv, Series::Neighbor].into_iter().enumerate() {
-                let out = stencil(engine, series, p, bytes, steps, &model);
+                let out = stencil(engine, series, p, bytes, steps, &model, analyze);
                 if checked {
                     let other = match engine {
                         Engine::Threaded => Engine::DiscreteEvent,
                         Engine::DiscreteEvent => Engine::Threaded,
                     };
-                    let reference = stencil(other, series, p, bytes, steps, &model);
+                    let reference = stencil(other, series, p, bytes, steps, &model, analyze);
                     assert_engines_agree(&reference, &out, name);
                 }
                 let label = if series == Series::Alltoallv { "alltoallv" } else { "p2p" };
                 let mut entry = RunEntry::from_run(&out);
+                if !out.traces.is_empty() {
+                    bench::attach_analysis(&mut entry, &out.traces);
+                }
                 // Keep the emitted report a sane size at paper-scale rank
                 // counts: the phase aggregates (means/criticals over ALL
                 // ranks) are computed before this cap, and `mean_clock` is
@@ -153,8 +161,9 @@ fn main() {
                 if entry.ranks.len() > RANK_ROW_CAP {
                     entry.ranks.truncate(RANK_ROW_CAP);
                 }
-                report.push(format!("{name}/p={p}/{label}"), entry);
                 makespans[si] = out.makespan();
+                timeline.push(format!("{name}/p={p}/{label}"), out.traces);
+                report.push(format!("{name}/p={p}/{label}"), entry);
             }
             let [coll, p2p] = makespans;
             if mi == 1 && p2p < coll {
@@ -179,6 +188,7 @@ fn main() {
          alltoallv over procs {procs_list:?}"
     );
 
+    timeline.finish();
     let json = report.to_json().pretty();
     std::fs::write("BENCH_scale.json", &json).expect("write BENCH_scale.json");
     let csv = write_csv("scale", "machine,procs,alltoallv,p2p", &rows);

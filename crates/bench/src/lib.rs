@@ -13,6 +13,7 @@
 
 #![warn(missing_docs)]
 
+pub mod gate;
 pub mod json;
 pub mod microbench;
 pub mod report;
@@ -22,7 +23,9 @@ use std::collections::HashMap;
 use std::io::Write;
 
 use mdsim::StepRecord;
-pub use report::{format_phase_table, PhaseRow, RankRow, RunEntry, RunReport, SelftimeRow};
+pub use report::{
+    format_phase_table, BlameRow, CritPath, PhaseRow, RankRow, RunEntry, RunReport, SelftimeRow,
+};
 pub use selftime::{alloc_counters, CountingAlloc, Selftime};
 
 /// Every binary of this crate counts its heap allocations (see
@@ -42,16 +45,29 @@ pub struct Args {
 impl Args {
     /// Parse `std::env::args`, allowing only the given keys.
     pub fn parse(allowed: &[&'static str]) -> Args {
+        Self::try_parse(allowed).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Parse `std::env::args`, returning a usage error instead of panicking
+    /// on an unknown or malformed option. Binaries with a real `--help` (like
+    /// `commstats`) use this to print usage and exit nonzero gracefully.
+    pub fn try_parse(allowed: &[&'static str]) -> Result<Args, String> {
+        Self::try_parse_from(std::env::args().skip(1).collect(), allowed)
+    }
+
+    /// [`Args::try_parse`] over an explicit argument vector (testable form).
+    pub fn try_parse_from(argv: Vec<String>, allowed: &[&'static str]) -> Result<Args, String> {
         let mut values = HashMap::new();
         let mut flags = Vec::new();
-        let argv: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         while i < argv.len() {
             let a = &argv[i];
             let key = a
                 .strip_prefix("--")
-                .unwrap_or_else(|| panic!("unexpected argument '{a}' (allowed: {allowed:?})"));
-            assert!(allowed.contains(&key), "unknown option '--{key}' (allowed: {allowed:?})");
+                .ok_or_else(|| format!("unexpected argument '{a}' (allowed: {allowed:?})"))?;
+            if !allowed.contains(&key) {
+                return Err(format!("unknown option '--{key}' (allowed: {allowed:?})"));
+            }
             if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
                 values.insert(key.to_string(), argv[i + 1].clone());
                 i += 2;
@@ -60,7 +76,7 @@ impl Args {
                 i += 1;
             }
         }
-        Args { values, flags, allowed: allowed.to_vec() }
+        Ok(Args { values, flags, allowed: allowed.to_vec() })
     }
 
     /// Get a typed value with a default.
@@ -118,18 +134,29 @@ pub fn run_md_world(
     dist: particles::InitialDistribution,
     cfg: &mdsim::SimConfig,
 ) -> (Vec<StepRecord>, f64, RunEntry) {
-    let bbox = particles::ParticleSource::system_box(crystal);
-    let crystal = crystal.clone();
-    let cfg = cfg.clone();
-    let out = simcomm::Runner::new(engine).run(p, model, move |comm| {
-        let dims = simcomm::CartGrid::balanced(p).dims();
-        let set = particles::local_set(&crystal, dist, comm.rank(), p, dims);
-        mdsim::simulate(comm, bbox, set, &cfg)
-    });
-    let per_rank: Vec<Vec<StepRecord>> = out.results.iter().map(|r| r.records.clone()).collect();
-    let agg = aggregate_steps(&per_rank);
-    let rms = out.results[0].rms_displacement;
-    (agg, rms, RunEntry::from_run(&out))
+    let (agg, rms, _, entry, _) =
+        run_md_world_inner(model, engine, p, crystal, dist, cfg, None, false);
+    (agg, rms, entry)
+}
+
+/// Analyzed variant of [`run_md_world`]: when `analyze` is set the world runs
+/// traced, the entry's [`RunEntry::critpath`] is filled from the
+/// happens-before analysis, and the per-rank traces are returned (e.g. for a
+/// [`TimelineSink`]). With `analyze == false` this is exactly
+/// [`run_md_world`] (traces empty, `critpath` `None`) — harnesses call this
+/// unconditionally and let the flag decide.
+pub fn run_md_world_analyzed(
+    model: simcomm::MachineModel,
+    engine: simcomm::Engine,
+    p: usize,
+    crystal: &particles::IonicCrystal,
+    dist: particles::InitialDistribution,
+    cfg: &mdsim::SimConfig,
+    analyze: bool,
+) -> (Vec<StepRecord>, f64, RunEntry, Vec<simcomm::Trace>) {
+    let (agg, rms, _, entry, traces) =
+        run_md_world_inner(model, engine, p, crystal, dist, cfg, None, analyze);
+    (agg, rms, entry, traces)
 }
 
 /// Faulted variant of [`run_md_world`]: the same MD workload executed under
@@ -145,18 +172,143 @@ pub fn run_md_world_faulted(
     cfg: &mdsim::SimConfig,
     fault: simcomm::FaultPlan,
 ) -> (Vec<StepRecord>, u64, RunEntry) {
+    let (agg, _, recoveries, entry, _) =
+        run_md_world_inner(model, engine, p, crystal, dist, cfg, Some(fault), false);
+    (agg, recoveries, entry)
+}
+
+/// Faulted **and** analyzed variant of [`run_md_world`] (see
+/// [`run_md_world_analyzed`] for the `analyze` contract).
+#[allow(clippy::too_many_arguments)]
+pub fn run_md_world_faulted_analyzed(
+    model: simcomm::MachineModel,
+    engine: simcomm::Engine,
+    p: usize,
+    crystal: &particles::IonicCrystal,
+    dist: particles::InitialDistribution,
+    cfg: &mdsim::SimConfig,
+    fault: simcomm::FaultPlan,
+    analyze: bool,
+) -> (Vec<StepRecord>, u64, RunEntry, Vec<simcomm::Trace>) {
+    let (agg, _, recoveries, entry, traces) =
+        run_md_world_inner(model, engine, p, crystal, dist, cfg, Some(fault), analyze);
+    (agg, recoveries, entry, traces)
+}
+
+/// Shared core of the `run_md_world*` family. Tracing is clock-invisible, so
+/// the records, clocks and report entry are bitwise-identical whether or not
+/// `traced` is set — the traced run merely also yields the event streams.
+#[allow(clippy::too_many_arguments)]
+fn run_md_world_inner(
+    model: simcomm::MachineModel,
+    engine: simcomm::Engine,
+    p: usize,
+    crystal: &particles::IonicCrystal,
+    dist: particles::InitialDistribution,
+    cfg: &mdsim::SimConfig,
+    fault: Option<simcomm::FaultPlan>,
+    traced: bool,
+) -> (Vec<StepRecord>, f64, u64, RunEntry, Vec<simcomm::Trace>) {
     let bbox = particles::ParticleSource::system_box(crystal);
     let crystal = crystal.clone();
     let cfg = cfg.clone();
-    let out = simcomm::Runner::new(engine).faulted(fault).run(p, model, move |comm| {
+    let mut runner = simcomm::Runner::new(engine).traced(traced);
+    if let Some(fault) = fault {
+        runner = runner.faulted(fault);
+    }
+    let out = runner.run(p, model, move |comm| {
         let dims = simcomm::CartGrid::balanced(p).dims();
         let set = particles::local_set(&crystal, dist, comm.rank(), p, dims);
         mdsim::simulate(comm, bbox, set, &cfg)
     });
     let per_rank: Vec<Vec<StepRecord>> = out.results.iter().map(|r| r.records.clone()).collect();
     let agg = aggregate_steps(&per_rank);
+    let rms = out.results[0].rms_displacement;
     let recoveries = out.results[0].recoveries;
-    (agg, recoveries, RunEntry::from_run(&out))
+    let mut entry = RunEntry::from_run(&out);
+    let traces = out.traces;
+    if traced {
+        attach_analysis(&mut entry, &traces);
+    }
+    (agg, rms, recoveries, entry, traces)
+}
+
+/// Run the happens-before trace analysis and record its condensed form
+/// (critical-path split + top blame rows) on the report entry. Returns the
+/// full [`simtrace::Analysis`] for harnesses that print more detail.
+pub fn attach_analysis(entry: &mut RunEntry, traces: &[simcomm::Trace]) -> simtrace::Analysis {
+    let analysis = simtrace::analyze(traces);
+    entry.critpath = Some(CritPath::from_analysis(&analysis));
+    analysis
+}
+
+/// Finish one raw [`simcomm::Runner`] run: build its report entry, attach the
+/// critical-path analysis when the run was traced, feed the timeline sink,
+/// and push the entry under `label`. The shared tail of every run site in the
+/// harnesses that drive worlds directly (ablation, redistribution, plancache,
+/// scale).
+pub fn record_run<R>(
+    label: String,
+    out: simcomm::RunOutput<R>,
+    report: &mut RunReport,
+    timeline: &mut TimelineSink,
+) {
+    let mut entry = RunEntry::from_run(&out);
+    if !out.traces.is_empty() {
+        attach_analysis(&mut entry, &out.traces);
+    }
+    timeline.push(label.clone(), out.traces);
+    report.push(label, entry);
+}
+
+/// Accumulates the labelled traces of a harness's runs and writes them as a
+/// single Chrome/Perfetto timeline on [`TimelineSink::finish`] — the
+/// `--perfetto <path>` behaviour every figure binary shares. Inactive (all
+/// methods no-ops) when the flag was not given.
+pub struct TimelineSink {
+    path: Option<std::path::PathBuf>,
+    runs: Vec<(String, Vec<simcomm::Trace>)>,
+}
+
+impl TimelineSink {
+    /// Build from the harness arguments (`--perfetto <path>`; the key must be
+    /// in the allowed set).
+    pub fn from_args(args: &Args) -> TimelineSink {
+        let path: String = args.get("perfetto", String::new());
+        TimelineSink { path: (!path.is_empty()).then(|| path.into()), runs: Vec::new() }
+    }
+
+    /// Is a timeline being collected? (Harnesses fold this into their
+    /// `--analyze` decision: `--perfetto` implies tracing.)
+    pub fn active(&self) -> bool {
+        self.path.is_some()
+    }
+
+    /// Record one run's traces under a timeline label (one Perfetto process
+    /// per pushed run). Drops the traces when inactive.
+    pub fn push(&mut self, label: impl Into<String>, traces: Vec<simcomm::Trace>) {
+        if self.active() {
+            self.runs.push((label.into(), traces));
+        }
+    }
+
+    /// Write the collected timeline (no-op when inactive).
+    pub fn finish(self) {
+        let Some(path) = self.path else { return };
+        let file = std::fs::File::create(&path)
+            .unwrap_or_else(|e| panic!("cannot create {}: {e}", path.display()));
+        let runs: Vec<(&str, &[simcomm::Trace])> =
+            self.runs.iter().map(|(l, t)| (l.as_str(), t.as_slice())).collect();
+        simtrace::write_perfetto(std::io::BufWriter::new(file), &runs)
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        let events: usize = self.runs.iter().flat_map(|(_, t)| t).map(|t| t.events.len()).sum();
+        println!(
+            "wrote Perfetto timeline {} ({} runs, {events} events) — open at \
+             https://ui.perfetto.dev",
+            path.display(),
+            self.runs.len()
+        );
+    }
 }
 
 /// Print the one-line report summary every harness emits after writing its

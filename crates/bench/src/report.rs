@@ -15,7 +15,14 @@ use simcomm::{PhaseAgg, RankStats, RunOutput};
 use crate::json::Json;
 
 /// Current report schema version (bumped on breaking field changes).
-pub const REPORT_SCHEMA: u64 = 1;
+///
+/// History: **1** — initial format (`schema` field only). **2** — adds the
+/// explicit `schema_version` field (serialized alongside `schema` for old
+/// readers) and the optional per-run `critpath` object (critical-path
+/// decomposition + wait-blame rows, present when the harness ran with
+/// `--analyze`). Parsers accept `1..=REPORT_SCHEMA` and reject anything
+/// newer or unknown.
+pub const REPORT_SCHEMA: u64 = 2;
 
 /// One JSON report file: workload description plus one entry per world run.
 #[derive(Clone, Debug, PartialEq)]
@@ -72,6 +79,43 @@ pub struct RunEntry {
     pub phases: Vec<PhaseRow>,
     /// Per-rank totals, indexed by rank.
     pub ranks: Vec<RankRow>,
+    /// Critical-path decomposition and wait-blame attribution, filled when
+    /// the harness ran its worlds traced (`--analyze` / `--perfetto`).
+    /// `None` in plain runs and in schema-1 reports.
+    pub critpath: Option<CritPath>,
+}
+
+/// Critical-path decomposition of one run, produced by `simtrace::analyze`
+/// from the happens-before trace graph. The three time components are an
+/// exact partition of the makespan: `compute_seconds` is stored as the
+/// remainder `makespan - (comm_seconds + wait_seconds)`, so the identity
+/// holds bit-for-bit after a JSON round trip.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CritPath {
+    /// Virtual seconds of the critical path spent in message transfer.
+    pub comm_seconds: f64,
+    /// Virtual seconds of the critical path spent blocked on another rank.
+    pub wait_seconds: f64,
+    /// Virtual seconds of the critical path spent computing (exact remainder
+    /// of the makespan after comm and wait).
+    pub compute_seconds: f64,
+    /// Number of segments in the critical-path chain.
+    pub segments: u64,
+    /// Heaviest wait-blame rows (waiter ← blamed), largest first; truncated
+    /// to [`CritPath::TOP_BLAME`] rows.
+    pub blame: Vec<BlameRow>,
+}
+
+/// One aggregated wait-blame cell: total virtual seconds `waiter` spent
+/// blocked waiting on `blamed` across the whole run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BlameRow {
+    /// Rank that was blocked.
+    pub waiter: usize,
+    /// Rank whose lateness caused the block.
+    pub blamed: usize,
+    /// Total blocked virtual seconds attributed to this pair.
+    pub seconds: f64,
 }
 
 /// Cross-rank aggregate of one phase (the serialized form of
@@ -153,6 +197,41 @@ pub struct RankRow {
     pub bytes_grown: u64,
 }
 
+impl CritPath {
+    /// How many wait-blame rows a report keeps (the heaviest ones).
+    pub const TOP_BLAME: usize = 8;
+
+    /// Condense a full trace analysis into the report form: exact makespan
+    /// partition plus the top-[`CritPath::TOP_BLAME`] blame rows.
+    pub fn from_analysis(a: &simtrace::Analysis) -> CritPath {
+        CritPath {
+            comm_seconds: a.critpath_comm,
+            wait_seconds: a.critpath_wait,
+            compute_seconds: a.critpath_compute,
+            segments: a.segments.len() as u64,
+            blame: a
+                .blame
+                .iter()
+                .take(Self::TOP_BLAME)
+                .map(|b| BlameRow { waiter: b.waiter, blamed: b.blamed, seconds: b.seconds })
+                .collect(),
+        }
+    }
+
+    /// Largest violation of the critical-path invariants against the run's
+    /// makespan, in virtual seconds: the components must partition the
+    /// makespan exactly and each lie in `[0, makespan]`.
+    pub fn partition_error(&self, makespan: f64) -> f64 {
+        let sum_err =
+            ((self.comm_seconds + self.wait_seconds + self.compute_seconds) - makespan).abs();
+        let range_err = [self.comm_seconds, self.wait_seconds, self.compute_seconds]
+            .iter()
+            .map(|&c| (-c).max(c - makespan).max(0.0))
+            .fold(0.0, f64::max);
+        sum_err.max(range_err)
+    }
+}
+
 impl RunEntry {
     /// Build an entry from a finished world run (label set to `""`; fill it
     /// in before pushing the entry into a report).
@@ -211,6 +290,7 @@ impl RunEntry {
                     bytes_grown: s.bytes_grown,
                 })
                 .collect(),
+            critpath: None,
         }
     }
 
@@ -268,7 +348,11 @@ impl RunReport {
     /// Serialize to the JSON document structure.
     pub fn to_json(&self) -> Json {
         let mut fields = vec![
+            // `schema` predates `schema_version` and is kept so schema-1
+            // readers fail with a clear version message instead of a missing
+            // field; both carry the same value.
             ("schema", Json::Num(self.schema as f64)),
+            ("schema_version", Json::Num(self.schema as f64)),
             ("figure", Json::Str(self.figure.clone())),
             ("machine", Json::Str(self.machine.clone())),
             (
@@ -303,9 +387,16 @@ impl RunReport {
 
     /// Parse a report back from JSON (inverse of [`RunReport::to_json`]).
     pub fn from_json(v: &Json) -> Result<RunReport, String> {
-        let schema = field_u64(v, "schema")?;
-        if schema != REPORT_SCHEMA {
-            return Err(format!("unsupported report schema {schema}"));
+        // Schema-1 reports carry only `schema`; schema-2 reports carry both
+        // (with `schema_version` authoritative).
+        let schema = match v.get("schema_version").and_then(Json::as_u64) {
+            Some(s) => s,
+            None => field_u64(v, "schema")?,
+        };
+        if schema == 0 || schema > REPORT_SCHEMA {
+            return Err(format!(
+                "unsupported report schema_version {schema} (this build reads 1..={REPORT_SCHEMA})"
+            ));
         }
         Ok(RunReport {
             schema,
@@ -358,7 +449,7 @@ impl RunReport {
 }
 
 fn run_to_json(r: &RunEntry) -> Json {
-    Json::obj(vec![
+    let mut fields = vec![
         ("label", Json::Str(r.label.clone())),
         ("nranks", Json::Num(r.nranks as f64)),
         ("makespan", Json::Num(r.makespan)),
@@ -418,7 +509,34 @@ fn run_to_json(r: &RunEntry) -> Json {
                     .collect(),
             ),
         ),
-    ])
+    ];
+    if let Some(cp) = &r.critpath {
+        fields.push((
+            "critpath",
+            Json::obj(vec![
+                ("comm_seconds", Json::Num(cp.comm_seconds)),
+                ("wait_seconds", Json::Num(cp.wait_seconds)),
+                ("compute_seconds", Json::Num(cp.compute_seconds)),
+                ("segments", Json::Num(cp.segments as f64)),
+                (
+                    "blame",
+                    Json::Arr(
+                        cp.blame
+                            .iter()
+                            .map(|b| {
+                                Json::obj(vec![
+                                    ("waiter", Json::Num(b.waiter as f64)),
+                                    ("blamed", Json::Num(b.blamed as f64)),
+                                    ("seconds", Json::Num(b.seconds)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ));
+    }
+    Json::obj(fields)
 }
 
 fn field_f64(v: &Json, key: &str) -> Result<f64, String> {
@@ -499,6 +617,28 @@ fn run_from_json(v: &Json) -> Result<RunEntry, String> {
                 })
             })
             .collect::<Result<_, String>>()?,
+        critpath: match v.get("critpath") {
+            None => None,
+            Some(cp) => Some(CritPath {
+                comm_seconds: field_f64(cp, "comm_seconds")?,
+                wait_seconds: field_f64(cp, "wait_seconds")?,
+                compute_seconds: field_f64(cp, "compute_seconds")?,
+                segments: field_u64(cp, "segments")?,
+                blame: cp
+                    .get("blame")
+                    .and_then(Json::as_arr)
+                    .ok_or("missing 'blame' array in critpath")?
+                    .iter()
+                    .map(|b| {
+                        Ok(BlameRow {
+                            waiter: field_u64(b, "waiter")? as usize,
+                            blamed: field_u64(b, "blamed")? as usize,
+                            seconds: field_f64(b, "seconds")?,
+                        })
+                    })
+                    .collect::<Result<_, String>>()?,
+            }),
+        },
     })
 }
 
@@ -613,6 +753,16 @@ mod tests {
                     ..Default::default()
                 },
             ],
+            critpath: Some(CritPath {
+                comm_seconds: 1.25,
+                wait_seconds: 0.75,
+                compute_seconds: 1.5,
+                segments: 9,
+                blame: vec![
+                    BlameRow { waiter: 0, blamed: 1, seconds: 0.5 },
+                    BlameRow { waiter: 1, blamed: 0, seconds: 0.25 },
+                ],
+            }),
         };
         report.push("methodA", entry);
         report.selftime.push(SelftimeRow {
@@ -631,6 +781,45 @@ mod tests {
         let text = report.to_json().pretty();
         let back = RunReport::from_json(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(back, report);
+    }
+
+    #[test]
+    fn schema_one_reports_still_parse_and_unknown_versions_fail() {
+        let report = sample_report();
+        let mut text = report.to_json().pretty();
+        // A schema-1 report: no `schema_version`, no `critpath`.
+        text = text.replace("\"schema\": 2", "\"schema\": 1");
+        text = {
+            let v1 = Json::parse(&text).unwrap();
+            match v1 {
+                Json::Obj(pairs) => {
+                    Json::Obj(pairs.into_iter().filter(|(k, _)| k != "schema_version").collect())
+                        .pretty()
+                }
+                _ => unreachable!(),
+            }
+        };
+        let back = RunReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.schema, 1);
+        // Future versions are rejected with a clear message.
+        let future = text.replace("\"schema\": 1", "\"schema\": 99");
+        let err = RunReport::from_json(&Json::parse(&future).unwrap()).unwrap_err();
+        assert!(err.contains("schema_version 99"), "got: {err}");
+    }
+
+    #[test]
+    fn critpath_partition_error_detects_violations() {
+        let cp = CritPath {
+            comm_seconds: 1.25,
+            wait_seconds: 0.75,
+            compute_seconds: 1.5,
+            ..Default::default()
+        };
+        assert_eq!(cp.partition_error(3.5), 0.0);
+        assert!(cp.partition_error(3.4) > 0.05);
+        // Components summing to the makespan but leaving the valid range.
+        let negative = CritPath { wait_seconds: -0.1, compute_seconds: 2.35, ..cp.clone() };
+        assert!(negative.partition_error(3.5) + 1e-12 >= 0.1);
     }
 
     #[test]

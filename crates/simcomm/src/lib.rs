@@ -57,7 +57,7 @@ pub use model::{
 pub use phase::{aggregate_phases, PhaseAgg, PhaseProfile, PhaseSegment, PhaseStats, UNTAGGED};
 pub use plan::CommPlan;
 pub use pool::PooledBuf;
-pub use trace::{write_trace_csv, Trace, TraceEvent, TraceKind};
+pub use trace::{write_trace_csv, ClockSpan, SpanCat, Trace, TraceEvent, TraceKind};
 pub use world::{
     run, run_faulted, run_faulted_traced, run_traced, Comm, RankStats, Request, RunOutput, Runner,
 };

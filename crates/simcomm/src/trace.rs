@@ -93,6 +93,54 @@ pub struct TraceEvent {
     /// Name of the innermost open phase when the event was recorded
     /// (see [`crate::Comm::enter_phase`]); empty if none.
     pub phase: &'static str,
+    /// Message correlation id: every posted message gets a world-unique
+    /// nonzero id, stamped on the sender's `send`/`isend` record, the
+    /// receiver's `recv` record, and the sender's `wait` completion record,
+    /// so offline analysis can reconstruct the happens-before edges
+    /// (send → recv, isend → wait) without guessing by tag. `0` means the
+    /// event is not tied to a single message (collectives, plans, faults).
+    pub corr: u64,
+}
+
+/// Clock-advance category of a [`ClockSpan`]: which of the three exhaustive
+/// accounting buckets (see `docs/OBSERVABILITY.md`) the span was charged to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpanCat {
+    /// Modelled computation ([`crate::Comm::advance`]).
+    Compute,
+    /// Communication cost: overheads, injection, algorithm time.
+    Comm,
+    /// Rendezvous/idle time waiting on a partner, the NIC, or a fault.
+    Wait,
+}
+
+impl SpanCat {
+    /// Short stable label (`compute`/`comm`/`wait`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            SpanCat::Compute => "compute",
+            SpanCat::Comm => "comm",
+            SpanCat::Wait => "wait",
+        }
+    }
+}
+
+/// One contiguous stretch of a rank's virtual clock, categorized by the
+/// accounting bucket it was charged to. In a traced world every clock advance
+/// appends (or extends) a span, so a rank's spans **tile `[0, clock]`
+/// exactly** — the span stream is the clock decomposition made explicit,
+/// which is what lets the critical-path walk in `simtrace` attribute every
+/// instant of the makespan.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ClockSpan {
+    /// Accounting bucket the time was charged to.
+    pub cat: SpanCat,
+    /// Virtual time the span started.
+    pub t_start: f64,
+    /// Virtual time the span ended.
+    pub t_end: f64,
+    /// Innermost open phase while the time accrued; empty if none.
+    pub phase: &'static str,
 }
 
 /// A per-rank collection of trace events.
@@ -100,6 +148,9 @@ pub struct TraceEvent {
 pub struct Trace {
     /// Events in the order they occurred on this rank.
     pub events: Vec<TraceEvent>,
+    /// Clock decomposition spans in time order; adjacent same-category
+    /// same-phase spans are merged on record. They tile `[0, clock]`.
+    pub spans: Vec<ClockSpan>,
 }
 
 impl Trace {
@@ -114,8 +165,38 @@ impl Trace {
         peer: Option<usize>,
         nranks: usize,
         phase: &'static str,
+        corr: u64,
     ) {
-        self.events.push(TraceEvent { rank, kind, t_start, t_end, bytes, peer, nranks, phase });
+        self.events.push(TraceEvent {
+            rank,
+            kind,
+            t_start,
+            t_end,
+            bytes,
+            peer,
+            nranks,
+            phase,
+            corr,
+        });
+    }
+
+    /// Append a clock span, merging it into the previous span when category
+    /// and phase match and the spans are contiguous (they always are within
+    /// one uninterrupted accounting stretch).
+    pub(crate) fn push_span(
+        &mut self,
+        cat: SpanCat,
+        t_start: f64,
+        t_end: f64,
+        phase: &'static str,
+    ) {
+        if let Some(last) = self.spans.last_mut() {
+            if last.cat == cat && last.phase == phase && last.t_end == t_start {
+                last.t_end = t_end;
+                return;
+            }
+        }
+        self.spans.push(ClockSpan { cat, t_start, t_end, phase });
     }
 
     /// Total virtual time covered by events of a kind.
@@ -126,18 +207,19 @@ impl Trace {
 
 /// Write traces of all ranks as CSV.
 ///
-/// Columns: `rank,kind,t_start,t_end,bytes,peer,nranks,phase`. The first six
-/// are the original schema; `nranks` (communicator size, for collective
-/// fan-out) and `phase` (innermost phase span name, possibly empty) were
-/// appended later — readers of the old schema keep working, new readers must
-/// tolerate their absence in old files.
+/// Columns: `rank,kind,t_start,t_end,bytes,peer,nranks,phase,corr`. The first
+/// six are the original schema; `nranks` (communicator size, for collective
+/// fan-out), `phase` (innermost phase span name, possibly empty) and `corr`
+/// (message correlation id, `0` when not message-bound) were appended later —
+/// readers of the old schema keep working, new readers must tolerate their
+/// absence in old files. See `docs/OBSERVABILITY.md` for the full grammar.
 pub fn write_trace_csv<W: Write>(mut w: W, traces: &[Trace]) -> std::io::Result<()> {
-    writeln!(w, "rank,kind,t_start,t_end,bytes,peer,nranks,phase")?;
+    writeln!(w, "rank,kind,t_start,t_end,bytes,peer,nranks,phase,corr")?;
     for t in traces {
         for e in &t.events {
             writeln!(
                 w,
-                "{},{},{},{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{},{}",
                 e.rank,
                 e.kind.label(),
                 e.t_start,
@@ -145,7 +227,8 @@ pub fn write_trace_csv<W: Write>(mut w: W, traces: &[Trace]) -> std::io::Result<
                 e.bytes,
                 e.peer.map(|p| p.to_string()).unwrap_or_default(),
                 e.nranks,
-                e.phase
+                e.phase,
+                e.corr
             )?;
         }
     }
@@ -159,9 +242,9 @@ mod tests {
     #[test]
     fn time_in_sums_by_kind() {
         let mut t = Trace::default();
-        t.record(0, TraceKind::Send, 0.0, 1.0, 8, Some(1), 2, "");
-        t.record(0, TraceKind::Recv, 1.0, 3.0, 8, Some(1), 2, "");
-        t.record(0, TraceKind::Send, 3.0, 3.5, 8, Some(2), 2, "");
+        t.record(0, TraceKind::Send, 0.0, 1.0, 8, Some(1), 2, "", 1);
+        t.record(0, TraceKind::Recv, 1.0, 3.0, 8, Some(1), 2, "", 2);
+        t.record(0, TraceKind::Send, 3.0, 3.5, 8, Some(2), 2, "", 3);
         assert!((t.time_in(TraceKind::Send) - 1.5).abs() < 1e-12);
         assert!((t.time_in(TraceKind::Recv) - 2.0).abs() < 1e-12);
         assert_eq!(t.time_in(TraceKind::Barrier), 0.0);
@@ -170,14 +253,33 @@ mod tests {
     #[test]
     fn csv_format() {
         let mut t = Trace::default();
-        t.record(3, TraceKind::Alltoallv, 0.5, 0.75, 1024, None, 8, "sort:exchange");
-        t.record(3, TraceKind::Send, 0.8, 0.9, 16, Some(1), 8, "");
+        t.record(3, TraceKind::Alltoallv, 0.5, 0.75, 1024, None, 8, "sort:exchange", 0);
+        t.record(3, TraceKind::Send, 0.8, 0.9, 16, Some(1), 8, "", 77);
         let mut buf = Vec::new();
         write_trace_csv(&mut buf, &[t]).unwrap();
         let s = String::from_utf8(buf).unwrap();
         let mut lines = s.lines();
-        assert_eq!(lines.next(), Some("rank,kind,t_start,t_end,bytes,peer,nranks,phase"));
-        assert_eq!(lines.next(), Some("3,alltoallv,0.5,0.75,1024,,8,sort:exchange"));
-        assert_eq!(lines.next(), Some("3,send,0.8,0.9,16,1,8,"));
+        assert_eq!(lines.next(), Some("rank,kind,t_start,t_end,bytes,peer,nranks,phase,corr"));
+        assert_eq!(lines.next(), Some("3,alltoallv,0.5,0.75,1024,,8,sort:exchange,0"));
+        assert_eq!(lines.next(), Some("3,send,0.8,0.9,16,1,8,,77"));
+    }
+
+    #[test]
+    fn spans_merge_when_contiguous_same_category() {
+        let mut t = Trace::default();
+        t.push_span(SpanCat::Compute, 0.0, 1.0, "a");
+        t.push_span(SpanCat::Compute, 1.0, 2.0, "a"); // merges
+        t.push_span(SpanCat::Comm, 2.0, 2.5, "a"); // new category
+        t.push_span(SpanCat::Comm, 2.5, 3.0, "b"); // new phase
+        t.push_span(SpanCat::Comm, 4.0, 4.5, "b"); // gap: no merge
+        assert_eq!(
+            t.spans,
+            vec![
+                ClockSpan { cat: SpanCat::Compute, t_start: 0.0, t_end: 2.0, phase: "a" },
+                ClockSpan { cat: SpanCat::Comm, t_start: 2.0, t_end: 2.5, phase: "a" },
+                ClockSpan { cat: SpanCat::Comm, t_start: 2.5, t_end: 3.0, phase: "b" },
+                ClockSpan { cat: SpanCat::Comm, t_start: 4.0, t_end: 4.5, phase: "b" },
+            ]
+        );
     }
 }

@@ -27,7 +27,7 @@ use crate::fault::FaultPlan;
 use crate::model::{MachineModel, Work};
 use crate::phase::{aggregate_phases, PhaseAgg, PhaseProfile, PhaseSegment, PhaseStats};
 use crate::pool::{BufferPool, PooledBuf};
-use crate::trace::{Trace, TraceKind};
+use crate::trace::{SpanCat, Trace, TraceKind};
 
 /// Lock a mutex, ignoring std poisoning: cross-rank failure propagation is
 /// handled by the world's own poison flag (see [`WorldShared::poison`]).
@@ -79,6 +79,9 @@ struct Message {
     depart: f64,
     /// Payload size in bytes (for costing).
     bytes: u64,
+    /// World-unique correlation id stamped at post time (see
+    /// [`crate::TraceEvent::corr`]).
+    corr: u64,
     payload: Box<dyn Any + Send>,
 }
 
@@ -133,8 +136,10 @@ pub struct Request<T> {
 #[derive(Clone, Copy)]
 enum ReqKind {
     /// The payload was already deposited at post time; the request completes
-    /// when the NIC has drained it (virtual time `depart`).
-    Send { dst: usize, depart: f64 },
+    /// when the NIC has drained it (virtual time `depart`). `corr` is the
+    /// posted message's correlation id, re-stamped on the completion's
+    /// `wait` trace record.
+    Send { dst: usize, depart: f64, corr: u64 },
     /// Completes when a matching message has been pulled from the mailbox.
     Recv { src: usize, tag: u64 },
 }
@@ -441,6 +446,11 @@ pub struct Comm {
     /// Virtual time the current attribution segment started.
     seg_start: f64,
     profile: PhaseProfile,
+    /// Monotonic send counter in program order: the source of per-message
+    /// correlation ids. Identical under both engines (message posting is a
+    /// pure function of the rank program), so correlation ids — like every
+    /// other traced quantity — are bitwise engine-independent.
+    send_seq: u64,
     /// Monotonic send counter: the per-message fault-draw stream id.
     fault_send_seq: u64,
     /// Monotonic communication-operation counter (the stall trigger clock).
@@ -698,6 +708,7 @@ where
                         phase_stack: Vec::new(),
                         seg_start: 0.0,
                         profile: PhaseProfile::default(),
+                        send_seq: 0,
                         fault_send_seq: 0,
                         fault_ops: 0,
                         fault_stall_fired: false,
@@ -854,11 +865,13 @@ impl Comm {
         } else {
             seconds
         };
+        let t0 = self.clock;
         self.clock += seconds;
         self.stats.compute_seconds += seconds;
         if let Some(b) = self.top_bucket() {
             b.compute_seconds += seconds;
         }
+        self.note_span(SpanCat::Compute, t0);
     }
 
     /// Advance this rank's clock by the modelled time of `units` operations of
@@ -949,30 +962,60 @@ impl Comm {
     /// Record a trace event if tracing is enabled, tagged with the current
     /// phase and the communicator size.
     fn trace_event(&mut self, kind: TraceKind, t_start: f64, bytes: u64, peer: Option<usize>) {
+        self.trace_event_corr(kind, t_start, bytes, peer, 0);
+    }
+
+    /// [`Comm::trace_event`] with a message correlation id (see
+    /// [`crate::TraceEvent::corr`]); `0` means not message-bound.
+    fn trace_event_corr(
+        &mut self,
+        kind: TraceKind,
+        t_start: f64,
+        bytes: u64,
+        peer: Option<usize>,
+        corr: u64,
+    ) {
         let t_end = self.clock;
         let phase = self.phase_stack.last().copied().unwrap_or("");
         let nranks = self.shared.n;
         if let Some(tr) = self.trace.as_mut() {
-            tr.record(self.rank, kind, t_start, t_end, bytes, peer, nranks, phase);
+            tr.record(self.rank, kind, t_start, t_end, bytes, peer, nranks, phase, corr);
+        }
+    }
+
+    /// Record the clock span `[t_start, clock]` under `cat` in a traced
+    /// world. Called by exactly the three clock-advancing primitives, so the
+    /// recorded spans tile `[0, clock]` — the exhaustive decomposition, as a
+    /// timeline (see [`crate::ClockSpan`]).
+    fn note_span(&mut self, cat: SpanCat, t_start: f64) {
+        if self.clock > t_start {
+            if let Some(tr) = self.trace.as_mut() {
+                let phase = self.phase_stack.last().copied().unwrap_or("");
+                tr.push_span(cat, t_start, self.clock, phase);
+            }
         }
     }
 
     fn advance_comm(&mut self, seconds: f64) {
         debug_assert!(seconds >= 0.0);
+        let t0 = self.clock;
         self.clock += seconds;
         self.stats.comm_seconds += seconds;
         if let Some(b) = self.top_bucket() {
             b.comm_seconds += seconds;
         }
+        self.note_span(SpanCat::Comm, t0);
     }
 
     fn advance_wait(&mut self, seconds: f64) {
         debug_assert!(seconds >= 0.0);
+        let t0 = self.clock;
         self.clock += seconds;
         self.stats.wait_seconds += seconds;
         if let Some(b) = self.top_bucket() {
             b.wait_seconds += seconds;
         }
+        self.note_span(SpanCat::Wait, t0);
     }
 
     /// Complete a collective that rendezvoused at `max_clock` and costs
@@ -1180,18 +1223,24 @@ impl Comm {
         // A blocking send is an isend whose NIC drain is charged to the CPU:
         // overhead, then stall until the message has left (LogGP `o` + `g` +
         // `G*bytes`, serialized behind any still-draining earlier posts).
-        let (depart, bytes) = self.post_send(dst, tag, data);
+        let (depart, bytes, corr) = self.post_send(dst, tag, data);
         self.advance_comm((depart - self.clock).max(0.0));
-        self.trace_event(TraceKind::Send, t0, bytes, Some(dst));
+        self.trace_event_corr(TraceKind::Send, t0, bytes, Some(dst), corr);
     }
 
-    /// Deposit a message for `dst` and return its NIC departure time and size.
-    /// Charges the CPU-side post overhead as communication; the payload drains
-    /// on the NIC timeline ([`Comm::nic_free`]) afterwards.
-    fn post_send<T: Send + 'static>(&mut self, dst: usize, tag: u64, data: Vec<T>) -> (f64, u64) {
+    /// Deposit a message for `dst` and return its NIC departure time, size
+    /// and correlation id. Charges the CPU-side post overhead as
+    /// communication; the payload drains on the NIC timeline
+    /// ([`Comm::nic_free`]) afterwards.
+    fn post_send<T: Send + 'static>(
+        &mut self,
+        dst: usize,
+        tag: u64,
+        data: Vec<T>,
+    ) -> (f64, u64, u64) {
         let bytes = (data.len() * std::mem::size_of::<T>()) as u64;
-        let depart = self.post_send_payload(dst, tag, Box::new(data), bytes);
-        (depart, bytes)
+        let (depart, corr) = self.post_send_payload(dst, tag, Box::new(data), bytes);
+        (depart, bytes, corr)
     }
 
     /// [`Comm::post_send`] over an already-boxed payload: the byte path hands
@@ -1203,9 +1252,14 @@ impl Comm {
         tag: u64,
         payload: Box<dyn Any + Send>,
         bytes: u64,
-    ) -> f64 {
+    ) -> (f64, u64) {
         assert!(dst < self.shared.n, "send to invalid rank {dst}");
         self.shared.check_poison();
+        // World-unique nonzero correlation id: rank in the high bits, the
+        // program-order send counter in the low 40. Pure metadata — it never
+        // feeds a clock or a fault draw.
+        self.send_seq += 1;
+        let corr = ((self.rank as u64 + 1) << 40) | self.send_seq;
         self.advance_comm(self.shared.model.p2p_overhead);
         let mut spike = 0.0;
         if self.shared.fault_active {
@@ -1239,10 +1293,10 @@ impl Comm {
         let depart = self.nic_free.max(self.clock) + self.shared.model.nic_occupancy(bytes) + spike;
         self.nic_free = depart;
         self.count_p2p_sent(1, bytes);
-        let msg = Message { src: self.rank, tag, depart, bytes, payload };
+        let msg = Message { src: self.rank, tag, depart, bytes, corr, payload };
         lock(&self.shared.mailboxes[dst].queue).push_back(msg);
         self.shared.notify_mailbox(dst);
-        depart
+        (depart, corr)
     }
 
     /// Blocking receive of a typed buffer from `src` with matching `tag`.
@@ -1307,7 +1361,7 @@ impl Comm {
         self.advance_comm(comm);
         self.advance_wait(wait);
         self.count_p2p_recv(1, msg.bytes);
-        self.trace_event(TraceKind::Recv, t0, msg.bytes, Some(msg.src));
+        self.trace_event_corr(TraceKind::Recv, t0, msg.bytes, Some(msg.src), msg.corr);
         self.fault_timeout_check(wait, Some(msg.src));
     }
 
@@ -1328,11 +1382,11 @@ impl Comm {
 
     /// Charge the completion of a send request: the CPU idles until the NIC
     /// has drained the message (no further overhead — it was paid at post).
-    fn complete_send(&mut self, dst: usize, depart: f64) {
+    fn complete_send(&mut self, dst: usize, depart: f64, corr: u64) {
         let t0 = self.clock;
         let waited = (depart - self.clock).max(0.0);
         self.advance_wait(waited);
-        self.trace_event(TraceKind::Wait, t0, 0, Some(dst));
+        self.trace_event_corr(TraceKind::Wait, t0, 0, Some(dst), corr);
         self.fault_timeout_check(waited, Some(dst));
     }
 
@@ -1355,9 +1409,9 @@ impl Comm {
     /// ```
     pub fn isend<T: Send + 'static>(&mut self, dst: usize, tag: u64, data: Vec<T>) -> Request<T> {
         let t0 = self.clock;
-        let (depart, bytes) = self.post_send(dst, tag, data);
-        self.trace_event(TraceKind::Isend, t0, bytes, Some(dst));
-        Request::new(ReqKind::Send { dst, depart })
+        let (depart, bytes, corr) = self.post_send(dst, tag, data);
+        self.trace_event_corr(TraceKind::Isend, t0, bytes, Some(dst), corr);
+        Request::new(ReqKind::Send { dst, depart, corr })
     }
 
     /// Nonblocking send of a pooled byte buffer: exactly [`Comm::isend`] in
@@ -1367,9 +1421,9 @@ impl Comm {
     pub fn isend_bytes(&mut self, dst: usize, tag: u64, buf: PooledBuf) -> Request<u8> {
         let t0 = self.clock;
         let bytes = buf.len() as u64;
-        let depart = self.post_send_payload(dst, tag, buf.into_box(), bytes);
-        self.trace_event(TraceKind::Isend, t0, bytes, Some(dst));
-        Request::new(ReqKind::Send { dst, depart })
+        let (depart, corr) = self.post_send_payload(dst, tag, buf.into_box(), bytes);
+        self.trace_event_corr(TraceKind::Isend, t0, bytes, Some(dst), corr);
+        Request::new(ReqKind::Send { dst, depart, corr })
     }
 
     /// Nonblocking receive: returns a [`Request`] that completes when a
@@ -1500,7 +1554,7 @@ impl Comm {
         for i in 0..sc.order.len() {
             let (_, slot) = sc.order[i];
             match kinds[slot] {
-                ReqKind::Send { dst, depart } => self.complete_send(dst, depart),
+                ReqKind::Send { dst, depart, corr } => self.complete_send(dst, depart, corr),
                 ReqKind::Recv { .. } => {
                     let msg = sc.msgs[slot].as_ref().expect("matched above");
                     self.account_recv(msg);
@@ -1625,12 +1679,12 @@ impl Comm {
                 (slot, Some(self.complete_recv(msg).1))
             }
             Err(slot) => {
-                let Some(Request { kind: ReqKind::Send { dst, depart }, .. }) =
+                let Some(Request { kind: ReqKind::Send { dst, depart, corr }, .. }) =
                     requests[slot].take()
                 else {
                     unreachable!("send slot picked above")
                 };
-                self.complete_send(dst, depart);
+                self.complete_send(dst, depart, corr);
                 (slot, None)
             }
         }

@@ -1,0 +1,217 @@
+//! Correlation-id contract of the trace stream: the invariants `simtrace`
+//! relies on to reconstruct the happens-before graph without guessing by tag.
+//!
+//! Under an arbitrary seeded fault plan (latency spikes, transient send
+//! losses with retries, stragglers, wait timeouts) and on both engines:
+//!
+//! * every `Isend` record has **exactly one** matching `Wait` completion
+//!   record with the same correlation id, on the same rank, to the same
+//!   peer — faults may reorder and delay completions but never drop or
+//!   duplicate one;
+//! * every `Recv` record's correlation id matches **exactly one** `Send` or
+//!   `Isend` record on the sending peer, with the same byte count;
+//! * correlation ids are world-unique and nonzero across all posted sends;
+//! * the whole correlated event stream is bitwise identical across engines.
+
+use std::collections::HashMap;
+
+use simcomm::{
+    CartGrid, Engine, FaultPlan, MachineModel, Runner, StallSpec, Trace, TraceKind, Work,
+};
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A seeded program mixing every point-to-point shape: blocking sends, ring
+/// sendrecvs, nonblocking neighbourhood batches drained out of order, and
+/// compute phases that shift the virtual clocks between posts.
+fn p2p_program(seed: u64, steps: usize) -> impl Fn(&mut simcomm::Comm) -> u64 + Send + Sync {
+    move |comm| {
+        let n = comm.size();
+        let rank = comm.rank();
+        let partners = CartGrid::balanced(n).neighbors26(rank);
+        let mut acc = rank as u64;
+        for step in 0..steps {
+            let r = splitmix64(seed ^ ((step as u64) << 20) ^ rank as u64);
+            comm.compute(Work::ParticleOp, (r % 400) as f64);
+
+            // Blocking ring exchange.
+            let right = (rank + 1) % n;
+            let left = (rank + n - 1) % n;
+            let got = comm.sendrecv(right, vec![r; 1 + (r % 7) as usize], left, 1);
+            acc = acc.wrapping_add(got[0]);
+
+            // Nonblocking neighbourhood exchange: posts isends for every
+            // partner, drains receives in arrival order, waits all sends.
+            let data: Vec<(usize, Vec<u64>)> = partners
+                .iter()
+                .map(|&p| (p, vec![r; (splitmix64(r ^ p as u64) % 48) as usize]))
+                .collect();
+            let recvd = comm.neighbor_exchange(&partners, data, 2);
+            acc = acc.wrapping_add(recvd.iter().map(|(_, v)| v.len() as u64).sum::<u64>());
+
+            if step % 2 == 1 {
+                comm.barrier();
+            }
+        }
+        acc
+    }
+}
+
+/// The fault plan the contract is tested under: everything that can reorder
+/// or delay completions at once.
+fn chaos_plan(seed: u64) -> FaultPlan {
+    FaultPlan {
+        seed,
+        latency_spike_prob: 0.15,
+        latency_spike_seconds: 40e-6,
+        send_loss_prob: 0.15,
+        retry_backoff_seconds: 4e-6,
+        straggler_ranks: vec![1, 5],
+        straggler_factor: 1.7,
+        stall: Some(StallSpec { rank: 3, after_ops: 12, seconds: 5e-4 }),
+        wait_timeout_seconds: Some(8e-5),
+        ..FaultPlan::none()
+    }
+}
+
+/// Check the correlation invariants over a whole world's traces. Returns the
+/// number of (isend, wait) pairs matched, so callers can assert the check
+/// was not vacuous.
+fn assert_correlation_invariants(traces: &[Trace], what: &str) -> usize {
+    // corr -> (rank, bytes) of the posting Send/Isend event; also proves
+    // world-uniqueness across ranks.
+    let mut posts: HashMap<u64, (usize, u64)> = HashMap::new();
+    for t in traces {
+        for e in &t.events {
+            if matches!(e.kind, TraceKind::Send | TraceKind::Isend) {
+                assert_ne!(e.corr, 0, "{what}: rank {} posted a send with corr 0", e.rank);
+                let prev = posts.insert(e.corr, (e.rank, e.bytes));
+                assert!(
+                    prev.is_none(),
+                    "{what}: correlation id {:#x} posted twice (ranks {} and {})",
+                    e.corr,
+                    prev.unwrap().0,
+                    e.rank
+                );
+            }
+        }
+    }
+
+    let mut matched_waits = 0usize;
+    for t in traces {
+        // Exactly-one-completion: count Isend posts and Wait completions per
+        // corr on this rank; the multisets must agree.
+        let mut isends: HashMap<u64, usize> = HashMap::new();
+        let mut waits: HashMap<u64, usize> = HashMap::new();
+        for e in &t.events {
+            match e.kind {
+                TraceKind::Isend => *isends.entry(e.corr).or_default() += 1,
+                TraceKind::Wait => {
+                    *waits.entry(e.corr).or_default() += 1;
+                    let (src, _) = posts.get(&e.corr).copied().unwrap_or_else(|| {
+                        panic!("{what}: rank {} completed unknown corr {:#x}", e.rank, e.corr)
+                    });
+                    assert_eq!(
+                        src, e.rank,
+                        "{what}: wait completion for corr {:#x} on rank {} but the \
+                         message was posted by rank {src}",
+                        e.corr, e.rank
+                    );
+                    matched_waits += 1;
+                }
+                TraceKind::Recv => {
+                    // Every receive names a real posted message from the
+                    // recorded peer, byte for byte.
+                    let (src, bytes) = posts.get(&e.corr).copied().unwrap_or_else(|| {
+                        panic!("{what}: rank {} received unknown corr {:#x}", e.rank, e.corr)
+                    });
+                    assert_eq!(
+                        Some(src),
+                        e.peer,
+                        "{what}: recv corr {:#x} on rank {} names peer {:?} but the \
+                         sender was rank {src}",
+                        e.corr,
+                        e.rank,
+                        e.peer
+                    );
+                    assert_eq!(
+                        bytes, e.bytes,
+                        "{what}: recv corr {:#x} byte count diverged from the post",
+                        e.corr
+                    );
+                }
+                _ => {}
+            }
+        }
+        for (corr, n_posted) in &isends {
+            let n_completed = waits.get(corr).copied().unwrap_or(0);
+            assert_eq!(*n_posted, 1, "{what}: corr {corr:#x} posted {n_posted} times on one rank");
+            assert_eq!(
+                n_completed, 1,
+                "{what}: isend corr {corr:#x} on rank {} has {n_completed} wait \
+                 completions (want exactly 1)",
+                t.events[0].rank
+            );
+        }
+        for corr in waits.keys() {
+            assert!(
+                isends.contains_key(corr),
+                "{what}: wait completion for corr {corr:#x} without an isend post"
+            );
+        }
+    }
+    matched_waits
+}
+
+#[test]
+fn every_isend_has_exactly_one_completion_under_faults_on_both_engines() {
+    for seed in [3u64, 19, 71] {
+        let f = p2p_program(seed, 3);
+        let plan = chaos_plan(seed.wrapping_mul(0x9e37));
+        let t = Runner::new(Engine::Threaded).traced(true).faulted(plan.clone()).run(
+            12,
+            MachineModel::juropa_like(),
+            &f,
+        );
+        let d = Runner::new(Engine::DiscreteEvent).traced(true).faulted(plan).run(
+            12,
+            MachineModel::juropa_like(),
+            &f,
+        );
+
+        let matched = assert_correlation_invariants(&t.traces, &format!("threaded seed {seed}"));
+        assert!(matched > 0, "seed {seed}: no isend/wait pairs — test is vacuous");
+        assert_correlation_invariants(&d.traces, &format!("discrete seed {seed}"));
+
+        // The faults must actually have fired and reordered something.
+        assert!(
+            t.stats.iter().map(|s| s.faults_injected).sum::<u64>() > 0,
+            "seed {seed}: fault plan never fired"
+        );
+
+        // And the correlated streams are engine-identical, event for event.
+        for (rank, (ta, td)) in t.traces.iter().zip(&d.traces).enumerate() {
+            assert_eq!(
+                ta.events, td.events,
+                "seed {seed}: rank {rank} trace diverges across engines"
+            );
+        }
+    }
+}
+
+#[test]
+fn clean_world_correlation_invariants_hold() {
+    let f = p2p_program(42, 4);
+    for engine in [Engine::Threaded, Engine::DiscreteEvent] {
+        let out = Runner::new(engine).traced(true).run(16, MachineModel::juqueen_like(), &f);
+        let matched =
+            assert_correlation_invariants(&out.traces, &format!("clean {}", engine.name()));
+        assert!(matched > 0, "clean world produced no isend/wait pairs");
+    }
+}

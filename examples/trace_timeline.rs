@@ -58,7 +58,7 @@ fn main() {
     let f = std::fs::File::create("results/trace_timeline.csv").expect("create csv");
     simcomm::write_trace_csv(std::io::BufWriter::new(f), &out.traces).expect("write trace");
     println!(
-        "\nwrote results/trace_timeline.csv (rank,kind,t_start,t_end,bytes,peer,nranks,phase)"
+        "\nwrote results/trace_timeline.csv (rank,kind,t_start,t_end,bytes,peer,nranks,phase,corr)"
     );
     println!("summarize it with: cargo run -p bench --bin commstats -- --trace results/trace_timeline.csv");
 }
