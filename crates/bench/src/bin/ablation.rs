@@ -10,7 +10,8 @@
 //!
 //! Prints one table per study; virtual seconds.
 
-use bench::{banner, fmt_secs, record_run, report_summary, Args, RunReport, TimelineSink};
+use bench::cli::{Cli, Opt, OBS_OPTS};
+use bench::{banner, fmt_secs, record_run, report_summary, RunReport, TimelineSink};
 use particles::systems::splitmix64;
 use simcomm::{CartGrid, Engine, MachineModel, Runner};
 
@@ -168,12 +169,20 @@ fn ghost_ablation(
 }
 
 fn main() {
-    let args = Args::parse(&["keys", "bytes", "engine", "analyze", "perfetto"]);
-    let keys: usize = args.get("keys", 2000);
-    let bytes: usize = args.get("bytes", 4096);
-    let engine = args.engine(Engine::Threaded);
-    let mut timeline = TimelineSink::from_args(&args);
-    let analyze = args.flag("analyze") || timeline.active();
+    let cli = Cli::parse(
+        "ablation",
+        "design-choice ablations: sorting, exchange mode, ghost-layer width",
+        &[
+            Opt::new("keys", "N", "sort keys per rank (default 2000)"),
+            Opt::new("bytes", "B", "payload bytes per exchange (default 4096)"),
+        ],
+        OBS_OPTS,
+    );
+    let keys: usize = cli.get("keys", 2000);
+    let bytes: usize = cli.get("bytes", 4096);
+    let engine = cli.engine(Engine::Threaded);
+    let mut timeline = cli.timeline();
+    let analyze = cli.analyze(&timeline);
     banner(
         "Ablations — design choices of the paper's Sect. III",
         "sorting algorithm switch, exchange-mode switch, ghost-layer width",

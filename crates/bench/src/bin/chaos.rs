@@ -28,7 +28,8 @@
 //! Writes `BENCH_chaos.json` (the run-report schema, including the per-rank
 //! fault counters) next to a `results/chaos_report.json` copy.
 
-use bench::{banner, fmt_secs, report_summary, Args, RunReport, TimelineSink};
+use bench::cli::{Cli, Opt, OBS_OPTS};
+use bench::{banner, fmt_secs, report_summary, RunReport};
 use fcs::SolverKind;
 use mdsim::SimConfig;
 use particles::{InitialDistribution, IonicCrystal};
@@ -40,26 +41,28 @@ fn short_name(model: &MachineModel) -> &str {
 }
 
 fn main() {
-    let args = Args::parse(&[
-        "cells",
-        "procs",
-        "steps",
-        "tolerance",
-        "seed",
-        "jitter",
-        "engine",
-        "analyze",
-        "perfetto",
-    ]);
-    let cells: usize = args.get("cells", 6);
-    let procs: usize = args.get("procs", 16);
-    let steps: usize = args.get("steps", 6);
-    let tolerance: f64 = args.get("tolerance", 1e-2);
-    let seed: u64 = args.get("seed", 11);
-    let jitter: f64 = args.get("jitter", 0.15);
-    let engine = args.engine(simcomm::Engine::Threaded);
-    let mut timeline = TimelineSink::from_args(&args);
-    let analyze = args.flag("analyze") || timeline.active();
+    let cli = Cli::parse(
+        "chaos",
+        "deterministic fault injection: clean vs faulted runs, bitwise physics",
+        &[
+            Opt::new("cells", "N", "crystal cells per dimension (default 6)"),
+            Opt::new("procs", "P", "simulated process count (default 16)"),
+            Opt::new("steps", "N", "time steps (default 6)"),
+            Opt::new("tolerance", "T", "solver tolerance (default 1e-2)"),
+            Opt::new("seed", "S", "crystal + fault seed (default 11)"),
+            Opt::new("jitter", "J", "initial lattice jitter fraction (default 0.15)"),
+        ],
+        OBS_OPTS,
+    );
+    let cells: usize = cli.get("cells", 6);
+    let procs: usize = cli.get("procs", 16);
+    let steps: usize = cli.get("steps", 6);
+    let tolerance: f64 = cli.get("tolerance", 1e-2);
+    let seed: u64 = cli.get("seed", 11);
+    let jitter: f64 = cli.get("jitter", 0.15);
+    let engine = cli.engine(simcomm::Engine::Threaded);
+    let mut timeline = cli.timeline();
+    let analyze = cli.analyze(&timeline);
     let intensities = [0.0, 0.25, 0.5, 1.0];
 
     let mut crystal = IonicCrystal::cubic(cells, 1.0, 0.0, seed);

@@ -15,22 +15,32 @@
 //! magnitude, and for the P2NFFT solver (which uses the same grid
 //! decomposition) the remaining redistribution cost is mainly ghost creation.
 
-use bench::{banner, fmt_secs, report_summary, write_csv, Args, RunReport, TimelineSink};
+use bench::cli::{Cli, Opt, OBS_OPTS};
+use bench::{banner, fmt_secs, report_summary, write_csv, RunReport};
 use fcs::SolverKind;
 use mdsim::SimConfig;
 use particles::{InitialDistribution, IonicCrystal};
 use simcomm::MachineModel;
 
 fn main() {
-    let args =
-        Args::parse(&["cells", "procs", "tolerance", "seed", "engine", "analyze", "perfetto"]);
-    let cells: usize = args.get("cells", 44);
-    let procs: usize = args.get("procs", 256);
-    let tolerance: f64 = args.get("tolerance", 1e-3);
-    let seed: u64 = args.get("seed", 1);
-    let engine = args.engine(simcomm::Engine::Threaded);
-    let mut timeline = TimelineSink::from_args(&args);
-    let analyze = args.flag("analyze") || timeline.active();
+    let cli = Cli::parse(
+        "fig6",
+        "influence of the initial particle distribution (paper Fig. 6)",
+        &[
+            Opt::new("cells", "N", "crystal cells per dimension (default 44)"),
+            Opt::new("procs", "P", "simulated process count (default 256)"),
+            Opt::new("tolerance", "T", "solver tolerance (default 1e-3)"),
+            Opt::new("seed", "S", "crystal perturbation seed (default 1)"),
+        ],
+        OBS_OPTS,
+    );
+    let cells: usize = cli.get("cells", 44);
+    let procs: usize = cli.get("procs", 256);
+    let tolerance: f64 = cli.get("tolerance", 1e-3);
+    let seed: u64 = cli.get("seed", 1);
+    let engine = cli.engine(simcomm::Engine::Threaded);
+    let mut timeline = cli.timeline();
+    let analyze = cli.analyze(&timeline);
 
     let crystal = IonicCrystal::paper_like(cells, seed);
     banner(

@@ -13,33 +13,34 @@
 //! fraction of Method A's (the paper reports ~45 % for the FMM and ~20 % for
 //! the P2NFFT solver).
 
-use bench::{
-    aggregate_steps, banner, fmt_secs, report_summary, write_csv, Args, RunReport, TimelineSink,
-};
+use bench::cli::{Cli, Opt, OBS_OPTS};
+use bench::{aggregate_steps, banner, fmt_secs, report_summary, write_csv, RunReport};
 use fcs::SolverKind;
 use mdsim::SimConfig;
 use particles::{InitialDistribution, IonicCrystal};
 use simcomm::MachineModel;
 
 fn main() {
-    let args = Args::parse(&[
-        "cells",
-        "procs",
-        "tolerance",
-        "steps",
-        "seed",
-        "engine",
-        "analyze",
-        "perfetto",
-    ]);
-    let cells: usize = args.get("cells", 32);
-    let procs: usize = args.get("procs", 256);
-    let tolerance: f64 = args.get("tolerance", 1e-2);
-    let steps: usize = args.get("steps", 8);
-    let seed: u64 = args.get("seed", 1);
-    let engine = args.engine(simcomm::Engine::Threaded);
-    let mut timeline = TimelineSink::from_args(&args);
-    let analyze = args.flag("analyze") || timeline.active();
+    let cli = Cli::parse(
+        "fig7",
+        "Method A vs Method B over the first time steps (paper Fig. 7)",
+        &[
+            Opt::new("cells", "N", "crystal cells per dimension (default 32)"),
+            Opt::new("procs", "P", "simulated process count (default 256)"),
+            Opt::new("tolerance", "T", "solver tolerance (default 1e-2)"),
+            Opt::new("steps", "N", "time steps after the initial solve (default 8)"),
+            Opt::new("seed", "S", "crystal perturbation seed (default 1)"),
+        ],
+        OBS_OPTS,
+    );
+    let cells: usize = cli.get("cells", 32);
+    let procs: usize = cli.get("procs", 256);
+    let tolerance: f64 = cli.get("tolerance", 1e-2);
+    let steps: usize = cli.get("steps", 8);
+    let seed: u64 = cli.get("seed", 1);
+    let engine = cli.engine(simcomm::Engine::Threaded);
+    let mut timeline = cli.timeline();
+    let analyze = cli.analyze(&timeline);
 
     let crystal = IonicCrystal::paper_like(cells, seed);
     let dt = mdsim::suggested_dt(crystal.spacing, 1.0);

@@ -13,40 +13,41 @@
 //! the paper's 1000 steps it is ~50 % of the FMM step time and up to ~75 % of
 //! the P2NFFT step time — while Method B stays flat (~3 % / ~2 %).
 
-use bench::{
-    banner, fmt_secs, report_summary, sum_from, write_csv, Args, RunReport, Selftime, TimelineSink,
-};
+use bench::cli::{Cli, Opt, OBS_OPTS};
+use bench::{banner, fmt_secs, report_summary, sum_from, write_csv, RunReport, Selftime};
 use fcs::SolverKind;
 use mdsim::SimConfig;
 use particles::{InitialDistribution, IonicCrystal};
 use simcomm::MachineModel;
 
 fn main() {
-    let args = Args::parse(&[
-        "cells",
-        "procs",
-        "tolerance",
-        "steps",
-        "seed",
-        "mass",
-        "every",
-        "jitter",
-        "engine",
-        "analyze",
-        "perfetto",
-    ]);
-    let cells: usize = args.get("cells", 24);
-    let procs: usize = args.get("procs", 256);
-    let tolerance: f64 = args.get("tolerance", 1e-2);
-    let steps: usize = args.get("steps", 600);
-    let seed: u64 = args.get("seed", 1);
-    let mass: f64 = args.get("mass", 1.0);
-    let every: usize = args.get("every", (steps / 20).max(1));
+    let cli = Cli::parse(
+        "fig8",
+        "Method A vs Method B over a long simulation, grid init (paper Fig. 8)",
+        &[
+            Opt::new("cells", "N", "crystal cells per dimension (default 24)"),
+            Opt::new("procs", "P", "simulated process count (default 256)"),
+            Opt::new("tolerance", "T", "solver tolerance (default 1e-2)"),
+            Opt::new("steps", "N", "time steps (default 600)"),
+            Opt::new("seed", "S", "crystal perturbation seed (default 1)"),
+            Opt::new("mass", "M", "particle mass scaling (default 1.0)"),
+            Opt::new("every", "N", "print every N-th step (default steps/20)"),
+            Opt::new("jitter", "J", "initial lattice jitter fraction (default 0.15)"),
+        ],
+        OBS_OPTS,
+    );
+    let cells: usize = cli.get("cells", 24);
+    let procs: usize = cli.get("procs", 256);
+    let tolerance: f64 = cli.get("tolerance", 1e-2);
+    let steps: usize = cli.get("steps", 600);
+    let seed: u64 = cli.get("seed", 1);
+    let mass: f64 = cli.get("mass", 1.0);
+    let every: usize = cli.get("every", (steps / 20).max(1));
 
-    let jitter: f64 = args.get("jitter", 0.15);
-    let engine = args.engine(simcomm::Engine::Threaded);
-    let mut timeline = TimelineSink::from_args(&args);
-    let analyze = args.flag("analyze") || timeline.active();
+    let jitter: f64 = cli.get("jitter", 0.15);
+    let engine = cli.engine(simcomm::Engine::Threaded);
+    let mut timeline = cli.timeline();
+    let analyze = cli.analyze(&timeline);
     let mut crystal = IonicCrystal::paper_like(cells, seed);
     crystal.jitter = jitter * crystal.spacing;
     let dt = mdsim::suggested_dt(crystal.spacing, 1.0);

@@ -16,52 +16,55 @@
 //!   with maximum movement keeps scaling and ends ~40 % below Method A at the
 //!   largest machine.
 
-use bench::{banner, fmt_secs, report_summary, sum_from, write_csv, Args, RunReport, TimelineSink};
+use bench::cli::{Cli, Opt, OBS_OPTS};
+use bench::{banner, fmt_secs, report_summary, sum_from, write_csv, RunReport, TimelineSink};
 use fcs::SolverKind;
 use mdsim::SimConfig;
 use particles::{InitialDistribution, IonicCrystal};
 use simcomm::MachineModel;
 
 fn main() {
-    let args = Args::parse(&[
-        "cells",
-        "steps",
-        "tolerance",
-        "seed",
-        "left-procs",
-        "right-procs",
-        "skip-left",
-        "skip-right",
-        "dist",
-        "pencil",
-        "engine",
-        "tag",
-        "analyze",
-        "perfetto",
-    ]);
-    let cells: usize = args.get("cells", 24);
-    let steps: usize = args.get("steps", 10);
-    let tolerance: f64 = args.get("tolerance", 1e-2);
-    let seed: u64 = args.get("seed", 1);
-    let left_procs = args.list("left-procs", &[8, 16, 32, 64, 128, 256, 512, 1024]);
-    let right_procs = args.list("right-procs", &[16, 64, 256, 1024, 4096, 16384]);
+    let cli = Cli::parse(
+        "fig9",
+        "total parallel runtimes over process counts, both machines (paper Fig. 9)",
+        &[
+            Opt::new("cells", "N", "crystal cells per dimension (default 24)"),
+            Opt::new("steps", "N", "time steps (default 10)"),
+            Opt::new("tolerance", "T", "solver tolerance (default 1e-2)"),
+            Opt::new("seed", "S", "crystal perturbation seed (default 1)"),
+            Opt::new("left-procs", "P1,P2,...", "left panel (FMM/JuRoPA) process counts"),
+            Opt::new("right-procs", "P1,P2,...", "right panel (P2NFFT/Juqueen) process counts"),
+            Opt::flag("skip-left", "skip the left panel"),
+            Opt::flag("skip-right", "skip the right panel"),
+            Opt::new("dist", "D", "initial distribution: 'random' (default) or 'grid'"),
+            Opt::flag("pencil", "use a pencil (1D) grid decomposition on the right panel"),
+            Opt::new("tag", "T", "suffix for the output CSV/report names"),
+        ],
+        OBS_OPTS,
+    );
+    let cells: usize = cli.get("cells", 24);
+    let steps: usize = cli.get("steps", 10);
+    let tolerance: f64 = cli.get("tolerance", 1e-2);
+    let seed: u64 = cli.get("seed", 1);
+    let left_procs = cli.list("left-procs", &[8, 16, 32, 64, 128, 256, 512, 1024]);
+    let right_procs = cli.list("right-procs", &[16, 64, 256, 1024, 4096, 16384]);
     // The paper simulates 1000 time steps from the *grid* distribution; by
     // mid-run the particles have drifted so far that Method A effectively
     // redistributes a decorrelated system every step (cf. Fig. 8). This
     // scaled-down harness runs far fewer steps, so it defaults to the
     // *random* initial distribution to operate in that same decorrelated
     // regime; pass `--dist grid --steps 1000` for the literal setup.
-    let dist = match args.get::<String>("dist", "random".into()).as_str() {
+    let dist = match cli.get::<String>("dist", "random".into()).as_str() {
         "random" => InitialDistribution::Random,
         "grid" => InitialDistribution::Grid,
-        other => panic!("--dist must be 'random' or 'grid', got '{other}'"),
+        other => cli.fail(format!("--dist must be 'random' or 'grid', got '{other}'")),
     };
     // The right panel reaches 16384 ranks — the discrete-event engine
     // (`--engine discrete`) is the practical choice there; see the `scale`
     // harness for the dedicated crossover sweep.
-    let engine = args.engine(simcomm::Engine::Threaded);
-    let mut timeline = TimelineSink::from_args(&args);
-    let analyze = args.flag("analyze") || timeline.active();
+    let engine = cli.engine(simcomm::Engine::Threaded);
+    let mut timeline = cli.timeline();
+    let analyze = cli.analyze(&timeline);
 
     let crystal = IonicCrystal::paper_like(cells, seed);
     let dt = mdsim::suggested_dt(crystal.spacing, 1.0);
@@ -113,7 +116,7 @@ fn main() {
                     steps,
                     tolerance,
                     dt,
-                    pencil_fft: args.flag("pencil"),
+                    pencil_fft: cli.flag("pencil"),
                     ..SimConfig::default()
                 };
                 let (records, _, entry, traces) = bench::run_md_world_analyzed(
@@ -152,7 +155,7 @@ fn main() {
         }
     };
 
-    if !args.flag("skip-left") {
+    if !cli.flag("skip-left") {
         panel(
             "FMM on the juropa-like machine (switched fabric)",
             SolverKind::Fmm,
@@ -164,7 +167,7 @@ fn main() {
             &mut timeline,
         );
     }
-    if !args.flag("skip-right") {
+    if !cli.flag("skip-right") {
         panel(
             "P2NFFT-style solver on the juqueen-like machine (5D torus)",
             SolverKind::P2Nfft,
@@ -180,8 +183,8 @@ fn main() {
     // `--tag <suffix>` writes to fig9_<suffix>.csv / fig9_<suffix>_report.json
     // so special runs (e.g. the committed 16384-rank right panel) don't
     // clobber the default outputs.
-    let tag: String = args.get("tag", String::new());
-    let mut name = if args.flag("pencil") { "fig9_pencil".to_string() } else { "fig9".to_string() };
+    let tag: String = cli.get("tag", String::new());
+    let mut name = if cli.flag("pencil") { "fig9_pencil".to_string() } else { "fig9".to_string() };
     if !tag.is_empty() {
         name = format!("{name}_{tag}");
     }

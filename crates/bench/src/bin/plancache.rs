@@ -32,9 +32,9 @@
 //! model, or if the planned neighbourhood exchange wins less than 5 % on
 //! the torus (JUQUEEN-like) model.
 
+use bench::cli::{Cli, Opt, OBS_OPTS};
 use bench::{
-    banner, fmt_secs, record_run, report_summary, Args, RunReport, Selftime, SelftimeRow,
-    TimelineSink,
+    banner, fmt_secs, record_run, report_summary, RunReport, Selftime, SelftimeRow, TimelineSink,
 };
 use fcs::SolverKind;
 use mdsim::SimConfig;
@@ -114,28 +114,30 @@ fn neighborhood_workloads(
 }
 
 fn main() {
-    let args = Args::parse(&[
-        "cells",
-        "procs",
-        "steps",
-        "tolerance",
-        "seed",
-        "jitter",
-        "elems",
-        "engine",
-        "analyze",
-        "perfetto",
-    ]);
-    let cells: usize = args.get("cells", 16);
-    let procs: usize = args.get("procs", 64);
-    let steps: usize = args.get("steps", 30);
-    let tolerance: f64 = args.get("tolerance", 1e-2);
-    let seed: u64 = args.get("seed", 1);
-    let jitter: f64 = args.get("jitter", 0.15);
-    let elems: usize = args.get("elems", 500);
-    let engine = args.engine(simcomm::Engine::Threaded);
-    let mut timeline = TimelineSink::from_args(&args);
-    let analyze = args.flag("analyze") || timeline.active();
+    let cli = Cli::parse(
+        "plancache",
+        "persistent communication-plan cache: hit rates and steady-state wins",
+        &[
+            Opt::new("cells", "N", "crystal cells per dimension (default 16)"),
+            Opt::new("procs", "P", "simulated process count (default 64)"),
+            Opt::new("steps", "N", "time steps (default 30)"),
+            Opt::new("tolerance", "T", "solver tolerance (default 1e-2)"),
+            Opt::new("seed", "S", "crystal perturbation seed (default 1)"),
+            Opt::new("jitter", "J", "initial lattice jitter fraction (default 0.15)"),
+            Opt::new("elems", "N", "elements per rank in the microbench (default 500)"),
+        ],
+        OBS_OPTS,
+    );
+    let cells: usize = cli.get("cells", 16);
+    let procs: usize = cli.get("procs", 64);
+    let steps: usize = cli.get("steps", 30);
+    let tolerance: f64 = cli.get("tolerance", 1e-2);
+    let seed: u64 = cli.get("seed", 1);
+    let jitter: f64 = cli.get("jitter", 0.15);
+    let elems: usize = cli.get("elems", 500);
+    let engine = cli.engine(simcomm::Engine::Threaded);
+    let mut timeline = cli.timeline();
+    let analyze = cli.analyze(&timeline);
 
     let mut crystal = IonicCrystal::paper_like(cells, seed);
     crystal.jitter = jitter * crystal.spacing;

@@ -22,7 +22,8 @@
 //! on either machine model.
 
 use atasp::{encode_index, resort, resort_planes, ExchangeMode};
-use bench::{banner, fmt_secs, record_run, Args, RunReport, TimelineSink};
+use bench::cli::{Cli, Opt, OBS_OPTS};
+use bench::{banner, fmt_secs, record_run, RunReport, TimelineSink};
 use particles::PlaneSet;
 use simcomm::{Comm, Engine, MachineModel, Runner};
 
@@ -138,13 +139,22 @@ fn resort_workloads(
 }
 
 fn main() {
-    let args = Args::parse(&["procs", "bytes", "elems", "engine", "analyze", "perfetto"]);
-    let procs: usize = args.get("procs", 64);
-    let bytes: usize = args.get("bytes", 4096);
-    let elems: usize = args.get("elems", 2000);
-    let engine = args.engine(Engine::Threaded);
-    let mut timeline = TimelineSink::from_args(&args);
-    let analyze = args.flag("analyze") || timeline.active();
+    let cli = Cli::parse(
+        "redistribution",
+        "redistribution hot paths: blocking vs nonblocking, per-field vs combined",
+        &[
+            Opt::new("procs", "P", "simulated process count (default 64)"),
+            Opt::new("bytes", "B", "payload bytes per message (default 4096)"),
+            Opt::new("elems", "N", "elements per rank (default 2000)"),
+        ],
+        OBS_OPTS,
+    );
+    let procs: usize = cli.get("procs", 64);
+    let bytes: usize = cli.get("bytes", 4096);
+    let elems: usize = cli.get("elems", 2000);
+    let engine = cli.engine(Engine::Threaded);
+    let mut timeline = cli.timeline();
+    let analyze = cli.analyze(&timeline);
     banner(
         "Redistribution hot paths — blocking vs nonblocking, per-field vs combined",
         &format!(

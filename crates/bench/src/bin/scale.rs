@@ -28,7 +28,8 @@
 //! table, and fails loudly if the torus crossover is absent at the largest
 //! process count or if any engine-equivalence check trips.
 
-use bench::{banner, fmt_secs, report_summary, write_csv, Args, RunEntry, RunReport, TimelineSink};
+use bench::cli::{Cli, Opt, OBS_OPTS};
+use bench::{banner, fmt_secs, report_summary, write_csv, RunEntry, RunReport};
 use simcomm::{CartGrid, Comm, Engine, MachineModel, RunOutput, Runner, Work};
 
 /// Short machine label ("juropa-like") for run labels and table rows.
@@ -98,17 +99,26 @@ fn assert_engines_agree(threaded: &RunOutput<u64>, discrete: &RunOutput<u64>, wh
 }
 
 fn main() {
-    let args =
-        Args::parse(&["procs", "bytes", "steps", "eq-procs", "engine", "analyze", "perfetto"]);
-    let procs_list = args.list("procs", &[64, 256, 1024, 4096]);
-    let bytes: usize = args.get("bytes", 4096);
-    let steps: usize = args.get("steps", 4);
+    let cli = Cli::parse(
+        "scale",
+        "exchange-mode crossover sweep at paper-scale rank counts",
+        &[
+            Opt::new("procs", "P1,P2,...", "process counts to sweep (default 64,256,1024,4096)"),
+            Opt::new("bytes", "B", "payload bytes per message (default 4096)"),
+            Opt::new("steps", "N", "exchange steps per run (default 4)"),
+            Opt::new("eq-procs", "P", "largest count cross-checked against the threaded engine"),
+        ],
+        OBS_OPTS,
+    );
+    let procs_list = cli.list("procs", &[64, 256, 1024, 4096]);
+    let bytes: usize = cli.get("bytes", 4096);
+    let steps: usize = cli.get("steps", 4);
     // Largest process count at which the threaded engine is also run and the
     // two engines' outputs are compared bit for bit.
-    let eq_procs: usize = args.get("eq-procs", 64);
-    let engine = args.engine(Engine::DiscreteEvent);
-    let mut timeline = TimelineSink::from_args(&args);
-    let analyze = args.flag("analyze") || timeline.active();
+    let eq_procs: usize = cli.get("eq-procs", 64);
+    let engine = cli.engine(Engine::DiscreteEvent);
+    let mut timeline = cli.timeline();
+    let analyze = cli.analyze(&timeline);
 
     banner(
         "Scale sweep — alltoallv vs neighbourhood p2p crossover at paper scale",

@@ -1,0 +1,211 @@
+//! Shared command-line front end for the figure/harness binaries.
+//!
+//! Every binary used to hand-roll the same preamble: an [`Args::parse`] call
+//! with a duplicated allowed-key list, panicking accessors, and no `--help`.
+//! This module centralizes that into one declarative option table per binary
+//! and gives all of them the contract `commstats` established in PR 7:
+//!
+//! - `--help` prints a generated usage text and exits 0;
+//! - any usage error (unknown option, bad value) prints a one-line error
+//!   plus the usage text on **stderr** and exits **2** — no panic backtrace;
+//! - the common observability options (`--engine`, `--analyze`,
+//!   `--perfetto`) are declared once ([`OBS_OPTS`]) and parsed uniformly.
+//!
+//! ```no_run
+//! use bench::cli::{Cli, Opt, OBS_OPTS};
+//!
+//! let cli = Cli::parse(
+//!     "fig6",
+//!     "influence of the initial particle distribution",
+//!     &[
+//!         Opt::new("cells", "N", "crystal cells per dimension (default 44)"),
+//!         Opt::new("procs", "P", "simulated process count (default 256)"),
+//!     ],
+//!     OBS_OPTS,
+//! );
+//! let cells: usize = cli.get("cells", 44);
+//! let engine = cli.engine(simcomm::Engine::Threaded);
+//! ```
+
+use crate::{Args, TimelineSink};
+
+/// One declared option of a binary: key, value placeholder (empty for a
+/// boolean flag) and help line.
+#[derive(Clone, Copy)]
+pub struct Opt {
+    /// Option key (without the `--`).
+    pub key: &'static str,
+    /// Value placeholder shown in usage (e.g. `"N"`); empty means the option
+    /// is a boolean flag.
+    pub value: &'static str,
+    /// One-line help text.
+    pub help: &'static str,
+}
+
+impl Opt {
+    /// Declare a value option.
+    pub const fn new(key: &'static str, value: &'static str, help: &'static str) -> Opt {
+        Opt { key, value, help }
+    }
+
+    /// Declare a boolean flag.
+    pub const fn flag(key: &'static str, help: &'static str) -> Opt {
+        Opt { key, value: "", help }
+    }
+}
+
+/// The observability options every world-running harness accepts.
+pub const OBS_OPTS: &[Opt] = &[
+    Opt::new("engine", "NAME", "execution engine: 'threaded' (default) or 'discrete'"),
+    Opt::flag("analyze", "run traced and print the critical-path analysis"),
+    Opt::new("perfetto", "PATH", "write a Perfetto timeline of all runs to PATH"),
+];
+
+/// Parsed command line of a harness binary: panicking-free accessors that
+/// exit with code 2 (and the usage text) on bad values.
+pub struct Cli {
+    name: &'static str,
+    usage: String,
+    args: Args,
+}
+
+impl Cli {
+    /// Parse `std::env::args` against the binary's declared options plus
+    /// `common` (typically [`OBS_OPTS`], or `&[]` for a world-less tool).
+    /// Handles `--help` (exit 0) and usage errors (stderr + exit 2).
+    pub fn parse(name: &'static str, about: &str, opts: &[Opt], common: &[Opt]) -> Cli {
+        Self::parse_from(name, about, opts, common, std::env::args().skip(1).collect())
+    }
+
+    /// [`Cli::parse`] over an explicit argument vector. Exits the process on
+    /// `--help` and usage errors exactly like [`Cli::parse`].
+    pub fn parse_from(
+        name: &'static str,
+        about: &str,
+        opts: &[Opt],
+        common: &[Opt],
+        argv: Vec<String>,
+    ) -> Cli {
+        let all: Vec<Opt> = opts.iter().chain(common).copied().collect();
+        let usage = render_usage(name, about, &all);
+        // The allowed-key list drives Args; `help` rides along implicitly.
+        let allowed: Vec<&'static str> =
+            all.iter().map(|o| o.key).chain(std::iter::once("help")).collect();
+        match Args::try_parse_from(argv, &allowed) {
+            Ok(args) => {
+                if args.flag("help") {
+                    println!("{usage}");
+                    std::process::exit(0);
+                }
+                Cli { name, usage, args }
+            }
+            Err(e) => {
+                eprintln!("{name}: {e}\n\n{usage}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Report a usage/input error: one line on stderr, the usage text, exit 2.
+    pub fn fail(&self, msg: impl std::fmt::Display) -> ! {
+        eprintln!("{}: {msg}\n\n{}", self.name, self.usage);
+        std::process::exit(2)
+    }
+
+    /// Typed value with a default; bad values exit 2.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T
+    where
+        T::Err: std::fmt::Debug,
+    {
+        self.args.try_get(key, default).unwrap_or_else(|e| self.fail(e))
+    }
+
+    /// Was a boolean flag given?
+    pub fn flag(&self, key: &str) -> bool {
+        self.args.flag(key)
+    }
+
+    /// Comma-separated list of usizes; bad entries exit 2.
+    pub fn list(&self, key: &str, default: &[usize]) -> Vec<usize> {
+        self.args.try_list(key, default).unwrap_or_else(|e| self.fail(e))
+    }
+
+    /// The `--engine` selection (see [`Args::engine`]); bad names exit 2.
+    pub fn engine(&self, default: simcomm::Engine) -> simcomm::Engine {
+        self.args.try_engine(default).unwrap_or_else(|e| self.fail(e))
+    }
+
+    /// The `--perfetto` timeline sink (inactive when the flag was not given).
+    pub fn timeline(&self) -> TimelineSink {
+        TimelineSink::from_path(self.get("perfetto", String::new()))
+    }
+
+    /// The shared `--analyze` decision: analysis was requested explicitly or
+    /// is implied by an active `--perfetto` timeline (which needs traces).
+    pub fn analyze(&self, timeline: &TimelineSink) -> bool {
+        self.flag("analyze") || timeline.active()
+    }
+
+    /// The generated usage text (what `--help` prints).
+    pub fn usage(&self) -> &str {
+        &self.usage
+    }
+}
+
+/// Render the `--help`/usage text from the option table.
+fn render_usage(name: &str, about: &str, opts: &[Opt]) -> String {
+    use std::fmt::Write as _;
+    let mut u = format!("{name} — {about}\n\nUSAGE:\n  {name}");
+    for o in opts {
+        if o.value.is_empty() {
+            let _ = write!(u, " [--{}]", o.key);
+        } else {
+            let _ = write!(u, " [--{} {}]", o.key, o.value);
+        }
+    }
+    u.push_str("\n\nOPTIONS:\n");
+    let left: Vec<String> = opts
+        .iter()
+        .map(|o| {
+            if o.value.is_empty() {
+                format!("--{}", o.key)
+            } else {
+                format!("--{} {}", o.key, o.value)
+            }
+        })
+        .chain(std::iter::once("--help".to_string()))
+        .collect();
+    let width = left.iter().map(String::len).max().unwrap_or(0);
+    for (l, help) in left.iter().zip(opts.iter().map(|o| o.help).chain(["print this text"])) {
+        let _ = writeln!(u, "  {l:width$}  {help}");
+    }
+    u.push_str(
+        "\nAll times are virtual seconds of the simulated machine model; see\n\
+         docs/OBSERVABILITY.md for the report schema and DESIGN.md for the\n\
+         virtual-time rationale.",
+    );
+    u
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn usage_lists_every_option_and_help() {
+        let opts =
+            [Opt::new("cells", "N", "crystal cells"), Opt::flag("fresh", "discard prior state")];
+        let u = render_usage("figx", "a test harness", &opts);
+        assert!(u.starts_with("figx — a test harness"));
+        assert!(u.contains("[--cells N]"));
+        assert!(u.contains("[--fresh]"), "flags render without a placeholder: {u}");
+        assert!(u.contains("--help"));
+        assert!(u.contains("crystal cells"));
+    }
+
+    #[test]
+    fn obs_opts_cover_the_shared_preamble() {
+        let keys: Vec<&str> = OBS_OPTS.iter().map(|o| o.key).collect();
+        assert_eq!(keys, ["engine", "analyze", "perfetto"]);
+    }
+}

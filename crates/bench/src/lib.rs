@@ -13,6 +13,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod gate;
 pub mod json;
 pub mod microbench;
@@ -84,11 +85,20 @@ impl Args {
     where
         T::Err: std::fmt::Debug,
     {
+        self.try_get(key, default).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Args::get`], returning a usage error instead of panicking on an
+    /// unparsable value (the `cli` wrapper turns this into exit code 2).
+    pub fn try_get<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Debug,
+    {
         assert!(self.allowed.contains(&key), "option '{key}' not declared");
-        self.values
-            .get(key)
-            .map(|v| v.parse().unwrap_or_else(|e| panic!("bad value for --{key}: {e:?}")))
-            .unwrap_or(default)
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|e| format!("bad value for --{key}: {e:?}")),
+        }
     }
 
     /// Was a boolean flag given?
@@ -99,10 +109,21 @@ impl Args {
 
     /// Comma-separated list of usizes.
     pub fn list(&self, key: &str, default: &[usize]) -> Vec<usize> {
+        self.try_list(key, default).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Args::list`], returning a usage error instead of panicking on an
+    /// unparsable entry.
+    pub fn try_list(&self, key: &str, default: &[usize]) -> Result<Vec<usize>, String> {
         assert!(self.allowed.contains(&key), "option '{key}' not declared");
         match self.values.get(key) {
-            None => default.to_vec(),
-            Some(v) => v.split(',').map(|x| x.trim().parse().expect("bad list entry")).collect(),
+            None => Ok(default.to_vec()),
+            Some(v) => v
+                .split(',')
+                .map(|x| {
+                    x.trim().parse().map_err(|e| format!("bad entry '{x}' for --{key}: {e:?}"))
+                })
+                .collect(),
         }
     }
 
@@ -112,11 +133,17 @@ impl Args {
     /// rank counts). Both produce bitwise-identical results, clocks and
     /// reports; see `docs/ARCHITECTURE.md`.
     pub fn engine(&self, default: simcomm::Engine) -> simcomm::Engine {
+        self.try_engine(default).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Args::engine`], returning a usage error instead of panicking on an
+    /// unknown engine name.
+    pub fn try_engine(&self, default: simcomm::Engine) -> Result<simcomm::Engine, String> {
         assert!(self.allowed.contains(&"engine"), "option 'engine' not declared");
         match self.values.get("engine") {
-            None => default,
-            Some(v) => simcomm::Engine::from_name(v).unwrap_or_else(|| {
-                panic!("bad value for --engine: '{v}' (use 'threaded' or 'discrete')")
+            None => Ok(default),
+            Some(v) => simcomm::Engine::from_name(v).ok_or_else(|| {
+                format!("bad value for --engine: '{v}' (use 'threaded' or 'discrete')")
             }),
         }
     }
@@ -195,6 +222,27 @@ pub fn run_md_world_faulted_analyzed(
     (agg, recoveries, entry, traces)
 }
 
+/// Supervised variant of the `run_md_world*` family: the typed-error entry
+/// point campaign runs use. Failures (a rank panic, a virtual deadlock, a
+/// refused thread spawn, or an elapsed `deadline`) come back as a
+/// [`simcomm::WorldError`] value instead of a panic, so a supervisor can
+/// classify, journal and retry the run.
+#[allow(clippy::too_many_arguments)]
+pub fn try_run_md_world(
+    model: simcomm::MachineModel,
+    engine: simcomm::Engine,
+    p: usize,
+    crystal: &particles::IonicCrystal,
+    dist: particles::InitialDistribution,
+    cfg: &mdsim::SimConfig,
+    fault: Option<simcomm::FaultPlan>,
+    deadline: Option<std::time::Duration>,
+) -> Result<(Vec<StepRecord>, f64, u64, RunEntry), simcomm::WorldError> {
+    let (agg, rms, recoveries, entry, _) =
+        try_run_md_world_inner(model, engine, p, crystal, dist, cfg, fault, false, deadline)?;
+    Ok((agg, rms, recoveries, entry))
+}
+
 /// Shared core of the `run_md_world*` family. Tracing is clock-invisible, so
 /// the records, clocks and report entry are bitwise-identical whether or not
 /// `traced` is set — the traced run merely also yields the event streams.
@@ -209,18 +257,42 @@ fn run_md_world_inner(
     fault: Option<simcomm::FaultPlan>,
     traced: bool,
 ) -> (Vec<StepRecord>, f64, u64, RunEntry, Vec<simcomm::Trace>) {
+    try_run_md_world_inner(model, engine, p, crystal, dist, cfg, fault, traced, None)
+        .unwrap_or_else(|e| panic!("simcomm world failed: {e}"))
+}
+
+/// Everything an MD world run yields: aggregated step records, the RMS
+/// displacement, the recovery count, the report entry, and (when traced)
+/// the event streams.
+type MdWorldOutput = (Vec<StepRecord>, f64, u64, RunEntry, Vec<simcomm::Trace>);
+
+/// Result-returning core: build the world, run it (optionally supervised by
+/// a wall-clock deadline), and condense the output into step records and a
+/// report entry.
+#[allow(clippy::too_many_arguments)]
+fn try_run_md_world_inner(
+    model: simcomm::MachineModel,
+    engine: simcomm::Engine,
+    p: usize,
+    crystal: &particles::IonicCrystal,
+    dist: particles::InitialDistribution,
+    cfg: &mdsim::SimConfig,
+    fault: Option<simcomm::FaultPlan>,
+    traced: bool,
+    deadline: Option<std::time::Duration>,
+) -> Result<MdWorldOutput, simcomm::WorldError> {
     let bbox = particles::ParticleSource::system_box(crystal);
     let crystal = crystal.clone();
     let cfg = cfg.clone();
-    let mut runner = simcomm::Runner::new(engine).traced(traced);
+    let mut runner = simcomm::Runner::new(engine).traced(traced).deadline(deadline);
     if let Some(fault) = fault {
         runner = runner.faulted(fault);
     }
-    let out = runner.run(p, model, move |comm| {
+    let out = runner.try_run(p, model, move |comm| {
         let dims = simcomm::CartGrid::balanced(p).dims();
         let set = particles::local_set(&crystal, dist, comm.rank(), p, dims);
         mdsim::simulate(comm, bbox, set, &cfg)
-    });
+    })?;
     let per_rank: Vec<Vec<StepRecord>> = out.results.iter().map(|r| r.records.clone()).collect();
     let agg = aggregate_steps(&per_rank);
     let rms = out.results[0].rms_displacement;
@@ -230,7 +302,7 @@ fn run_md_world_inner(
     if traced {
         attach_analysis(&mut entry, &traces);
     }
-    (agg, rms, recoveries, entry, traces)
+    Ok((agg, rms, recoveries, entry, traces))
 }
 
 /// Run the happens-before trace analysis and record its condensed form
@@ -275,6 +347,12 @@ impl TimelineSink {
     /// in the allowed set).
     pub fn from_args(args: &Args) -> TimelineSink {
         let path: String = args.get("perfetto", String::new());
+        Self::from_path(path)
+    }
+
+    /// Build from an explicit `--perfetto` value (empty = inactive) — the
+    /// [`cli`] module's construction path.
+    pub fn from_path(path: String) -> TimelineSink {
         TimelineSink { path: (!path.is_empty()).then(|| path.into()), runs: Vec::new() }
     }
 

@@ -314,6 +314,19 @@ impl RunEntry {
     pub fn mean_seconds_of(&self, prefix: &str) -> f64 {
         self.phases.iter().filter(|p| p.name.starts_with(prefix)).map(|p| p.mean_seconds).sum()
     }
+
+    /// Serialize this entry alone (the element format of a report's `runs`
+    /// array). Round-trips exactly through [`RunEntry::from_json`] — campaign
+    /// payloads rely on this to stream per-run entries through durable
+    /// storage without losing a bit.
+    pub fn to_json(&self) -> Json {
+        run_to_json(self)
+    }
+
+    /// Parse an entry serialized by [`RunEntry::to_json`].
+    pub fn from_json(v: &Json) -> Result<RunEntry, String> {
+        run_from_json(v)
+    }
 }
 
 impl RunReport {

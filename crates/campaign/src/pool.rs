@@ -1,0 +1,116 @@
+//! Work-stealing worker pool for campaign runs.
+//!
+//! The pool executes a *static* item set (run indices known up front) on a
+//! fixed number of worker threads. Items are dealt round-robin into per-worker
+//! deques; a worker pops from the *back* of its own deque and, when empty,
+//! steals from the *front* of a victim's — the classic split that keeps
+//! owner/thief contention on opposite ends. Simulation runs are seconds-long,
+//! so a `Mutex<VecDeque>` per worker is entirely adequate; the stealing
+//! matters because run durations vary wildly (a 3-step fig8 config vs. a
+//! deadline-hung chaos config), not because pop latency does.
+//!
+//! The `work` closure runs on pool threads and receives only the item index;
+//! shared read-only state (machine models, configs) is captured by reference.
+//! Closure panics are the *caller's* job to contain (the campaign runner
+//! wraps each run in `catch_unwind`); a panic that escapes `work` aborts the
+//! pool via the scoped-thread join.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// Execute `work(i)` for every `i in 0..items` on `workers` threads with
+/// work stealing. Returns when all items have run (or were abandoned because
+/// `stop` became true — items not yet claimed when `stop` is observed are
+/// skipped, but items already claimed run to completion).
+///
+/// `workers == 0` is clamped to 1. Items are dealt round-robin (`i % workers`)
+/// so a deterministic workload starts in a deterministic initial placement —
+/// though *completion* order is inherently racy, which is why campaign
+/// results are keyed by item, never by completion order.
+pub fn run_stealing<F>(items: usize, workers: usize, stop: &AtomicBool, work: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let workers = workers.max(1).min(items.max(1));
+    let queues: Vec<Mutex<VecDeque<usize>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    for i in 0..items {
+        queues[i % workers].lock().expect("pool queue poisoned").push_back(i);
+    }
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let queues = &queues;
+            let work = &work;
+            scope.spawn(move || loop {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Own queue first (back = most recently dealt)...
+                let mine = queues[w].lock().expect("pool queue poisoned").pop_back();
+                let item = match mine {
+                    Some(i) => Some(i),
+                    // ...then steal from victims' fronts.
+                    None => (1..workers).find_map(|d| {
+                        queues[(w + d) % workers].lock().expect("pool queue poisoned").pop_front()
+                    }),
+                };
+                match item {
+                    Some(i) => work(i),
+                    None => return, // all queues drained
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn runs_every_item_exactly_once() {
+        for (items, workers) in [(0, 4), (1, 4), (7, 1), (64, 3), (100, 16)] {
+            let hits: Vec<AtomicUsize> = (0..items).map(|_| AtomicUsize::new(0)).collect();
+            let stop = AtomicBool::new(false);
+            run_stealing(items, workers, &stop, |i| {
+                hits[i].fetch_add(1, Ordering::SeqCst);
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::SeqCst) == 1),
+                "items={items} workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn idle_workers_steal_from_the_loaded_one() {
+        // One slow item pins worker 0; the rest must still complete promptly
+        // because other workers steal them.
+        let items = 32;
+        let done = AtomicUsize::new(0);
+        let stop = AtomicBool::new(false);
+        run_stealing(items, 4, &stop, |i| {
+            if i == 0 {
+                while done.load(Ordering::SeqCst) < items - 1 {
+                    std::thread::yield_now();
+                }
+            }
+            done.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(done.load(Ordering::SeqCst), items);
+    }
+
+    #[test]
+    fn stop_abandons_unclaimed_items() {
+        let ran = AtomicUsize::new(0);
+        let stop = AtomicBool::new(false);
+        run_stealing(100, 1, &stop, |_| {
+            if ran.fetch_add(1, Ordering::SeqCst) + 1 == 5 {
+                stop.store(true, Ordering::SeqCst);
+            }
+        });
+        assert_eq!(ran.load(Ordering::SeqCst), 5);
+    }
+}

@@ -171,6 +171,15 @@ impl Snapshot {
         Ok(())
     }
 
+    /// Like [`Snapshot::save`], but fsync the file before returning, so a
+    /// supervisor (e.g. a campaign runner journaling "checkpoint written")
+    /// can rely on the checkpoint surviving a `kill -9` of the process — an
+    /// OS crash notwithstanding — once this call returns.
+    pub fn save_durable(&self, path: &Path) -> std::io::Result<()> {
+        self.save(path)?;
+        std::fs::OpenOptions::new().write(true).open(path)?.sync_data()
+    }
+
     /// Read a snapshot written by [`Snapshot::save`], verifying the length +
     /// checksum footer first. A file that was truncated, bit-flipped or
     /// partially overwritten is rejected with the corresponding

@@ -99,6 +99,22 @@ pub(crate) enum WaitSite {
     Collective,
 }
 
+/// A detected virtual deadlock: every live rank is blocked and no virtual
+/// event can wake any of them. Returned (not panicked) by
+/// [`Scheduler::yield_blocked`] so the world can record a typed
+/// [`crate::WorldError::VirtualDeadlock`] before unwinding.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Deadlock {
+    /// Live (undone) tasks at detection time.
+    pub live: usize,
+    /// The task whose block completed the deadlock.
+    pub rank: usize,
+    /// That task's blocking site.
+    pub site: WaitSite,
+    /// That task's virtual clock when it blocked.
+    pub clock: f64,
+}
+
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum TaskState {
     /// In the run queue, waiting for the baton.
@@ -279,15 +295,19 @@ impl Scheduler {
     /// dispatch the best runnable tasks, and park until re-woken. The caller
     /// must have released every world lock first.
     ///
-    /// # Panics
-    ///
-    /// Panics if, with this task blocked, no task is running or runnable
-    /// while undone tasks remain — with every live rank blocked and only
-    /// virtual events able to wake them, the world can never progress again
-    /// (a virtual deadlock, e.g. a receive whose matching send was never
-    /// posted). The panic poisons the world through the normal rank-failure
-    /// path, so the remaining ranks fail fast instead of hanging the process.
-    pub(crate) fn yield_blocked(&self, rank: usize, site: WaitSite, clock: f64) {
+    /// Returns `Err` if, with this task blocked, no task is running or
+    /// runnable while undone tasks remain — with every live rank blocked and
+    /// only virtual events able to wake them, the world can never progress
+    /// again (a virtual deadlock, e.g. a receive whose matching send was
+    /// never posted). The caller records the typed error, poisons the world
+    /// and unwinds, so the remaining ranks fail fast instead of hanging the
+    /// process.
+    pub(crate) fn yield_blocked(
+        &self,
+        rank: usize,
+        site: WaitSite,
+        clock: f64,
+    ) -> Result<(), Deadlock> {
         {
             let mut st = lock(&self.state);
             let t = &mut st.tasks[rank];
@@ -298,14 +318,11 @@ impl Scheduler {
             self.fill(&mut st);
             if st.running == 0 && st.done < st.tasks.len() {
                 let live = st.tasks.len() - st.done;
-                panic!(
-                    "virtual deadlock: all {live} live ranks are blocked \
-                     (rank {rank} last, on {site:?} at t={clock:.9}); \
-                     no virtual event can wake any of them"
-                );
+                return Err(Deadlock { live, rank, site, clock });
             }
         }
         self.wait_for_turn(rank);
+        Ok(())
     }
 
     /// A message was deposited for `rank`: wake it if it is parked on its
@@ -340,18 +357,18 @@ impl Scheduler {
     }
 
     /// The task of `rank` finished (returned or panicked): retire it and hand
-    /// its baton to the next runnable task. Returns `true` if undone tasks
-    /// remain but none is running or runnable — the survivors are permanently
-    /// blocked and the caller must poison the world and call
-    /// [`Scheduler::kick`] to restart dispatch.
-    pub(crate) fn retire(&self, rank: usize) -> bool {
+    /// its baton to the next runnable task. Returns `Some(live)` if undone
+    /// tasks remain but none is running or runnable — the `live` survivors
+    /// are permanently blocked and the caller must record the deadlock,
+    /// poison the world and call [`Scheduler::kick`] to restart dispatch.
+    pub(crate) fn retire(&self, rank: usize) -> Option<usize> {
         let mut st = lock(&self.state);
         st.tasks[rank].state = TaskState::Done;
         st.tasks[rank].epoch += 1;
         st.done += 1;
         st.running -= 1;
         self.fill(&mut st);
-        st.running == 0 && st.done < st.tasks.len()
+        (st.running == 0 && st.done < st.tasks.len()).then(|| st.tasks.len() - st.done)
     }
 
     /// Restart dispatch after an out-of-band wakeup (poison): resume the best

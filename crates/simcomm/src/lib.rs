@@ -40,6 +40,7 @@
 
 mod cart;
 mod engine;
+mod error;
 mod fault;
 mod model;
 mod phase;
@@ -50,6 +51,7 @@ mod world;
 
 pub use cart::CartGrid;
 pub use engine::Engine;
+pub use error::WorldError;
 pub use fault::{FaultPlan, StallSpec};
 pub use model::{
     balanced_dims, torus_coords, torus_hops, ComputeRates, MachineModel, Topology, Work,

@@ -21,8 +21,10 @@ use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
-use crate::engine::{Engine, Scheduler, WaitSite};
+use crate::engine::{Deadlock, Engine, Scheduler, WaitSite};
+use crate::error::WorldError;
 use crate::fault::FaultPlan;
 use crate::model::{MachineModel, Work};
 use crate::phase::{aggregate_phases, PhaseAgg, PhaseProfile, PhaseSegment, PhaseStats};
@@ -217,6 +219,10 @@ pub(crate) struct WorldShared {
     bins: Vec<Mutex<Vec<BinEntry>>>,
     coll: Collective,
     poisoned: AtomicBool,
+    /// First recorded failure cause: the typed error [`Runner::try_run`]
+    /// returns. Writers use [`WorldShared::fail`] (first-wins), so secondary
+    /// poison-induced panics never overwrite the original cause.
+    failure: Mutex<Option<WorldError>>,
     /// The world's fault-injection plan (inert for [`run`] / [`run_traced`]).
     fault: FaultPlan,
     /// Cached `fault.is_active()`: the single branch every hot-path fault
@@ -248,6 +254,7 @@ impl WorldShared {
                 cv: Condvar::new(),
             },
             poisoned: AtomicBool::new(false),
+            failure: Mutex::new(None),
             exec: match engine {
                 Engine::Threaded => Exec::Threaded,
                 Engine::DiscreteEvent => Exec::Discrete(Scheduler::new(n)),
@@ -274,6 +281,33 @@ impl WorldShared {
         }
     }
 
+    /// Record the world's failure cause, first writer wins. Every poison site
+    /// records its cause *before* poisoning, so the secondary panics of the
+    /// woken ranks can never claim to be the origin.
+    fn fail(&self, err: WorldError) {
+        let mut f = lock(&self.failure);
+        if f.is_none() {
+            *f = Some(err);
+        }
+    }
+
+    /// A blocking site detected a virtual deadlock: record the typed cause,
+    /// poison the world so every blocked rank unwinds, and unwind this rank
+    /// with the display form (callers of the panicking `run*` entry points
+    /// see it verbatim).
+    fn report_deadlock(&self, d: Deadlock) -> ! {
+        let err = WorldError::VirtualDeadlock {
+            live: d.live,
+            rank: d.rank,
+            site: format!("{:?}", d.site),
+            clock: d.clock,
+        };
+        let msg = err.to_string();
+        self.fail(err);
+        self.poison();
+        panic!("{msg}");
+    }
+
     // ------------------------------------------------- engine blocking sites
     //
     // The four helpers below are the *only* places where the two engines
@@ -294,7 +328,9 @@ impl WorldShared {
             Exec::Threaded => wait(&self.mailboxes[rank].cv, guard),
             Exec::Discrete(s) => {
                 drop(guard);
-                s.yield_blocked(rank, WaitSite::Mailbox, clock);
+                if let Err(d) = s.yield_blocked(rank, WaitSite::Mailbox, clock) {
+                    self.report_deadlock(d);
+                }
                 lock(&self.mailboxes[rank].queue)
             }
         }
@@ -312,7 +348,9 @@ impl WorldShared {
             Exec::Threaded => wait(&self.coll.cv, guard),
             Exec::Discrete(s) => {
                 drop(guard);
-                s.yield_blocked(rank, WaitSite::Collective, clock);
+                if let Err(d) = s.yield_blocked(rank, WaitSite::Collective, clock) {
+                    self.report_deadlock(d);
+                }
                 lock(&self.coll.m)
             }
         }
@@ -352,11 +390,18 @@ impl WorldShared {
 
     /// Rank-thread epilogue: under the discrete-event engine, retire the task
     /// and hand the baton on. If this rank exited while every remaining rank
-    /// is blocked, no virtual event can ever wake them — poison the world and
-    /// restart dispatch so the survivors fail fast instead of hanging.
-    fn retire_rank(&self, rank: usize) {
+    /// is blocked, no virtual event can ever wake them — record the deadlock,
+    /// poison the world and restart dispatch so the survivors fail fast
+    /// instead of hanging.
+    fn retire_rank(&self, rank: usize, clock: f64) {
         if let Exec::Discrete(s) = &self.exec {
-            if s.retire(rank) {
+            if let Some(live) = s.retire(rank) {
+                self.fail(WorldError::VirtualDeadlock {
+                    live,
+                    rank,
+                    site: "rank-exit".to_string(),
+                    clock,
+                });
                 self.poison();
                 s.kick();
             }
@@ -539,6 +584,7 @@ pub struct Runner {
     traced: bool,
     fault: FaultPlan,
     pooled: bool,
+    deadline: Option<Duration>,
 }
 
 impl Default for Runner {
@@ -549,9 +595,9 @@ impl Default for Runner {
 
 impl Runner {
     /// A runner for the given engine, with tracing off, the inert fault
-    /// plan, and message-buffer pooling enabled.
+    /// plan, message-buffer pooling enabled, and no deadline.
     pub fn new(engine: Engine) -> Runner {
-        Runner { engine, traced: false, fault: FaultPlan::none(), pooled: true }
+        Runner { engine, traced: false, fault: FaultPlan::none(), pooled: true, deadline: None }
     }
 
     /// The engine this runner uses.
@@ -585,21 +631,84 @@ impl Runner {
         self
     }
 
+    /// Set a wall-clock deadline for the whole run (`None` disables it, the
+    /// default). When the deadline elapses before the world completes, a
+    /// watchdog poisons the world: every rank blocked in a communication
+    /// operation wakes and unwinds, and the run fails with
+    /// [`WorldError::DeadlineExceeded`]. This is how supervisors retire runs
+    /// that hang in real time — e.g. a threaded-engine world waiting on a
+    /// message that is never sent (the discrete-event engine detects that
+    /// case as a [`WorldError::VirtualDeadlock`] instead, without waiting).
+    ///
+    /// The watchdog can only interrupt ranks at communication operations
+    /// (every blocking site rechecks the poison flag); a rank spinning in
+    /// pure host compute is not preemptible in-process.
+    pub fn deadline(mut self, deadline: Option<Duration>) -> Runner {
+        self.deadline = deadline;
+        self
+    }
+
     /// Run a simulated world of `n` ranks under the given machine model,
     /// invoking the closure once per rank with that rank's [`Comm`].
     ///
     /// # Panics
     ///
-    /// If any rank's closure panics — or, under the discrete-event engine,
-    /// the world reaches a virtual deadlock — the world is poisoned (all
-    /// blocked ranks are woken and panic too) and `run` itself panics with
-    /// the original message.
+    /// If the world fails ([`Runner::try_run`] returns an error), `run`
+    /// panics with `"simcomm world failed: {error}"`. Supervisors that need
+    /// to distinguish failure causes use [`Runner::try_run`] instead.
     pub fn run<R, F>(&self, n: usize, model: MachineModel, f: F) -> RunOutput<R>
     where
         R: Send,
         F: Fn(&mut Comm) -> R + Send + Sync,
     {
-        run_with(n, model, self.fault.clone(), self.traced, self.engine, self.pooled, f)
+        self.try_run(n, model, f).unwrap_or_else(|e| panic!("simcomm world failed: {e}"))
+    }
+
+    /// Like [`Runner::run`], but returning the typed failure cause instead of
+    /// panicking when the world fails: the first rank panic
+    /// ([`WorldError::RankPanic`]), a virtual deadlock under the
+    /// discrete-event engine ([`WorldError::VirtualDeadlock`]), a refused
+    /// thread spawn ([`WorldError::SpawnFailed`]), or an elapsed wall-clock
+    /// deadline ([`WorldError::DeadlineExceeded`]).
+    ///
+    /// This is the supervision entry point: expected operational failures
+    /// come back as values, while the panic path remains only for invariant
+    /// violations inside the harness itself.
+    ///
+    /// ```
+    /// use simcomm::{Engine, MachineModel, Runner, WorldError};
+    ///
+    /// let err = Runner::new(Engine::DiscreteEvent)
+    ///     .try_run(2, MachineModel::ideal(), |comm| {
+    ///         if comm.rank() == 1 {
+    ///             let _: Vec<u8> = comm.recv(0, 99); // never sent
+    ///         }
+    ///     })
+    ///     .err()
+    ///     .expect("a receive with no matching send must deadlock");
+    /// assert_eq!(err.kind(), "deadlock");
+    /// assert!(matches!(err, WorldError::VirtualDeadlock { live: 1, .. }));
+    /// ```
+    pub fn try_run<R, F>(
+        &self,
+        n: usize,
+        model: MachineModel,
+        f: F,
+    ) -> Result<RunOutput<R>, WorldError>
+    where
+        R: Send,
+        F: Fn(&mut Comm) -> R + Send + Sync,
+    {
+        try_run_with(
+            n,
+            model,
+            self.fault.clone(),
+            self.traced,
+            self.engine,
+            self.pooled,
+            self.deadline,
+            f,
+        )
     }
 }
 
@@ -666,6 +775,9 @@ where
     run_with(n, model, fault, true, Engine::Threaded, true, f)
 }
 
+/// Panicking form of [`try_run_with`], behind the historical `run*` free
+/// functions: any world failure becomes a panic carrying the error's display
+/// form.
 fn run_with<R, F>(
     n: usize,
     model: MachineModel,
@@ -679,18 +791,61 @@ where
     R: Send,
     F: Fn(&mut Comm) -> R + Send + Sync,
 {
+    try_run_with(n, model, fault, traced, engine, pooled, None, f)
+        .unwrap_or_else(|e| panic!("simcomm world failed: {e}"))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn try_run_with<R, F>(
+    n: usize,
+    model: MachineModel,
+    fault: FaultPlan,
+    traced: bool,
+    engine: Engine,
+    pooled: bool,
+    deadline: Option<Duration>,
+    f: F,
+) -> Result<RunOutput<R>, WorldError>
+where
+    R: Send,
+    F: Fn(&mut Comm) -> R + Send + Sync,
+{
     assert!(n >= 1, "world must have at least one rank");
     let shared = Arc::new(WorldShared::new(n, model, fault, engine));
     type Slot<R> = Mutex<Option<(R, f64, RankStats, Trace, PhaseProfile)>>;
     let slots: Vec<Slot<R>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let panicked: Mutex<Option<String>> = Mutex::new(None);
+    // Completion signal for the deadline watchdog (scoped, so it can borrow).
+    let watchdog_done: (Mutex<bool>, Condvar) = (Mutex::new(false), Condvar::new());
 
     std::thread::scope(|scope| {
+        if let Some(limit) = deadline {
+            let shared = Arc::clone(&shared);
+            let watchdog_done = &watchdog_done;
+            scope.spawn(move || {
+                let (m, cv) = watchdog_done;
+                let expiry = Instant::now() + limit;
+                let mut done = lock(m);
+                while !*done {
+                    let now = Instant::now();
+                    if now >= expiry {
+                        drop(done);
+                        // Configured limit, not measured time: the error is a
+                        // pure function of the run configuration.
+                        shared.fail(WorldError::DeadlineExceeded { seconds: limit.as_secs_f64() });
+                        shared.poison();
+                        return;
+                    }
+                    done = cv
+                        .wait_timeout(done, expiry - now)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .0;
+                }
+            });
+        }
         let mut handles = Vec::with_capacity(n);
         for rank in 0..n {
             let f = &f;
             let slots = &slots;
-            let panicked = &panicked;
             let task = {
                 let shared = Arc::clone(&shared);
                 move || {
@@ -729,9 +884,10 @@ where
                             while !comm.phase_stack.is_empty() {
                                 comm.exit_phase();
                             }
+                            let clock = comm.clock;
                             *lock(&slots[rank]) = Some((
                                 r,
-                                comm.clock,
+                                clock,
                                 comm.stats,
                                 comm.trace.take().unwrap_or_default(),
                                 std::mem::take(&mut comm.profile),
@@ -743,15 +899,15 @@ where
                                 .cloned()
                                 .or_else(|| e.downcast_ref::<&str>().map(|s| s.to_string()))
                                 .unwrap_or_else(|| "rank panicked".to_string());
-                            let mut p = lock(panicked);
-                            if p.is_none() {
-                                *p = Some(format!("rank {rank}: {msg}"));
-                            }
-                            drop(p);
+                            // First failure wins: the secondary panics of
+                            // poison-woken ranks (and the unwind of a rank
+                            // that itself reported a deadlock) never
+                            // overwrite the recorded cause.
+                            shared.fail(WorldError::RankPanic { rank, message: msg });
                             shared.poison();
                         }
                     }
-                    shared.retire_rank(rank);
+                    shared.retire_rank(rank, comm.clock);
                 }
             };
             let spawned = std::thread::Builder::new()
@@ -769,14 +925,11 @@ where
                     // the world instead: abandon the unspawnable tasks so the
                     // scheduler never dispatches them, poison the spawned
                     // ranks, and let the normal failure path report it.
-                    let mut p = lock(panicked);
-                    if p.is_none() {
-                        *p = Some(format!(
-                            "could not spawn the host thread of rank {rank} \
-                             (world of {n} ranks): {e}"
-                        ));
-                    }
-                    drop(p);
+                    shared.fail(WorldError::SpawnFailed {
+                        rank,
+                        nranks: n,
+                        message: e.to_string(),
+                    });
                     if let Exec::Discrete(s) = &shared.exec {
                         for r in rank..n {
                             s.abandon(r);
@@ -791,10 +944,14 @@ where
         for h in handles {
             let _ = h.join();
         }
+        // All ranks are done (or the world failed): release the watchdog.
+        let (m, cv) = &watchdog_done;
+        *lock(m) = true;
+        cv.notify_all();
     });
 
-    if let Some(msg) = panicked.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner) {
-        panic!("simcomm world failed: {msg}");
+    if let Some(err) = lock(&shared.failure).take() {
+        return Err(err);
     }
 
     let mut results = Vec::with_capacity(n);
@@ -813,7 +970,7 @@ where
         traces.push(t);
         phases.push(p);
     }
-    RunOutput { results, clocks, stats, traces, phases }
+    Ok(RunOutput { results, clocks, stats, traces, phases })
 }
 
 impl Comm {
@@ -2342,6 +2499,74 @@ mod tests {
             // Other ranks block in a collective; poisoning must wake them.
             comm.barrier();
         });
+    }
+
+    #[test]
+    fn try_run_reports_first_rank_panic_typed() {
+        for engine in [Engine::Threaded, Engine::DiscreteEvent] {
+            let err = Runner::new(engine)
+                .try_run(4, MachineModel::ideal(), |comm| {
+                    if comm.rank() == 2 {
+                        panic!("injected fault in rank body");
+                    }
+                    comm.barrier();
+                })
+                .err()
+                .expect("a panicking rank must fail the world");
+            assert_eq!(err.kind(), "panic");
+            match err {
+                WorldError::RankPanic { rank, message } => {
+                    assert_eq!(rank, 2);
+                    assert!(message.contains("injected fault"), "{message}");
+                }
+                other => panic!("expected RankPanic, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn try_run_deadline_retires_hung_threaded_world() {
+        // Under the threaded engine a receive with no matching send hangs in
+        // real time; only the deadline watchdog can retire it.
+        let err = Runner::new(Engine::Threaded)
+            .deadline(Some(Duration::from_millis(50)))
+            .try_run(2, MachineModel::ideal(), |comm| {
+                if comm.rank() == 1 {
+                    let _: Vec<u8> = comm.recv(0, 99); // never sent
+                }
+            })
+            .err()
+            .expect("the watchdog must retire the hung world");
+        assert_eq!(err.kind(), "deadline");
+        // The error carries the *configured* limit, not a measured duration,
+        // so it is deterministic across runs.
+        assert_eq!(err, WorldError::DeadlineExceeded { seconds: 0.05 });
+    }
+
+    #[test]
+    fn try_run_deadline_does_not_fire_on_healthy_world() {
+        let out = Runner::new(Engine::Threaded)
+            .deadline(Some(Duration::from_secs(60)))
+            .try_run(4, MachineModel::ideal(), |comm| {
+                comm.allreduce(comm.rank() as u64, |a, b| a + b)
+            })
+            .expect("healthy world must complete under a generous deadline");
+        assert!(out.results.iter().all(|&s| s == 6));
+    }
+
+    #[test]
+    fn try_run_succeeds_bitwise_identical_to_run() {
+        let body = |comm: &mut Comm| {
+            let v: Vec<u64> = vec![comm.rank() as u64; 32];
+            let _ = comm.alltoallv(vec![((comm.rank() + 1) % 4, v)]);
+            comm.clock()
+        };
+        let a = Runner::new(Engine::DiscreteEvent)
+            .try_run(4, MachineModel::juropa_like(), body)
+            .expect("clean world");
+        let b = Runner::new(Engine::DiscreteEvent).run(4, MachineModel::juropa_like(), body);
+        assert_eq!(a.clocks, b.clocks);
+        assert_eq!(a.results, b.results);
     }
 
     #[test]
